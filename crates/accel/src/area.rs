@@ -1,0 +1,152 @@
+//! Area model for the OliVe decoders and PE array (paper Tbl. 10 and Tbl. 11).
+//!
+//! The decoder areas come from the paper's synthesis results (Synopsys DC,
+//! TSMC 22 nm, scaled to 12 nm for the GPU integration with DeepScaleTool);
+//! we treat those published numbers as calibration constants and reproduce the
+//! bookkeeping on top of them, plus a generic technology-scaling helper.
+
+/// Area of the 4-bit OVP decoder at 22 nm, in µm² (Tbl. 11).
+pub const DECODER4_UM2_22NM: f64 = 37.22;
+/// Area of the 8-bit OVP decoder at 22 nm, in µm² (Tbl. 11).
+pub const DECODER8_UM2_22NM: f64 = 49.50;
+/// Area of a 4-bit PE at 22 nm, in µm² (Tbl. 11).
+pub const PE4_UM2_22NM: f64 = 50.01;
+/// Area of the 4-bit OVP decoder at 12 nm, in µm² (Tbl. 10).
+pub const DECODER4_UM2_12NM: f64 = 13.53;
+/// Area of the 8-bit OVP decoder at 12 nm, in µm² (Tbl. 10).
+pub const DECODER8_UM2_12NM: f64 = 18.00;
+/// RTX 2080 Ti die area in mm² (Tbl. 10 uses 754 mm²).
+pub const RTX_2080TI_DIE_MM2: f64 = 754.0;
+/// Number of 4-bit decoders on the GPU (one per 16EDP lane, Tbl. 5/10).
+pub const GPU_DECODER4_COUNT: usize = 139_264;
+/// Number of 8-bit decoders on the GPU (one per 8EDP lane, Tbl. 5/10).
+pub const GPU_DECODER8_COUNT: usize = 69_632;
+
+/// DeepScaleTool-style area scaling between technology nodes: area scales
+/// roughly with the square of the feature-size ratio.
+pub fn scale_area(area: f64, from_nm: f64, to_nm: f64) -> f64 {
+    assert!(from_nm > 0.0 && to_nm > 0.0, "nodes must be positive");
+    area * (to_nm / from_nm).powi(2)
+}
+
+/// One row of an area table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaRow {
+    /// Component name.
+    pub component: String,
+    /// Unit area in µm².
+    pub unit_area_um2: f64,
+    /// Instance count.
+    pub count: usize,
+    /// Total area in mm².
+    pub total_mm2: f64,
+    /// Fraction of the reference area (GPU die or accelerator core).
+    pub ratio: f64,
+}
+
+fn row(component: &str, unit_area_um2: f64, count: usize, reference_mm2: f64) -> AreaRow {
+    let total_mm2 = unit_area_um2 * count as f64 / 1e6;
+    AreaRow {
+        component: component.to_string(),
+        unit_area_um2,
+        count,
+        total_mm2,
+        ratio: total_mm2 / reference_mm2,
+    }
+}
+
+/// Reproduces Tbl. 10: the area of the OliVe decoders added to an RTX 2080 Ti.
+pub fn gpu_decoder_area_table() -> Vec<AreaRow> {
+    vec![
+        row(
+            "4-bit Decoder",
+            DECODER4_UM2_12NM,
+            GPU_DECODER4_COUNT,
+            RTX_2080TI_DIE_MM2,
+        ),
+        row(
+            "8-bit Decoder",
+            DECODER8_UM2_12NM,
+            GPU_DECODER8_COUNT,
+            RTX_2080TI_DIE_MM2,
+        ),
+    ]
+}
+
+/// Reproduces Tbl. 11: the area breakdown of the OliVe systolic array
+/// (64×64 4-bit PEs with border decoders) at 22 nm.
+pub fn systolic_area_table(array_dim: usize) -> Vec<AreaRow> {
+    let n_pe = array_dim * array_dim;
+    let n_dec4 = 2 * array_dim; // one per row + one per column (Sec. 4.3)
+    let n_dec8 = array_dim; // 8-bit decoders shared per PE quad column
+    let core_mm2 = (DECODER4_UM2_22NM * n_dec4 as f64
+        + DECODER8_UM2_22NM * n_dec8 as f64
+        + PE4_UM2_22NM * n_pe as f64)
+        / 1e6;
+    vec![
+        row("4-bit Decoder", DECODER4_UM2_22NM, n_dec4, core_mm2),
+        row("8-bit Decoder", DECODER8_UM2_22NM, n_dec8, core_mm2),
+        row("4-bit PE", PE4_UM2_22NM, n_pe, core_mm2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table10_totals_match_paper() {
+        let rows = gpu_decoder_area_table();
+        // Paper: 1.88 mm² (0.250%) and 1.25 mm² (0.166%).
+        assert!((rows[0].total_mm2 - 1.88).abs() < 0.03, "{}", rows[0].total_mm2);
+        assert!((rows[1].total_mm2 - 1.25).abs() < 0.03, "{}", rows[1].total_mm2);
+        assert!((rows[0].ratio - 0.0025).abs() < 2e-4);
+        assert!((rows[1].ratio - 0.00166).abs() < 2e-4);
+    }
+
+    #[test]
+    fn table11_ratios_match_paper() {
+        let rows = systolic_area_table(64);
+        // Paper: 2.2%, 1.5%, 96.3% of the core area.
+        assert!((rows[0].ratio - 0.022).abs() < 0.004, "{}", rows[0].ratio);
+        assert!((rows[1].ratio - 0.015).abs() < 0.004, "{}", rows[1].ratio);
+        assert!((rows[2].ratio - 0.963).abs() < 0.01, "{}", rows[2].ratio);
+        assert_eq!(rows[2].count, 4096);
+        assert_eq!(rows[0].count, 128);
+        assert_eq!(rows[1].count, 64);
+    }
+
+    #[test]
+    fn decoder_overhead_is_tiny_in_both_integrations() {
+        for r in gpu_decoder_area_table() {
+            assert!(r.ratio < 0.005, "{} ratio {}", r.component, r.ratio);
+        }
+        let acc = systolic_area_table(64);
+        assert!(acc[0].ratio + acc[1].ratio < 0.05);
+    }
+
+    #[test]
+    fn area_scaling_is_quadratic() {
+        let a22 = 100.0;
+        let a12 = scale_area(a22, 22.0, 12.0);
+        assert!((a12 - 100.0 * (12.0f64 / 22.0).powi(2)).abs() < 1e-9);
+        assert!(a12 < a22);
+    }
+
+    #[test]
+    fn scaled_decoder_roughly_matches_published_12nm_value() {
+        // Scaling the 22 nm decoder to 12 nm should land near the published
+        // 12 nm number (the paper used DeepScaleTool; quadratic scaling is a
+        // reasonable approximation).
+        let scaled = scale_area(DECODER4_UM2_22NM, 22.0, 12.0);
+        let rel = (scaled - DECODER4_UM2_12NM).abs() / DECODER4_UM2_12NM;
+        assert!(rel < 0.35, "scaled {} vs published {}", scaled, DECODER4_UM2_12NM);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scale_area_rejects_zero_node()
+    {
+        let _ = scale_area(1.0, 0.0, 12.0);
+    }
+}

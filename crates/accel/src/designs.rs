@@ -1,0 +1,316 @@
+//! Accelerator-level descriptions of each quantization scheme.
+//!
+//! The performance and energy models do not re-run the numerics — they only
+//! need to know, for each scheme, how wide its storage is, what precision its
+//! arithmetic runs at, and which architectural quirks it drags along (GOBO's
+//! DRAM-only compression, OLAccel's sparse outlier path, ANT's int8 fallback
+//! mix). This module captures those properties per design, with constructors
+//! matching the configurations compared in Fig. 9 and Fig. 10.
+
+/// Arithmetic precision of the MAC datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 32-bit floating point.
+    Fp32,
+    /// 16-bit floating point (CUDA core / tensor core FP16).
+    Fp16,
+    /// 8-bit integer.
+    Int8,
+    /// 4-bit integer (including the OVP exponent-integer datapath).
+    Int4,
+}
+
+impl Precision {
+    /// Relative MAC throughput versus FP16 on a Turing-class tensor core
+    /// (107.6 / 215.2 / 430.3 TOPS, paper Sec. 4.1).
+    pub fn tensor_core_speedup(self) -> f64 {
+        match self {
+            Precision::Fp32 => 0.5,
+            Precision::Fp16 => 1.0,
+            Precision::Int8 => 2.0,
+            Precision::Int4 => 4.0,
+        }
+    }
+
+    /// Storage bits of one operand at this precision.
+    pub fn bits(self) -> f64 {
+        match self {
+            Precision::Fp32 => 32.0,
+            Precision::Fp16 => 16.0,
+            Precision::Int8 => 8.0,
+            Precision::Int4 => 4.0,
+        }
+    }
+
+    /// Relative MAC energy versus an 8-bit integer MAC (approximate scaling
+    /// from published per-operation energy tables: energy grows roughly
+    /// quadratically with operand width, floats pay an extra factor).
+    pub fn mac_energy_factor(self) -> f64 {
+        match self {
+            Precision::Fp32 => 16.0,
+            Precision::Fp16 => 4.4,
+            Precision::Int8 => 1.0,
+            Precision::Int4 => 0.3,
+        }
+    }
+
+    /// Relative PE area versus a 4-bit integer PE (used for iso-area scaling
+    /// of the systolic-array designs).
+    pub fn pe_area_factor(self) -> f64 {
+        match self {
+            Precision::Fp32 => 18.0,
+            Precision::Fp16 => 6.0,
+            Precision::Int8 => 3.4,
+            Precision::Int4 => 1.0,
+        }
+    }
+}
+
+/// Architecture-facing description of one quantization scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantScheme {
+    /// Display name used in the figures.
+    pub name: String,
+    /// Average storage bits per weight element (DRAM/cache footprint).
+    pub weight_storage_bits: f64,
+    /// Average storage bits per activation element.
+    pub act_storage_bits: f64,
+    /// Precision of the low-precision datapath.
+    pub compute: Precision,
+    /// Fraction of GEMMs that fall back to 8-bit arithmetic (ANT's PTQ mixed
+    /// precision; 0.0 for pure 4-bit schemes, 1.0 for 8-bit schemes).
+    pub int8_layer_fraction: f64,
+    /// GOBO's restriction: weights are only compressed in DRAM; on-chip
+    /// storage and compute stay FP16.
+    pub dram_only_compression: bool,
+    /// Fraction of MACs routed through a sparse outlier path with dedicated
+    /// (slower, index-driven) handling — OLAccel/GOBO-style coordinate lists.
+    pub outlier_mac_fraction: f64,
+    /// Additional PE-array area overhead of the outlier controller (paper
+    /// Sec. 2.2: 55% for GOBO, 71% for OLAccel), which costs throughput at
+    /// iso-area.
+    pub outlier_controller_area_overhead: f64,
+    /// Per-value decode overhead area of OliVe's OVP decoders (tiny; Tbl. 10).
+    pub ovp_decoder: bool,
+}
+
+impl QuantScheme {
+    /// OliVe with 4-bit weights and activations (the paper's headline design).
+    pub fn olive4() -> Self {
+        QuantScheme {
+            name: "OliVe".into(),
+            weight_storage_bits: 4.0,
+            act_storage_bits: 4.0,
+            compute: Precision::Int4,
+            int8_layer_fraction: 0.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: true,
+        }
+    }
+
+    /// OliVe with 8-bit weights and activations.
+    pub fn olive8() -> Self {
+        QuantScheme {
+            name: "OliVe-8bit".into(),
+            weight_storage_bits: 8.0,
+            act_storage_bits: 8.0,
+            compute: Precision::Int8,
+            int8_layer_fraction: 1.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: true,
+        }
+    }
+
+    /// ANT under PTQ mixed precision: nominally 4-bit but ~80% of layers fall
+    /// back to int8 because ANT has no outlier mechanism (paper Sec. 5.3).
+    pub fn ant_mixed() -> Self {
+        let int8_fraction = 0.8;
+        QuantScheme {
+            name: "ANT".into(),
+            weight_storage_bits: 4.0 * (1.0 - int8_fraction) + 8.0 * int8_fraction,
+            act_storage_bits: 4.0 * (1.0 - int8_fraction) + 8.0 * int8_fraction,
+            compute: Precision::Int4,
+            int8_layer_fraction: int8_fraction,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: false,
+        }
+    }
+
+    /// The GPU's native int8 tensor-core path (accuracy is unacceptable on
+    /// LLMs, included as a performance reference — paper Sec. 5.3).
+    pub fn int8_tensor_core() -> Self {
+        QuantScheme {
+            name: "INT8".into(),
+            weight_storage_bits: 8.0,
+            act_storage_bits: 8.0,
+            compute: Precision::Int8,
+            int8_layer_fraction: 1.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: false,
+        }
+    }
+
+    /// GOBO: 3-bit weight centroids + FP32 outliers, but only in DRAM; on-chip
+    /// data and all arithmetic stay FP16, activations are not quantized.
+    pub fn gobo() -> Self {
+        QuantScheme {
+            name: "GOBO".into(),
+            weight_storage_bits: 4.0, // 3-bit centroids + outlier payload/index overhead
+            act_storage_bits: 16.0,
+            compute: Precision::Fp16,
+            int8_layer_fraction: 0.0,
+            dram_only_compression: true,
+            outlier_mac_fraction: 0.001,
+            outlier_controller_area_overhead: 0.55,
+            ovp_decoder: false,
+        }
+    }
+
+    /// OLAccel: dense 4-bit values plus a sparse 16-bit outlier path driven by
+    /// a coordinate list.
+    pub fn olaccel() -> Self {
+        QuantScheme {
+            name: "OLAccel".into(),
+            weight_storage_bits: 4.0 + 0.03 * 48.0,
+            act_storage_bits: 4.0 + 0.03 * 48.0,
+            compute: Precision::Int4,
+            int8_layer_fraction: 0.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.03,
+            outlier_controller_area_overhead: 0.71,
+            ovp_decoder: false,
+        }
+    }
+
+    /// AdaptivFloat at 8 bits (no mixed-precision support).
+    pub fn adafloat() -> Self {
+        QuantScheme {
+            name: "AdaFloat".into(),
+            weight_storage_bits: 8.0,
+            act_storage_bits: 8.0,
+            compute: Precision::Int8,
+            int8_layer_fraction: 1.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: false,
+        }
+    }
+
+    /// Uncompressed FP16 execution (reference point).
+    pub fn fp16() -> Self {
+        QuantScheme {
+            name: "FP16".into(),
+            weight_storage_bits: 16.0,
+            act_storage_bits: 16.0,
+            compute: Precision::Fp16,
+            int8_layer_fraction: 0.0,
+            dram_only_compression: false,
+            outlier_mac_fraction: 0.0,
+            outlier_controller_area_overhead: 0.0,
+            ovp_decoder: false,
+        }
+    }
+
+    /// The GPU comparison set of Fig. 9, in plotting order.
+    pub fn gpu_comparison_set() -> Vec<QuantScheme> {
+        vec![
+            Self::olive4(),
+            Self::ant_mixed(),
+            Self::int8_tensor_core(),
+            Self::gobo(),
+        ]
+    }
+
+    /// The accelerator comparison set of Fig. 10, in plotting order.
+    pub fn accelerator_comparison_set() -> Vec<QuantScheme> {
+        vec![
+            Self::olive4(),
+            Self::ant_mixed(),
+            Self::olaccel(),
+            Self::adafloat(),
+        ]
+    }
+
+    /// Effective tensor-core throughput multiplier versus FP16, accounting for
+    /// the int8 fallback fraction.
+    pub fn gpu_throughput_multiplier(&self) -> f64 {
+        let base = self.compute.tensor_core_speedup();
+        if self.int8_layer_fraction <= 0.0 {
+            return base;
+        }
+        let int8 = Precision::Int8.tensor_core_speedup();
+        let frac = self.int8_layer_fraction.clamp(0.0, 1.0);
+        // Layers execute sequentially: combine as a harmonic mixture.
+        1.0 / (frac / int8 + (1.0 - frac) / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_ratios_match_turing_spec() {
+        assert_eq!(Precision::Int8.tensor_core_speedup(), 2.0);
+        assert_eq!(Precision::Int4.tensor_core_speedup(), 4.0);
+        assert_eq!(Precision::Fp16.bits(), 16.0);
+    }
+
+    #[test]
+    fn olive_is_pure_4bit() {
+        let o = QuantScheme::olive4();
+        assert_eq!(o.weight_storage_bits, 4.0);
+        assert_eq!(o.gpu_throughput_multiplier(), 4.0);
+        assert!(o.ovp_decoder);
+    }
+
+    #[test]
+    fn ant_mixture_sits_between_int8_and_int4() {
+        let a = QuantScheme::ant_mixed();
+        let m = a.gpu_throughput_multiplier();
+        assert!(m > 2.0 && m < 4.0, "multiplier {}", m);
+        assert!(a.weight_storage_bits > 4.0 && a.weight_storage_bits < 8.0);
+    }
+
+    #[test]
+    fn gobo_computes_fp16_and_keeps_fp16_activations() {
+        let g = QuantScheme::gobo();
+        assert_eq!(g.compute, Precision::Fp16);
+        assert_eq!(g.act_storage_bits, 16.0);
+        assert!(g.dram_only_compression);
+    }
+
+    #[test]
+    fn olaccel_pays_for_outliers() {
+        let o = QuantScheme::olaccel();
+        assert!(o.outlier_mac_fraction > 0.0);
+        assert!(o.outlier_controller_area_overhead > 0.5);
+        assert!(o.weight_storage_bits > 4.0);
+    }
+
+    #[test]
+    fn comparison_sets_have_paper_order() {
+        let gpu = QuantScheme::gpu_comparison_set();
+        assert_eq!(gpu.len(), 4);
+        assert_eq!(gpu[0].name, "OliVe");
+        assert_eq!(gpu[3].name, "GOBO");
+        let acc = QuantScheme::accelerator_comparison_set();
+        assert_eq!(acc[3].name, "AdaFloat");
+    }
+
+    #[test]
+    fn energy_and_area_factors_are_monotone_in_width() {
+        assert!(Precision::Int4.mac_energy_factor() < Precision::Int8.mac_energy_factor());
+        assert!(Precision::Int8.mac_energy_factor() < Precision::Fp16.mac_energy_factor());
+        assert!(Precision::Int4.pe_area_factor() < Precision::Int8.pe_area_factor());
+    }
+}

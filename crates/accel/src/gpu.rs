@@ -1,0 +1,254 @@
+//! Analytical GPU (tensor-core) performance model for the Fig. 9 comparison.
+//!
+//! The paper integrates OliVe into a Turing-class GPU (RTX 2080 Ti modelled in
+//! GPGPU-Sim/AccelSim). The first-order behaviour of tensor-core GEMMs is a
+//! roofline: each GEMM is either bound by the tensor-core math throughput at
+//! its precision (107.6 / 215.2 / 430.3 TOPS for FP16 / int8 / int4) or by the
+//! DRAM traffic of its operands at their storage width. GOBO additionally
+//! computes in FP16 and only compresses weights at the DRAM level, which this
+//! model reproduces.
+
+use crate::designs::QuantScheme;
+use crate::energy::{energy_of_run, EnergyBreakdown, EnergyParams, RunCounts};
+use olive_models::workload::{GemmKind, Workload};
+
+/// Turing-class GPU parameters (paper Tbl. 5 plus RTX 2080 Ti public specs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Tensor cores (8 per SM on Turing).
+    pub tensor_cores: usize,
+    /// FP16 tensor-core throughput in TOPS (MAC counted as 2 ops).
+    pub fp16_tops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// L2 bandwidth in GB/s (used only for traffic accounting).
+    pub l2_bw_gbps: f64,
+    /// Achievable fraction of peak (kernel efficiency).
+    pub efficiency: f64,
+}
+
+impl GpuConfig {
+    /// RTX 2080 Ti (Turing: 68 SMs, 544 tensor cores, 107.6 FP16 TOPS,
+    /// 616 GB/s GDDR6).
+    pub fn rtx_2080_ti() -> Self {
+        GpuConfig {
+            sms: 68,
+            tensor_cores: 544,
+            fp16_tops: 107.6,
+            dram_bw_gbps: 616.0,
+            l2_bw_gbps: 2000.0,
+            efficiency: 0.75,
+        }
+    }
+
+    /// Total 16-bit multiplier count (Sec. 4.1: 68 × 8 × 2 × 8 × 4 = 34,816).
+    pub fn fp16_multipliers(&self) -> usize {
+        self.sms * 8 * 2 * 8 * 4
+    }
+}
+
+/// Result of simulating one model with one scheme on the GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuRunResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Model name.
+    pub model: String,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Fraction of GEMM time that was memory bound.
+    pub memory_bound_fraction: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// The analytical GPU simulator.
+#[derive(Debug, Clone)]
+pub struct GpuSimulator {
+    config: GpuConfig,
+    energy_params: EnergyParams,
+}
+
+impl GpuSimulator {
+    /// Creates a simulator for the given GPU.
+    pub fn new(config: GpuConfig) -> Self {
+        GpuSimulator {
+            config,
+            energy_params: EnergyParams::gpu(),
+        }
+    }
+
+    /// Simulator with the paper's RTX 2080 Ti configuration.
+    pub fn rtx_2080_ti() -> Self {
+        Self::new(GpuConfig::rtx_2080_ti())
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Simulates one workload (one forward pass) under a quantization scheme.
+    pub fn run(&self, workload: &Workload, scheme: &QuantScheme) -> GpuRunResult {
+        let peak_ops = self.config.fp16_tops * 1e12 * self.config.efficiency;
+        let tput = peak_ops * scheme.gpu_throughput_multiplier();
+        let dram_bw = self.config.dram_bw_gbps * 1e9;
+
+        let mut latency = 0.0f64;
+        let mut mem_bound_time = 0.0f64;
+        let mut counts = RunCounts::default();
+
+        for g in &workload.gemms {
+            let ops = 2.0 * g.macs() as f64;
+            let compute_s = ops / tput;
+
+            // Operand bytes at their storage widths. GOBO only compresses
+            // weights in DRAM; its activations and outputs stay FP16.
+            let weight_bits = scheme.weight_storage_bits;
+            let act_bits = scheme.act_storage_bits;
+            let (a_bits, b_bits) = match g.kind {
+                GemmKind::WeightActivation => (act_bits, weight_bits),
+                GemmKind::ActivationActivation => (act_bits, act_bits),
+            };
+            let out_bits = act_bits;
+            let dram_bytes = (g.a_elems() as f64 * a_bits
+                + g.b_elems() as f64 * b_bits
+                + g.c_elems() as f64 * out_bits)
+                / 8.0;
+            let memory_s = dram_bytes / dram_bw;
+
+            let t = compute_s.max(memory_s);
+            latency += t;
+            if memory_s > compute_s {
+                mem_bound_time += t;
+            }
+
+            // Traffic accounting for the energy model. On-chip traffic happens
+            // at the on-chip width: FP16 for GOBO (DRAM-only compression),
+            // the storage width otherwise.
+            let onchip_factor = if scheme.dram_only_compression {
+                16.0 / weight_bits
+            } else {
+                1.0
+            };
+            counts.macs += g.macs() as f64;
+            counts.dram_bytes += dram_bytes;
+            counts.l2_bytes += dram_bytes * onchip_factor;
+            // Register/L1 traffic: every operand element is touched roughly
+            // once per tile pass; approximate with 2× the L2 traffic.
+            counts.l1_bytes += 2.0 * dram_bytes * onchip_factor;
+        }
+        counts.runtime_s = latency;
+
+        GpuRunResult {
+            scheme: scheme.name.clone(),
+            model: workload.model.clone(),
+            latency_s: latency,
+            memory_bound_fraction: if latency > 0.0 {
+                mem_bound_time / latency
+            } else {
+                0.0
+            },
+            energy: energy_of_run(&self.energy_params, scheme, &counts),
+        }
+    }
+
+    /// Runs every scheme on one workload.
+    pub fn compare(&self, workload: &Workload, schemes: &[QuantScheme]) -> Vec<GpuRunResult> {
+        schemes.iter().map(|s| self.run(workload, s)).collect()
+    }
+}
+
+/// Geometric mean helper used by the figure harnesses.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-300).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_models::ModelConfig;
+
+    fn bert_workload() -> Workload {
+        Workload::from_config(&ModelConfig::bert_base())
+    }
+
+    #[test]
+    fn olive_is_faster_than_int8_and_gobo() {
+        let sim = GpuSimulator::rtx_2080_ti();
+        let wl = bert_workload();
+        let olive = sim.run(&wl, &QuantScheme::olive4());
+        let int8 = sim.run(&wl, &QuantScheme::int8_tensor_core());
+        let gobo = sim.run(&wl, &QuantScheme::gobo());
+        assert!(olive.latency_s < int8.latency_s);
+        assert!(int8.latency_s < gobo.latency_s);
+    }
+
+    #[test]
+    fn speedup_over_gobo_is_large() {
+        // Paper Fig. 9a: OliVe achieves ~4.5x geomean speedup over GOBO.
+        let sim = GpuSimulator::rtx_2080_ti();
+        let mut speedups = Vec::new();
+        for cfg in ModelConfig::performance_suite() {
+            let wl = Workload::from_config(&cfg);
+            let olive = sim.run(&wl, &QuantScheme::olive4());
+            let gobo = sim.run(&wl, &QuantScheme::gobo());
+            speedups.push(gobo.latency_s / olive.latency_s);
+        }
+        let g = geomean(&speedups);
+        assert!(g > 2.5 && g < 8.0, "geomean speedup over GOBO = {}", g);
+    }
+
+    #[test]
+    fn olive_energy_is_lowest() {
+        let sim = GpuSimulator::rtx_2080_ti();
+        let wl = bert_workload();
+        let results = sim.compare(&wl, &QuantScheme::gpu_comparison_set());
+        let olive = results[0].energy.total();
+        for r in &results[1..] {
+            assert!(olive < r.energy.total(), "{} uses less energy than OliVe", r.scheme);
+        }
+    }
+
+    #[test]
+    fn single_token_decode_is_more_memory_bound_than_batched_prefill() {
+        let sim = GpuSimulator::rtx_2080_ti();
+        let scheme = QuantScheme::fp16();
+        let prefill = sim.run(
+            &Workload::from_config(&ModelConfig::bloom_7b1()),
+            &scheme,
+        );
+        let decode = sim.run(
+            &Workload::with_batch_and_seq(&ModelConfig::bloom_7b1(), 1, 1),
+            &scheme,
+        );
+        assert!(decode.memory_bound_fraction > prefill.memory_bound_fraction);
+        assert!(decode.memory_bound_fraction > 0.9);
+        assert!((0.0..=1.0).contains(&prefill.memory_bound_fraction));
+    }
+
+    #[test]
+    fn latency_scales_with_model_size() {
+        let sim = GpuSimulator::rtx_2080_ti();
+        let s = QuantScheme::olive4();
+        let base = sim.run(&Workload::from_config(&ModelConfig::bert_base()), &s);
+        let large = sim.run(&Workload::from_config(&ModelConfig::bert_large()), &s);
+        assert!(large.latency_s > base.latency_s);
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn multiplier_count_matches_paper() {
+        assert_eq!(GpuConfig::rtx_2080_ti().fp16_multipliers(), 34_816);
+    }
+}

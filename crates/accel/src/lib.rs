@@ -1,0 +1,24 @@
+//! # olive-accel
+//!
+//! Performance, energy and area models for the OliVe architecture evaluation:
+//!
+//! * [`designs`] — architecture-facing descriptions of each quantization
+//!   scheme (storage widths, compute precision, outlier-handling overheads).
+//! * [`gpu`] — an analytical Turing-class GPU/tensor-core model (Fig. 9).
+//! * [`systolic`] — a cycle-level output-stationary systolic-array model at
+//!   iso-area (Fig. 10).
+//! * [`energy`] — the shared energy decomposition (constant / static /
+//!   DRAM+L2 / buffers+registers / core).
+//! * [`area`] — decoder and PE area bookkeeping calibrated to Tbl. 10/11,
+//!   plus technology scaling.
+
+pub mod area;
+pub mod designs;
+pub mod energy;
+pub mod gpu;
+pub mod systolic;
+
+pub use designs::{Precision, QuantScheme};
+pub use energy::{EnergyBreakdown, EnergyParams, RunCounts};
+pub use gpu::{geomean, GpuConfig, GpuRunResult, GpuSimulator};
+pub use systolic::{SystolicConfig, SystolicRunResult, SystolicSimulator};

@@ -1,0 +1,252 @@
+//! Cycle-level output-stationary systolic-array model for the Fig. 10
+//! comparison.
+//!
+//! The paper integrates OliVe into a DnnWeaver-derived accelerator with a
+//! 64×64 array of 4-bit PEs (Tbl. 11) plus border OVP decoders. All compared
+//! designs are implemented at *similar area*, so each scheme's PE width and
+//! controller overhead translate into a smaller or larger effective array.
+//! GEMMs execute as output-stationary tiles: a tile of `rows × cols` outputs
+//! is filled, `K` partial sums stream through, and the tile drains — with
+//! double-buffered operand fetch overlapping DRAM traffic.
+
+use crate::designs::{Precision, QuantScheme};
+use crate::energy::{energy_of_run, EnergyBreakdown, EnergyParams, RunCounts};
+use olive_models::workload::{GemmKind, Workload};
+
+/// Configuration of the systolic-array accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystolicConfig {
+    /// Area budget expressed in 4-bit-PE equivalents (Tbl. 11: 4096).
+    pub pe_area_budget: usize,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// Throughput of the sparse-outlier side path in MACs/cycle (OLAccel/GOBO
+    /// style designs only).
+    pub outlier_path_macs_per_cycle: f64,
+    /// Average on-chip reuse: how many times each fetched byte is touched in
+    /// the buffers (drives buffer energy, not performance).
+    pub buffer_reuse: f64,
+}
+
+impl SystolicConfig {
+    /// The paper's configuration: 64×64 4-bit PEs at 22 nm.
+    pub fn paper_64x64() -> Self {
+        SystolicConfig {
+            pe_area_budget: 4096,
+            freq_mhz: 500.0,
+            dram_bw_gbps: 64.0,
+            outlier_path_macs_per_cycle: 128.0,
+            buffer_reuse: 3.0,
+        }
+    }
+}
+
+/// Result of simulating one model with one scheme on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicRunResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Model name.
+    pub model: String,
+    /// Total cycles.
+    pub cycles: f64,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Effective array dimension used for the 4-bit path (rows = cols).
+    pub array_dim: usize,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// The cycle-level systolic-array simulator.
+#[derive(Debug, Clone)]
+pub struct SystolicSimulator {
+    config: SystolicConfig,
+    energy_params: EnergyParams,
+}
+
+impl SystolicSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SystolicConfig) -> Self {
+        SystolicSimulator {
+            config,
+            energy_params: EnergyParams::accelerator(),
+        }
+    }
+
+    /// Simulator with the paper's 64×64 configuration.
+    pub fn paper_default() -> Self {
+        Self::new(SystolicConfig::paper_64x64())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// Effective square array dimension for a scheme at iso-area.
+    pub fn array_dim(&self, scheme: &QuantScheme) -> usize {
+        let per_pe_cost = scheme.compute.pe_area_factor()
+            * (1.0 + scheme.outlier_controller_area_overhead);
+        let pes = (self.config.pe_area_budget as f64 / per_pe_cost).max(1.0);
+        (pes.sqrt().floor() as usize).max(1)
+    }
+
+    /// Cycles to execute one GEMM as output-stationary tiles on a `dim × dim`
+    /// array. When `quad_pe` is set, four PEs gang up per MAC (8-bit values on
+    /// 4-bit PEs, paper Sec. 4.5), halving the effective array in each
+    /// dimension.
+    fn gemm_cycles(&self, m: usize, n: usize, k: usize, dim: usize, quad_pe: bool) -> f64 {
+        let eff = if quad_pe { (dim / 2).max(1) } else { dim };
+        let tiles_m = m.div_ceil(eff);
+        let tiles_n = n.div_ceil(eff);
+        let fill_drain = 2 * eff;
+        (tiles_m * tiles_n) as f64 * (k + fill_drain) as f64
+    }
+
+    /// Simulates one workload under a quantization scheme.
+    pub fn run(&self, workload: &Workload, scheme: &QuantScheme) -> SystolicRunResult {
+        let dim = self.array_dim(scheme);
+        let bytes_per_cycle = self.config.dram_bw_gbps * 1e9 / (self.config.freq_mhz * 1e6);
+        // Does the scheme's 8-bit work run on ganged 4-bit PEs (OliVe, ANT) or
+        // on natively wider PEs (AdaFloat / int8 designs)?
+        let native_wide_pes = scheme.compute != Precision::Int4;
+        let f8 = scheme.int8_layer_fraction.clamp(0.0, 1.0);
+
+        let mut total_cycles = 0.0f64;
+        let mut counts = RunCounts::default();
+
+        for g in &workload.gemms {
+            let cycles_narrow = self.gemm_cycles(g.m, g.n, g.k, dim, false);
+            let cycles_wide = if native_wide_pes {
+                cycles_narrow
+            } else {
+                self.gemm_cycles(g.m, g.n, g.k, dim, true)
+            };
+            let mut compute_cycles = (1.0 - f8) * cycles_narrow + f8 * cycles_wide;
+            // Sparse outlier side path (coordinate-list designs) serialises a
+            // fraction of the MACs through a narrow unit.
+            if scheme.outlier_mac_fraction > 0.0 {
+                compute_cycles += g.macs() as f64 * scheme.outlier_mac_fraction
+                    / self.config.outlier_path_macs_per_cycle;
+            }
+
+            let (a_bits, b_bits) = match g.kind {
+                GemmKind::WeightActivation => {
+                    (scheme.act_storage_bits, scheme.weight_storage_bits)
+                }
+                GemmKind::ActivationActivation => {
+                    (scheme.act_storage_bits, scheme.act_storage_bits)
+                }
+            };
+            let dram_bytes = (g.a_elems() as f64 * a_bits
+                + g.b_elems() as f64 * b_bits
+                + g.c_elems() as f64 * scheme.act_storage_bits)
+                / 8.0;
+            let memory_cycles = dram_bytes / bytes_per_cycle;
+
+            total_cycles += compute_cycles.max(memory_cycles);
+            counts.macs += g.macs() as f64;
+            counts.dram_bytes += dram_bytes;
+            counts.l1_bytes += dram_bytes * self.config.buffer_reuse;
+        }
+
+        let latency_s = total_cycles / (self.config.freq_mhz * 1e6);
+        counts.runtime_s = latency_s;
+        SystolicRunResult {
+            scheme: scheme.name.clone(),
+            model: workload.model.clone(),
+            cycles: total_cycles,
+            latency_s,
+            array_dim: dim,
+            energy: energy_of_run(&self.energy_params, scheme, &counts),
+        }
+    }
+
+    /// Runs every scheme on one workload.
+    pub fn compare(&self, workload: &Workload, schemes: &[QuantScheme]) -> Vec<SystolicRunResult> {
+        schemes.iter().map(|s| self.run(workload, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::geomean;
+    use olive_models::ModelConfig;
+
+    #[test]
+    fn olive_array_is_64x64_and_adafloat_is_smaller() {
+        let sim = SystolicSimulator::paper_default();
+        assert_eq!(sim.array_dim(&QuantScheme::olive4()), 64);
+        assert!(sim.array_dim(&QuantScheme::adafloat()) < 40);
+        assert!(sim.array_dim(&QuantScheme::olaccel()) < 64);
+    }
+
+    #[test]
+    fn olive_is_fastest_of_the_fig10_set() {
+        let sim = SystolicSimulator::paper_default();
+        let wl = Workload::from_config(&ModelConfig::bert_base());
+        let results = sim.compare(&wl, &QuantScheme::accelerator_comparison_set());
+        let olive = results[0].latency_s;
+        for r in &results[1..] {
+            assert!(olive < r.latency_s, "{} is faster than OliVe", r.scheme);
+        }
+    }
+
+    #[test]
+    fn speedup_over_adafloat_is_in_the_paper_ballpark() {
+        // Paper Fig. 10a: OliVe ≈ 4.8x over AdaFloat (geomean).
+        let sim = SystolicSimulator::paper_default();
+        let mut speedups = Vec::new();
+        for cfg in ModelConfig::performance_suite() {
+            let wl = Workload::from_config(&cfg);
+            let olive = sim.run(&wl, &QuantScheme::olive4());
+            let ada = sim.run(&wl, &QuantScheme::adafloat());
+            speedups.push(ada.latency_s / olive.latency_s);
+        }
+        let g = geomean(&speedups);
+        assert!(g > 2.0 && g < 8.0, "geomean speedup over AdaFloat = {}", g);
+    }
+
+    #[test]
+    fn olive_energy_is_lowest() {
+        let sim = SystolicSimulator::paper_default();
+        let wl = Workload::from_config(&ModelConfig::bart_base());
+        let results = sim.compare(&wl, &QuantScheme::accelerator_comparison_set());
+        let olive = results[0].energy.total();
+        for r in &results[1..] {
+            assert!(olive < r.energy.total(), "{} beats OliVe on energy", r.scheme);
+        }
+    }
+
+    #[test]
+    fn cycles_grow_with_gemm_size() {
+        let sim = SystolicSimulator::paper_default();
+        let small = sim.gemm_cycles(128, 128, 128, 64, false);
+        let big = sim.gemm_cycles(256, 256, 256, 64, false);
+        assert!(big > 4.0 * small);
+    }
+
+    #[test]
+    fn quad_pe_mode_is_slower() {
+        let sim = SystolicSimulator::paper_default();
+        let narrow = sim.gemm_cycles(512, 512, 512, 64, false);
+        let wide = sim.gemm_cycles(512, 512, 512, 64, true);
+        assert!(wide > 2.0 * narrow);
+    }
+
+    #[test]
+    fn memory_bound_gemms_are_limited_by_bandwidth() {
+        // A skinny GEMM (GEMV-like) should be memory bound: halving the data
+        // width should roughly halve its time under OliVe vs an 8-bit scheme.
+        let sim = SystolicSimulator::paper_default();
+        let wl = Workload::with_batch_and_seq(&ModelConfig::opt_6_7b(), 1, 1);
+        let olive = sim.run(&wl, &QuantScheme::olive4());
+        let int8ish = sim.run(&wl, &QuantScheme::adafloat());
+        let ratio = int8ish.latency_s / olive.latency_s;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {}", ratio);
+    }
+}

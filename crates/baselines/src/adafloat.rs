@@ -1,0 +1,168 @@
+//! AdaptivFloat (DAC '20): an 8-bit float with a per-tensor exponent bias.
+//!
+//! AdaptivFloat shifts the exponent range of a small float so that its maximum
+//! representable value matches the tensor's maximum — one shared bias per
+//! tensor, selected from the data. It adapts to *dynamic range* but not to the
+//! bimodal normal/outlier structure: with a handful of 100σ outliers the whole
+//! tensor's resolution is stretched to cover them. The paper compares against
+//! the 8-bit configuration (Fig. 10); it does not support mixed precision.
+
+use olive_core::TensorQuantizer;
+use olive_tensor::Tensor;
+
+/// The AdaptivFloat quantizer (sign + exponent + mantissa with tensor-wise
+/// exponent bias).
+#[derive(Debug, Clone)]
+pub struct AdaptivFloatQuantizer {
+    exponent_bits: u32,
+    mantissa_bits: u32,
+    name: String,
+}
+
+impl AdaptivFloatQuantizer {
+    /// The 8-bit configuration used in the paper's accelerator comparison
+    /// (1 sign + 4 exponent + 3 mantissa bits).
+    pub fn paper_8bit() -> Self {
+        Self::new(4, 3)
+    }
+
+    /// A 4-bit configuration (1 sign + 2 exponent + 1 mantissa bits), useful
+    /// for ablations.
+    pub fn bits4() -> Self {
+        Self::new(2, 1)
+    }
+
+    /// Creates an AdaptivFloat quantizer with the given field widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width exceeds 16 bits or the exponent field is zero.
+    pub fn new(exponent_bits: u32, mantissa_bits: u32) -> Self {
+        assert!(exponent_bits >= 1, "AdaptivFloat needs an exponent field");
+        assert!(1 + exponent_bits + mantissa_bits <= 16, "too wide");
+        AdaptivFloatQuantizer {
+            exponent_bits,
+            mantissa_bits,
+            name: format!("AdaFloat-{}bit", 1 + exponent_bits + mantissa_bits),
+        }
+    }
+
+    /// Total bit width.
+    pub fn bits(&self) -> u32 {
+        1 + self.exponent_bits + self.mantissa_bits
+    }
+
+    /// Selects the per-tensor exponent bias so the format's maximum matches the
+    /// tensor's maximum absolute value (the AdaptivFloat calibration rule).
+    pub fn select_bias(&self, t: &Tensor) -> i32 {
+        let max_abs = t.max_abs();
+        if max_abs == 0.0 {
+            return 0;
+        }
+        let max_exp_field = (1i32 << self.exponent_bits) - 1;
+        // Largest mantissa multiplier is ~2.0; we want
+        // 2^ (max_exp_field + bias + 1) ≈ max_abs.
+        (max_abs.log2().ceil() as i32) - max_exp_field - 1
+    }
+
+    /// Quantize/dequantize a single value given the tensor bias.
+    pub fn fake_quant_value(&self, x: f32, bias: i32) -> f32 {
+        if x == 0.0 {
+            return 0.0;
+        }
+        let sign = x.signum();
+        let mag = x.abs();
+        let max_exp_field = (1i32 << self.exponent_bits) - 1;
+        let max_val = (2.0 - 0.5f32.powi(self.mantissa_bits as i32))
+            * 2f32.powi(max_exp_field + bias);
+        let min_val = 2f32.powi(bias);
+        if mag >= max_val {
+            return sign * max_val;
+        }
+        if mag < min_val * 0.5 {
+            return 0.0;
+        }
+        let mag = mag.max(min_val);
+        let exp = mag.log2().floor() as i32;
+        let exp_field = (exp - bias).clamp(0, max_exp_field);
+        let step = 2f32.powi(exp_field + bias - self.mantissa_bits as i32);
+        let q = (mag / step).round() * step;
+        sign * q.min(max_val)
+    }
+}
+
+impl TensorQuantizer for AdaptivFloatQuantizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        let bias = self.select_bias(t);
+        t.map(|x| self.fake_quant_value(x, bias))
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn with_outliers(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; n];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        for _ in 0..(n / 100).max(1) {
+            let i = rng.below(n);
+            d[i] = rng.uniform_range(20.0, 90.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        Tensor::from_vec(vec![n], d)
+    }
+
+    #[test]
+    fn eight_bit_error_is_moderate() {
+        let t = with_outliers(4096, 1);
+        let q = AdaptivFloatQuantizer::paper_8bit().quantize_dequantize(&t);
+        assert!(t.mse(&q) < 0.05, "mse = {}", t.mse(&q));
+    }
+
+    #[test]
+    fn four_bit_is_much_worse_than_eight_bit() {
+        let t = with_outliers(4096, 2);
+        let e8 = t.mse(&AdaptivFloatQuantizer::paper_8bit().quantize_dequantize(&t));
+        let e4 = t.mse(&AdaptivFloatQuantizer::bits4().quantize_dequantize(&t));
+        assert!(e4 > e8);
+    }
+
+    #[test]
+    fn max_value_is_representable_after_bias_selection() {
+        let t = with_outliers(4096, 3);
+        let q = AdaptivFloatQuantizer::paper_8bit();
+        let bias = q.select_bias(&t);
+        let max = t.max_abs();
+        let rel = (q.fake_quant_value(max, bias) - max).abs() / max;
+        assert!(rel < 0.15, "rel = {}", rel);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let q = AdaptivFloatQuantizer::paper_8bit();
+        assert_eq!(q.fake_quant_value(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let q = AdaptivFloatQuantizer::paper_8bit();
+        assert!(q.fake_quant_value(-3.7, -4) < 0.0);
+    }
+
+    #[test]
+    fn name_and_bits() {
+        let q = AdaptivFloatQuantizer::paper_8bit();
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.name(), "AdaFloat-8bit");
+    }
+}

@@ -1,0 +1,337 @@
+//! ANT: adaptive numerical data types (MICRO '22), the fixed-length baseline.
+//!
+//! ANT picks, per tensor, the 4-bit data type whose value distribution best
+//! matches the tensor — `int4`, `flint4` (float-int hybrid) or a small float —
+//! but every element of the tensor still shares that single type and a single
+//! scale. It therefore has no mechanism for the handful of extreme outliers in
+//! transformer tensors: either they are clipped or the scale balloons.
+//!
+//! In the paper's PTQ setting ANT compensates with *mixed precision*: tensors
+//! whose 4-bit error is too large fall back to `int8` (Sec. 5.3 observes that
+//! about 80% of layers end up as int8). That is exactly what this
+//! implementation reproduces: per-tensor 4-bit type selection with an
+//! `int8` escalation bound.
+
+use olive_core::TensorQuantizer;
+use olive_dtypes::flint4::FLINT4_MAGNITUDES;
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+use crate::uniform::UniformQuantizer;
+
+/// The 4-bit data types ANT chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AntType {
+    /// Uniform signed integers `[-7, 7]`.
+    Int4,
+    /// The float-int hybrid `{0, ±1, ±2, ±3, ±4, ±6, ±8, ±16}`.
+    Flint4,
+    /// A 4-bit float (1-4-... approximated by the E2M1 value set with zero),
+    /// `{0, ±1, ±1.5, ±2, ±3, ±4, ±6}` scaled — implemented as a power-of-two
+    /// heavy grid.
+    Float4,
+    /// The int8 fallback used by ANT's mixed-precision PTQ.
+    Int8,
+}
+
+impl AntType {
+    fn grid(self) -> Vec<f32> {
+        match self {
+            AntType::Int4 => (-7..=7).map(|v| v as f32).collect(),
+            AntType::Flint4 => {
+                let mut g: Vec<f32> = FLINT4_MAGNITUDES
+                    .iter()
+                    .flat_map(|&m| [m as f32, -(m as f32)])
+                    .collect();
+                g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                g.dedup();
+                g
+            }
+            AntType::Float4 => {
+                let mags = [0.0f32, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+                let mut g: Vec<f32> = mags.iter().flat_map(|&m| [m, -m]).collect();
+                g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                g.dedup();
+                g
+            }
+            AntType::Int8 => (-127..=127).map(|v| v as f32).collect(),
+        }
+    }
+
+    /// Storage bits for this type.
+    pub fn bits(self) -> u32 {
+        if self == AntType::Int8 {
+            8
+        } else {
+            4
+        }
+    }
+}
+
+impl std::fmt::Display for AntType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AntType::Int4 => "int4",
+            AntType::Flint4 => "flint4",
+            AntType::Float4 => "float4",
+            AntType::Int8 => "int8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of quantizing one tensor with ANT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntDecision {
+    /// The chosen data type.
+    pub chosen: AntType,
+    /// Relative MSE achieved.
+    pub rel_mse: f64,
+}
+
+/// The ANT adaptive-type quantizer with int8-fallback mixed precision.
+#[derive(Debug, Clone)]
+pub struct AntQuantizer {
+    /// Outlier-severity bound (in σ units of the tensor's max deviation) above
+    /// which a tensor escalates to int8 (`None` = pure 4-bit ANT). ANT has no
+    /// outlier mechanism, so its PTQ mixed precision ends up keeping 4 bits
+    /// only for tensors whose distribution a single 4-bit grid can cover.
+    escalate_max_sigma: Option<f64>,
+    search_steps: usize,
+    name: String,
+}
+
+impl AntQuantizer {
+    /// Pure 4-bit ANT (no mixed precision) — the configuration whose accuracy
+    /// collapses on LLMs in Tbl. 9.
+    pub fn fixed_4bit() -> Self {
+        AntQuantizer {
+            escalate_max_sigma: None,
+            search_steps: 24,
+            name: "ANT-4bit".to_string(),
+        }
+    }
+
+    /// Mixed-precision ANT as used for the performance comparisons: tensors
+    /// whose maximum deviation exceeds `max_sigma` standard deviations fall
+    /// back to int8 (4-bit grids cannot cover such a range without destroying
+    /// the resolution of the normal values).
+    pub fn mixed_precision(max_sigma: f64) -> Self {
+        AntQuantizer {
+            escalate_max_sigma: Some(max_sigma),
+            search_steps: 24,
+            name: "ANT".to_string(),
+        }
+    }
+
+    /// The default mixed-precision configuration used by the harnesses.
+    ///
+    /// A 4-bit grid with 7–16 levels per sign can stretch to roughly 10–15σ
+    /// before either clipping or resolution loss becomes severe, so tensors
+    /// whose max deviation is beyond ~12σ escalate to int8 — reproducing the
+    /// paper's observation that ~80% of layers end up int8 under ANT PTQ.
+    pub fn paper_default() -> Self {
+        Self::mixed_precision(12.0)
+    }
+
+    /// Quantize/dequantize on a fixed grid with an MSE-searched scale.
+    fn fake_quant_grid(&self, t: &Tensor, grid: &[f32]) -> (Tensor, f32) {
+        let stats = TensorStats::compute(t);
+        let gmax = grid.iter().fold(0.0f32, |m, &g| m.max(g.abs()));
+        if stats.max_abs == 0.0 || gmax == 0.0 {
+            return (t.clone(), 1.0);
+        }
+        let hi = stats.max_abs as f32 / gmax;
+        let lo = (((3.0 * stats.std) as f32) / gmax).min(hi * 0.999).max(hi * 1e-3);
+        let mut best_scale = hi;
+        let mut best_mse = f64::INFINITY;
+        let mut best = t.clone();
+        for i in 0..self.search_steps {
+            let f = i as f32 / (self.search_steps - 1).max(1) as f32;
+            let scale = lo + (hi - lo) * f;
+            let deq = t.map(|x| nearest(grid, x / scale) * scale);
+            let mse = t.mse(&deq);
+            if mse < best_mse {
+                best_mse = mse;
+                best_scale = scale;
+                best = deq;
+            }
+        }
+        (best, best_scale)
+    }
+
+    /// Quantizes a tensor and reports which data type ANT selected.
+    pub fn quantize_with_decision(&self, t: &Tensor) -> (Tensor, AntDecision) {
+        let mean_sq = if t.is_empty() {
+            0.0
+        } else {
+            t.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / t.len() as f64
+        };
+        let rel = |deq: &Tensor| -> f64 {
+            if mean_sq == 0.0 {
+                0.0
+            } else {
+                t.mse(deq) / mean_sq
+            }
+        };
+
+        let mut best: Option<(AntType, Tensor, f64)> = None;
+        for ty in [AntType::Int4, AntType::Flint4, AntType::Float4] {
+            let (deq, _) = self.fake_quant_grid(t, &ty.grid());
+            let r = rel(&deq);
+            if best.as_ref().map_or(true, |(_, _, br)| r < *br) {
+                best = Some((ty, deq, r));
+            }
+        }
+        let (mut ty, mut deq, mut r) = best.expect("at least one ANT type");
+
+        if let Some(bound) = self.escalate_max_sigma {
+            let stats = TensorStats::compute(t);
+            if stats.std > 0.0 && stats.max_sigma > bound {
+                let q8 = UniformQuantizer::int8();
+                let d8 = q8.quantize_dequantize(t);
+                r = rel(&d8);
+                deq = d8;
+                ty = AntType::Int8;
+            }
+        }
+        (deq, AntDecision { chosen: ty, rel_mse: r })
+    }
+
+    /// Fraction of the given tensors that would escalate to int8.
+    pub fn int8_fraction<'a, I>(&self, tensors: I) -> f64
+    where
+        I: IntoIterator<Item = &'a Tensor>,
+    {
+        let mut total = 0usize;
+        let mut int8 = 0usize;
+        for t in tensors {
+            let (_, d) = self.quantize_with_decision(t);
+            total += 1;
+            if d.chosen == AntType::Int8 {
+                int8 += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            int8 as f64 / total as f64
+        }
+    }
+}
+
+fn nearest(grid: &[f32], x: f32) -> f32 {
+    let mut best = grid[0];
+    let mut best_err = f32::INFINITY;
+    for &g in grid {
+        let e = (x - g).abs();
+        if e < best_err {
+            best_err = e;
+            best = g;
+        }
+    }
+    best
+}
+
+impl TensorQuantizer for AntQuantizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        self.quantize_with_decision(t).0
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        // Reported storage width is decided per tensor; harnesses that need
+        // the exact mixture call `quantize_with_decision` per tensor. The
+        // nominal width is 4.
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_core::OliveQuantizer;
+    use olive_tensor::rng::Rng;
+
+    fn gaussian(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; n];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        Tensor::from_vec(vec![n], d)
+    }
+
+    fn with_outliers(n: usize, seed: u64) -> Tensor {
+        let mut t = gaussian(n, seed);
+        let mut rng = Rng::seed_from(seed ^ 0x5151);
+        for _ in 0..(n / 150).max(1) {
+            let i = rng.below(n);
+            t[i] = rng.uniform_range(40.0, 150.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        t
+    }
+
+    #[test]
+    fn ant_4bit_is_fine_without_outliers() {
+        let t = gaussian(4096, 1);
+        let (_, d) = AntQuantizer::fixed_4bit().quantize_with_decision(&t);
+        assert!(d.rel_mse < 0.05, "rel mse {}", d.rel_mse);
+        assert_ne!(d.chosen, AntType::Int8);
+    }
+
+    #[test]
+    fn ant_4bit_struggles_with_outliers_and_olive_does_not() {
+        let t = with_outliers(8192, 2);
+        let ant = AntQuantizer::fixed_4bit().quantize_dequantize(&t);
+        let olive = OliveQuantizer::int4().quantize_dequantize(&t);
+        assert!(
+            t.mse(&olive) < t.mse(&ant),
+            "olive {} vs ant {}",
+            t.mse(&olive),
+            t.mse(&ant)
+        );
+    }
+
+    #[test]
+    fn mixed_precision_escalates_outlier_tensors_to_int8() {
+        let t = with_outliers(8192, 3);
+        let (_, d) = AntQuantizer::paper_default().quantize_with_decision(&t);
+        assert_eq!(d.chosen, AntType::Int8);
+    }
+
+    #[test]
+    fn mixed_precision_keeps_clean_tensors_at_4bit() {
+        let t = gaussian(4096, 4);
+        let (_, d) = AntQuantizer::paper_default().quantize_with_decision(&t);
+        assert_ne!(d.chosen, AntType::Int8);
+    }
+
+    #[test]
+    fn int8_fraction_reflects_outlier_prevalence() {
+        let clean: Vec<Tensor> = (0..4).map(|i| gaussian(2048, 10 + i)).collect();
+        let dirty: Vec<Tensor> = (0..4).map(|i| with_outliers(2048, 20 + i)).collect();
+        let ant = AntQuantizer::paper_default();
+        assert!(ant.int8_fraction(clean.iter()) < 0.5);
+        assert!(ant.int8_fraction(dirty.iter()) > 0.5);
+    }
+
+    #[test]
+    fn type_grids_are_symmetric_and_contain_zero() {
+        for ty in [AntType::Int4, AntType::Flint4, AntType::Float4, AntType::Int8] {
+            let g = ty.grid();
+            assert!(g.contains(&0.0));
+            for &v in &g {
+                assert!(g.contains(&(-v)));
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_bits() {
+        assert_eq!(AntType::Flint4.to_string(), "flint4");
+        assert_eq!(AntType::Int8.bits(), 8);
+        assert_eq!(AntType::Float4.bits(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! GOBO (MICRO '20): weight-only outlier-aware quantization with a sparse
+//! coordinate list.
+//!
+//! GOBO splits each *weight* tensor into a small set of outliers, kept at full
+//! precision and addressed through a coordinate list, and the remaining "G"
+//! (Gaussian) group, quantized to a handful of centroids (3 bits in the
+//! configuration the paper compares against). Activations are not quantized
+//! and all arithmetic stays FP16 — GOBO only compresses weights in DRAM, which
+//! is exactly the architectural limitation OliVe's Fig. 9 exploits.
+
+use olive_core::TensorQuantizer;
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+/// The GOBO weight quantizer.
+#[derive(Debug, Clone)]
+pub struct GoboQuantizer {
+    /// Number of centroid bits for the Gaussian group (paper config: 3 or 4).
+    centroid_bits: u32,
+    /// Values beyond `outlier_sigma`·σ form the outlier group.
+    outlier_sigma: f64,
+    /// Lloyd iterations for centroid refinement.
+    kmeans_iters: usize,
+    name: String,
+}
+
+/// Outcome of splitting a tensor into outlier and Gaussian groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoboSplit {
+    /// Fraction of elements in the outlier group (kept FP32).
+    pub outlier_fraction: f64,
+    /// Number of centroids used for the Gaussian group.
+    pub centroids: usize,
+}
+
+impl GoboQuantizer {
+    /// The 3-bit configuration used in the paper's comparison (Tbl. 7).
+    pub fn paper_3bit() -> Self {
+        Self::new(3, 3.0)
+    }
+
+    /// A 4-bit-centroid variant.
+    pub fn with_4bit_centroids() -> Self {
+        Self::new(4, 3.0)
+    }
+
+    /// Creates a GOBO quantizer with `centroid_bits` centroid bits and an
+    /// outlier threshold of `outlier_sigma` standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroid_bits` is not in `1..=8`.
+    pub fn new(centroid_bits: u32, outlier_sigma: f64) -> Self {
+        assert!(
+            (1..=8).contains(&centroid_bits),
+            "unsupported centroid bits {}",
+            centroid_bits
+        );
+        GoboQuantizer {
+            centroid_bits,
+            outlier_sigma,
+            kmeans_iters: 8,
+            name: "GOBO".to_string(),
+        }
+    }
+
+    /// Splits, quantizes the Gaussian group to centroids, keeps outliers
+    /// exactly, and reports the split statistics.
+    pub fn quantize_with_split(&self, t: &Tensor) -> (Tensor, GoboSplit) {
+        let stats = TensorStats::compute(t);
+        let threshold = (stats.mean.abs() + self.outlier_sigma * stats.std) as f32;
+        let data = t.data();
+
+        let normals: Vec<f32> = data.iter().copied().filter(|x| x.abs() <= threshold).collect();
+        let n_outliers = data.len() - normals.len();
+        let k = 1usize << self.centroid_bits;
+
+        let centroids = self.fit_centroids(&normals, k);
+        let out = t.map(|x| {
+            if x.abs() > threshold {
+                // Outlier group: stored FP32 via the coordinate list.
+                x
+            } else {
+                nearest(&centroids, x)
+            }
+        });
+        let split = GoboSplit {
+            outlier_fraction: if data.is_empty() {
+                0.0
+            } else {
+                n_outliers as f64 / data.len() as f64
+            },
+            centroids: k,
+        };
+        (out, split)
+    }
+
+    /// Deterministic centroid fitting: quantile-seeded Lloyd iterations.
+    fn fit_centroids(&self, values: &[f32], k: usize) -> Vec<f32> {
+        if values.is_empty() {
+            return vec![0.0];
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Quantile seeding.
+        let mut centroids: Vec<f32> = (0..k)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / k as f64;
+                sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+            })
+            .collect();
+        centroids.dedup();
+        // Lloyd refinement.
+        for _ in 0..self.kmeans_iters {
+            let mut sums = vec![0.0f64; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for &v in values {
+                let idx = nearest_index(&centroids, v);
+                sums[idx] += v as f64;
+                counts[idx] += 1;
+            }
+            for i in 0..centroids.len() {
+                if counts[i] > 0 {
+                    centroids[i] = (sums[i] / counts[i] as f64) as f32;
+                }
+            }
+        }
+        centroids
+    }
+
+    /// Effective storage bits per weight element, counting the outlier
+    /// overhead: each outlier costs 32 bits of payload plus a 32-bit
+    /// coordinate entry.
+    pub fn effective_bits(&self, outlier_fraction: f64) -> f64 {
+        self.centroid_bits as f64 * (1.0 - outlier_fraction) + outlier_fraction * 64.0
+    }
+}
+
+fn nearest(grid: &[f32], x: f32) -> f32 {
+    grid[nearest_index(grid, x)]
+}
+
+fn nearest_index(grid: &[f32], x: f32) -> usize {
+    let mut best = 0;
+    let mut best_err = f32::INFINITY;
+    for (i, &g) in grid.iter().enumerate() {
+        let e = (x - g).abs();
+        if e < best_err {
+            best_err = e;
+            best = i;
+        }
+    }
+    best
+}
+
+impl TensorQuantizer for GoboQuantizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        self.quantize_with_split(t).0
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.centroid_bits as f64
+    }
+
+    fn compute_bits(&self) -> f64 {
+        // GOBO decompresses to FP16 before computation (DRAM-only compression).
+        16.0
+    }
+
+    fn quantizes_activations(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn weight_tensor(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; n];
+        rng.fill_normal(&mut d, 0.0, 0.05);
+        for _ in 0..(n / 300).max(1) {
+            let i = rng.below(n);
+            d[i] = rng.uniform_range(0.5, 2.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        Tensor::from_vec(vec![n], d)
+    }
+
+    #[test]
+    fn outliers_are_kept_exactly() {
+        let t = weight_tensor(4096, 1);
+        let (q, split) = GoboQuantizer::paper_3bit().quantize_with_split(&t);
+        assert!(split.outlier_fraction > 0.0);
+        for i in 0..t.len() {
+            if t[i].abs() > 0.4 {
+                assert_eq!(q[i], t[i], "outlier at {} was modified", i);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_group_error_is_small() {
+        let t = weight_tensor(4096, 2);
+        let (q, _) = GoboQuantizer::paper_3bit().quantize_with_split(&t);
+        // 3-bit centroids on a 0.05-σ Gaussian: error well below the variance.
+        assert!(t.mse(&q) < (0.05f64 * 0.05) * 0.2, "mse = {}", t.mse(&q));
+    }
+
+    #[test]
+    fn outlier_fraction_is_small() {
+        let t = weight_tensor(8192, 3);
+        let (_, split) = GoboQuantizer::paper_3bit().quantize_with_split(&t);
+        assert!(split.outlier_fraction < 0.05, "{}", split.outlier_fraction);
+        assert_eq!(split.centroids, 8);
+    }
+
+    #[test]
+    fn more_centroid_bits_reduce_error() {
+        let t = weight_tensor(4096, 4);
+        let e3 = t.mse(&GoboQuantizer::paper_3bit().quantize_dequantize(&t));
+        let e4 = t.mse(&GoboQuantizer::with_4bit_centroids().quantize_dequantize(&t));
+        assert!(e4 <= e3);
+    }
+
+    #[test]
+    fn gobo_is_weight_only_and_computes_fp16() {
+        let g = GoboQuantizer::paper_3bit();
+        assert!(!g.quantizes_activations());
+        assert_eq!(g.compute_bits(), 16.0);
+        assert_eq!(g.bits_per_element(), 3.0);
+    }
+
+    #[test]
+    fn effective_bits_accounts_for_coordinate_list() {
+        let g = GoboQuantizer::paper_3bit();
+        assert!(g.effective_bits(0.0) == 3.0);
+        assert!(g.effective_bits(0.01) > 3.0);
+    }
+
+    #[test]
+    fn constant_tensor_round_trips() {
+        let t = Tensor::full(vec![128], 0.25);
+        let (q, _) = GoboQuantizer::paper_3bit().quantize_with_split(&t);
+        for i in 0..t.len() {
+            assert!((q[i] - 0.25).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # olive-baselines
+//!
+//! Re-implementations of the quantization schemes the OliVe paper compares
+//! against, all exposed through the common
+//! [`TensorQuantizer`](olive_core::TensorQuantizer) trait so the accuracy and
+//! performance harnesses can treat every method uniformly.
+//!
+//! | Module | Scheme | Paper role |
+//! |---|---|---|
+//! | [`uniform`] | symmetric per-tensor `int4`/`int8` (also stands in for Q8BERT) | Tbl. 6, Tbl. 9, Fig. 9 |
+//! | [`ant`] | ANT adaptive data types + int8-fallback mixed precision | Tbl. 6, Tbl. 9, Fig. 9, Fig. 10 |
+//! | [`gobo`] | GOBO: weight-only 3-bit centroids + FP32 outlier coordinate list, FP16 compute | Tbl. 7, Fig. 9 |
+//! | [`olaccel`] | OLAccel: 4-bit dense + 16-bit sparse outliers (coordinate list) | Fig. 10 |
+//! | [`adafloat`] | AdaptivFloat: 8-bit float with per-tensor exponent bias | Fig. 10 |
+//! | [`outlier_suppression`] | Outlier-Suppression-style clipping PTQ at 4/6 bits | Tbl. 6, Tbl. 8 |
+
+pub mod adafloat;
+pub mod ant;
+pub mod gobo;
+pub mod olaccel;
+pub mod outlier_suppression;
+pub mod uniform;
+
+pub use adafloat::AdaptivFloatQuantizer;
+pub use ant::AntQuantizer;
+pub use gobo::GoboQuantizer;
+pub use olaccel::OlAccelQuantizer;
+pub use outlier_suppression::OutlierSuppressionQuantizer;
+pub use uniform::UniformQuantizer;

@@ -1,0 +1,169 @@
+//! OLAccel (ISCA '18): outlier-aware low-precision computation.
+//!
+//! OLAccel keeps a dense 4-bit tensor for the bulk of the values and a sparse,
+//! high-precision (16-bit) side structure for the few largest-magnitude
+//! outliers, addressed by a coordinate list. Numerically it is strong — the
+//! outliers are nearly exact — but architecturally it pays for the unaligned
+//! sparse accesses and the outlier PE/controller (55–71% PE-array area
+//! overhead per the paper's Sec. 2.2), which is what the Fig. 10 performance
+//! model charges it for.
+
+use olive_core::TensorQuantizer;
+use olive_tensor::Tensor;
+
+/// The OLAccel quantizer: dense 4-bit + sparse 16-bit outliers.
+#[derive(Debug, Clone)]
+pub struct OlAccelQuantizer {
+    /// Fraction of elements treated as outliers (the original paper uses a
+    /// small percentage, typically 1–3%).
+    outlier_fraction: f64,
+    /// Bit width of the dense normal group.
+    normal_bits: u32,
+    /// Bit width of the sparse outlier group.
+    outlier_bits: u32,
+    name: String,
+}
+
+impl OlAccelQuantizer {
+    /// The configuration used for the Fig. 10 comparison: 4-bit dense values,
+    /// 16-bit outliers, 3% outlier budget.
+    pub fn paper_default() -> Self {
+        Self::new(0.03, 4, 16)
+    }
+
+    /// Creates an OLAccel quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outlier_fraction` is not in `[0, 0.5]`.
+    pub fn new(outlier_fraction: f64, normal_bits: u32, outlier_bits: u32) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&outlier_fraction),
+            "outlier fraction {} out of range",
+            outlier_fraction
+        );
+        OlAccelQuantizer {
+            outlier_fraction,
+            normal_bits,
+            outlier_bits,
+            name: "OLAccel".to_string(),
+        }
+    }
+
+    /// The outlier fraction used by this configuration.
+    pub fn outlier_fraction(&self) -> f64 {
+        self.outlier_fraction
+    }
+
+    /// Magnitude threshold separating the top `outlier_fraction` of elements.
+    pub fn threshold(&self, t: &Tensor) -> f32 {
+        if t.is_empty() || self.outlier_fraction == 0.0 {
+            return f32::INFINITY;
+        }
+        let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let k = ((t.len() as f64 * self.outlier_fraction).ceil() as usize)
+            .clamp(1, t.len());
+        mags[k - 1]
+    }
+}
+
+fn symmetric_fake_quant(x: f32, scale: f32, qmax: f32) -> f32 {
+    if scale <= 0.0 {
+        return 0.0;
+    }
+    (x / scale).round().clamp(-qmax, qmax) * scale
+}
+
+impl TensorQuantizer for OlAccelQuantizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        let threshold = self.threshold(t);
+        let qmax_n = ((1i64 << (self.normal_bits - 1)) - 1) as f32;
+        let qmax_o = ((1i64 << (self.outlier_bits - 1)) - 1) as f32;
+        // Normal group scale: cover [−threshold, threshold].
+        let scale_n = if threshold.is_finite() && threshold > 0.0 {
+            threshold / qmax_n
+        } else {
+            t.max_abs().max(f32::MIN_POSITIVE) / qmax_n
+        };
+        // Outlier group scale: cover the full range at 16 bits.
+        let scale_o = t.max_abs().max(f32::MIN_POSITIVE) / qmax_o;
+        t.map(|x| {
+            if x.abs() > threshold {
+                symmetric_fake_quant(x, scale_o, qmax_o)
+            } else {
+                symmetric_fake_quant(x, scale_n, qmax_n)
+            }
+        })
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        // Dense bits plus the outlier payload and coordinate overhead.
+        self.normal_bits as f64
+            + self.outlier_fraction * (self.outlier_bits as f64 + 32.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn with_outliers(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; n];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        for _ in 0..(n / 100).max(1) {
+            let i = rng.below(n);
+            d[i] = rng.uniform_range(20.0, 90.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        Tensor::from_vec(vec![n], d)
+    }
+
+    #[test]
+    fn outliers_are_nearly_exact() {
+        let t = with_outliers(4096, 1);
+        let q = OlAccelQuantizer::paper_default().quantize_dequantize(&t);
+        for i in 0..t.len() {
+            if t[i].abs() > 20.0 {
+                let rel = (q[i] - t[i]).abs() / t[i].abs();
+                assert!(rel < 0.01, "outlier {} -> {}", t[i], q[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn overall_error_is_low() {
+        let t = with_outliers(8192, 2);
+        let q = OlAccelQuantizer::paper_default().quantize_dequantize(&t);
+        assert!(t.mse(&q) < 0.05, "mse = {}", t.mse(&q));
+    }
+
+    #[test]
+    fn threshold_selects_requested_fraction() {
+        let t = with_outliers(8192, 3);
+        let ol = OlAccelQuantizer::paper_default();
+        let thr = ol.threshold(&t);
+        let frac = t.data().iter().filter(|x| x.abs() >= thr).count() as f64 / t.len() as f64;
+        assert!((frac - 0.03).abs() < 0.01, "fraction {}", frac);
+    }
+
+    #[test]
+    fn storage_overhead_includes_coordinates() {
+        let ol = OlAccelQuantizer::paper_default();
+        assert!(ol.bits_per_element() > 4.0);
+        let dense_only = OlAccelQuantizer::new(0.0, 4, 16);
+        assert_eq!(dense_only.bits_per_element(), 4.0);
+    }
+
+    #[test]
+    fn zero_tensor_is_preserved() {
+        let t = Tensor::zeros(vec![32]);
+        let q = OlAccelQuantizer::paper_default().quantize_dequantize(&t);
+        assert_eq!(q, t);
+    }
+}

@@ -1,0 +1,179 @@
+//! Outlier Suppression (NeurIPS '22), approximated as calibrated clipping PTQ.
+//!
+//! The original method migrates the LayerNorm scaling factor γ into the next
+//! layer and then clips the (now milder) outliers with a token-wise calibrated
+//! threshold before uniform quantization. Without real pretrained checkpoints
+//! the γ-migration step has nothing to migrate, so this reproduction keeps the
+//! part that determines its quantization behaviour: an MSE-calibrated clipping
+//! threshold followed by uniform quantization at 4 or 6 bits. The paper
+//! compares against its 4-bit QAT and 6-bit PTQ numbers (Tbl. 6, Tbl. 8); here
+//! both appear as PTQ variants, which is documented as an approximation in
+//! DESIGN.md.
+
+use olive_core::TensorQuantizer;
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+/// Clipping-plus-uniform-quantization in the spirit of Outlier Suppression.
+#[derive(Debug, Clone)]
+pub struct OutlierSuppressionQuantizer {
+    bits: u32,
+    /// Candidate clip thresholds as multiples of σ.
+    clip_candidates: Vec<f64>,
+    name: String,
+}
+
+impl OutlierSuppressionQuantizer {
+    /// The 6-bit PTQ configuration reported in the paper's tables.
+    pub fn ptq_6bit() -> Self {
+        Self::new(6)
+    }
+
+    /// The 4-bit configuration (the paper reports this as QAT; we evaluate the
+    /// same clipping scheme under PTQ, which can only be weaker).
+    pub fn bits4() -> Self {
+        Self::new(4)
+    }
+
+    /// Creates an Outlier-Suppression-style quantizer at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=8`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "unsupported bit width {}", bits);
+        OutlierSuppressionQuantizer {
+            bits,
+            clip_candidates: vec![2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0],
+            name: format!("OS-{}bit", bits),
+        }
+    }
+
+    fn qmax(&self) -> f32 {
+        ((1i64 << (self.bits - 1)) - 1) as f32
+    }
+
+    /// Quantize/dequantize with clipping at `clip` followed by uniform
+    /// quantization of the clipped range.
+    pub fn fake_quant_with_clip(&self, t: &Tensor, clip: f32) -> Tensor {
+        let qmax = self.qmax();
+        let scale = (clip / qmax).max(f32::MIN_POSITIVE);
+        t.map(|x| {
+            let c = x.clamp(-clip, clip);
+            (c / scale).round().clamp(-qmax, qmax) * scale
+        })
+    }
+
+    /// MSE-calibrated clip threshold (in σ units, converted to a value).
+    pub fn select_clip(&self, t: &Tensor) -> f32 {
+        let stats = TensorStats::compute(t);
+        if stats.std == 0.0 {
+            return stats.max_abs.max(1e-12) as f32;
+        }
+        let mut best_clip = stats.max_abs as f32;
+        let mut best_mse = f64::INFINITY;
+        for &k in &self.clip_candidates {
+            let clip = ((k * stats.std) as f32).min(stats.max_abs as f32);
+            if clip <= 0.0 {
+                continue;
+            }
+            let deq = self.fake_quant_with_clip(t, clip);
+            let mse = t.mse(&deq);
+            if mse < best_mse {
+                best_mse = mse;
+                best_clip = clip;
+            }
+        }
+        best_clip
+    }
+}
+
+impl TensorQuantizer for OutlierSuppressionQuantizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        let clip = self.select_clip(t);
+        self.fake_quant_with_clip(t, clip)
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_core::OliveQuantizer;
+    use olive_tensor::rng::Rng;
+
+    fn with_outliers(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; n];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        for _ in 0..(n / 120).max(1) {
+            let i = rng.below(n);
+            d[i] = rng.uniform_range(25.0, 100.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        Tensor::from_vec(vec![n], d)
+    }
+
+    #[test]
+    fn six_bit_beats_four_bit() {
+        let t = with_outliers(4096, 1);
+        let e6 = t.mse(&OutlierSuppressionQuantizer::ptq_6bit().quantize_dequantize(&t));
+        let e4 = t.mse(&OutlierSuppressionQuantizer::bits4().quantize_dequantize(&t));
+        assert!(e6 < e4);
+    }
+
+    #[test]
+    fn olive_4bit_beats_os_6bit_on_outlier_tensors() {
+        // The paper's headline accuracy claim: OliVe 4-bit PTQ outperforms
+        // Outlier Suppression 6-bit PTQ. At the tensor-MSE level the same
+        // ordering must hold on outlier-heavy tensors.
+        let t = with_outliers(8192, 2);
+        let olive = OliveQuantizer::int4().quantize_dequantize(&t);
+        let os6 = OutlierSuppressionQuantizer::ptq_6bit().quantize_dequantize(&t);
+        assert!(
+            t.mse(&olive) < t.mse(&os6),
+            "olive {} vs os6 {}",
+            t.mse(&olive),
+            t.mse(&os6)
+        );
+    }
+
+    #[test]
+    fn clip_selection_prefers_clipping_over_full_range() {
+        let t = with_outliers(4096, 3);
+        let q = OutlierSuppressionQuantizer::bits4();
+        let clip = q.select_clip(&t);
+        assert!(clip < t.max_abs(), "clip {} vs max {}", clip, t.max_abs());
+    }
+
+    #[test]
+    fn clean_gaussian_is_quantized_accurately() {
+        let mut rng = Rng::seed_from(4);
+        let mut d = vec![0.0f32; 4096];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        let t = Tensor::from_vec(vec![4096], d);
+        let q = OutlierSuppressionQuantizer::ptq_6bit().quantize_dequantize(&t);
+        assert!(t.mse(&q) < 1e-2);
+    }
+
+    #[test]
+    fn constant_tensor_is_handled() {
+        let t = Tensor::full(vec![16], 3.0);
+        let q = OutlierSuppressionQuantizer::bits4().quantize_dequantize(&t);
+        for i in 0..q.len() {
+            assert!((q[i] - 3.0).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn names_match_width() {
+        assert_eq!(OutlierSuppressionQuantizer::ptq_6bit().name(), "OS-6bit");
+        assert_eq!(OutlierSuppressionQuantizer::bits4().bits_per_element(), 4.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the OVP encode/decode path and the abfloat
+//! encoder (the per-value software cost of the scheme).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use olive_core::OliveQuantizer;
+use olive_dtypes::abfloat::{AbfloatCode, AbfloatFormat};
+use olive_models::SynthProfile;
+use olive_tensor::rng::Rng;
+
+fn bench_tensor_quantize(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0xBE);
+    let t = SynthProfile::transformer().generate(vec![256, 1024], &mut rng);
+    let mut group = c.benchmark_group("ovp_quantize");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    group.bench_function("int4_full_search", |b| {
+        let q = OliveQuantizer::int4();
+        b.iter(|| black_box(q.quantize(black_box(&t))))
+    });
+    group.bench_function("int4_fixed_scale", |b| {
+        let q = OliveQuantizer::int4();
+        let scale = q.select_scale(&t);
+        b.iter(|| black_box(q.quantize_with_scale(black_box(&t), scale)))
+    });
+    group.bench_function("int8_fixed_scale", |b| {
+        let q = OliveQuantizer::int8();
+        let scale = q.select_scale(&t);
+        b.iter(|| black_box(q.quantize_with_scale(black_box(&t), scale)))
+    });
+    group.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0xDE);
+    let t = SynthProfile::transformer().generate(vec![256, 1024], &mut rng);
+    let q = OliveQuantizer::int4().quantize(&t);
+    let mut group = c.benchmark_group("ovp_decode");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    group.bench_function("dequantize", |b| b.iter(|| black_box(q.dequantize())));
+    group.bench_function("decode_expints", |b| b.iter(|| black_box(q.decode_expints())));
+    group.finish();
+}
+
+fn bench_abfloat(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0xAB);
+    let values: Vec<f32> = (0..4096)
+        .map(|_| rng.uniform_range(8.0, 300.0) as f32)
+        .collect();
+    c.bench_function("abfloat_encode_e2m1", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &values {
+                acc = acc.wrapping_add(
+                    AbfloatCode::encode(black_box(v), 2, AbfloatFormat::E2M1).bits() as u32,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tensor_quantize, bench_dequantize, bench_abfloat);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the bit-accurate quantized GEMM versus the FP32
+//! reference GEMM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use olive_core::{quantized_matmul, OliveQuantizer};
+use olive_models::SynthProfile;
+use olive_tensor::matmul::matmul;
+use olive_tensor::rng::Rng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0x6E);
+    let a = SynthProfile::transformer().generate(vec![64, 256], &mut rng);
+    let b = SynthProfile::transformer().generate(vec![256, 64], &mut rng);
+    let qa = OliveQuantizer::int4().quantize(&a);
+    let qb = OliveQuantizer::int4().quantize(&b);
+
+    let macs = (a.rows() * a.cols() * b.cols()) as u64;
+    let mut group = c.benchmark_group("gemm_64x256x64");
+    group.throughput(Throughput::Elements(macs));
+    group.bench_function("fp32_reference", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("ovp_int4_bit_accurate", |bch| {
+        bch.iter(|| black_box(quantized_matmul(black_box(&qa), black_box(&qb))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

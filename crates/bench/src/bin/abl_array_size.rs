@@ -1,0 +1,43 @@
+//! Ablation: systolic-array size sweep.
+//!
+//! The paper fixes a 64×64 array of 4-bit PEs (Tbl. 11). This sweep shows how
+//! OliVe's advantage over the 8-bit AdaptivFloat design varies with the PE
+//! area budget (compute-bound small arrays vs memory-bound large arrays).
+//!
+//! Run with: `cargo run --release -p olive-bench --bin abl_array_size`
+
+use olive_accel::{QuantScheme, SystolicConfig, SystolicSimulator};
+use olive_bench::report::{fmt_x, Table};
+use olive_models::{ModelConfig, Workload};
+
+fn main() {
+    println!("Ablation: PE-array area budget sweep (BERT-base workload)");
+    let wl = Workload::from_config(&ModelConfig::bert_base());
+    let mut table = Table::new(vec![
+        "PE budget (4-bit equiv.)".into(),
+        "OliVe array".into(),
+        "OliVe vs AdaFloat".into(),
+        "OliVe vs OLAccel".into(),
+        "OliVe vs ANT".into(),
+    ]);
+    for budget in [1024usize, 4096, 16_384, 65_536] {
+        let cfg = SystolicConfig {
+            pe_area_budget: budget,
+            ..SystolicConfig::paper_64x64()
+        };
+        let sim = SystolicSimulator::new(cfg);
+        let olive = sim.run(&wl, &QuantScheme::olive4());
+        let ada = sim.run(&wl, &QuantScheme::adafloat());
+        let ol = sim.run(&wl, &QuantScheme::olaccel());
+        let ant = sim.run(&wl, &QuantScheme::ant_mixed());
+        table.row(vec![
+            format!("{}", budget),
+            format!("{0}x{0}", olive.array_dim),
+            fmt_x(ada.latency_s / olive.latency_s),
+            fmt_x(ol.latency_s / olive.latency_s),
+            fmt_x(ant.latency_s / olive.latency_s),
+        ]);
+    }
+    table.print_with_title("Speedup of OliVe over each baseline at iso-area, per area budget");
+    println!("The paper's configuration corresponds to the 4096 row (64x64 4-bit PEs).");
+}

@@ -1,0 +1,57 @@
+//! Figure 3: accuracy impact of clipping outliers vs pruning victims vs
+//! pruning random normal values, across eight GLUE-like tasks.
+//!
+//! All values stay FP32 except for the studied transformation, exactly as in
+//! the paper's motivation study. The expected shape: clipping the ~1% of
+//! outliers is catastrophic, pruning the same number of victims (or random
+//! normal values) is almost free.
+//!
+//! Run with: `cargo run --release -p olive-bench --bin fig03_pruning_accuracy`
+
+use olive_bench::accuracy::{glue_tasks, pct, Experiment};
+use olive_bench::report::Table;
+use olive_core::pair::{clip_outliers, prune_random_normals, prune_victims, victim_count};
+use olive_models::OutlierSeverity;
+use olive_tensor::rng::Rng;
+use olive_tensor::stats::TensorStats;
+
+fn main() {
+    println!("Figure 3 reproduction: clipping outliers vs pruning victims vs pruning normals");
+    let mut table = Table::new(vec![
+        "Task".into(),
+        "Source".into(),
+        "Clip outliers".into(),
+        "Prune victims".into(),
+        "Prune normals".into(),
+    ]);
+
+    for (i, task) in glue_tasks().iter().enumerate() {
+        let exp = Experiment::build(task, OutlierSeverity::transformer(), 0xF1603 + i as u64);
+        let threshold_of = |w: &olive_tensor::Tensor| -> f32 {
+            let s = TensorStats::compute(w);
+            (s.mean.abs() + 3.0 * s.std) as f32
+        };
+
+        let clip = exp.accuracy_of_weight_transform(|_, w| clip_outliers(w, threshold_of(w)));
+        let victims = exp.accuracy_of_weight_transform(|_, w| prune_victims(w, threshold_of(w)));
+        let normals = exp.accuracy_of_weight_transform(|name, w| {
+            // Prune the same number of *random normal* values as there are
+            // victims, with a per-tensor deterministic seed.
+            let thr = threshold_of(w);
+            let count = victim_count(w.data(), thr);
+            let mut rng = Rng::seed_from(0x5EED ^ name.len() as u64 ^ w.len() as u64);
+            prune_random_normals(w, thr, count, &mut rng)
+        });
+
+        table.row(vec![
+            task.to_string(),
+            pct(1.0),
+            pct(clip),
+            pct(victims),
+            pct(normals),
+        ]);
+    }
+    table.print_with_title(
+        "Accuracy proxy (% agreement with the FP32 teacher; paper: clipping collapses, pruning is benign)",
+    );
+}

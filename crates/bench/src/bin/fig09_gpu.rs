@@ -1,0 +1,104 @@
+//! Figure 9: GPU speedup (a) and normalized energy breakdown (b) of OliVe vs
+//! ANT, the native int8 tensor core and GOBO across five Transformer models.
+//!
+//! Speedups are normalised to GOBO (the slowest design), energies to GOBO's
+//! total, matching the paper's presentation.
+//!
+//! Run with: `cargo run --release -p olive-bench --bin fig09_gpu`
+
+use olive_accel::{geomean, GpuSimulator, QuantScheme};
+use olive_bench::report::{fmt_f, fmt_x, Table};
+use olive_models::{ModelConfig, Workload};
+
+fn main() {
+    println!("Figure 9 reproduction: GPU (RTX 2080 Ti class) performance and energy");
+    let sim = GpuSimulator::rtx_2080_ti();
+    let schemes = QuantScheme::gpu_comparison_set();
+    let models = ModelConfig::performance_suite();
+
+    // --- Fig. 9a: speedup over the slowest design (GOBO). ---
+    let mut speedup_table = Table::new(
+        std::iter::once("Model".to_string())
+            .chain(schemes.iter().map(|s| s.name.clone()))
+            .collect(),
+    );
+    let mut per_scheme_speedups: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut olive_vs: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+
+    for cfg in &models {
+        let wl = Workload::from_config(cfg);
+        let results = sim.compare(&wl, &schemes);
+        let baseline = results
+            .iter()
+            .map(|r| r.latency_s)
+            .fold(f64::MIN, f64::max);
+        let olive_latency = results[0].latency_s;
+        let mut row = vec![cfg.name.clone()];
+        for (i, r) in results.iter().enumerate() {
+            let speedup = baseline / r.latency_s;
+            per_scheme_speedups[i].push(speedup);
+            olive_vs[i].push(r.latency_s / olive_latency);
+            row.push(fmt_x(speedup));
+        }
+        speedup_table.row(row);
+    }
+    let mut geo_row = vec!["Geomean".to_string()];
+    for s in &per_scheme_speedups {
+        geo_row.push(fmt_x(geomean(s)));
+    }
+    speedup_table.row(geo_row);
+    speedup_table.print_with_title("Fig. 9a — speedup (normalized to GOBO)");
+
+    println!("OliVe geomean speedup over each design (paper: 4.5x GOBO, 2.7x INT8, 2.4x ANT):");
+    for (i, s) in schemes.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        println!("  vs {:<8} {:>6}", s.name, fmt_x(geomean(&olive_vs[i])));
+    }
+
+    // --- Fig. 9b: normalized energy breakdown. ---
+    let mut energy_table = Table::new(vec![
+        "Model".into(),
+        "Scheme".into(),
+        "Const".into(),
+        "Static".into(),
+        "DRAM+L2".into(),
+        "L1+Reg".into(),
+        "Core".into(),
+        "Total (norm.)".into(),
+    ]);
+    let mut olive_energy_ratio: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for cfg in &models {
+        let wl = Workload::from_config(cfg);
+        let results = sim.compare(&wl, &schemes);
+        let norm = results
+            .iter()
+            .map(|r| r.energy.total())
+            .fold(f64::MIN, f64::max);
+        let olive_total = results[0].energy.total();
+        for (i, r) in results.iter().enumerate() {
+            let e = r.energy.scaled(1.0 / norm);
+            olive_energy_ratio[i].push(r.energy.total() / olive_total);
+            energy_table.row(vec![
+                cfg.name.clone(),
+                r.scheme.clone(),
+                fmt_f(e.constant, 3),
+                fmt_f(e.static_, 3),
+                fmt_f(e.dram_l2, 3),
+                fmt_f(e.l1_reg, 3),
+                fmt_f(e.core, 3),
+                fmt_f(e.total(), 3),
+            ]);
+        }
+    }
+    energy_table.print_with_title("Fig. 9b — normalized energy breakdown (normalized to GOBO)");
+
+    println!("OliVe geomean energy reduction vs each design (paper: 4.0x GOBO, 2.3x INT8, 2.0x ANT):");
+    for (i, s) in schemes.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        println!("  vs {:<8} {:>6}", s.name, fmt_x(geomean(&olive_energy_ratio[i])));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 10: systolic-array accelerator speedup (a) and normalized energy
+//! breakdown (b) of OliVe vs ANT, OLAccel and AdaptivFloat at similar area.
+//!
+//! Run with: `cargo run --release -p olive-bench --bin fig10_accelerator`
+
+use olive_accel::{geomean, QuantScheme, SystolicSimulator};
+use olive_bench::report::{fmt_f, fmt_x, Table};
+use olive_models::{ModelConfig, Workload};
+
+fn main() {
+    println!("Figure 10 reproduction: systolic-array accelerator performance and energy");
+    let sim = SystolicSimulator::paper_default();
+    let schemes = QuantScheme::accelerator_comparison_set();
+    let models = ModelConfig::performance_suite();
+
+    // --- Fig. 10a: speedup normalized to the slowest design (AdaFloat). ---
+    let mut speedup_table = Table::new(
+        std::iter::once("Model".to_string())
+            .chain(schemes.iter().map(|s| s.name.clone()))
+            .collect(),
+    );
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut olive_vs: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for cfg in &models {
+        let wl = Workload::from_config(cfg);
+        let results = sim.compare(&wl, &schemes);
+        let baseline = results
+            .iter()
+            .map(|r| r.latency_s)
+            .fold(f64::MIN, f64::max);
+        let olive_latency = results[0].latency_s;
+        let mut row = vec![cfg.name.clone()];
+        for (i, r) in results.iter().enumerate() {
+            per_scheme[i].push(baseline / r.latency_s);
+            olive_vs[i].push(r.latency_s / olive_latency);
+            row.push(fmt_x(baseline / r.latency_s));
+        }
+        speedup_table.row(row);
+    }
+    let mut geo = vec!["Geomean".to_string()];
+    for s in &per_scheme {
+        geo.push(fmt_x(geomean(s)));
+    }
+    speedup_table.row(geo);
+    speedup_table.print_with_title("Fig. 10a — speedup (normalized to AdaFloat)");
+
+    println!(
+        "OliVe geomean speedup over each design (paper: 4.8x AdaFloat, 3.8x OLAccel, 3.7x ANT):"
+    );
+    for (i, s) in schemes.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        println!("  vs {:<9} {:>6}", s.name, fmt_x(geomean(&olive_vs[i])));
+    }
+
+    // --- Fig. 10b: normalized energy breakdown. ---
+    let mut energy_table = Table::new(vec![
+        "Model".into(),
+        "Scheme".into(),
+        "Static".into(),
+        "DRAM".into(),
+        "Buffer".into(),
+        "Core".into(),
+        "Total (norm.)".into(),
+    ]);
+    let mut olive_energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for cfg in &models {
+        let wl = Workload::from_config(cfg);
+        let results = sim.compare(&wl, &schemes);
+        let norm = results
+            .iter()
+            .map(|r| r.energy.total())
+            .fold(f64::MIN, f64::max);
+        let olive_total = results[0].energy.total();
+        for (i, r) in results.iter().enumerate() {
+            let e = r.energy.scaled(1.0 / norm);
+            olive_energy[i].push(r.energy.total() / olive_total);
+            energy_table.row(vec![
+                cfg.name.clone(),
+                r.scheme.clone(),
+                fmt_f(e.constant + e.static_, 3),
+                fmt_f(e.dram_l2, 3),
+                fmt_f(e.l1_reg, 3),
+                fmt_f(e.core, 3),
+                fmt_f(e.total(), 3),
+            ]);
+        }
+    }
+    energy_table.print_with_title("Fig. 10b — normalized energy breakdown (normalized to AdaFloat)");
+
+    println!(
+        "OliVe geomean energy reduction vs each design (paper: 3.7x AdaFloat, 2.1x OLAccel, 3.3x ANT):"
+    );
+    for (i, s) in schemes.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        println!("  vs {:<9} {:>6}", s.name, fmt_x(geomean(&olive_energy[i])));
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 7: weight-only quantization comparison with GOBO (BERT-base,
+//! MNLI- and STSB-like tasks).
+//!
+//! GOBO only quantizes weights, so OliVe is evaluated in the same weight-only
+//! setting for a fair comparison (paper Tbl. 7).
+//!
+//! Run with: `cargo run --release -p olive-bench --bin tbl07_gobo_weight_only`
+
+use olive_baselines::GoboQuantizer;
+use olive_bench::accuracy::{pct, Experiment};
+use olive_bench::report::Table;
+use olive_core::{OliveQuantizer, TensorQuantizer};
+use olive_models::OutlierSeverity;
+
+fn main() {
+    println!("Table 7 reproduction: weight-only comparison against GOBO");
+    let tasks = [("MNLI", 0x7B07_01u64), ("STSB", 0x7B07_02)];
+    let olive = OliveQuantizer::int4();
+    let gobo = GoboQuantizer::paper_3bit();
+    let methods: Vec<(&str, &dyn TensorQuantizer)> = vec![
+        ("Ours (weights only, 4-bit)", &olive),
+        ("GOBO (weights only, 3-bit)", &gobo),
+    ];
+
+    let mut table = Table::new(vec![
+        "Method".into(),
+        "MNLI".into(),
+        "STSB".into(),
+    ]);
+    table.row(vec!["BERT-base FP32".into(), pct(1.0), pct(1.0)]);
+    for (name, q) in methods {
+        let mut row = vec![name.to_string()];
+        for (task, seed) in &tasks {
+            let exp = Experiment::build(task, OutlierSeverity::transformer(), *seed);
+            // Weight-only: activations stay FP32.
+            row.push(pct(exp.accuracy(q, false)));
+        }
+        table.row(row);
+    }
+    table.print_with_title("Weight-only accuracy proxy (%) — paper: OliVe edges out GOBO");
+}

@@ -1,0 +1,30 @@
+//! Table 10: area of the OliVe OVP decoders added to an RTX 2080 Ti (12 nm).
+//!
+//! Run with: `cargo run --release -p olive-bench --bin tbl10_gpu_area`
+
+use olive_accel::area::{gpu_decoder_area_table, RTX_2080TI_DIE_MM2};
+use olive_bench::report::{fmt_f, fmt_pct, Table};
+
+fn main() {
+    println!(
+        "Table 10 reproduction: OliVe decoder area on an RTX 2080 Ti ({} mm^2 die, 12 nm)",
+        RTX_2080TI_DIE_MM2
+    );
+    let mut table = Table::new(vec![
+        "Component".into(),
+        "Unit area (um^2)".into(),
+        "Number".into(),
+        "Area (mm^2)".into(),
+        "Area ratio".into(),
+    ]);
+    for r in gpu_decoder_area_table() {
+        table.row(vec![
+            r.component.clone(),
+            fmt_f(r.unit_area_um2, 2),
+            format!("{}", r.count),
+            fmt_f(r.total_mm2, 2),
+            fmt_pct(r.ratio),
+        ]);
+    }
+    table.print_with_title("GPU decoder area (paper: 1.88 mm^2 / 0.250% and 1.25 mm^2 / 0.166%)");
+}

@@ -1,0 +1,27 @@
+//! Table 11: area breakdown of the OliVe systolic-array accelerator (22 nm).
+//!
+//! Run with: `cargo run --release -p olive-bench --bin tbl11_accel_area`
+
+use olive_accel::area::systolic_area_table;
+use olive_bench::report::{fmt_f, fmt_pct, Table};
+
+fn main() {
+    println!("Table 11 reproduction: OliVe systolic-array area breakdown (64x64 PEs, 22 nm)");
+    let mut table = Table::new(vec![
+        "Component".into(),
+        "Unit area (um^2)".into(),
+        "Number".into(),
+        "Area (mm^2)".into(),
+        "Area ratio".into(),
+    ]);
+    for r in systolic_area_table(64) {
+        table.row(vec![
+            r.component.clone(),
+            fmt_f(r.unit_area_um2, 2),
+            format!("{}", r.count),
+            fmt_f(r.total_mm2, 5),
+            fmt_pct(r.ratio),
+        ]);
+    }
+    table.print_with_title("Accelerator area breakdown (paper: 2.2% / 1.5% / 96.3%)");
+}

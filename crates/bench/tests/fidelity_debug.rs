@@ -1,0 +1,28 @@
+//! Diagnostic: fidelity of several schemes on the tiny proxy teacher.
+
+use olive_baselines::{OutlierSuppressionQuantizer, UniformQuantizer};
+use olive_bench::accuracy::Experiment;
+use olive_core::{OliveQuantizer, TensorQuantizer};
+use olive_models::{EngineConfig, OutlierSeverity};
+
+#[test]
+fn print_fidelity_ladder() {
+    let e = Experiment::build_sized(
+        "debug",
+        OutlierSeverity::transformer(),
+        11,
+        EngineConfig::tiny(),
+        6,
+    );
+    let olive4 = OliveQuantizer::int4();
+    let olive8 = OliveQuantizer::int8();
+    let int8 = UniformQuantizer::int8();
+    let int4 = UniformQuantizer::int4();
+    let os6 = OutlierSuppressionQuantizer::ptq_6bit();
+    let methods: Vec<&dyn TensorQuantizer> = vec![&olive8, &int8, &os6, &olive4, &int4];
+    for m in methods {
+        println!("{:<14} fidelity {:.4}", m.name(), e.accuracy(m, false));
+    }
+    // The ladder must at least order OliVe-4bit above plain int4.
+    assert!(e.accuracy(&olive4, false) > e.accuracy(&int4, false));
+}

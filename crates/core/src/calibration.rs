@@ -1,0 +1,192 @@
+//! Scale-factor calibration policies and their ablation.
+//!
+//! Section 3.4 of the paper chooses the outlier threshold (equivalently the
+//! scale factor) by minimizing the tensor MSE around a 3σ seed. This module
+//! makes that choice explicit and comparable against the simpler policies used
+//! by other quantization frameworks, so the design decision can be ablated
+//! (see the `abl_scale_policy` harness in `olive-bench`).
+
+use crate::quantizer::{OliveQuantizer, OvpTensor};
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+/// A policy for picking the per-tensor scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalePolicy {
+    /// Cover the maximum absolute value with the *outlier* range (nothing is
+    /// ever clipped; normal-value resolution suffers).
+    MaxAbs,
+    /// Map the `p`-th percentile of the absolute values onto the largest
+    /// normal code (a common activation-calibration heuristic).
+    Percentile(f64),
+    /// Map `k`·σ onto the largest normal code (the paper's 3σ rule seed,
+    /// without any search).
+    SigmaRule(f64),
+    /// The full MSE-minimizing grid search around the 3σ seed (the paper's
+    /// choice, Sec. 3.4).
+    MseSearch,
+}
+
+impl ScalePolicy {
+    /// The policies compared by the ablation harness, in presentation order.
+    pub fn ablation_set() -> Vec<ScalePolicy> {
+        vec![
+            ScalePolicy::MaxAbs,
+            ScalePolicy::Percentile(99.9),
+            ScalePolicy::SigmaRule(3.0),
+            ScalePolicy::MseSearch,
+        ]
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ScalePolicy::MaxAbs => "max-abs".to_string(),
+            ScalePolicy::Percentile(p) => format!("p{:.1}", p),
+            ScalePolicy::SigmaRule(k) => format!("{}-sigma", k),
+            ScalePolicy::MseSearch => "mse-search".to_string(),
+        }
+    }
+
+    /// Computes the scale this policy selects for a tensor under the given
+    /// quantizer's normal data type.
+    pub fn select_scale(&self, quantizer: &OliveQuantizer, t: &Tensor) -> f32 {
+        let max_mag = quantizer.normal_type().max_magnitude() as f32;
+        let stats = TensorStats::compute(t);
+        match self {
+            ScalePolicy::MaxAbs => {
+                // The maximum must be representable by the outlier format, so
+                // divide by the largest abfloat magnitude instead of max_mag.
+                let spec_max = quantizer
+                    .normal_type()
+                    .outlier_format()
+                    .max_value(quantizer.normal_type().complementary_abfloat_bias())
+                    as f32;
+                (stats.max_abs as f32 / spec_max).max(f32::MIN_POSITIVE)
+            }
+            ScalePolicy::Percentile(p) => {
+                let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
+                mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let idx = (((p / 100.0) * (mags.len().saturating_sub(1)) as f64).round() as usize)
+                    .min(mags.len().saturating_sub(1));
+                (mags.get(idx).copied().unwrap_or(1.0) / max_mag).max(f32::MIN_POSITIVE)
+            }
+            ScalePolicy::SigmaRule(k) => {
+                (((k * stats.std) as f32) / max_mag).max(f32::MIN_POSITIVE)
+            }
+            ScalePolicy::MseSearch => quantizer.select_scale(t),
+        }
+    }
+
+    /// Quantizes a tensor with this policy and returns the packed result.
+    pub fn quantize(&self, quantizer: &OliveQuantizer, t: &Tensor) -> OvpTensor {
+        let scale = self.select_scale(quantizer, t);
+        quantizer.quantize_with_scale(t, scale)
+    }
+
+    /// Round-trip MSE of this policy on a tensor.
+    pub fn round_trip_mse(&self, quantizer: &OliveQuantizer, t: &Tensor) -> f64 {
+        let q = self.quantize(quantizer, t);
+        t.mse(&q.dequantize())
+    }
+}
+
+/// One row of the scale-policy ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Policy label.
+    pub policy: String,
+    /// Round-trip MSE.
+    pub mse: f64,
+    /// Selected scale.
+    pub scale: f32,
+    /// Fraction of pairs carrying an outlier after encoding.
+    pub outlier_pair_fraction: f64,
+}
+
+/// Runs the whole ablation set on one tensor.
+pub fn ablate_scale_policies(quantizer: &OliveQuantizer, t: &Tensor) -> Vec<CalibrationReport> {
+    ScalePolicy::ablation_set()
+        .into_iter()
+        .map(|p| {
+            let scale = p.select_scale(quantizer, t);
+            let q = quantizer.quantize_with_scale(t, scale);
+            CalibrationReport {
+                policy: p.label(),
+                mse: t.mse(&q.dequantize()),
+                scale,
+                outlier_pair_fraction: q.outlier_pair_fraction(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn outlier_tensor(seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut d = vec![0.0f32; 4096];
+        rng.fill_normal(&mut d, 0.0, 1.0);
+        for _ in 0..20 {
+            let i = rng.below(4096);
+            d[i] = rng.uniform_range(15.0, 70.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        }
+        Tensor::from_vec(vec![64, 64], d)
+    }
+
+    #[test]
+    fn mse_search_is_never_worse_than_the_sigma_seed() {
+        let t = outlier_tensor(1);
+        let q = OliveQuantizer::int4();
+        let search = ScalePolicy::MseSearch.round_trip_mse(&q, &t);
+        let seed = ScalePolicy::SigmaRule(3.0).round_trip_mse(&q, &t);
+        assert!(search <= seed + 1e-9, "search {} vs 3-sigma {}", search, seed);
+    }
+
+    #[test]
+    fn max_abs_policy_never_saturates_outliers() {
+        let t = outlier_tensor(2);
+        let q = OliveQuantizer::int4();
+        let packed = ScalePolicy::MaxAbs.quantize(&q, &t);
+        assert!(packed.spec().max_representable() >= t.max_abs() * 0.999);
+    }
+
+    #[test]
+    fn percentile_policy_is_between_sigma_and_max() {
+        let t = outlier_tensor(3);
+        let q = OliveQuantizer::int4();
+        let s_sigma = ScalePolicy::SigmaRule(3.0).select_scale(&q, &t);
+        let s_p = ScalePolicy::Percentile(99.9).select_scale(&q, &t);
+        let s_max = ScalePolicy::MaxAbs.select_scale(&q, &t);
+        assert!(s_sigma <= s_p * 4.0);
+        assert!(s_p <= s_max * 16.0);
+    }
+
+    #[test]
+    fn ablation_covers_all_policies() {
+        let t = outlier_tensor(4);
+        let q = OliveQuantizer::int4();
+        let rows = ablate_scale_policies(&q, &t);
+        assert_eq!(rows.len(), 4);
+        let best = rows
+            .iter()
+            .map(|r| r.mse)
+            .fold(f64::INFINITY, f64::min);
+        let search = rows.iter().find(|r| r.policy == "mse-search").unwrap();
+        assert!(search.mse <= best + 1e-9);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = ScalePolicy::ablation_set()
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! Algorithm 1: the outlier-victim pair encoder (paper Sec. 3.1).
+//!
+//! The encoder reads two adjacent values at a time (already divided by the
+//! tensor scale, i.e. on the integer grid) and produces two code words:
+//!
+//! * both normal → quantize both with the normal data type;
+//! * left value is the (larger) outlier → left slot holds the abfloat outlier,
+//!   right slot holds the identifier (the right value becomes a *victim*);
+//! * right value is the outlier → mirrored;
+//! * both outliers → the larger survives, the smaller is pruned (becomes the
+//!   victim), exactly as Sec. 3.1 prescribes.
+//!
+//! Decoding (the OVP decoder of Fig. 6b) is the exact inverse and emits the
+//! unified exponent-integer pairs consumed by the MAC units.
+
+use olive_dtypes::abfloat::AbfloatCode;
+use olive_dtypes::identifier::{is_identifier_4bit, is_identifier_8bit};
+use olive_dtypes::{ExpInt, Flint4, Int4, Int8, NormalDataType};
+use olive_dtypes::{OUTLIER_IDENTIFIER_4BIT, OUTLIER_IDENTIFIER_8BIT};
+
+/// The role each slot plays inside an encoded pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairClass {
+    /// Two normal values.
+    NormalNormal,
+    /// The left slot is an outlier, the right slot is its victim.
+    OutlierLeft,
+    /// The right slot is an outlier, the left slot is its victim.
+    OutlierRight,
+}
+
+/// An encoded outlier-victim (or normal-normal) pair: two raw code words.
+///
+/// For 4-bit normal types each code occupies a nibble and
+/// [`EncodedPair::pack_byte`] packs the pair into a single memory-aligned byte
+/// (first value in the low nibble). For `int8` each code is a full byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedPair {
+    /// Code word for the first (left) value.
+    pub code0: u8,
+    /// Code word for the second (right) value.
+    pub code1: u8,
+    /// How the pair was classified by the encoder.
+    pub class: PairClass,
+}
+
+impl EncodedPair {
+    /// Packs a 4-bit pair into one byte: value 0 in the low nibble, value 1 in
+    /// the high nibble (matching the `0:3` / `4:7` split of Fig. 6b).
+    pub fn pack_byte(&self) -> u8 {
+        (self.code0 & 0x0F) | (self.code1 << 4)
+    }
+
+    /// Unpacks a 4-bit pair from one byte.
+    pub fn unpack_byte(byte: u8) -> (u8, u8) {
+        (byte & 0x0F, byte >> 4)
+    }
+}
+
+/// Encodes one pair of scale-normalised values (Algorithm 1).
+///
+/// `threshold` is the outlier threshold on the integer grid (typically the
+/// largest representable normal magnitude). `bias` is the adaptive abfloat
+/// exponent bias.
+pub fn encode_pair(
+    v1: f32,
+    v2: f32,
+    threshold: f32,
+    normal_type: NormalDataType,
+    bias: i32,
+) -> EncodedPair {
+    let fmt = normal_type.outlier_format();
+    let identifier = match normal_type {
+        NormalDataType::Int8 => OUTLIER_IDENTIFIER_8BIT,
+        _ => OUTLIER_IDENTIFIER_4BIT,
+    };
+    let a1 = v1.abs();
+    let a2 = v2.abs();
+    if a1 > threshold && a1 >= a2 {
+        EncodedPair {
+            code0: AbfloatCode::encode(v1, bias, fmt).bits(),
+            code1: identifier,
+            class: PairClass::OutlierLeft,
+        }
+    } else if a2 > threshold {
+        EncodedPair {
+            code0: identifier,
+            code1: AbfloatCode::encode(v2, bias, fmt).bits(),
+            class: PairClass::OutlierRight,
+        }
+    } else {
+        EncodedPair {
+            code0: quantize_normal(v1, normal_type),
+            code1: quantize_normal(v2, normal_type),
+            class: PairClass::NormalNormal,
+        }
+    }
+}
+
+/// Quantizes a normal (non-outlier) grid value with the given normal type,
+/// returning its raw code word.
+pub fn quantize_normal(v: f32, normal_type: NormalDataType) -> u8 {
+    match normal_type {
+        NormalDataType::Int4 => Int4::quantize(v).code(),
+        NormalDataType::Flint4 => Flint4::quantize(v).code(),
+        NormalDataType::Int8 => Int8::quantize(v).code(),
+    }
+}
+
+/// Decodes one code word into an exponent-integer pair, treating the outlier
+/// identifier as the victim value 0 and any other code as a normal value.
+///
+/// This mirrors the normal-value path of the OVP decoder (Fig. 6b): the
+/// identifier is replaced by `0000…0` before reaching the MAC array.
+pub fn decode_normal_or_victim(code: u8, normal_type: NormalDataType) -> ExpInt {
+    match normal_type {
+        NormalDataType::Int4 => Int4::decode(code).map(Int4::to_expint).unwrap_or_default(),
+        NormalDataType::Flint4 => Flint4::decode(code)
+            .map(Flint4::to_expint)
+            .unwrap_or_default(),
+        NormalDataType::Int8 => Int8::decode(code).map(Int8::to_expint).unwrap_or_default(),
+    }
+}
+
+/// Decodes an encoded pair back into two exponent-integer pairs (what the
+/// hardware decoder hands to the MAC units).
+pub fn decode_pair_expint(
+    code0: u8,
+    code1: u8,
+    normal_type: NormalDataType,
+    bias: i32,
+) -> (ExpInt, ExpInt) {
+    let fmt = normal_type.outlier_format();
+    let is_id = |c: u8| match normal_type {
+        NormalDataType::Int8 => is_identifier_8bit(c),
+        _ => is_identifier_4bit(c),
+    };
+    if is_id(code1) {
+        // Left outlier, right victim.
+        let outlier = AbfloatCode::from_bits(fmt, code0).to_expint(bias);
+        (outlier, ExpInt::zero())
+    } else if is_id(code0) {
+        // Right outlier, left victim.
+        let outlier = AbfloatCode::from_bits(fmt, code1).to_expint(bias);
+        (ExpInt::zero(), outlier)
+    } else {
+        (
+            decode_normal_or_victim(code0, normal_type),
+            decode_normal_or_victim(code1, normal_type),
+        )
+    }
+}
+
+/// Decodes an encoded pair to grid values (integers before the scale factor is
+/// re-applied).
+pub fn decode_pair_values(
+    code0: u8,
+    code1: u8,
+    normal_type: NormalDataType,
+    bias: i32,
+) -> (i64, i64) {
+    let (a, b) = decode_pair_expint(code0, code1, normal_type, bias);
+    (a.value(), b.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: f32 = 7.0;
+
+    #[test]
+    fn normal_pair_round_trips() {
+        let p = encode_pair(3.2, -5.7, T, NormalDataType::Int4, 2);
+        assert_eq!(p.class, PairClass::NormalNormal);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int4, 2);
+        assert_eq!((a, b), (3, -6));
+    }
+
+    #[test]
+    fn left_outlier_encodes_victim_on_right() {
+        let p = encode_pair(50.0, 0.4, T, NormalDataType::Int4, 2);
+        assert_eq!(p.class, PairClass::OutlierLeft);
+        assert_eq!(p.code1, OUTLIER_IDENTIFIER_4BIT);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int4, 2);
+        assert_eq!(a, 48); // nearest E2M1(bias=2) value to 50
+        assert_eq!(b, 0); // victim pruned to zero
+    }
+
+    #[test]
+    fn right_outlier_encodes_victim_on_left() {
+        let p = encode_pair(0.4, -80.0, T, NormalDataType::Int4, 2);
+        assert_eq!(p.class, PairClass::OutlierRight);
+        assert_eq!(p.code0, OUTLIER_IDENTIFIER_4BIT);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int4, 2);
+        assert_eq!(a, 0);
+        assert_eq!(b, -96); // Algorithm 2 rounds 80 (a tie between 64 and 96) up
+    }
+
+    #[test]
+    fn outlier_outlier_keeps_larger() {
+        let p = encode_pair(20.0, -60.0, T, NormalDataType::Int4, 2);
+        assert_eq!(p.class, PairClass::OutlierRight);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int4, 2);
+        assert_eq!(a, 0);
+        assert_eq!(b, -64); // nearest representable to -60
+
+        let p = encode_pair(60.0, -20.0, T, NormalDataType::Int4, 2);
+        assert_eq!(p.class, PairClass::OutlierLeft);
+    }
+
+    #[test]
+    fn pack_and_unpack_byte() {
+        let p = encode_pair(3.0, -2.0, T, NormalDataType::Int4, 2);
+        let byte = p.pack_byte();
+        let (c0, c1) = EncodedPair::unpack_byte(byte);
+        assert_eq!(c0, p.code0 & 0x0F);
+        assert_eq!(c1, p.code1 & 0x0F);
+    }
+
+    #[test]
+    fn flint4_normal_pair() {
+        let p = encode_pair(5.4, 15.0, 16.0, NormalDataType::Flint4, 3);
+        assert_eq!(p.class, PairClass::NormalNormal);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Flint4, 3);
+        assert_eq!((a, b), (6, 16));
+    }
+
+    #[test]
+    fn flint4_outlier_uses_bias_three() {
+        let p = encode_pair(100.0, 1.0, 16.0, NormalDataType::Flint4, 3);
+        assert_eq!(p.class, PairClass::OutlierLeft);
+        let (a, _) = decode_pair_values(p.code0, p.code1, NormalDataType::Flint4, 3);
+        assert_eq!(a, 96); // nearest {24..192} grid point to 100
+    }
+
+    #[test]
+    fn int8_pair_round_trips() {
+        let p = encode_pair(100.0, -120.0, 127.0, NormalDataType::Int8, 4);
+        assert_eq!(p.class, PairClass::NormalNormal);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int8, 4);
+        assert_eq!((a, b), (100, -120));
+    }
+
+    #[test]
+    fn int8_outlier_pair() {
+        let p = encode_pair(1000.0, 1.0, 127.0, NormalDataType::Int8, 4);
+        assert_eq!(p.class, PairClass::OutlierLeft);
+        assert_eq!(p.code1, OUTLIER_IDENTIFIER_8BIT);
+        let (a, b) = decode_pair_values(p.code0, p.code1, NormalDataType::Int8, 4);
+        assert!(b == 0);
+        assert!((a - 1000).abs() < 100, "decoded {}", a);
+    }
+
+    #[test]
+    fn outlier_code_is_never_the_identifier() {
+        // Sweep many outlier magnitudes; the encoded outlier nibble must never
+        // equal the identifier, otherwise the decoder could not tell them apart.
+        for i in 8..4000 {
+            let x = i as f32 * 0.5;
+            let p = encode_pair(x, 0.0, T, NormalDataType::Int4, 2);
+            assert_ne!(p.code0 & 0x0F, OUTLIER_IDENTIFIER_4BIT, "x = {}", x);
+            let p = encode_pair(-x, 0.0, T, NormalDataType::Int4, 2);
+            assert_ne!(p.code0 & 0x0F, OUTLIER_IDENTIFIER_4BIT, "x = {}", -x);
+        }
+    }
+
+    #[test]
+    fn victim_always_decodes_to_zero() {
+        let p = encode_pair(0.9, 33.0, T, NormalDataType::Int4, 2);
+        let (a, b) = decode_pair_expint(p.code0, p.code1, NormalDataType::Int4, 2);
+        assert!(a.is_zero());
+        assert!(!b.is_zero());
+    }
+}

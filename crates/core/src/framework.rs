@@ -1,0 +1,334 @@
+//! The model-level post-training quantization (PTQ) framework.
+//!
+//! The paper applies OliVe tensor-by-tensor: every weight and activation tensor
+//! gets its own scale factor (Sec. 3.4) and, when mixed data types are enabled,
+//! its own normal data type (`int4` vs `flint4`, Sec. 3.2). For robustness the
+//! framework can escalate individual tensors to 8 bits when their 4-bit
+//! round-trip error exceeds a configurable bound — the same mixed-precision
+//! mechanism the paper describes for ANT, which OliVe rarely needs.
+//!
+//! The [`TensorQuantizer`] trait is the interface shared by OliVe and every
+//! baseline in `olive-baselines`; model evaluation code only ever sees the
+//! trait.
+
+use crate::quantizer::OliveQuantizer;
+use olive_dtypes::NormalDataType;
+use olive_tensor::Tensor;
+
+/// A tensor-granularity fake-quantizer: quantize, then dequantize.
+///
+/// The accuracy experiments run models with fake-quantized weights and
+/// activations, which is numerically equivalent to the real packed execution
+/// (see `olive_core::gemm` tests) but lets every baseline plug into the same
+/// evaluation harness.
+pub trait TensorQuantizer {
+    /// Human-readable name used in reports ("OliVe-4bit", "GOBO", …).
+    fn name(&self) -> &str;
+
+    /// Quantizes and dequantizes a tensor.
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor;
+
+    /// Average storage bits per element (used by the memory-traffic models).
+    fn bits_per_element(&self) -> f64;
+
+    /// Bits used for arithmetic (some baselines, e.g. GOBO, compute in FP16
+    /// regardless of their storage format). Defaults to the storage width.
+    fn compute_bits(&self) -> f64 {
+        self.bits_per_element()
+    }
+
+    /// Whether activations are quantized too (GOBO quantizes weights only).
+    fn quantizes_activations(&self) -> bool {
+        true
+    }
+}
+
+/// An identity "quantizer" representing the FP32 baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp32Baseline;
+
+impl TensorQuantizer for Fp32Baseline {
+    fn name(&self) -> &str {
+        "FP32"
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        t.clone()
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        32.0
+    }
+}
+
+impl TensorQuantizer for OliveQuantizer {
+    fn name(&self) -> &str {
+        match self.normal_type() {
+            NormalDataType::Int4 => "OliVe-4bit",
+            NormalDataType::Flint4 => "OliVe-4bit-flint",
+            NormalDataType::Int8 => "OliVe-8bit",
+        }
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        OliveQuantizer::quantize_dequantize(self, t)
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.normal_type().bits() as f64
+    }
+}
+
+/// Configuration of the OliVe PTQ framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtqConfig {
+    /// Try both `int4` and `flint4` per tensor and keep the better one
+    /// (paper Sec. 3.2: adaptive data types for normal values).
+    pub adaptive_normal_type: bool,
+    /// Escalate a tensor to 8-bit OliVe when its 4-bit relative MSE exceeds
+    /// this bound (`None` disables escalation; the paper's headline results
+    /// are pure 4-bit).
+    pub escalate_rel_mse: Option<f64>,
+}
+
+impl Default for PtqConfig {
+    fn default() -> Self {
+        PtqConfig {
+            adaptive_normal_type: true,
+            escalate_rel_mse: None,
+        }
+    }
+}
+
+impl PtqConfig {
+    /// Pure 4-bit `int4` configuration (no adaptivity, no escalation).
+    pub fn int4_only() -> Self {
+        PtqConfig {
+            adaptive_normal_type: false,
+            escalate_rel_mse: None,
+        }
+    }
+
+    /// Mixed-precision configuration: adaptive types plus 8-bit escalation.
+    pub fn mixed(escalate_rel_mse: f64) -> Self {
+        PtqConfig {
+            adaptive_normal_type: true,
+            escalate_rel_mse: Some(escalate_rel_mse),
+        }
+    }
+}
+
+/// Per-tensor record of a PTQ run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorReport {
+    /// Name supplied by the caller (layer / tensor name).
+    pub name: String,
+    /// Chosen data type.
+    pub chosen_type: NormalDataType,
+    /// Relative MSE (MSE divided by the tensor's mean square value).
+    pub rel_mse: f64,
+    /// Storage bits per element.
+    pub bits: f64,
+}
+
+/// Aggregated result of quantizing a collection of tensors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PtqReport {
+    /// One record per tensor.
+    pub tensors: Vec<TensorReport>,
+}
+
+impl PtqReport {
+    /// Average storage bits per element across all tensors (element-weighted
+    /// uniformly per tensor).
+    pub fn average_bits(&self) -> f64 {
+        if self.tensors.is_empty() {
+            return 0.0;
+        }
+        self.tensors.iter().map(|t| t.bits).sum::<f64>() / self.tensors.len() as f64
+    }
+
+    /// Fraction of tensors escalated to 8-bit.
+    pub fn escalation_fraction(&self) -> f64 {
+        if self.tensors.is_empty() {
+            return 0.0;
+        }
+        self.tensors
+            .iter()
+            .filter(|t| t.chosen_type == NormalDataType::Int8)
+            .count() as f64
+            / self.tensors.len() as f64
+    }
+
+    /// Mean relative MSE across tensors.
+    pub fn mean_rel_mse(&self) -> f64 {
+        if self.tensors.is_empty() {
+            return 0.0;
+        }
+        self.tensors.iter().map(|t| t.rel_mse).sum::<f64>() / self.tensors.len() as f64
+    }
+}
+
+/// The OliVe PTQ framework: quantizes named tensors according to a
+/// [`PtqConfig`] and reports what it did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OlivePtq {
+    config: PtqConfig,
+}
+
+impl OlivePtq {
+    /// Creates a framework with the given configuration.
+    pub fn new(config: PtqConfig) -> Self {
+        OlivePtq { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PtqConfig {
+        &self.config
+    }
+
+    /// Quantizes and dequantizes one tensor, returning the result and the
+    /// per-tensor report entry.
+    pub fn quantize_tensor(&self, name: &str, t: &Tensor) -> (Tensor, TensorReport) {
+        let mean_sq = if t.is_empty() {
+            0.0
+        } else {
+            t.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / t.len() as f64
+        };
+        let rel = |deq: &Tensor| -> f64 {
+            if mean_sq == 0.0 {
+                0.0
+            } else {
+                t.mse(deq) / mean_sq
+            }
+        };
+
+        let mut candidates: Vec<(NormalDataType, Tensor)> = Vec::new();
+        let q_int4 = OliveQuantizer::int4().quantize_dequantize(t);
+        candidates.push((NormalDataType::Int4, q_int4));
+        if self.config.adaptive_normal_type {
+            let q_flint = OliveQuantizer::flint4().quantize_dequantize(t);
+            candidates.push((NormalDataType::Flint4, q_flint));
+        }
+        let (mut best_type, mut best_deq) = candidates
+            .into_iter()
+            .min_by(|a, b| rel(&a.1).partial_cmp(&rel(&b.1)).unwrap())
+            .expect("at least one candidate");
+        let mut best_rel = rel(&best_deq);
+
+        if let Some(bound) = self.config.escalate_rel_mse {
+            if best_rel > bound {
+                let q8 = OliveQuantizer::int8().quantize_dequantize(t);
+                best_rel = rel(&q8);
+                best_deq = q8;
+                best_type = NormalDataType::Int8;
+            }
+        }
+
+        let report = TensorReport {
+            name: name.to_string(),
+            chosen_type: best_type,
+            rel_mse: best_rel,
+            bits: best_type.bits() as f64,
+        };
+        (best_deq, report)
+    }
+
+    /// Quantizes a list of named tensors and aggregates the report.
+    pub fn quantize_all<'a, I>(&self, tensors: I) -> (Vec<Tensor>, PtqReport)
+    where
+        I: IntoIterator<Item = (&'a str, &'a Tensor)>,
+    {
+        let mut out = Vec::new();
+        let mut report = PtqReport::default();
+        for (name, t) in tensors {
+            let (deq, rec) = self.quantize_tensor(name, t);
+            out.push(deq);
+            report.tensors.push(rec);
+        }
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn tensor_with_outliers(seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut data = vec![0.0f32; 2048];
+        rng.fill_normal(&mut data, 0.0, 1.0);
+        for _ in 0..10 {
+            let i = rng.below(2048);
+            data[i] = rng.uniform_range(20.0, 60.0) as f32;
+        }
+        Tensor::from_vec(vec![32, 64], data)
+    }
+
+    #[test]
+    fn fp32_baseline_is_identity() {
+        let t = tensor_with_outliers(1);
+        let q = Fp32Baseline.quantize_dequantize(&t);
+        assert_eq!(q, t);
+        assert_eq!(Fp32Baseline.bits_per_element(), 32.0);
+    }
+
+    #[test]
+    fn olive_implements_tensor_quantizer() {
+        let t = tensor_with_outliers(2);
+        let q: &dyn TensorQuantizer = &OliveQuantizer::int4();
+        assert_eq!(q.name(), "OliVe-4bit");
+        assert_eq!(q.bits_per_element(), 4.0);
+        let deq = q.quantize_dequantize(&t);
+        assert!(t.mse(&deq) < 0.5);
+    }
+
+    #[test]
+    fn adaptive_type_never_hurts() {
+        let t = tensor_with_outliers(3);
+        let fixed = OlivePtq::new(PtqConfig::int4_only());
+        let adaptive = OlivePtq::new(PtqConfig::default());
+        let (_, rf) = fixed.quantize_tensor("t", &t);
+        let (_, ra) = adaptive.quantize_tensor("t", &t);
+        assert!(ra.rel_mse <= rf.rel_mse + 1e-12);
+    }
+
+    #[test]
+    fn escalation_triggers_on_tight_bound() {
+        let t = tensor_with_outliers(4);
+        let ptq = OlivePtq::new(PtqConfig::mixed(1e-12));
+        let (_, report) = ptq.quantize_tensor("t", &t);
+        assert_eq!(report.chosen_type, NormalDataType::Int8);
+        assert_eq!(report.bits, 8.0);
+    }
+
+    #[test]
+    fn no_escalation_with_loose_bound() {
+        let t = tensor_with_outliers(5);
+        let ptq = OlivePtq::new(PtqConfig::mixed(0.5));
+        let (_, report) = ptq.quantize_tensor("t", &t);
+        assert_ne!(report.chosen_type, NormalDataType::Int8);
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let t1 = tensor_with_outliers(6);
+        let t2 = tensor_with_outliers(7);
+        let ptq = OlivePtq::new(PtqConfig::default());
+        let (outs, report) = ptq.quantize_all(vec![("a", &t1), ("b", &t2)]);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(report.tensors.len(), 2);
+        assert!(report.average_bits() >= 4.0);
+        assert!(report.mean_rel_mse() < 0.05);
+        assert_eq!(report.escalation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_report_statistics_are_zero() {
+        let r = PtqReport::default();
+        assert_eq!(r.average_bits(), 0.0);
+        assert_eq!(r.escalation_fraction(), 0.0);
+        assert_eq!(r.mean_rel_mse(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The OliVe MAC (multiply-accumulate) unit model (paper Sec. 4.4–4.5).
+//!
+//! After decoding, every operand — normal value, victim (zero) or abfloat
+//! outlier — is a unified exponent-integer pair. The MAC unit multiplies two
+//! pairs by multiplying the integers and adding the exponents (one extra adder
+//! and shifter over a plain fixed-point MAC), and accumulates into a 32-bit
+//! integer register.
+//!
+//! To guarantee the accumulator never overflows, the quantization framework
+//! clips outlier magnitudes at 2¹⁵ ([`OVERFLOW_CLIP`]); the paper observes that
+//! real transformer outliers never reach that bound (≤ 325σ ≪ 768σ ≈ 2¹⁵).
+
+use olive_dtypes::ExpInt;
+
+/// Maximum outlier magnitude on the integer grid (2¹⁵), chosen so that the
+/// product of two clipped outliers still fits the int32 accumulator.
+pub const OVERFLOW_CLIP: i64 = 1 << 15;
+
+/// A model of the OliVe MAC unit with an int32 accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use olive_core::MacUnit;
+/// use olive_dtypes::ExpInt;
+///
+/// let mut mac = MacUnit::new();
+/// mac.mac(ExpInt::new(2, 3), ExpInt::new(0, -5)); // 12 * -5
+/// mac.mac(ExpInt::new(0, 7), ExpInt::new(0, 7));  // + 49
+/// assert_eq!(mac.accumulator(), -11);
+/// assert!(!mac.overflowed());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MacUnit {
+    acc: i64,
+    overflowed: bool,
+    mac_count: u64,
+}
+
+impl MacUnit {
+    /// Creates a MAC unit with a cleared accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs one multiply-accumulate of two exponent-integer pairs.
+    pub fn mac(&mut self, a: ExpInt, b: ExpInt) {
+        let product = a.mul(b).value();
+        self.acc += product;
+        self.mac_count += 1;
+        if self.acc > i32::MAX as i64 || self.acc < i32::MIN as i64 {
+            self.overflowed = true;
+        }
+    }
+
+    /// The current accumulator value.
+    pub fn accumulator(&self) -> i64 {
+        self.acc
+    }
+
+    /// Whether the int32 accumulator would have overflowed at any point.
+    ///
+    /// The GEMM path widens accumulation to 64 bits (like the tensor-core
+    /// int32→int32 convention with partial-sum spilling), so this is a
+    /// diagnostic rather than a hard failure.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Number of MAC operations performed.
+    pub fn mac_count(&self) -> u64 {
+        self.mac_count
+    }
+
+    /// Clears the accumulator and the overflow flag.
+    pub fn reset(&mut self) {
+        self.acc = 0;
+        self.overflowed = false;
+    }
+
+    /// Computes an N-element dot product (the paper's 16EDP for 4-bit data,
+    /// 8EDP for 8-bit data) and returns the accumulated integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn edp(&mut self, a: &[ExpInt], b: &[ExpInt]) -> i64 {
+        assert_eq!(a.len(), b.len(), "EDP operand length mismatch");
+        for (&x, &y) in a.iter().zip(b) {
+            self.mac(x, y);
+        }
+        self.acc
+    }
+}
+
+/// Clips an outlier grid magnitude at [`OVERFLOW_CLIP`] (paper Sec. 4.5).
+pub fn clip_outlier_magnitude(v: f32) -> f32 {
+    v.clamp(-(OVERFLOW_CLIP as f32), OVERFLOW_CLIP as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_accumulates_products() {
+        let mut m = MacUnit::new();
+        m.mac(ExpInt::new(0, 3), ExpInt::new(0, 4));
+        m.mac(ExpInt::new(1, 1), ExpInt::new(1, 1));
+        assert_eq!(m.accumulator(), 12 + 4);
+        assert_eq!(m.mac_count(), 2);
+    }
+
+    #[test]
+    fn clipped_outlier_product_fits_i32() {
+        let mut m = MacUnit::new();
+        // Worst case: two maximal clipped outliers.
+        m.mac(ExpInt::new(15, 1), ExpInt::new(15, 1));
+        assert_eq!(m.accumulator(), 1 << 30);
+        assert!(!m.overflowed());
+    }
+
+    #[test]
+    fn repeated_extreme_products_do_overflow_eventually() {
+        let mut m = MacUnit::new();
+        for _ in 0..4 {
+            m.mac(ExpInt::new(15, 1), ExpInt::new(15, 1));
+        }
+        assert!(m.overflowed());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = MacUnit::new();
+        m.mac(ExpInt::new(0, 100), ExpInt::new(0, 100));
+        m.reset();
+        assert_eq!(m.accumulator(), 0);
+        assert!(!m.overflowed());
+    }
+
+    #[test]
+    fn edp_matches_scalar_dot_product() {
+        let a: Vec<ExpInt> = (0..16).map(|i| ExpInt::new(0, i - 8)).collect();
+        let b: Vec<ExpInt> = (0..16).map(|i| ExpInt::new(0, 3 - i)).collect();
+        let expected: i64 = (0..16).map(|i| (i - 8) * (3 - i)).sum();
+        let mut m = MacUnit::new();
+        assert_eq!(m.edp(&a, &b), expected);
+    }
+
+    #[test]
+    fn clip_outlier_magnitude_bounds() {
+        assert_eq!(clip_outlier_magnitude(1e9), OVERFLOW_CLIP as f32);
+        assert_eq!(clip_outlier_magnitude(-1e9), -(OVERFLOW_CLIP as f32));
+        assert_eq!(clip_outlier_magnitude(123.0), 123.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Pair-wise tensor analysis (paper Sec. 2.3).
+//!
+//! OliVe's key observation is obtained by pairing every two adjacent values of
+//! a tensor (no overlap) and classifying each pair by how many outliers it
+//! contains. Table 2 of the paper shows that ~99% of pairs are normal-normal,
+//! ~1% contain exactly one outlier and fewer than 0.06% contain two — which is
+//! why sacrificing the partner of an outlier (the *victim*) costs almost
+//! nothing.
+//!
+//! This module also provides the three tensor transformations compared in
+//! Fig. 3: clipping outliers to the threshold, pruning victims to zero and
+//! pruning randomly chosen normal values to zero.
+
+use olive_tensor::rng::Rng;
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+/// Classification of an adjacent, non-overlapping value pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Both values are normal (below the outlier threshold).
+    NormalNormal,
+    /// Exactly one value is an outlier.
+    OutlierNormal,
+    /// Both values are outliers (the smaller one will be pruned).
+    OutlierOutlier,
+}
+
+/// Pair-type statistics of a tensor (the rows of Tbl. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairStats {
+    /// Number of normal-normal pairs.
+    pub normal_normal: usize,
+    /// Number of outlier-normal pairs.
+    pub outlier_normal: usize,
+    /// Number of outlier-outlier pairs.
+    pub outlier_outlier: usize,
+}
+
+impl PairStats {
+    /// Total number of pairs.
+    pub fn total(&self) -> usize {
+        self.normal_normal + self.outlier_normal + self.outlier_outlier
+    }
+
+    /// Fraction of normal-normal pairs.
+    pub fn frac_normal_normal(&self) -> f64 {
+        ratio(self.normal_normal, self.total())
+    }
+
+    /// Fraction of outlier-normal pairs.
+    pub fn frac_outlier_normal(&self) -> f64 {
+        ratio(self.outlier_normal, self.total())
+    }
+
+    /// Fraction of outlier-outlier pairs.
+    pub fn frac_outlier_outlier(&self) -> f64 {
+        ratio(self.outlier_outlier, self.total())
+    }
+
+    /// Merges statistics from another tensor (used to aggregate whole models).
+    pub fn merge(&mut self, other: &PairStats) {
+        self.normal_normal += other.normal_normal;
+        self.outlier_normal += other.outlier_normal;
+        self.outlier_outlier += other.outlier_outlier;
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Classifies one pair given an absolute outlier threshold.
+pub fn classify_pair(a: f32, b: f32, threshold: f32) -> PairKind {
+    match (a.abs() > threshold, b.abs() > threshold) {
+        (false, false) => PairKind::NormalNormal,
+        (true, true) => PairKind::OutlierOutlier,
+        _ => PairKind::OutlierNormal,
+    }
+}
+
+/// Computes pair statistics for a slice under the `k`·σ rule.
+///
+/// Values are paired as `(x[0], x[1]), (x[2], x[3]), …`; a trailing unpaired
+/// element (odd length) is counted as half of a normal-normal pair only if it
+/// is normal, otherwise as an outlier-normal pair, mirroring the zero padding
+/// used by the packed encoder.
+pub fn pair_stats(data: &[f32], sigma_k: f64) -> PairStats {
+    let stats = TensorStats::from_slice(data);
+    let threshold = (sigma_k * stats.std) as f32;
+    pair_stats_with_threshold(data, threshold)
+}
+
+/// Computes pair statistics for a slice with an explicit absolute threshold.
+pub fn pair_stats_with_threshold(data: &[f32], threshold: f32) -> PairStats {
+    let mut s = PairStats::default();
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        match classify_pair(c[0], c[1], threshold) {
+            PairKind::NormalNormal => s.normal_normal += 1,
+            PairKind::OutlierNormal => s.outlier_normal += 1,
+            PairKind::OutlierOutlier => s.outlier_outlier += 1,
+        }
+    }
+    if let [last] = chunks.remainder() {
+        match classify_pair(*last, 0.0, threshold) {
+            PairKind::OutlierNormal => s.outlier_normal += 1,
+            _ => s.normal_normal += 1,
+        }
+    }
+    s
+}
+
+/// Computes pair statistics for a tensor under the 3σ rule (the setting of
+/// Tbl. 2).
+pub fn pair_stats_tensor(t: &Tensor) -> PairStats {
+    pair_stats(t.data(), 3.0)
+}
+
+/// Clips every outlier (|x| > threshold) to ±threshold, the baseline behaviour
+/// of outlier-unaware quantization ("Clipping Outlier" in Fig. 3).
+pub fn clip_outliers(t: &Tensor, threshold: f32) -> Tensor {
+    t.map(|x| x.clamp(-threshold, threshold))
+}
+
+/// Prunes (sets to zero) the *victims*: for every outlier-normal pair the
+/// normal partner, and for every outlier-outlier pair the smaller outlier
+/// ("Pruning Victim" in Fig. 3). Outliers themselves are kept at full
+/// precision.
+pub fn prune_victims(t: &Tensor, threshold: f32) -> Tensor {
+    let mut out = t.clone();
+    let data = out.data_mut();
+    let n = data.len();
+    let mut i = 0;
+    while i + 1 < n {
+        let (a, b) = (data[i], data[i + 1]);
+        match classify_pair(a, b, threshold) {
+            PairKind::NormalNormal => {}
+            PairKind::OutlierNormal => {
+                if a.abs() > threshold {
+                    data[i + 1] = 0.0;
+                } else {
+                    data[i] = 0.0;
+                }
+            }
+            PairKind::OutlierOutlier => {
+                // Keep the larger outlier, prune the smaller one.
+                if a.abs() >= b.abs() {
+                    data[i + 1] = 0.0;
+                } else {
+                    data[i] = 0.0;
+                }
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Prunes `count` randomly selected *normal* values to zero ("Pruning Normal
+/// Value" in Fig. 3). Outliers are never selected.
+pub fn prune_random_normals(t: &Tensor, threshold: f32, count: usize, rng: &mut Rng) -> Tensor {
+    let mut out = t.clone();
+    let normal_idx: Vec<usize> = out
+        .data()
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x.abs() <= threshold)
+        .map(|(i, _)| i)
+        .collect();
+    if normal_idx.is_empty() {
+        return out;
+    }
+    let count = count.min(normal_idx.len());
+    // Partial Fisher–Yates over the candidate index list.
+    let mut idx = normal_idx;
+    for i in 0..count {
+        let j = i + rng.below(idx.len() - i);
+        idx.swap(i, j);
+        out.data_mut()[idx[i]] = 0.0;
+    }
+    out
+}
+
+/// Number of victims that [`prune_victims`] would create (one per
+/// outlier-containing pair).
+pub fn victim_count(data: &[f32], threshold: f32) -> usize {
+    let s = pair_stats_with_threshold(data, threshold);
+    s.outlier_normal + s.outlier_outlier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_tensor() -> Tensor {
+        // 16 values, outliers at positions 3 (pairs with 2) and 8/9 (an
+        // outlier-outlier pair).
+        let mut v = vec![0.1f32; 16];
+        v[3] = 50.0;
+        v[8] = -40.0;
+        v[9] = 45.0;
+        Tensor::from_vec(vec![4, 4], v)
+    }
+
+    #[test]
+    fn classify_pair_covers_all_kinds() {
+        assert_eq!(classify_pair(0.1, 0.2, 1.0), PairKind::NormalNormal);
+        assert_eq!(classify_pair(5.0, 0.2, 1.0), PairKind::OutlierNormal);
+        assert_eq!(classify_pair(0.2, -5.0, 1.0), PairKind::OutlierNormal);
+        assert_eq!(classify_pair(5.0, -5.0, 1.0), PairKind::OutlierOutlier);
+    }
+
+    #[test]
+    fn pair_stats_counts_planted_outliers() {
+        let t = planted_tensor();
+        let s = pair_stats_with_threshold(t.data(), 10.0);
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.outlier_normal, 1);
+        assert_eq!(s.outlier_outlier, 1);
+        assert_eq!(s.normal_normal, 6);
+    }
+
+    #[test]
+    fn pair_fractions_sum_to_one() {
+        let t = planted_tensor();
+        let s = pair_stats_with_threshold(t.data(), 10.0);
+        let sum = s.frac_normal_normal() + s.frac_outlier_normal() + s.frac_outlier_outlier();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_counts_trailing_element() {
+        let s = pair_stats_with_threshold(&[0.0, 0.0, 9.0], 1.0);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.outlier_normal, 1);
+    }
+
+    #[test]
+    fn clip_outliers_bounds_magnitudes() {
+        let t = planted_tensor();
+        let c = clip_outliers(&t, 10.0);
+        assert!(c.max_abs() <= 10.0);
+        // Normal values unchanged.
+        assert_eq!(c[0], 0.1);
+    }
+
+    #[test]
+    fn prune_victims_keeps_outliers_intact() {
+        let t = planted_tensor();
+        let p = prune_victims(&t, 10.0);
+        assert_eq!(p[3], 50.0);
+        // Its pair partner (index 2) became a victim.
+        assert_eq!(p[2], 0.0);
+        // Outlier-outlier pair keeps the larger magnitude.
+        assert_eq!(p[9], 45.0);
+        assert_eq!(p[8], 0.0);
+    }
+
+    #[test]
+    fn prune_random_normals_never_touches_outliers() {
+        let t = planted_tensor();
+        let mut rng = Rng::seed_from(3);
+        let p = prune_random_normals(&t, 10.0, 5, &mut rng);
+        assert_eq!(p[3], 50.0);
+        assert_eq!(p[8], -40.0);
+        assert_eq!(p[9], 45.0);
+        let zeros = p.data().iter().filter(|&&x| x == 0.0).count();
+        assert_eq!(zeros, 5);
+    }
+
+    #[test]
+    fn victim_count_matches_outlier_pairs() {
+        let t = planted_tensor();
+        assert_eq!(victim_count(t.data(), 10.0), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PairStats {
+            normal_normal: 1,
+            outlier_normal: 2,
+            outlier_outlier: 3,
+        };
+        a.merge(&PairStats {
+            normal_normal: 10,
+            outlier_normal: 20,
+            outlier_outlier: 30,
+        });
+        assert_eq!(a.normal_normal, 11);
+        assert_eq!(a.outlier_normal, 22);
+        assert_eq!(a.outlier_outlier, 33);
+    }
+
+    #[test]
+    fn gaussian_tensor_matches_table2_shape() {
+        // A Gaussian-with-outliers tensor should be dominated by normal-normal
+        // pairs with a tiny outlier-outlier fraction, as in Tbl. 2.
+        let mut rng = Rng::seed_from(7);
+        let mut data = vec![0.0f32; 40_000];
+        rng.fill_normal(&mut data, 0.0, 1.0);
+        // Plant sparse outliers (~0.5%).
+        for _ in 0..200 {
+            let i = rng.below(data.len());
+            data[i] = (rng.normal(0.0, 1.0) as f32).signum() * rng.uniform_range(6.0, 60.0) as f32;
+        }
+        let s = pair_stats(&data, 3.0);
+        assert!(s.frac_normal_normal() > 0.97);
+        assert!(s.frac_outlier_outlier() < 0.005);
+    }
+}

@@ -1,0 +1,499 @@
+//! Tensor-level OliVe quantization (paper Sec. 3.4).
+//!
+//! [`OliveQuantizer`] performs post-training quantization of one tensor:
+//!
+//! 1. compute the tensor statistics and seed the outlier threshold at 3σ,
+//! 2. grid-search the scale factor (equivalently the threshold) around that
+//!    seed, minimizing the mean squared error of the full OVP round trip,
+//! 3. emit a packed [`OvpTensor`]: one byte per value pair for 4-bit types,
+//!    two bytes per pair for `int8`, plus the per-tensor [`QuantSpec`].
+//!
+//! The packed representation is memory aligned — there is no index structure
+//! of any kind, which is the paper's core architectural argument.
+
+use crate::encode::{decode_pair_expint, decode_pair_values, encode_pair};
+use olive_dtypes::{AbfloatFormat, ExpInt, NormalDataType};
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+/// Per-tensor quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Data type used for normal values.
+    pub normal_type: NormalDataType,
+    /// Abfloat format used for outliers (derived from `normal_type`).
+    pub outlier_format: AbfloatFormat,
+    /// Adaptive abfloat exponent bias.
+    pub abfloat_bias: i32,
+    /// Scale factor: `real_value ≈ grid_value * scale`.
+    pub scale: f32,
+}
+
+impl QuantSpec {
+    /// The outlier threshold in real units: grid values above the largest
+    /// normal magnitude are outliers.
+    pub fn outlier_threshold(&self) -> f32 {
+        self.normal_type.max_magnitude() as f32 * self.scale
+    }
+
+    /// Largest real value representable by the outlier format.
+    pub fn max_representable(&self) -> f32 {
+        self.outlier_format.max_value(self.abfloat_bias) as f32 * self.scale
+    }
+
+    /// Storage bits per element (4 or 8), identical for normal values,
+    /// victims and outliers thanks to the aligned encoding.
+    pub fn bits_per_element(&self) -> u32 {
+        self.normal_type.bits()
+    }
+}
+
+/// A tensor quantized with the OVP encoding: packed codes plus the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OvpTensor {
+    spec: QuantSpec,
+    shape: Vec<usize>,
+    n_elems: usize,
+    /// Packed code stream. 4-bit: one byte per pair. 8-bit: two bytes per pair.
+    bytes: Vec<u8>,
+}
+
+impl OvpTensor {
+    /// The quantization parameters.
+    pub fn spec(&self) -> &QuantSpec {
+        &self.spec
+    }
+
+    /// The original tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of (unpadded) elements.
+    pub fn len(&self) -> usize {
+        self.n_elems
+    }
+
+    /// `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n_elems == 0
+    }
+
+    /// The packed byte stream (what would live in DRAM / on-chip buffers).
+    pub fn packed_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Memory footprint in bytes of the packed representation.
+    pub fn storage_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Compression ratio versus FP32 storage.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.n_elems * 4) as f64 / self.bytes.len().max(1) as f64
+    }
+
+    /// Returns the two raw code words of pair `p`.
+    fn pair_codes(&self, p: usize) -> (u8, u8) {
+        match self.spec.normal_type {
+            NormalDataType::Int8 => (self.bytes[2 * p], self.bytes[2 * p + 1]),
+            _ => {
+                let byte = self.bytes[p];
+                (byte & 0x0F, byte >> 4)
+            }
+        }
+    }
+
+    /// Number of stored pairs (including the possible padding pair).
+    pub fn n_pairs(&self) -> usize {
+        (self.n_elems + 1) / 2
+    }
+
+    /// Decodes the tensor back to real values.
+    pub fn dequantize(&self) -> Tensor {
+        let spec = &self.spec;
+        let mut out = Vec::with_capacity(self.n_elems);
+        for p in 0..self.n_pairs() {
+            let (c0, c1) = self.pair_codes(p);
+            let (a, b) =
+                decode_pair_values(c0, c1, spec.normal_type, spec.abfloat_bias);
+            out.push(a as f32 * spec.scale);
+            if out.len() < self.n_elems {
+                out.push(b as f32 * spec.scale);
+            }
+        }
+        Tensor::from_vec(self.shape.clone(), out)
+    }
+
+    /// Decodes the tensor into the exponent-integer pairs that the hardware
+    /// MAC array consumes (grid domain, scale not applied).
+    pub fn decode_expints(&self) -> Vec<ExpInt> {
+        let spec = &self.spec;
+        let mut out = Vec::with_capacity(self.n_elems);
+        for p in 0..self.n_pairs() {
+            let (c0, c1) = self.pair_codes(p);
+            let (a, b) = decode_pair_expint(c0, c1, spec.normal_type, spec.abfloat_bias);
+            out.push(a);
+            if out.len() < self.n_elems {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Fraction of pairs holding an outlier (either side).
+    pub fn outlier_pair_fraction(&self) -> f64 {
+        use olive_dtypes::identifier::{is_identifier_4bit, is_identifier_8bit};
+        if self.n_pairs() == 0 {
+            return 0.0;
+        }
+        let mut n = 0usize;
+        for p in 0..self.n_pairs() {
+            let (c0, c1) = self.pair_codes(p);
+            let hit = match self.spec.normal_type {
+                NormalDataType::Int8 => is_identifier_8bit(c0) || is_identifier_8bit(c1),
+                _ => is_identifier_4bit(c0) || is_identifier_4bit(c1),
+            };
+            if hit {
+                n += 1;
+            }
+        }
+        n as f64 / self.n_pairs() as f64
+    }
+}
+
+/// Configuration of the per-tensor OliVe quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OliveQuantizer {
+    normal_type: NormalDataType,
+    /// Number of scale candidates evaluated by the MSE search.
+    search_steps: usize,
+    /// Multiplicative search window around the 3σ seed threshold.
+    search_low: f32,
+    search_high: f32,
+    /// Maximum number of elements sampled for the MSE search (the full tensor
+    /// is always used for the final encoding).
+    search_sample: usize,
+}
+
+impl OliveQuantizer {
+    /// 4-bit OliVe with `int4` normal values (the paper's headline setting).
+    pub fn int4() -> Self {
+        Self::new(NormalDataType::Int4)
+    }
+
+    /// 4-bit OliVe with `flint4` normal values.
+    pub fn flint4() -> Self {
+        Self::new(NormalDataType::Flint4)
+    }
+
+    /// 8-bit OliVe with `int8` normal values and E4M3 outliers.
+    pub fn int8() -> Self {
+        Self::new(NormalDataType::Int8)
+    }
+
+    /// Creates a quantizer for an arbitrary normal data type with the default
+    /// search parameters (Sec. 3.4: seed at 3σ, search around it).
+    pub fn new(normal_type: NormalDataType) -> Self {
+        OliveQuantizer {
+            normal_type,
+            search_steps: 24,
+            search_low: 0.4,
+            search_high: 3.0,
+            search_sample: 16_384,
+        }
+    }
+
+    /// Overrides the number of scale-search candidates.
+    pub fn with_search_steps(mut self, steps: usize) -> Self {
+        self.search_steps = steps.max(1);
+        self
+    }
+
+    /// The normal data type this quantizer uses.
+    pub fn normal_type(&self) -> NormalDataType {
+        self.normal_type
+    }
+
+    /// Quantizes a tensor, searching for the MSE-minimizing scale.
+    pub fn quantize(&self, t: &Tensor) -> OvpTensor {
+        let scale = self.select_scale(t);
+        self.quantize_with_scale(t, scale)
+    }
+
+    /// Quantizes with an explicit scale factor (no search).
+    pub fn quantize_with_scale(&self, t: &Tensor, scale: f32) -> OvpTensor {
+        let spec = self.spec_for_scale(scale);
+        let data = t.data();
+        let n = data.len();
+        let n_pairs = (n + 1) / 2;
+        let threshold = self.normal_type.max_magnitude() as f32;
+        let mut bytes = Vec::with_capacity(match self.normal_type {
+            NormalDataType::Int8 => 2 * n_pairs,
+            _ => n_pairs,
+        });
+        let inv = 1.0 / spec.scale;
+        for p in 0..n_pairs {
+            let v1 = data[2 * p] * inv;
+            let v2 = if 2 * p + 1 < n { data[2 * p + 1] * inv } else { 0.0 };
+            let pair = encode_pair(v1, v2, threshold, self.normal_type, spec.abfloat_bias);
+            match self.normal_type {
+                NormalDataType::Int8 => {
+                    bytes.push(pair.code0);
+                    bytes.push(pair.code1);
+                }
+                _ => bytes.push(pair.pack_byte()),
+            }
+        }
+        OvpTensor {
+            spec,
+            shape: t.shape().to_vec(),
+            n_elems: n,
+            bytes,
+        }
+    }
+
+    /// Convenience: quantize and immediately dequantize ("fake quantization").
+    pub fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        self.quantize(t).dequantize()
+    }
+
+    fn spec_for_scale(&self, scale: f32) -> QuantSpec {
+        QuantSpec {
+            normal_type: self.normal_type,
+            outlier_format: self.normal_type.outlier_format(),
+            abfloat_bias: self.normal_type.complementary_abfloat_bias(),
+            scale: scale.max(f32::MIN_POSITIVE),
+        }
+    }
+
+    /// Scale-factor selection (Sec. 3.4): seed the outlier threshold at 3σ and
+    /// grid-search a multiplicative window around it for the smallest MSE.
+    pub fn select_scale(&self, t: &Tensor) -> f32 {
+        let stats = TensorStats::compute(t);
+        let max_mag = self.normal_type.max_magnitude() as f32;
+        if stats.std == 0.0 {
+            // Constant tensor: map the constant onto the grid exactly.
+            return if stats.max_abs == 0.0 {
+                1.0
+            } else {
+                stats.max_abs as f32 / max_mag
+            };
+        }
+        let seed_threshold = (3.0 * stats.std) as f32;
+        let sample = self.search_slice(t);
+        let mut best_scale = seed_threshold / max_mag;
+        let mut best_mse = f64::INFINITY;
+        for i in 0..self.search_steps {
+            let f = if self.search_steps == 1 {
+                1.0
+            } else {
+                self.search_low
+                    + (self.search_high - self.search_low) * i as f32
+                        / (self.search_steps - 1) as f32
+            };
+            let threshold = seed_threshold * f;
+            let scale = threshold / max_mag;
+            let mse = self.round_trip_mse(sample, scale);
+            if mse < best_mse {
+                best_mse = mse;
+                best_scale = scale;
+            }
+        }
+        best_scale
+    }
+
+    fn search_slice<'a>(&self, t: &'a Tensor) -> &'a [f32] {
+        let data = t.data();
+        if data.len() <= self.search_sample {
+            data
+        } else {
+            // A contiguous prefix keeps the search cheap; the adjacency
+            // structure (pairing) is preserved, unlike random sampling.
+            &data[..self.search_sample]
+        }
+    }
+
+    /// Mean squared error of the full OVP round trip at a given scale.
+    pub fn round_trip_mse(&self, data: &[f32], scale: f32) -> f64 {
+        if scale <= 0.0 || !scale.is_finite() {
+            return f64::INFINITY;
+        }
+        let threshold = self.normal_type.max_magnitude() as f32;
+        let bias = self.normal_type.complementary_abfloat_bias();
+        let inv = 1.0 / scale;
+        let mut err = 0.0f64;
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < data.len() {
+            let v1 = data[i] * inv;
+            let v2 = if i + 1 < data.len() { data[i + 1] * inv } else { 0.0 };
+            let pair = encode_pair(v1, v2, threshold, self.normal_type, bias);
+            let (a, b) = decode_pair_values(pair.code0, pair.code1, self.normal_type, bias);
+            let d0 = (a as f32 * scale - data[i]) as f64;
+            err += d0 * d0;
+            count += 1;
+            if i + 1 < data.len() {
+                let d1 = (b as f32 * scale - data[i + 1]) as f64;
+                err += d1 * d1;
+                count += 1;
+            }
+            i += 2;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            err / count as f64
+        }
+    }
+}
+
+impl Default for OliveQuantizer {
+    fn default() -> Self {
+        Self::int4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_tensor::rng::Rng;
+
+    fn outlier_tensor(n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut data = vec![0.0f32; n];
+        rng.fill_normal(&mut data, 0.0, 1.0);
+        // ~0.5% outliers with magnitudes 10–80σ.
+        for _ in 0..(n / 200).max(1) {
+            let i = rng.below(n);
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            data[i] = sign * rng.uniform_range(10.0, 80.0) as f32;
+        }
+        Tensor::from_vec(vec![n / 8, 8], data)
+    }
+
+    #[test]
+    fn int4_round_trip_preserves_outliers() {
+        let t = outlier_tensor(4096, 1);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let back = q.dequantize();
+        for i in 0..t.len() {
+            let x = t[i];
+            if x.abs() > 10.0 {
+                let rel = (back[i] - x).abs() / x.abs();
+                assert!(rel < 0.35, "outlier {} decoded as {}", x, back[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn int4_mse_is_small_relative_to_variance() {
+        let t = outlier_tensor(4096, 2);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let back = q.dequantize();
+        let mse = t.mse(&back);
+        assert!(mse < 0.5, "mse = {}", mse);
+    }
+
+    #[test]
+    fn storage_is_half_a_byte_per_element_for_4bit() {
+        let t = outlier_tensor(4096, 3);
+        let q = OliveQuantizer::int4().quantize(&t);
+        assert_eq!(q.storage_bytes(), 2048);
+        assert!((q.compression_ratio() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_is_one_byte_per_element_for_8bit() {
+        let t = outlier_tensor(4096, 4);
+        let q = OliveQuantizer::int8().quantize(&t);
+        assert_eq!(q.storage_bytes(), 4096);
+    }
+
+    #[test]
+    fn int8_is_more_accurate_than_int4() {
+        let t = outlier_tensor(8192, 5);
+        let q4 = OliveQuantizer::int4().quantize(&t).dequantize();
+        let q8 = OliveQuantizer::int8().quantize(&t).dequantize();
+        assert!(t.mse(&q8) < t.mse(&q4));
+    }
+
+    #[test]
+    fn flint4_works_end_to_end() {
+        let t = outlier_tensor(4096, 6);
+        let q = OliveQuantizer::flint4().quantize(&t);
+        let back = q.dequantize();
+        assert!(t.mse(&back) < 0.6);
+        assert_eq!(q.spec().abfloat_bias, 3);
+    }
+
+    #[test]
+    fn odd_length_tensor_round_trips() {
+        let t = Tensor::from_vec(vec![1, 5], vec![0.5, -0.25, 30.0, 0.125, 1.0]);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let back = q.dequantize();
+        assert_eq!(back.len(), 5);
+        assert!((back[2] - 30.0).abs() / 30.0 < 0.35);
+    }
+
+    #[test]
+    fn constant_tensor_is_exact() {
+        let t = Tensor::full(vec![16], 2.0);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let back = q.dequantize();
+        for i in 0..t.len() {
+            assert!((back[i] - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_zero_tensor_is_exact() {
+        let t = Tensor::zeros(vec![8, 8]);
+        let q = OliveQuantizer::int4().quantize(&t);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn outlier_pair_fraction_matches_planting_rate() {
+        let t = outlier_tensor(16_384, 7);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let frac = q.outlier_pair_fraction();
+        // ~0.5% of elements are planted outliers => ~1% of pairs contain one,
+        // plus whatever the MSE search promotes. It must stay small.
+        assert!(frac > 0.001 && frac < 0.2, "fraction = {}", frac);
+    }
+
+    #[test]
+    fn expint_decode_matches_dequantize() {
+        let t = outlier_tensor(2048, 8);
+        let q = OliveQuantizer::int4().quantize(&t);
+        let back = q.dequantize();
+        let pairs = q.decode_expints();
+        assert_eq!(pairs.len(), t.len());
+        for (i, p) in pairs.iter().enumerate() {
+            let real = p.value() as f32 * q.spec().scale;
+            assert!((real - back[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scale_search_beats_naive_max_scaling() {
+        // With heavy outliers, scaling by the max (so nothing clips) is far
+        // worse than the OVP search that keeps normal-value resolution.
+        let t = outlier_tensor(8192, 9);
+        let quant = OliveQuantizer::int4();
+        let searched = quant.quantize(&t);
+        let naive_scale = t.max_abs() / 7.0;
+        let naive = quant.quantize_with_scale(&t, naive_scale);
+        assert!(t.mse(&searched.dequantize()) < t.mse(&naive.dequantize()));
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let t = outlier_tensor(4096, 10);
+        let q = OliveQuantizer::int4().quantize(&t);
+        assert_eq!(q.shape(), t.shape());
+        assert_eq!(q.dequantize().shape(), t.shape());
+    }
+}

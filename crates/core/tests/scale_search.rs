@@ -1,0 +1,41 @@
+//! Integration checks of the MSE-minimizing scale search.
+
+use olive_core::quantizer::OliveQuantizer;
+use olive_tensor::rng::Rng;
+use olive_tensor::stats::TensorStats;
+use olive_tensor::Tensor;
+
+fn outlier_tensor(n: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    let mut data = vec![0.0f32; n];
+    rng.fill_normal(&mut data, 0.0, 1.0);
+    for _ in 0..(n / 200).max(1) {
+        let i = rng.below(n);
+        let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+        data[i] = sign * rng.uniform_range(10.0, 80.0) as f32;
+    }
+    Tensor::from_vec(vec![n / 8, 8], data)
+}
+
+#[test]
+fn chosen_scale_is_at_least_as_good_as_any_grid_candidate() {
+    let t = outlier_tensor(4096, 2);
+    let q = OliveQuantizer::int4();
+    let s = TensorStats::compute(&t);
+    let chosen = q.select_scale(&t);
+    let chosen_mse = q.round_trip_mse(t.data(), chosen);
+    println!("sigma = {:.3}, chosen scale = {:.4}, mse = {:.4}", s.std, chosen, chosen_mse);
+    for f in [0.3f32, 0.5, 0.7, 0.9, 1.1, 1.4, 1.8, 2.2, 2.6, 3.0] {
+        let thr = 3.0 * s.std as f32 * f;
+        let scale = thr / 7.0;
+        let mse = q.round_trip_mse(t.data(), scale);
+        println!("  f = {:.1}  scale = {:.4}  mse = {:.4}", f, scale, mse);
+        assert!(
+            chosen_mse <= mse + 1e-9,
+            "candidate f = {} beats the search: {} < {}",
+            f,
+            mse,
+            chosen_mse
+        );
+    }
+}

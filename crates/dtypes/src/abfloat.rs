@@ -1,0 +1,468 @@
+//! The adaptive biased float (`abfloat`) outlier data type (paper Sec. 3.3).
+//!
+//! Outliers have a wide dynamic range, so OliVe quantizes them with a small
+//! float whose encoded value is interpreted as *fixed point with an exponent*
+//! (Eq. 2 of the paper):
+//!
+//! ```text
+//! value = sign × ((1 << mb) + mantissa) << (exponent + bias)
+//! ```
+//!
+//! The **adaptive bias** shifts the whole representable range upward so it
+//! starts just above the normal-value range: e.g. with `bias = 2` the 4-bit
+//! E2M1 values become `{12, 16, 24, 32, 48, 64, 96}`, complementary to `int4`'s
+//! `[-7, 7]` (Tbl. 4 shows the `bias = 0` values `{0, 3, 4, 6, 8, 12, 16, 24}`).
+//!
+//! Two code words are *never produced* by the outlier encoder: `0…0` (+0) and
+//! the outlier identifier `1000…0` (-0), so an outlier code can always be
+//! distinguished from a victim marker (paper Sec. 3.3, last paragraph).
+
+use crate::expint::ExpInt;
+
+/// The exponent/mantissa split of an abfloat code.
+///
+/// The paper evaluates all four 4-bit configurations (Fig. 5) and selects
+/// **E2M1** for 4-bit outliers and **E4M3** for 8-bit outliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbfloatFormat {
+    /// 4-bit: 0 exponent bits, 3 mantissa bits.
+    E0M3,
+    /// 4-bit: 1 exponent bit, 2 mantissa bits.
+    E1M2,
+    /// 4-bit: 2 exponent bits, 1 mantissa bit (the paper's choice).
+    E2M1,
+    /// 4-bit: 3 exponent bits, 0 mantissa bits.
+    E3M0,
+    /// 8-bit: 4 exponent bits, 3 mantissa bits (the paper's 8-bit choice).
+    E4M3,
+}
+
+impl AbfloatFormat {
+    /// Number of exponent bits.
+    pub fn exponent_bits(self) -> u32 {
+        match self {
+            AbfloatFormat::E0M3 => 0,
+            AbfloatFormat::E1M2 => 1,
+            AbfloatFormat::E2M1 => 2,
+            AbfloatFormat::E3M0 => 3,
+            AbfloatFormat::E4M3 => 4,
+        }
+    }
+
+    /// Number of mantissa bits.
+    pub fn mantissa_bits(self) -> u32 {
+        match self {
+            AbfloatFormat::E0M3 => 3,
+            AbfloatFormat::E1M2 => 2,
+            AbfloatFormat::E2M1 => 1,
+            AbfloatFormat::E3M0 => 0,
+            AbfloatFormat::E4M3 => 3,
+        }
+    }
+
+    /// Total bit width including the sign bit.
+    pub fn bits(self) -> u32 {
+        1 + self.exponent_bits() + self.mantissa_bits()
+    }
+
+    /// Largest exponent-field value.
+    pub fn max_exponent_field(self) -> u32 {
+        (1 << self.exponent_bits()) - 1
+    }
+
+    /// Largest representable magnitude for a given bias.
+    pub fn max_value(self, bias: i32) -> i64 {
+        let mb = self.mantissa_bits();
+        let max_int = (1i64 << mb) | ((1i64 << mb) - 1);
+        shift(max_int, self.max_exponent_field() as i32 + bias)
+    }
+
+    /// Smallest non-zero representable magnitude for a given bias.
+    ///
+    /// Note that the all-zero unsigned code decodes to 0, so the smallest
+    /// code the encoder may produce is `0…01`, whose integer part is
+    /// `(1 << mb) + 1`.
+    pub fn min_nonzero_value(self, bias: i32) -> i64 {
+        let mb = self.mantissa_bits();
+        if mb == 0 {
+            // E3M0: code 001 has exponent field 1, integer 1.
+            shift(1, 1 + bias)
+        } else {
+            shift((1i64 << mb) + 1, bias)
+        }
+    }
+
+    /// Every positive representable magnitude (ascending, no duplicates) for a
+    /// given bias. Used by tests and the Fig. 5 rounding-error analysis.
+    pub fn positive_values(self, bias: i32) -> Vec<i64> {
+        let mut vals = Vec::new();
+        for code in 1u8..(1 << (self.bits() - 1)) {
+            let c = AbfloatCode::from_bits(self, code);
+            vals.push(c.magnitude(bias));
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// All 4-bit formats in the order used by Fig. 5.
+    pub fn four_bit_formats() -> [AbfloatFormat; 4] {
+        [
+            AbfloatFormat::E0M3,
+            AbfloatFormat::E1M2,
+            AbfloatFormat::E2M1,
+            AbfloatFormat::E3M0,
+        ]
+    }
+}
+
+impl std::fmt::Display for AbfloatFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbfloatFormat::E0M3 => "E0M3",
+            AbfloatFormat::E1M2 => "E1M2",
+            AbfloatFormat::E2M1 => "E2M1",
+            AbfloatFormat::E3M0 => "E3M0",
+            AbfloatFormat::E4M3 => "E4M3",
+        };
+        f.write_str(s)
+    }
+}
+
+fn shift(v: i64, e: i32) -> i64 {
+    if e >= 0 {
+        v << e
+    } else {
+        v >> (-e)
+    }
+}
+
+/// A quantized abfloat code word.
+///
+/// The raw bit layout is `sign | exponent-field | mantissa`, identical to the
+/// hardware decoder's input (paper Fig. 7). The bias is *not* stored in the
+/// code — it is a per-tensor constant supplied at decode time, which is exactly
+/// what makes the bias "adaptive" at zero storage cost.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::{AbfloatCode, AbfloatFormat};
+///
+/// // Paper Sec. 4.2 example: code 0101 with bias 2 decodes to 48.
+/// let c = AbfloatCode::from_bits(AbfloatFormat::E2M1, 0b0101);
+/// assert_eq!(c.value(2), 48);
+///
+/// // Encoding picks the nearest representable value.
+/// let q = AbfloatCode::encode(50.0, 2, AbfloatFormat::E2M1);
+/// assert_eq!(q.value(2), 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbfloatCode {
+    format: AbfloatFormat,
+    bits: u8,
+}
+
+impl AbfloatCode {
+    /// Wraps raw code bits (low `format.bits()` bits are significant).
+    pub fn from_bits(format: AbfloatFormat, bits: u8) -> Self {
+        let mask = ((1u16 << format.bits()) - 1) as u8;
+        AbfloatCode {
+            format,
+            bits: bits & mask,
+        }
+    }
+
+    /// Encodes a scaled real value as abfloat (Algorithm 2 of the paper),
+    /// generalised to any exponent/mantissa split.
+    ///
+    /// The input is the value on the integer grid (i.e. already divided by the
+    /// tensor scale). Values below the representable range round up to the
+    /// smallest non-zero code (codes `0…0` and `1000…0` are disabled); values
+    /// above the range saturate at the maximum code.
+    pub fn encode(element: f32, bias: i32, format: AbfloatFormat) -> Self {
+        let sign_neg = element < 0.0;
+        let mag = element.abs() as f64;
+        let mb = format.mantissa_bits() as i32;
+
+        let min_val = format.min_nonzero_value(bias) as f64;
+        let max_val = format.max_value(bias) as f64;
+
+        if !mag.is_finite() || mag >= max_val {
+            return Self::from_parts(format, sign_neg, format.max_exponent_field(), u32::MAX);
+        }
+        if mag <= 0.0 {
+            // The outlier encoder is never given zeros, but keep it total.
+            return Self::from_parts(format, sign_neg, 0, 1);
+        }
+
+        // Algorithm 2: exp = floor(log2(|e|)) - mb ; base_int = round(e / 2^exp)
+        let mut exp = mag.log2().floor() as i32 - mb;
+        let mut base_int = (mag / 2f64.powi(exp)).round() as i64;
+        // Rounding may push base_int to 2^(mb+1); renormalise.
+        if base_int >= 1 << (mb + 1) {
+            exp += 1;
+            base_int >>= 1;
+        }
+
+        // Encoded exponent field after removing the bias.
+        let stored_exp = exp - bias;
+        if stored_exp < 0 || mag < min_val {
+            // Below the outlier range: clamp to the smallest legal code.
+            return Self::from_parts(format, sign_neg, if mb == 0 { 1 } else { 0 }, 1);
+        }
+        if stored_exp > format.max_exponent_field() as i32 {
+            return Self::from_parts(format, sign_neg, format.max_exponent_field(), u32::MAX);
+        }
+
+        let mantissa = (base_int & ((1i64 << mb) - 1)) as u32;
+        let mut code = Self::from_parts(format, sign_neg, stored_exp as u32, mantissa);
+        // Codes 0…0 / 1000…0 are reserved (they decode to ±0); bump to the
+        // smallest legal code instead.
+        if code.unsigned_bits() == 0 {
+            code = Self::from_parts(format, sign_neg, if mb == 0 { 1 } else { 0 }, 1);
+        }
+        code
+    }
+
+    fn from_parts(format: AbfloatFormat, negative: bool, exp_field: u32, mantissa: u32) -> Self {
+        let mb = format.mantissa_bits();
+        let eb = format.exponent_bits();
+        let exp_field = exp_field.min((1 << eb) - 1);
+        let mantissa = if mb == 0 { 0 } else { mantissa.min((1 << mb) - 1) };
+        let bits = ((negative as u32) << (eb + mb)) | (exp_field << mb) | mantissa;
+        AbfloatCode {
+            format,
+            bits: bits as u8,
+        }
+    }
+
+    /// The raw code bits.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The code's format.
+    pub fn format(self) -> AbfloatFormat {
+        self.format
+    }
+
+    /// The unsigned (exponent+mantissa) part of the code.
+    fn unsigned_bits(self) -> u8 {
+        let mask = ((1u16 << (self.format.bits() - 1)) - 1) as u8;
+        self.bits & mask
+    }
+
+    /// `true` if the sign bit is set.
+    pub fn is_negative(self) -> bool {
+        self.bits >> (self.format.bits() - 1) & 1 == 1
+    }
+
+    /// The exponent field (without bias).
+    pub fn exponent_field(self) -> u32 {
+        (self.unsigned_bits() >> self.format.mantissa_bits()) as u32
+    }
+
+    /// The mantissa field.
+    pub fn mantissa_field(self) -> u32 {
+        let mb = self.format.mantissa_bits();
+        (self.unsigned_bits() & (((1u16 << mb) - 1) as u8)) as u32
+    }
+
+    /// The decoded magnitude (absolute value) on the integer grid.
+    pub fn magnitude(self, bias: i32) -> i64 {
+        if self.unsigned_bits() == 0 {
+            return 0;
+        }
+        let mb = self.format.mantissa_bits();
+        let integer = (1i64 << mb) | self.mantissa_field() as i64;
+        shift(integer, self.exponent_field() as i32 + bias)
+    }
+
+    /// The decoded signed value on the integer grid.
+    pub fn value(self, bias: i32) -> i64 {
+        let m = self.magnitude(bias);
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Decodes into the exponent-integer pair the hardware outlier decoder
+    /// emits (paper Fig. 7): `exponent = bias + exponent-field`,
+    /// `integer = (1·mantissa)₂` with the sign applied to the integer.
+    pub fn to_expint(self, bias: i32) -> ExpInt {
+        if self.unsigned_bits() == 0 {
+            return ExpInt::zero();
+        }
+        let mb = self.format.mantissa_bits();
+        let integer = (1i64 << mb) | self.mantissa_field() as i64;
+        let exponent = (self.exponent_field() as i32 + bias).max(0) as u32;
+        ExpInt::new(exponent, if self.is_negative() { -integer } else { integer })
+    }
+
+    /// Absolute rounding error of encoding `x` (on the integer grid).
+    pub fn rounding_error(x: f32, bias: i32, format: AbfloatFormat) -> f64 {
+        let q = Self::encode(x, bias, format);
+        (q.value(bias) as f64 - x as f64).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2m1_bias0_values_match_table4() {
+        // Table 4 lists the unsigned E2M1 values with bias = 0.
+        let vals = AbfloatFormat::E2M1.positive_values(0);
+        assert_eq!(vals, vec![3, 4, 6, 8, 12, 16, 24]);
+    }
+
+    #[test]
+    fn e2m1_bias2_range_is_complementary_to_int4() {
+        // Paper Sec. 3.3: bias = 2 extends the range to {12, ..., 96}.
+        let vals = AbfloatFormat::E2M1.positive_values(2);
+        assert_eq!(vals.first(), Some(&12));
+        assert_eq!(vals.last(), Some(&96));
+    }
+
+    #[test]
+    fn e2m1_bias3_range_for_flint4() {
+        // Paper Sec. 3.3: bias = 3 extends the range to {24, ..., 192}.
+        let vals = AbfloatFormat::E2M1.positive_values(3);
+        assert_eq!(vals.first(), Some(&24));
+        assert_eq!(vals.last(), Some(&192));
+    }
+
+    #[test]
+    fn paper_decode_example_0101_bias2_is_48() {
+        // Sec. 4.2: "when the bias is 2, a number 0101₂ is 48₁₀".
+        let c = AbfloatCode::from_bits(AbfloatFormat::E2M1, 0b0101);
+        assert_eq!(c.value(2), 48);
+        let p = c.to_expint(2);
+        assert_eq!(p.exponent(), 4);
+        assert_eq!(p.integer(), 3);
+    }
+
+    #[test]
+    fn encoder_never_emits_reserved_codes() {
+        for i in 1..2000 {
+            let x = i as f32 * 0.17;
+            let c = AbfloatCode::encode(x, 2, AbfloatFormat::E2M1);
+            assert_ne!(c.unsigned_bits(), 0, "x = {}", x);
+            let cn = AbfloatCode::encode(-x, 2, AbfloatFormat::E2M1);
+            assert_ne!(cn.unsigned_bits(), 0, "x = {}", -x);
+        }
+    }
+
+    #[test]
+    fn encode_is_nearest_or_saturating() {
+        let format = AbfloatFormat::E2M1;
+        let bias = 2;
+        let grid = format.positive_values(bias);
+        for i in 12..300 {
+            let x = i as f32;
+            let q = AbfloatCode::encode(x, bias, format).magnitude(bias);
+            // The best representable value:
+            let best = grid
+                .iter()
+                .min_by(|&&a, &&b| {
+                    ((a as f64 - x as f64).abs())
+                        .partial_cmp(&((b as f64 - x as f64).abs()))
+                        .unwrap()
+                })
+                .copied()
+                .unwrap();
+            let err_q = (q as f64 - x as f64).abs();
+            let err_best = (best as f64 - x as f64).abs();
+            // Algorithm 2 is a hardware-friendly rounding, allow it to be at
+            // most one grid position worse than the oracle nearest value.
+            assert!(
+                err_q <= 2.0 * err_best + 8.0,
+                "x = {}, algo = {}, best = {}",
+                x,
+                q,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn values_below_range_clamp_to_min_nonzero() {
+        let c = AbfloatCode::encode(1.0, 2, AbfloatFormat::E2M1);
+        assert_eq!(c.magnitude(2), AbfloatFormat::E2M1.min_nonzero_value(2));
+    }
+
+    #[test]
+    fn values_above_range_saturate_to_max() {
+        let c = AbfloatCode::encode(1e9, 2, AbfloatFormat::E2M1);
+        assert_eq!(c.magnitude(2), AbfloatFormat::E2M1.max_value(2));
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let c = AbfloatCode::encode(-50.0, 2, AbfloatFormat::E2M1);
+        assert!(c.is_negative());
+        assert_eq!(c.value(2), -48);
+    }
+
+    #[test]
+    fn e4m3_covers_int8_complementary_range() {
+        // 8-bit outliers with bias 4 start above the int8 range (127).
+        let vals = AbfloatFormat::E4M3.positive_values(4);
+        assert!(*vals.first().unwrap() >= 128, "min = {}", vals.first().unwrap());
+        // Paper Sec. 4.5: outliers are clipped at 2^15; the format itself can
+        // represent well beyond that.
+        assert!(*vals.last().unwrap() >= (1 << 15));
+    }
+
+    #[test]
+    fn all_formats_round_trip_their_own_grid() {
+        for format in AbfloatFormat::four_bit_formats() {
+            for bias in [0, 2, 3] {
+                for &v in &format.positive_values(bias) {
+                    let c = AbfloatCode::encode(v as f32, bias, format);
+                    assert_eq!(c.magnitude(bias), v, "{:?} bias {} v {}", format, bias, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn e2m1_has_lowest_error_on_large_outliers() {
+        // A miniature version of Fig. 5: for values spanning a wide range the
+        // E2M1 configuration should beat E0M3 (too narrow) and E3M0 (too
+        // coarse). This is the property the paper uses to pick E2M1.
+        let bias = 2;
+        let mut errors = std::collections::HashMap::new();
+        for format in AbfloatFormat::four_bit_formats() {
+            let mut total = 0.0f64;
+            let mut x = 13.0f32;
+            while x < 90.0 {
+                total += AbfloatCode::rounding_error(x, bias, format) / x as f64;
+                x += 1.0;
+            }
+            errors.insert(format, total);
+        }
+        let e2m1 = errors[&AbfloatFormat::E2M1];
+        assert!(e2m1 <= errors[&AbfloatFormat::E0M3]);
+        assert!(e2m1 <= errors[&AbfloatFormat::E3M0]);
+    }
+
+    #[test]
+    fn exponent_and_mantissa_field_extraction() {
+        let c = AbfloatCode::from_bits(AbfloatFormat::E2M1, 0b1101);
+        assert!(c.is_negative());
+        assert_eq!(c.exponent_field(), 0b10);
+        assert_eq!(c.mantissa_field(), 0b1);
+    }
+
+    #[test]
+    fn zero_code_decodes_to_zero() {
+        let c = AbfloatCode::from_bits(AbfloatFormat::E2M1, 0b0000);
+        assert_eq!(c.value(2), 0);
+        assert!(c.to_expint(2).is_zero());
+    }
+}

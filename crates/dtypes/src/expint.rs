@@ -1,0 +1,165 @@
+//! Exponent–integer pairs: the unified post-decode representation.
+//!
+//! Both normal values and abfloat outliers are decoded by the OVP decoder into
+//! an *exponent-integer pair* `<a, b>` representing `b << a` (paper Sec. 4.2 and
+//! Sec. 4.4). The MAC unit multiplies two pairs by multiplying the integers and
+//! adding the exponents, then shifts into a 32-bit accumulator:
+//!
+//! ```text
+//! <a, b> × <c, d> = <a + c, b × d> = (b × d) << (a + c)
+//! ```
+//!
+//! We model the accumulator with `i64` but expose
+//! [`ExpInt::fits_i32_accumulator`] so tests can check the paper's claim that
+//! clipping outliers at 2¹⁵ keeps every product within `int32`.
+
+/// An exponent-integer pair `value = integer << exponent`.
+///
+/// The exponent is always non-negative: the hardware decoder adds the abfloat
+/// bias back before handing the pair to the MAC array.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::ExpInt;
+///
+/// let a = ExpInt::new(4, 3);   // 3 << 4 = 48
+/// let b = ExpInt::new(0, -2);  // -2
+/// assert_eq!(a.value(), 48);
+/// assert_eq!(a.mul(b).value(), -96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExpInt {
+    exponent: u32,
+    integer: i64,
+}
+
+impl ExpInt {
+    /// Creates a pair from a non-negative exponent and a signed integer.
+    pub fn new(exponent: u32, integer: i64) -> Self {
+        ExpInt { exponent, integer }
+    }
+
+    /// The zero pair.
+    pub fn zero() -> Self {
+        ExpInt {
+            exponent: 0,
+            integer: 0,
+        }
+    }
+
+    /// The exponent (shift amount).
+    pub fn exponent(self) -> u32 {
+        self.exponent
+    }
+
+    /// The integer (pre-shift) part.
+    pub fn integer(self) -> i64 {
+        self.integer
+    }
+
+    /// The represented value `integer << exponent`.
+    pub fn value(self) -> i64 {
+        self.integer << self.exponent
+    }
+
+    /// Multiplies two pairs the way the OliVe MAC unit does: integers multiply,
+    /// exponents add (paper Sec. 4.4).
+    pub fn mul(self, other: ExpInt) -> ExpInt {
+        ExpInt {
+            exponent: self.exponent + other.exponent,
+            integer: self.integer * other.integer,
+        }
+    }
+
+    /// Returns `true` if the *product value* fits the paper's 32-bit
+    /// accumulator without overflow.
+    pub fn fits_i32_accumulator(self) -> bool {
+        let v = self.value();
+        v >= i32::MIN as i64 && v <= i32::MAX as i64
+    }
+
+    /// Returns `true` if this pair represents zero.
+    pub fn is_zero(self) -> bool {
+        self.integer == 0
+    }
+}
+
+impl std::fmt::Display for ExpInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}, {}> (= {})", self.exponent, self.integer, self.value())
+    }
+}
+
+/// Computes a dot product of exponent-integer pairs with an explicit
+/// accumulator, mirroring the FEDP/8EDP/16EDP units of the tensor-core
+/// integration (paper Fig. 6a).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn dot(a: &[ExpInt], b: &[ExpInt]) -> i64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.mul(y).value())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_shifted_integer() {
+        assert_eq!(ExpInt::new(0, 5).value(), 5);
+        assert_eq!(ExpInt::new(3, 5).value(), 40);
+        assert_eq!(ExpInt::new(2, -3).value(), -12);
+        assert_eq!(ExpInt::zero().value(), 0);
+    }
+
+    #[test]
+    fn mul_matches_paper_identity() {
+        // <a,b> * <c,d> = (b*d) << (a+c)
+        let x = ExpInt::new(4, 3);
+        let y = ExpInt::new(2, -5);
+        let p = x.mul(y);
+        assert_eq!(p.exponent(), 6);
+        assert_eq!(p.integer(), -15);
+        assert_eq!(p.value(), x.value() * y.value());
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        let x = ExpInt::new(1, 7);
+        let y = ExpInt::new(5, -2);
+        assert_eq!(x.mul(y), y.mul(x));
+    }
+
+    #[test]
+    fn product_of_clipped_outliers_fits_i32() {
+        // Paper Sec. 4.5: outliers are clipped at 2^15, so the extreme product
+        // 2^15 * 2^15 < 2^31 - 1 fits the int32 accumulator.
+        let max_outlier = ExpInt::new(15, 1);
+        assert!(max_outlier.mul(max_outlier).fits_i32_accumulator());
+    }
+
+    #[test]
+    fn dot_product_matches_scalar_math() {
+        let a = vec![ExpInt::new(0, 1), ExpInt::new(1, 2), ExpInt::new(2, 3)];
+        let b = vec![ExpInt::new(0, 4), ExpInt::new(0, -5), ExpInt::new(1, 6)];
+        // values: a = [1, 4, 12], b = [4, -5, 12] -> 4 - 20 + 144 = 128
+        assert_eq!(dot(&a, &b), 128);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(ExpInt::new(7, 0).is_zero());
+        assert!(!ExpInt::new(0, 1).is_zero());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ExpInt::new(1, 2).to_string().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! The `flint4` normal-value type (ANT's 4-bit float-int hybrid).
+//!
+//! `flint4` comes from the ANT quantization framework (MICRO '22), which OliVe
+//! builds on for normal values. Its representable magnitudes are
+//! `{0, 1, 2, 3, 4, 6, 8, 16}` (paper Tbl. 3): small values get integer-like
+//! resolution, large values get float-like range. The code `1000₂` would be
+//! `-0`, which is meaningless, so OliVe reuses it as the outlier identifier
+//! without sacrificing any representable number.
+
+use crate::expint::ExpInt;
+use crate::identifier::OUTLIER_IDENTIFIER_4BIT;
+
+/// Representable non-negative magnitudes of `flint4`, indexed by the low three
+/// bits of the code.
+pub const FLINT4_MAGNITUDES: [i32; 8] = [0, 1, 2, 3, 4, 6, 8, 16];
+
+/// A 4-bit `flint4` code: sign bit (bit 3) plus a 3-bit magnitude index.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::Flint4;
+///
+/// assert_eq!(Flint4::quantize(5.4).value(), 6);
+/// assert_eq!(Flint4::quantize(-11.0).value(), -8);
+/// assert_eq!(Flint4::quantize(100.0).value(), 16); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flint4(u8);
+
+impl Flint4 {
+    /// Largest representable magnitude.
+    pub const MAX: i32 = 16;
+
+    /// Creates a code from a sign and magnitude index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mag_idx > 7`.
+    fn from_parts(negative: bool, mag_idx: u8) -> Self {
+        assert!(mag_idx < 8, "magnitude index out of range");
+        if negative && mag_idx == 0 {
+            // -0 is the identifier; canonicalise to +0.
+            return Flint4(0);
+        }
+        Flint4(((negative as u8) << 3) | mag_idx)
+    }
+
+    /// Quantizes a real value (already divided by the tensor scale) to the
+    /// nearest representable `flint4` value, saturating at ±16.
+    pub fn quantize(x: f32) -> Self {
+        if x.is_nan() {
+            return Flint4(0);
+        }
+        let negative = x < 0.0;
+        // Clamp before the nearest-value search so huge magnitudes saturate
+        // instead of losing the comparison to f32 rounding noise.
+        let mag = x.abs().min(Self::MAX as f32);
+        // Nearest magnitude (ties resolved toward the smaller index, matching
+        // round-half-down on the irregular grid).
+        let mut best = 0usize;
+        let mut best_err = f32::INFINITY;
+        for (i, &m) in FLINT4_MAGNITUDES.iter().enumerate() {
+            let err = (mag - m as f32).abs();
+            if err < best_err {
+                best_err = err;
+                best = i;
+            }
+        }
+        Self::from_parts(negative, best as u8)
+    }
+
+    /// Reconstructs a `Flint4` from a raw 4-bit code.
+    ///
+    /// Returns `None` if the code is the outlier identifier (`1000₂`, i.e. -0).
+    pub fn decode(code: u8) -> Option<Self> {
+        let code = code & 0x0F;
+        if code == OUTLIER_IDENTIFIER_4BIT {
+            None
+        } else {
+            Some(Flint4(code))
+        }
+    }
+
+    /// The raw 4-bit code (low nibble).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// The signed value of this code.
+    pub fn value(self) -> i32 {
+        let mag = FLINT4_MAGNITUDES[(self.0 & 0x7) as usize];
+        if self.0 & 0x8 != 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// The value as the exponent-integer pair the flint decoder emits
+    /// (paper Sec. 4.2 reuses ANT's original decoder).
+    ///
+    /// Every magnitude is expressible as `integer << exponent` with a 2-bit
+    /// integer: 0, 1, 2, 3, 4 = 1<<2, 6 = 3<<1, 8 = 1<<3, 16 = 1<<4.
+    pub fn to_expint(self) -> ExpInt {
+        let v = self.value();
+        let (exp, int) = match v.abs() {
+            0 => (0, 0),
+            1 => (0, 1),
+            2 => (1, 1),
+            3 => (0, 3),
+            4 => (2, 1),
+            6 => (1, 3),
+            8 => (3, 1),
+            16 => (4, 1),
+            _ => unreachable!("non-representable flint4 magnitude"),
+        };
+        ExpInt::new(exp, if v < 0 { -int } else { int })
+    }
+
+    /// All representable values in ascending order (deduplicated zero).
+    pub fn all_values() -> Vec<i32> {
+        let mut v: Vec<i32> = FLINT4_MAGNITUDES
+            .iter()
+            .flat_map(|&m| [m, -m])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl std::fmt::Display for Flint4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_set_matches_table3() {
+        let values = Flint4::all_values();
+        let expected = vec![-16, -8, -6, -4, -3, -2, -1, 0, 1, 2, 3, 4, 6, 8, 16];
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn quantize_picks_nearest_grid_point() {
+        assert_eq!(Flint4::quantize(4.9).value(), 4);
+        assert_eq!(Flint4::quantize(5.1).value(), 6);
+        assert_eq!(Flint4::quantize(7.1).value(), 8);
+        assert_eq!(Flint4::quantize(12.1).value(), 16);
+        assert_eq!(Flint4::quantize(-2.4).value(), -2);
+    }
+
+    #[test]
+    fn quantize_never_produces_identifier() {
+        for i in -200..200 {
+            let x = i as f32 * 0.1;
+            assert_ne!(Flint4::quantize(x).code(), OUTLIER_IDENTIFIER_4BIT);
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_canonicalised() {
+        assert_eq!(Flint4::quantize(-0.001).code(), 0);
+        assert_eq!(Flint4::quantize(-0.001).value(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_identifier() {
+        assert!(Flint4::decode(OUTLIER_IDENTIFIER_4BIT).is_none());
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for code in 0u8..16 {
+            if code == OUTLIER_IDENTIFIER_4BIT {
+                continue;
+            }
+            let f = Flint4::decode(code).unwrap();
+            let again = Flint4::decode(f.code()).unwrap();
+            assert_eq!(f.value(), again.value());
+        }
+    }
+
+    #[test]
+    fn expint_preserves_value() {
+        for code in 0u8..16 {
+            if let Some(f) = Flint4::decode(code) {
+                assert_eq!(f.to_expint().value(), f.value() as i64, "code {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_at_sixteen() {
+        assert_eq!(Flint4::quantize(1e9).value(), 16);
+        assert_eq!(Flint4::quantize(-1e9).value(), -16);
+    }
+}

@@ -1,0 +1,80 @@
+//! The outlier identifier code words.
+//!
+//! The OVP encoding reserves exactly one code word per normal data type to mark
+//! the victim slot of an outlier-victim pair (paper Sec. 3.1, Fig. 4):
+//!
+//! * 4-bit types (`int4`, `flint4`): `1000₂`, which is `-8` in two's-complement
+//!   `int4` and `-0` in `flint4` — neither is needed for normal values.
+//! * 8-bit `int8`: `1000_0000₂` (`-128`).
+//!
+//! The identifier is what makes the encoding *globally identical but locally
+//! distinguishable*: a decoder that reads one byte can tell whether it holds a
+//! normal-normal pair or an outlier-victim pair purely from the presence of the
+//! identifier nibble/byte, without any side-band index structure.
+
+/// The 4-bit outlier identifier code (`1000₂`).
+pub const OUTLIER_IDENTIFIER_4BIT: u8 = 0b1000;
+
+/// The 8-bit outlier identifier code (`1000_0000₂`).
+pub const OUTLIER_IDENTIFIER_8BIT: u8 = 0b1000_0000;
+
+/// Returns `true` if a 4-bit code (low nibble) is the outlier identifier.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::identifier::{is_identifier_4bit, OUTLIER_IDENTIFIER_4BIT};
+///
+/// assert!(is_identifier_4bit(OUTLIER_IDENTIFIER_4BIT));
+/// assert!(!is_identifier_4bit(0b0111));
+/// ```
+pub fn is_identifier_4bit(code: u8) -> bool {
+    (code & 0x0F) == OUTLIER_IDENTIFIER_4BIT
+}
+
+/// Returns `true` if an 8-bit code is the outlier identifier.
+pub fn is_identifier_8bit(code: u8) -> bool {
+    code == OUTLIER_IDENTIFIER_8BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_values_match_paper() {
+        assert_eq!(OUTLIER_IDENTIFIER_4BIT, 0b1000);
+        assert_eq!(OUTLIER_IDENTIFIER_8BIT, 0b1000_0000);
+    }
+
+    #[test]
+    fn identifier_is_int4_minus_eight() {
+        // Sign-extend 1000₂ as a 4-bit two's-complement value.
+        let v = ((OUTLIER_IDENTIFIER_4BIT << 4) as i8) >> 4;
+        assert_eq!(v, -8);
+    }
+
+    #[test]
+    fn identifier_is_int8_minus_128() {
+        assert_eq!(OUTLIER_IDENTIFIER_8BIT as i8, -128);
+    }
+
+    #[test]
+    fn only_one_4bit_code_is_identifier() {
+        let count = (0u8..16).filter(|&c| is_identifier_4bit(c)).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn only_one_8bit_code_is_identifier() {
+        let count = (0u16..256)
+            .filter(|&c| is_identifier_8bit(c as u8))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn high_nibble_is_ignored_for_4bit_check() {
+        assert!(is_identifier_4bit(0b0111_1000));
+    }
+}

@@ -1,0 +1,153 @@
+//! The OVP `int4` normal-value type.
+//!
+//! A signed 4-bit integer whose code `1000₂` (-8) is reserved as the outlier
+//! identifier, so the representable range is `[-7, 7]` (paper Tbl. 3, Fig. 4).
+
+use crate::expint::ExpInt;
+use crate::identifier::OUTLIER_IDENTIFIER_4BIT;
+
+/// A 4-bit OVP integer code (stored in the low nibble of a `u8`).
+///
+/// The code `1000₂` is *not* a value of this type: it is the outlier
+/// identifier. [`Int4::quantize`] therefore never produces it and
+/// [`Int4::decode`] maps it to `None`.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::Int4;
+///
+/// let q = Int4::quantize(3.6);
+/// assert_eq!(q.value(), 4);
+/// assert_eq!(Int4::quantize(-100.0).value(), -7); // saturates, never -8
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Int4(u8);
+
+impl Int4 {
+    /// Largest representable magnitude.
+    pub const MAX: i32 = 7;
+    /// Smallest representable value (the identifier `-8` is excluded).
+    pub const MIN: i32 = -7;
+
+    /// Creates an `Int4` from an integer value, saturating to `[-7, 7]`.
+    pub fn from_value(v: i32) -> Self {
+        let clamped = v.clamp(Self::MIN, Self::MAX);
+        Int4((clamped as i8 as u8) & 0x0F)
+    }
+
+    /// Quantizes a real value (already divided by the tensor scale) to the
+    /// nearest representable integer, saturating at ±7.
+    pub fn quantize(x: f32) -> Self {
+        Self::from_value(x.round() as i32)
+    }
+
+    /// Reconstructs an `Int4` from a raw 4-bit code.
+    ///
+    /// Returns `None` if the code is the outlier identifier.
+    pub fn decode(code: u8) -> Option<Self> {
+        let code = code & 0x0F;
+        if code == OUTLIER_IDENTIFIER_4BIT {
+            None
+        } else {
+            Some(Int4(code))
+        }
+    }
+
+    /// The raw 4-bit code (low nibble).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// The signed integer value of this code.
+    pub fn value(self) -> i32 {
+        // Sign-extend the low nibble.
+        (((self.0 << 4) as i8) >> 4) as i32
+    }
+
+    /// The value as the exponent-integer pair the hardware decoder would emit
+    /// (normal `int4` values always carry exponent 0, paper Sec. 4.2).
+    pub fn to_expint(self) -> ExpInt {
+        ExpInt::new(0, self.value() as i64)
+    }
+
+    /// All representable values in ascending order.
+    pub fn all_values() -> impl Iterator<Item = i32> {
+        Self::MIN..=Self::MAX
+    }
+
+    /// Quantization error (absolute) for a scaled input.
+    pub fn quantization_error(x: f32) -> f32 {
+        (Self::quantize(x).value() as f32 - x).abs()
+    }
+}
+
+impl std::fmt::Display for Int4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_matches_table3() {
+        let values: Vec<i32> = Int4::all_values().collect();
+        assert_eq!(values.first(), Some(&-7));
+        assert_eq!(values.last(), Some(&7));
+        assert_eq!(values.len(), 15);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        assert_eq!(Int4::quantize(2.4).value(), 2);
+        assert_eq!(Int4::quantize(2.6).value(), 3);
+        assert_eq!(Int4::quantize(-2.6).value(), -3);
+        assert_eq!(Int4::quantize(0.0).value(), 0);
+    }
+
+    #[test]
+    fn quantize_never_produces_identifier() {
+        for i in -1000..1000 {
+            let x = i as f32 * 0.01;
+            assert_ne!(Int4::quantize(x * 100.0).code(), OUTLIER_IDENTIFIER_4BIT);
+        }
+        assert_eq!(Int4::quantize(f32::NEG_INFINITY).value(), -7);
+    }
+
+    #[test]
+    fn decode_rejects_identifier() {
+        assert!(Int4::decode(OUTLIER_IDENTIFIER_4BIT).is_none());
+        assert_eq!(Int4::decode(0b0111).unwrap().value(), 7);
+        assert_eq!(Int4::decode(0b1111).unwrap().value(), -1);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for v in Int4::all_values() {
+            let q = Int4::from_value(v);
+            let d = Int4::decode(q.code()).unwrap();
+            assert_eq!(d.value(), v);
+        }
+    }
+
+    #[test]
+    fn expint_preserves_value() {
+        for v in Int4::all_values() {
+            assert_eq!(Int4::from_value(v).to_expint().value(), v as i64);
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Int4::from_value(1000).value(), 7);
+        assert_eq!(Int4::from_value(-1000).value(), -7);
+    }
+
+    #[test]
+    fn display_prints_value() {
+        assert_eq!(Int4::from_value(-5).to_string(), "-5");
+    }
+}

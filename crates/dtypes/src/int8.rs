@@ -1,0 +1,157 @@
+//! The OVP `int8` normal-value type.
+//!
+//! A signed 8-bit integer whose code `1000_0000₂` (-128) is reserved as the
+//! outlier identifier, so the representable range is `[-127, 127]`
+//! (paper Sec. 3.2, "the 8-bit normal value also needs to eliminate one
+//! number").
+
+use crate::expint::ExpInt;
+use crate::identifier::OUTLIER_IDENTIFIER_8BIT;
+
+/// An 8-bit OVP integer code.
+///
+/// # Examples
+///
+/// ```
+/// use olive_dtypes::Int8;
+///
+/// assert_eq!(Int8::quantize(100.4).value(), 100);
+/// assert_eq!(Int8::quantize(-1e9).value(), -127); // saturates, never -128
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Int8(u8);
+
+impl Int8 {
+    /// Largest representable magnitude.
+    pub const MAX: i32 = 127;
+    /// Smallest representable value (the identifier `-128` is excluded).
+    pub const MIN: i32 = -127;
+
+    /// Creates an `Int8` from an integer value, saturating to `[-127, 127]`.
+    pub fn from_value(v: i32) -> Self {
+        let clamped = v.clamp(Self::MIN, Self::MAX);
+        Int8(clamped as i8 as u8)
+    }
+
+    /// Quantizes a real value (already divided by the tensor scale) to the
+    /// nearest representable integer, saturating at ±127.
+    pub fn quantize(x: f32) -> Self {
+        if x.is_nan() {
+            return Int8(0);
+        }
+        Self::from_value(x.round().clamp(-1e9, 1e9) as i32)
+    }
+
+    /// Reconstructs an `Int8` from a raw code.
+    ///
+    /// Returns `None` if the code is the outlier identifier.
+    pub fn decode(code: u8) -> Option<Self> {
+        if code == OUTLIER_IDENTIFIER_8BIT {
+            None
+        } else {
+            Some(Int8(code))
+        }
+    }
+
+    /// The raw 8-bit code.
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// The signed integer value of this code.
+    pub fn value(self) -> i32 {
+        self.0 as i8 as i32
+    }
+
+    /// The value as an exponent-integer pair (exponent 0).
+    pub fn to_expint(self) -> ExpInt {
+        ExpInt::new(0, self.value() as i64)
+    }
+
+    /// Splits the 8-bit value into two exponent-integer pairs for computation
+    /// on four 4-bit PEs: `x = (h << 4) + l` (paper Sec. 4.5).
+    ///
+    /// `h` is the arithmetic high part and `l ∈ [0, 15]` the low nibble, so the
+    /// identity `value = h * 16 + l` always holds.
+    pub fn split_high_low(self) -> (ExpInt, ExpInt) {
+        let v = self.value();
+        let l = v & 0xF;
+        let h = (v - l) >> 4;
+        (ExpInt::new(4, h as i64), ExpInt::new(0, l as i64))
+    }
+
+    /// All representable values in ascending order.
+    pub fn all_values() -> impl Iterator<Item = i32> {
+        Self::MIN..=Self::MAX
+    }
+}
+
+impl std::fmt::Display for Int8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_excludes_minus_128() {
+        let values: Vec<i32> = Int8::all_values().collect();
+        assert_eq!(values.first(), Some(&-127));
+        assert_eq!(values.last(), Some(&127));
+        assert_eq!(values.len(), 255);
+    }
+
+    #[test]
+    fn quantize_never_produces_identifier() {
+        for x in [-1e9f32, -128.4, -127.6, 0.0, 127.6, 1e9] {
+            assert_ne!(Int8::quantize(x).code(), OUTLIER_IDENTIFIER_8BIT);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_identifier() {
+        assert!(Int8::decode(OUTLIER_IDENTIFIER_8BIT).is_none());
+        assert_eq!(Int8::decode(0x7F).unwrap().value(), 127);
+        assert_eq!(Int8::decode(0xFF).unwrap().value(), -1);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for v in Int8::all_values() {
+            let q = Int8::from_value(v);
+            assert_eq!(Int8::decode(q.code()).unwrap().value(), v);
+        }
+    }
+
+    #[test]
+    fn split_high_low_reconstructs_value() {
+        for v in Int8::all_values() {
+            let (h, l) = Int8::from_value(v).split_high_low();
+            assert_eq!(h.value() + l.value(), v as i64, "v = {}", v);
+        }
+    }
+
+    #[test]
+    fn split_multiplication_matches_direct_product() {
+        // x * y == (hx + lx) * (hy + ly) expanded over four PEs (paper Sec. 4.5).
+        for &x in &[-127, -100, -16, -1, 0, 1, 5, 16, 99, 127] {
+            for &y in &[-127, -37, 0, 1, 64, 127] {
+                let (hx, lx) = Int8::from_value(x).split_high_low();
+                let (hy, ly) = Int8::from_value(y).split_high_low();
+                let prod = hx.mul(hy).value()
+                    + hx.mul(ly).value()
+                    + lx.mul(hy).value()
+                    + lx.mul(ly).value();
+                assert_eq!(prod, (x * y) as i64, "{} * {}", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_handles_nan() {
+        assert_eq!(Int8::quantize(f32::NAN).value(), 0);
+    }
+}

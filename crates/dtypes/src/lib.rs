@@ -1,0 +1,132 @@
+//! # olive-dtypes
+//!
+//! The numeric data types of the OliVe quantization scheme (paper Sec. 3):
+//!
+//! * **Normal-value types** (Tbl. 3): [`int4`], [`flint4`] and [`int8`]. In each
+//!   type one code word — the all-but-sign-zero pattern `1000…0₂` — is removed
+//!   from the value range and reserved as the **outlier identifier** that marks
+//!   a victim slot inside an outlier-victim pair.
+//! * **Outlier type** (Sec. 3.3): [`abfloat`], an *adaptive biased float* stored
+//!   as fixed-point-with-exponent, `value = sign · ((1 << mb) + mantissa) <<
+//!   (exponent + bias)`. The adaptive bias shifts the representable range just
+//!   above the normal-value range so no code words are wasted on values that
+//!   normal types already cover. The paper selects E2M1 for 4-bit outliers and
+//!   E4M3 for 8-bit outliers.
+//! * **Exponent–integer pairs** ([`expint`]): the unified representation that
+//!   the hardware decoders (Fig. 6b / Fig. 7) emit and the MAC units consume
+//!   (Sec. 4.4): `value = integer << exponent`, multiplied by adding exponents
+//!   and multiplying integers, accumulated in `i64` (hardware: int32 per the
+//!   paper, with outliers clipped at 2¹⁵ to avoid overflow).
+//!
+//! Everything in this crate operates on *integer grids*: a separate per-tensor
+//! scale factor (managed by `olive-core`) maps real values onto the grid.
+
+pub mod abfloat;
+pub mod expint;
+pub mod flint4;
+pub mod identifier;
+pub mod int4;
+pub mod int8;
+
+pub use abfloat::{AbfloatCode, AbfloatFormat};
+pub use expint::ExpInt;
+pub use flint4::Flint4;
+pub use identifier::{OUTLIER_IDENTIFIER_4BIT, OUTLIER_IDENTIFIER_8BIT};
+pub use int4::Int4;
+pub use int8::Int8;
+
+/// The normal-value data types supported by the OVP encoding (paper Tbl. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NormalDataType {
+    /// Signed 4-bit integer, range ±7 after removing the identifier.
+    Int4,
+    /// ANT's 4-bit float-int hybrid: 0, ±1, ±2, ±3, ±4, ±6, ±8, ±16.
+    Flint4,
+    /// Signed 8-bit integer, range ±127 after removing the identifier.
+    Int8,
+}
+
+impl NormalDataType {
+    /// Bit width of the type.
+    pub fn bits(self) -> u32 {
+        match self {
+            NormalDataType::Int4 | NormalDataType::Flint4 => 4,
+            NormalDataType::Int8 => 8,
+        }
+    }
+
+    /// Largest representable magnitude on the integer grid (identifier removed).
+    pub fn max_magnitude(self) -> i32 {
+        match self {
+            NormalDataType::Int4 => 7,
+            NormalDataType::Flint4 => 16,
+            NormalDataType::Int8 => 127,
+        }
+    }
+
+    /// The abfloat exponent bias that makes the outlier range complementary to
+    /// this normal type (paper Sec. 3.3: bias 2 for `int4`, bias 3 for
+    /// `flint4`; for `int8` the 8-bit E4M3 outliers start above 127 with
+    /// bias 4).
+    pub fn complementary_abfloat_bias(self) -> i32 {
+        match self {
+            NormalDataType::Int4 => 2,
+            NormalDataType::Flint4 => 3,
+            NormalDataType::Int8 => 4,
+        }
+    }
+
+    /// The abfloat format paired with this normal type (E2M1 for 4-bit types,
+    /// E4M3 for int8), per paper Sec. 3.3 and Sec. 4.5.
+    pub fn outlier_format(self) -> AbfloatFormat {
+        match self {
+            NormalDataType::Int4 | NormalDataType::Flint4 => AbfloatFormat::E2M1,
+            NormalDataType::Int8 => AbfloatFormat::E4M3,
+        }
+    }
+}
+
+impl std::fmt::Display for NormalDataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NormalDataType::Int4 => "int4",
+            NormalDataType::Flint4 => "flint4",
+            NormalDataType::Int8 => "int8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_ranges_match_table3() {
+        assert_eq!(NormalDataType::Int4.bits(), 4);
+        assert_eq!(NormalDataType::Flint4.bits(), 4);
+        assert_eq!(NormalDataType::Int8.bits(), 8);
+        assert_eq!(NormalDataType::Int4.max_magnitude(), 7);
+        assert_eq!(NormalDataType::Flint4.max_magnitude(), 16);
+        assert_eq!(NormalDataType::Int8.max_magnitude(), 127);
+    }
+
+    #[test]
+    fn complementary_biases_match_section_3_3() {
+        assert_eq!(NormalDataType::Int4.complementary_abfloat_bias(), 2);
+        assert_eq!(NormalDataType::Flint4.complementary_abfloat_bias(), 3);
+    }
+
+    #[test]
+    fn outlier_formats() {
+        assert_eq!(NormalDataType::Int4.outlier_format(), AbfloatFormat::E2M1);
+        assert_eq!(NormalDataType::Int8.outlier_format(), AbfloatFormat::E4M3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NormalDataType::Int4.to_string(), "int4");
+        assert_eq!(NormalDataType::Flint4.to_string(), "flint4");
+        assert_eq!(NormalDataType::Int8.to_string(), "int8");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the OliVe data types.
+
+use olive_dtypes::abfloat::{AbfloatCode, AbfloatFormat};
+use olive_dtypes::{ExpInt, Flint4, Int4, Int8, OUTLIER_IDENTIFIER_4BIT, OUTLIER_IDENTIFIER_8BIT};
+use proptest::prelude::*;
+
+proptest! {
+    /// int4 quantization never emits the outlier identifier and never strays
+    /// more than half a step (or the saturation bound) from its input.
+    #[test]
+    fn int4_quantize_is_sound(x in -1000.0f32..1000.0) {
+        let q = Int4::quantize(x);
+        prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
+        let v = q.value() as f32;
+        if x.abs() <= 7.0 {
+            prop_assert!((v - x).abs() <= 0.5 + 1e-4);
+        } else {
+            prop_assert_eq!(v, 7.0f32.copysign(x));
+        }
+    }
+
+    /// int8 quantization never emits the identifier; round trip through the
+    /// code is exact.
+    #[test]
+    fn int8_round_trip(v in -127i32..=127) {
+        let q = Int8::from_value(v);
+        prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_8BIT);
+        prop_assert_eq!(Int8::decode(q.code()).unwrap().value(), v);
+        let (h, l) = q.split_high_low();
+        prop_assert_eq!(h.value() + l.value(), v as i64);
+    }
+
+    /// flint4 quantization picks a representable value and never the
+    /// identifier; the chosen value is the nearest grid point.
+    #[test]
+    fn flint4_quantize_is_nearest(x in -40.0f32..40.0) {
+        let q = Flint4::quantize(x);
+        prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
+        let grid = Flint4::all_values();
+        let v = q.value();
+        prop_assert!(grid.contains(&v));
+        let best = grid
+            .iter()
+            .map(|&g| (g as f32 - x.clamp(-16.0, 16.0)).abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((v as f32 - x.clamp(-16.0, 16.0)).abs() <= best + 0.5 + 1e-4);
+    }
+
+    /// The abfloat encoder never produces the reserved codes, and its decode
+    /// stays within the representable range.
+    #[test]
+    fn abfloat_encode_in_range(x in 0.01f32..100_000.0, bias in 0i32..6) {
+        for format in AbfloatFormat::four_bit_formats() {
+            let c = AbfloatCode::encode(x, bias, format);
+            // Reserved codes 0…0 and 1000…0 decode to zero; they must not appear.
+            prop_assert_ne!(c.magnitude(bias), 0, "format {:?} x {}", format, x);
+            prop_assert!(c.magnitude(bias) <= format.max_value(bias));
+            prop_assert!(c.magnitude(bias) >= format.min_nonzero_value(bias));
+            // Sign symmetric.
+            let n = AbfloatCode::encode(-x, bias, format);
+            prop_assert_eq!(n.value(bias), -c.value(bias));
+        }
+    }
+
+    /// Abfloat rounding error is bounded by the local grid spacing (one
+    /// exponent step) inside the representable range.
+    #[test]
+    fn abfloat_error_is_bounded(x in 12.0f32..96.0) {
+        let bias = 2;
+        let c = AbfloatCode::encode(x, bias, AbfloatFormat::E2M1);
+        let err = (c.magnitude(bias) as f32 - x).abs();
+        // Largest spacing in {12,16,24,32,48,64,96} is 32.
+        prop_assert!(err <= 16.0 + 1e-3, "x = {}, err = {}", x, err);
+    }
+
+    /// Exponent-integer multiplication equals plain integer multiplication of
+    /// the represented values.
+    #[test]
+    fn expint_mul_matches_values(a_e in 0u32..8, a_i in -128i64..128, b_e in 0u32..8, b_i in -128i64..128) {
+        let a = ExpInt::new(a_e, a_i);
+        let b = ExpInt::new(b_e, b_i);
+        prop_assert_eq!(a.mul(b).value(), a.value() * b.value());
+    }
+}

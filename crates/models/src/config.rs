@@ -1,0 +1,243 @@
+//! Model architecture definitions for the workloads the paper evaluates.
+//!
+//! Only the *shapes* matter for this reproduction: layer counts, hidden sizes,
+//! attention heads and FFN widths determine every GEMM the accelerator models
+//! execute and the tensor sizes the synthetic generator produces. The numbers
+//! below follow the public architecture descriptions of each model.
+
+/// Broad architecture family, used to pick batch sizes (paper Sec. 5.3) and
+/// synthetic tensor statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Encoder-only Transformer (BERT-style); evaluated at batch 16.
+    EncoderOnly,
+    /// Encoder-decoder Transformer (BART-style); evaluated at batch 16.
+    EncoderDecoder,
+    /// Decoder-only Transformer (GPT-style LLM); evaluated at batch 2.
+    DecoderOnly,
+    /// Convolutional network (ResNet-style), used only for the Fig. 2 contrast.
+    Cnn,
+}
+
+/// Architecture description of one evaluated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable name as used in the paper's tables.
+    pub name: String,
+    /// Architecture family.
+    pub family: ModelFamily,
+    /// Number of Transformer layers (encoder + decoder for BART).
+    pub layers: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Feed-forward inner dimension.
+    pub ffn: usize,
+    /// Vocabulary size (rounded; only affects embedding/LM-head GEMMs).
+    pub vocab: usize,
+    /// Default sequence length used in the evaluation.
+    pub seq_len: usize,
+    /// Default batch size used in the evaluation (paper Sec. 5.3: 16 for
+    /// BERT-like, 2 for GPT-like models).
+    pub batch: usize,
+}
+
+impl ModelConfig {
+    /// BERT-base: 12 layers, hidden 768, 12 heads.
+    pub fn bert_base() -> Self {
+        ModelConfig {
+            name: "BERT-base".into(),
+            family: ModelFamily::EncoderOnly,
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            vocab: 30_522,
+            seq_len: 128,
+            batch: 16,
+        }
+    }
+
+    /// BERT-large: 24 layers, hidden 1024, 16 heads.
+    pub fn bert_large() -> Self {
+        ModelConfig {
+            name: "BERT-large".into(),
+            family: ModelFamily::EncoderOnly,
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            vocab: 30_522,
+            seq_len: 128,
+            batch: 16,
+        }
+    }
+
+    /// BART-base: 6 encoder + 6 decoder layers, hidden 768.
+    pub fn bart_base() -> Self {
+        ModelConfig {
+            name: "BART-base".into(),
+            family: ModelFamily::EncoderDecoder,
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            vocab: 50_265,
+            seq_len: 128,
+            batch: 16,
+        }
+    }
+
+    /// GPT2-XL: 48 layers, hidden 1600, 25 heads.
+    pub fn gpt2_xl() -> Self {
+        ModelConfig {
+            name: "GPT2-XL".into(),
+            family: ModelFamily::DecoderOnly,
+            layers: 48,
+            hidden: 1600,
+            heads: 25,
+            ffn: 6400,
+            vocab: 50_257,
+            seq_len: 512,
+            batch: 2,
+        }
+    }
+
+    /// BLOOM-7B1: 30 layers, hidden 4096, 32 heads.
+    pub fn bloom_7b1() -> Self {
+        ModelConfig {
+            name: "BLOOM-7B1".into(),
+            family: ModelFamily::DecoderOnly,
+            layers: 30,
+            hidden: 4096,
+            heads: 32,
+            ffn: 16_384,
+            vocab: 250_880,
+            seq_len: 512,
+            batch: 2,
+        }
+    }
+
+    /// OPT-6.7B: 32 layers, hidden 4096, 32 heads.
+    pub fn opt_6_7b() -> Self {
+        ModelConfig {
+            name: "OPT-6.7B".into(),
+            family: ModelFamily::DecoderOnly,
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            ffn: 16_384,
+            vocab: 50_272,
+            seq_len: 512,
+            batch: 2,
+        }
+    }
+
+    /// ResNet-18 stand-in (used for the Fig. 2 CNN-vs-Transformer contrast).
+    pub fn resnet18() -> Self {
+        ModelConfig {
+            name: "ResNet-18".into(),
+            family: ModelFamily::Cnn,
+            layers: 20,
+            hidden: 512,
+            heads: 1,
+            ffn: 512,
+            vocab: 1000,
+            seq_len: 49,
+            batch: 16,
+        }
+    }
+
+    /// The five Transformer models used in the GPU/accelerator performance
+    /// figures (Fig. 9, Fig. 10), in the paper's order.
+    pub fn performance_suite() -> Vec<ModelConfig> {
+        vec![
+            Self::bert_base(),
+            Self::bert_large(),
+            Self::bart_base(),
+            Self::gpt2_xl(),
+            Self::bloom_7b1(),
+        ]
+    }
+
+    /// The large language models of Tbl. 9.
+    pub fn llm_suite() -> Vec<ModelConfig> {
+        vec![Self::gpt2_xl(), Self::bloom_7b1(), Self::opt_6_7b()]
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Approximate Transformer parameter count (attention + FFN + embeddings).
+    pub fn approx_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let f = self.ffn as u64;
+        let l = self.layers as u64;
+        let v = self.vocab as u64;
+        // Per layer: QKV (3 h²) + output (h²) + FFN (2 h f) + norms (small).
+        l * (4 * h * h + 2 * h * f) + v * h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_are_in_the_right_ballpark() {
+        // Known published sizes: BERT-base ≈ 110M, BERT-large ≈ 340M,
+        // GPT2-XL ≈ 1.5B, OPT-6.7B ≈ 6.7B, BLOOM-7B1 ≈ 7.1B.
+        let close = |cfg: ModelConfig, expected_m: f64, tol: f64| {
+            let p = cfg.approx_params() as f64 / 1e6;
+            assert!(
+                (p - expected_m).abs() / expected_m < tol,
+                "{}: {} M params vs expected {} M",
+                cfg.name,
+                p,
+                expected_m
+            );
+        };
+        close(ModelConfig::bert_base(), 110.0, 0.25);
+        close(ModelConfig::bert_large(), 340.0, 0.25);
+        close(ModelConfig::gpt2_xl(), 1_500.0, 0.25);
+        close(ModelConfig::opt_6_7b(), 6_700.0, 0.25);
+        close(ModelConfig::bloom_7b1(), 7_100.0, 0.30);
+    }
+
+    #[test]
+    fn batch_sizes_follow_section_5_3() {
+        assert_eq!(ModelConfig::bert_base().batch, 16);
+        assert_eq!(ModelConfig::gpt2_xl().batch, 2);
+        assert_eq!(ModelConfig::bloom_7b1().batch, 2);
+    }
+
+    #[test]
+    fn head_dim_divides_hidden() {
+        for cfg in ModelConfig::performance_suite() {
+            assert_eq!(cfg.hidden % cfg.heads, 0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn suites_have_expected_members() {
+        let perf = ModelConfig::performance_suite();
+        assert_eq!(perf.len(), 5);
+        assert_eq!(perf[0].name, "BERT-base");
+        let llm = ModelConfig::llm_suite();
+        assert_eq!(llm.len(), 3);
+        assert_eq!(llm[2].name, "OPT-6.7B");
+    }
+
+    #[test]
+    fn larger_models_have_more_parameters() {
+        assert!(
+            ModelConfig::bert_large().approx_params() > ModelConfig::bert_base().approx_params()
+        );
+        assert!(
+            ModelConfig::bloom_7b1().approx_params() > ModelConfig::gpt2_xl().approx_params()
+        );
+    }
+}

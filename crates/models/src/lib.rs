@@ -1,0 +1,28 @@
+//! # olive-models
+//!
+//! Workload and model substrate for the OliVe reproduction:
+//!
+//! * [`config`] — architecture descriptions (layer counts, hidden sizes,
+//!   batch sizes) of the models the paper evaluates: BERT-base/large,
+//!   BART-base, GPT2-XL, BLOOM-7B1, OPT-6.7B and a ResNet-18 stand-in.
+//! * [`workload`] — the GEMM list of one forward pass of each model, which the
+//!   accelerator and GPU performance models consume.
+//! * [`resnet`] — ResNet-18 layer shapes (the CNN contrast of Fig. 2).
+//! * [`synth`] — synthetic tensors reproducing the outlier statistics of
+//!   Fig. 2 / Tbl. 2 (Gaussian bulk + sparse extreme outliers).
+//! * [`engine`] — a small runnable Transformer with planted outliers used as a
+//!   teacher–student accuracy proxy for the GLUE/SQuAD/perplexity tables.
+
+pub mod config;
+pub mod engine;
+pub mod resnet;
+pub mod synth;
+pub mod workload;
+
+pub use config::{ModelConfig, ModelFamily};
+pub use engine::{
+    agreement, logit_fidelity, pseudo_perplexity, EngineConfig, EvalTask, OutlierSeverity,
+    TinyTransformer,
+};
+pub use synth::{model_tensor_suite, NamedTensor, SynthProfile};
+pub use workload::{Gemm, GemmKind, Workload};

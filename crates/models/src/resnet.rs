@@ -1,0 +1,119 @@
+//! ResNet-18 layer shapes (the CNN contrast of Fig. 2).
+//!
+//! Convolutions are expressed as im2col GEMMs: for a convolution with `C_in`
+//! input channels, `C_out` output channels, kernel `K×K` and output spatial
+//! size `H×W`, the GEMM is `[batch·H·W, C_in·K²] × [C_in·K², C_out]`.
+
+use crate::workload::{Gemm, GemmKind};
+
+/// One convolutional layer of ResNet-18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Layer name index.
+    pub index: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Output spatial size (square, for 224×224 inputs).
+    pub out_hw: usize,
+}
+
+/// The convolutional layers of ResNet-18 (224×224 input), basic blocks only;
+/// 1×1 downsample shortcuts are included.
+pub fn resnet18_layers() -> Vec<ConvLayer> {
+    let mut layers = Vec::new();
+    let mut idx = 0;
+    let mut push = |c_in, c_out, kernel, out_hw: usize| {
+        layers.push(ConvLayer {
+            index: idx,
+            c_in,
+            c_out,
+            kernel,
+            out_hw,
+        });
+        idx += 1;
+    };
+    // Stem.
+    push(3, 64, 7, 112);
+    // Stage 1: two basic blocks at 56×56, 64 channels.
+    for _ in 0..4 {
+        push(64, 64, 3, 56);
+    }
+    // Stage 2: 128 channels at 28×28 (first conv downsamples) + shortcut.
+    push(64, 128, 3, 28);
+    push(128, 128, 3, 28);
+    push(64, 128, 1, 28);
+    push(128, 128, 3, 28);
+    push(128, 128, 3, 28);
+    // Stage 3: 256 channels at 14×14.
+    push(128, 256, 3, 14);
+    push(256, 256, 3, 14);
+    push(128, 256, 1, 14);
+    push(256, 256, 3, 14);
+    push(256, 256, 3, 14);
+    // Stage 4: 512 channels at 7×7.
+    push(256, 512, 3, 7);
+    push(512, 512, 3, 7);
+    push(256, 512, 1, 7);
+    push(512, 512, 3, 7);
+    push(512, 512, 3, 7);
+    layers
+}
+
+/// The im2col GEMM list of ResNet-18 plus the final classifier.
+pub fn resnet18_gemms(batch: usize) -> Vec<Gemm> {
+    let mut gemms: Vec<Gemm> = resnet18_layers()
+        .iter()
+        .map(|l| Gemm {
+            name: format!("conv{}", l.index),
+            m: batch * l.out_hw * l.out_hw,
+            k: l.c_in * l.kernel * l.kernel,
+            n: l.c_out,
+            kind: GemmKind::WeightActivation,
+        })
+        .collect();
+    gemms.push(Gemm {
+        name: "fc".into(),
+        m: batch,
+        k: 512,
+        n: 1000,
+        kind: GemmKind::WeightActivation,
+    });
+    gemms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_has_expected_conv_count() {
+        // 17 weight convs of the standard ResNet-18 plus 3 downsample 1×1s.
+        assert_eq!(resnet18_layers().len(), 20);
+    }
+
+    #[test]
+    fn total_macs_per_image_are_about_1_8_g() {
+        let macs: u64 = resnet18_gemms(1).iter().map(|g| g.macs()).sum();
+        let gmacs = macs as f64 / 1e9;
+        assert!(gmacs > 1.3 && gmacs < 2.5, "gmacs = {}", gmacs);
+    }
+
+    #[test]
+    fn parameter_count_is_about_11m() {
+        let params: u64 = resnet18_gemms(1).iter().map(|g| g.b_elems()).sum();
+        let m = params as f64 / 1e6;
+        assert!(m > 9.0 && m < 14.0, "params = {} M", m);
+    }
+
+    #[test]
+    fn gemm_batch_scales_rows() {
+        let g1 = resnet18_gemms(1);
+        let g4 = resnet18_gemms(4);
+        assert_eq!(g4[0].m, 4 * g1[0].m);
+        assert_eq!(g4[0].k, g1[0].k);
+    }
+}

@@ -1,0 +1,273 @@
+//! GEMM workload extraction.
+//!
+//! "The majority of Transformer layers are matrix multiplication operations"
+//! (paper Sec. 5.1), so the performance models operate on the list of GEMMs
+//! executed by one forward pass. This module turns a [`ModelConfig`] into that
+//! list, distinguishing weight×activation GEMMs (whose B operand is a weight
+//! tensor that can be compressed in DRAM) from activation×activation GEMMs
+//! (the attention score and context products).
+
+use crate::config::{ModelConfig, ModelFamily};
+
+/// Which kind of operands a GEMM consumes (relevant for weight-only schemes
+/// like GOBO and for DRAM-traffic accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmKind {
+    /// Activations × weights (linear projections, FFN, LM head).
+    WeightActivation,
+    /// Activations × activations (QKᵀ and probability-value products).
+    ActivationActivation,
+}
+
+/// One dense GEMM: `C[m, n] = A[m, k] × B[k, n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gemm {
+    /// Descriptive name ("layer0.qkv", "layer3.ffn1", …).
+    pub name: String,
+    /// Rows of A / C.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of B / C.
+    pub n: usize,
+    /// Operand kind.
+    pub kind: GemmKind,
+}
+
+impl Gemm {
+    /// Multiply-accumulate operations of this GEMM.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Elements of the A operand.
+    pub fn a_elems(&self) -> u64 {
+        self.m as u64 * self.k as u64
+    }
+
+    /// Elements of the B operand.
+    pub fn b_elems(&self) -> u64 {
+        self.k as u64 * self.n as u64
+    }
+
+    /// Elements of the C result.
+    pub fn c_elems(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+}
+
+/// The full GEMM workload of one forward pass of a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Model name this workload was extracted from.
+    pub model: String,
+    /// GEMMs in execution order.
+    pub gemms: Vec<Gemm>,
+}
+
+impl Workload {
+    /// Extracts the workload of one forward pass at the model's default batch
+    /// size and sequence length.
+    pub fn from_config(cfg: &ModelConfig) -> Self {
+        Self::with_batch_and_seq(cfg, cfg.batch, cfg.seq_len)
+    }
+
+    /// Extracts the workload for an explicit batch size and sequence length.
+    pub fn with_batch_and_seq(cfg: &ModelConfig, batch: usize, seq: usize) -> Self {
+        let mut gemms = Vec::new();
+        if cfg.family == ModelFamily::Cnn {
+            gemms.extend(crate::resnet::resnet18_gemms(batch));
+            return Workload {
+                model: cfg.name.clone(),
+                gemms,
+            };
+        }
+        let tokens = batch * seq;
+        let h = cfg.hidden;
+        let f = cfg.ffn;
+        let heads = cfg.heads;
+        let dh = cfg.head_dim();
+        for l in 0..cfg.layers {
+            let p = |suffix: &str| format!("layer{}.{}", l, suffix);
+            // Fused QKV projection.
+            gemms.push(Gemm {
+                name: p("qkv"),
+                m: tokens,
+                k: h,
+                n: 3 * h,
+                kind: GemmKind::WeightActivation,
+            });
+            // Attention scores QKᵀ: per head [S, dh] × [dh, S], batched.
+            gemms.push(Gemm {
+                name: p("attn_scores"),
+                m: batch * heads * seq,
+                k: dh,
+                n: seq,
+                kind: GemmKind::ActivationActivation,
+            });
+            // Attention context P·V.
+            gemms.push(Gemm {
+                name: p("attn_context"),
+                m: batch * heads * seq,
+                k: seq,
+                n: dh,
+                kind: GemmKind::ActivationActivation,
+            });
+            // Output projection.
+            gemms.push(Gemm {
+                name: p("attn_out"),
+                m: tokens,
+                k: h,
+                n: h,
+                kind: GemmKind::WeightActivation,
+            });
+            // FFN.
+            gemms.push(Gemm {
+                name: p("ffn1"),
+                m: tokens,
+                k: h,
+                n: f,
+                kind: GemmKind::WeightActivation,
+            });
+            gemms.push(Gemm {
+                name: p("ffn2"),
+                m: tokens,
+                k: f,
+                n: h,
+                kind: GemmKind::WeightActivation,
+            });
+        }
+        // LM head / classifier projection.
+        gemms.push(Gemm {
+            name: "lm_head".into(),
+            m: tokens,
+            k: h,
+            n: cfg.vocab,
+            kind: GemmKind::WeightActivation,
+        });
+        Workload {
+            model: cfg.name.clone(),
+            gemms,
+        }
+    }
+
+    /// Total MAC count.
+    pub fn total_macs(&self) -> u64 {
+        self.gemms.iter().map(Gemm::macs).sum()
+    }
+
+    /// Total weight elements (B operands of weight×activation GEMMs).
+    pub fn weight_elems(&self) -> u64 {
+        self.gemms
+            .iter()
+            .filter(|g| g.kind == GemmKind::WeightActivation)
+            .map(Gemm::b_elems)
+            .sum()
+    }
+
+    /// Total activation elements read (A operands plus activation-side B
+    /// operands).
+    pub fn activation_elems(&self) -> u64 {
+        self.gemms
+            .iter()
+            .map(|g| {
+                g.a_elems()
+                    + if g.kind == GemmKind::ActivationActivation {
+                        g.b_elems()
+                    } else {
+                        0
+                    }
+            })
+            .sum()
+    }
+
+    /// Total output elements written.
+    pub fn output_elems(&self) -> u64 {
+        self.gemms.iter().map(Gemm::c_elems).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_layer_structure() {
+        let wl = Workload::from_config(&ModelConfig::bert_base());
+        // 6 GEMMs per layer + LM head.
+        assert_eq!(wl.gemms.len(), 12 * 6 + 1);
+        assert!(wl.gemms.iter().any(|g| g.name == "layer0.qkv"));
+        assert!(wl.gemms.iter().any(|g| g.name == "layer11.ffn2"));
+    }
+
+    #[test]
+    fn qkv_gemm_shape_matches_hidden_size() {
+        let cfg = ModelConfig::bert_base();
+        let wl = Workload::from_config(&cfg);
+        let qkv = wl.gemms.iter().find(|g| g.name == "layer0.qkv").unwrap();
+        assert_eq!(qkv.m, cfg.batch * cfg.seq_len);
+        assert_eq!(qkv.k, 768);
+        assert_eq!(qkv.n, 3 * 768);
+        assert_eq!(qkv.kind, GemmKind::WeightActivation);
+    }
+
+    #[test]
+    fn attention_gemms_are_activation_activation() {
+        let wl = Workload::from_config(&ModelConfig::bert_base());
+        let scores = wl
+            .gemms
+            .iter()
+            .find(|g| g.name == "layer0.attn_scores")
+            .unwrap();
+        assert_eq!(scores.kind, GemmKind::ActivationActivation);
+        assert_eq!(scores.k, 64); // head_dim of BERT-base
+    }
+
+    #[test]
+    fn flop_count_scales_with_model_size() {
+        let small = Workload::from_config(&ModelConfig::bert_base()).total_macs();
+        let large = Workload::from_config(&ModelConfig::bert_large()).total_macs();
+        assert!(large > 2 * small);
+    }
+
+    #[test]
+    fn weight_elems_approximate_parameter_count() {
+        let cfg = ModelConfig::bert_base();
+        let wl = Workload::from_config(&cfg);
+        let weights = wl.weight_elems();
+        let params = cfg.approx_params();
+        // The workload's weight GEMMs should account for most parameters
+        // (embeddings are excluded except the LM head).
+        assert!(weights as f64 > 0.6 * params as f64);
+        assert!((weights as f64) < 1.2 * params as f64);
+    }
+
+    #[test]
+    fn macs_of_single_gemm() {
+        let g = Gemm {
+            name: "t".into(),
+            m: 2,
+            k: 3,
+            n: 4,
+            kind: GemmKind::WeightActivation,
+        };
+        assert_eq!(g.macs(), 24);
+        assert_eq!(g.a_elems(), 6);
+        assert_eq!(g.b_elems(), 12);
+        assert_eq!(g.c_elems(), 8);
+    }
+
+    #[test]
+    fn gpt_uses_small_batch() {
+        let wl = Workload::from_config(&ModelConfig::gpt2_xl());
+        let qkv = wl.gemms.iter().find(|g| g.name == "layer0.qkv").unwrap();
+        assert_eq!(qkv.m, 2 * 512);
+    }
+
+    #[test]
+    fn resnet_workload_is_convolutional() {
+        let wl = Workload::from_config(&ModelConfig::resnet18());
+        assert!(!wl.gemms.is_empty());
+        assert!(wl.total_macs() > 1_000_000_000); // ~1.8 GMACs/image * 16
+    }
+}

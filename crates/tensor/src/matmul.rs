@@ -1,0 +1,244 @@
+//! Dense matrix multiplication and common neural-network primitives.
+
+use crate::Tensor;
+
+/// Dense row-major GEMM: `C = A × B`.
+///
+/// `a` must be `[m, k]` and `b` must be `[k, n]`; the result is `[m, n]`.
+///
+/// The inner loop is written in `i-k-j` order so the compiler can vectorise the
+/// innermost accumulation over contiguous memory.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match or the inputs are not rank-2.
+///
+/// # Examples
+///
+/// ```
+/// use olive_tensor::Tensor;
+/// use olive_tensor::matmul::matmul;
+///
+/// let a = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0]);
+/// assert_eq!(matmul(&a, &b)[[0, 0]], 11.0);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dimensions mismatch: {} vs {}", k, kb);
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A × Bᵀ` without materialising the transpose.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`; the result is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_transpose_b inner dimensions mismatch");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Adds a rank-1 bias (length `n`) to every row of a `[m, n]` tensor.
+///
+/// # Panics
+///
+/// Panics if the bias length does not match the number of columns.
+pub fn add_bias(x: &Tensor, bias: &[f32]) -> Tensor {
+    let (m, n) = (x.rows(), x.cols());
+    assert_eq!(n, bias.len(), "bias length mismatch");
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = out.row_mut(i);
+        for j in 0..n {
+            row[j] += bias[j];
+        }
+    }
+    out
+}
+
+/// Row-wise softmax of a `[m, n]` tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (m, n) = (x.rows(), x.cols());
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = out.row_mut(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        } else {
+            let u = 1.0 / n as f32;
+            for v in row.iter_mut() {
+                *v = u;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise layer normalisation with learned scale (`gamma`) and shift (`beta`).
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths do not match the number of columns.
+pub fn layer_norm(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+    let (m, n) = (x.rows(), x.cols());
+    assert_eq!(n, gamma.len(), "gamma length mismatch");
+    assert_eq!(n, beta.len(), "beta length mismatch");
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = out.row_mut(i);
+        let mean: f32 = row.iter().sum::<f32>() / n as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for j in 0..n {
+            row[j] = (row[j] - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+    out
+}
+
+/// The GELU activation (tanh approximation), applied element-wise.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        let v3 = v * v * v;
+        0.5 * v * (1.0 + ((0.797_884_6_f32) * (v + 0.044715 * v3)).tanh())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let id = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&id, &a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Tensor::from_vec(vec![4, 3], (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let direct = matmul_transpose_b(&a, &b);
+        let explicit = matmul(&a, &b.transpose());
+        for i in 0..direct.len() {
+            assert!(close(direct[i], explicit[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!(close(sum, 1.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]);
+        let y = Tensor::from_vec(vec![1, 3], vec![101.0, 102.0, 103.0]);
+        let sx = softmax_rows(&x);
+        let sy = softmax_rows(&y);
+        for i in 0..3 {
+            assert!(close(sx[i], sy[i]));
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let y = layer_norm(&x, &g, &b, 1e-5);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn add_bias_adds_per_column() {
+        let x = Tensor::zeros(vec![2, 3]);
+        let y = add_bias(&x, &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_behaviour_at_extremes() {
+        let x = Tensor::from_slice(&[-10.0, 0.0, 10.0]);
+        let y = gelu(&x);
+        assert!(y[0].abs() < 1e-3);
+        assert_eq!(y[1], 0.0);
+        assert!((y[2] - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Run the GPU and systolic-array performance models across the paper's model
+//! suite and print speedup/energy summaries (a condensed Fig. 9 + Fig. 10).
+//!
+//! Run with: `cargo run --release --example accelerator_comparison`
+
+use olive::accel::{geomean, GpuSimulator, QuantScheme, SystolicSimulator};
+use olive::models::{ModelConfig, Workload};
+
+fn main() {
+    let models = ModelConfig::performance_suite();
+
+    println!("== GPU (RTX 2080 Ti class), speedup normalized to GOBO ==");
+    let gpu = GpuSimulator::rtx_2080_ti();
+    let gpu_schemes = QuantScheme::gpu_comparison_set();
+    print_comparison(&models, |wl, s| gpu.run(wl, s).latency_s, &gpu_schemes);
+
+    println!("\n== Systolic-array accelerator, speedup normalized to AdaFloat ==");
+    let sa = SystolicSimulator::paper_default();
+    let sa_schemes = QuantScheme::accelerator_comparison_set();
+    print_comparison(&models, |wl, s| sa.run(wl, s).latency_s, &sa_schemes);
+}
+
+fn print_comparison<F>(models: &[ModelConfig], latency: F, schemes: &[QuantScheme])
+where
+    F: Fn(&Workload, &QuantScheme) -> f64,
+{
+    print!("{:<12}", "model");
+    for s in schemes {
+        print!("{:>10}", s.name);
+    }
+    println!();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for cfg in models {
+        let wl = Workload::from_config(cfg);
+        let latencies: Vec<f64> = schemes.iter().map(|s| latency(&wl, s)).collect();
+        let slowest = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        print!("{:<12}", cfg.name);
+        for (i, l) in latencies.iter().enumerate() {
+            let speedup = slowest / l;
+            per_scheme[i].push(speedup);
+            print!("{:>9.2}x", speedup);
+        }
+        println!();
+    }
+    print!("{:<12}", "geomean");
+    for s in &per_scheme {
+        print!("{:>9.2}x", geomean(s));
+    }
+    println!();
+}

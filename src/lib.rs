@@ -1,0 +1,49 @@
+//! # OliVe: Outlier-Victim Pair Quantization
+//!
+//! A reproduction of *"OliVe: Accelerating Large Language Models via
+//! Hardware-friendly Outlier-Victim Pair Quantization"* (ISCA 2023).
+//!
+//! This facade crate re-exports the individual workspace crates:
+//!
+//! * [`tensor`] — minimal dense tensor library (matmul, statistics, RNG).
+//! * [`dtypes`] — the numeric data types used by OliVe (`int4`, `flint4`,
+//!   `int8`, `abfloat`) and their hardware-style decoders.
+//! * [`core`] — the outlier-victim pair (OVP) encoding, the OliVe quantization
+//!   framework and the bit-accurate quantized GEMM.
+//! * [`baselines`] — re-implementations of the quantization baselines the paper
+//!   compares against (ANT, GOBO, OLAccel, AdaptivFloat, int4/int8, Outlier
+//!   Suppression).
+//! * [`models`] — transformer workload definitions (BERT/BART/GPT-2/BLOOM/OPT),
+//!   synthetic outlier-realistic tensors and a small runnable transformer used
+//!   as an accuracy proxy.
+//! * [`accel`] — cycle-level systolic-array and analytical GPU performance,
+//!   energy and area models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use olive::core::{OliveQuantizer, NormalType};
+//! use olive::tensor::Tensor;
+//! use olive::tensor::rng::Rng;
+//!
+//! // A tensor with a couple of large outliers.
+//! let mut rng = Rng::seed_from(42);
+//! let mut data: Vec<f32> = (0..128).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+//! data[17] = 58.0;
+//! data[90] = -44.0;
+//! let t = Tensor::from_vec(vec![8, 16], data);
+//!
+//! let quantizer = OliveQuantizer::int4();
+//! let q = quantizer.quantize(&t);
+//! let back = q.dequantize();
+//! // Outliers survive 4-bit quantization.
+//! assert!((back[[1, 1]] - 58.0).abs() / 58.0 < 0.20);
+//! assert_eq!(q.spec().normal_type, NormalType::Int4);
+//! ```
+
+pub use olive_accel as accel;
+pub use olive_baselines as baselines;
+pub use olive_core as core;
+pub use olive_dtypes as dtypes;
+pub use olive_models as models;
+pub use olive_tensor as tensor;
