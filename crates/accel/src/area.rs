@@ -98,8 +98,16 @@ mod tests {
     fn table10_totals_match_paper() {
         let rows = gpu_decoder_area_table();
         // Paper: 1.88 mm² (0.250%) and 1.25 mm² (0.166%).
-        assert!((rows[0].total_mm2 - 1.88).abs() < 0.03, "{}", rows[0].total_mm2);
-        assert!((rows[1].total_mm2 - 1.25).abs() < 0.03, "{}", rows[1].total_mm2);
+        assert!(
+            (rows[0].total_mm2 - 1.88).abs() < 0.03,
+            "{}",
+            rows[0].total_mm2
+        );
+        assert!(
+            (rows[1].total_mm2 - 1.25).abs() < 0.03,
+            "{}",
+            rows[1].total_mm2
+        );
         assert!((rows[0].ratio - 0.0025).abs() < 2e-4);
         assert!((rows[1].ratio - 0.00166).abs() < 2e-4);
     }
@@ -140,13 +148,17 @@ mod tests {
         // reasonable approximation).
         let scaled = scale_area(DECODER4_UM2_22NM, 22.0, 12.0);
         let rel = (scaled - DECODER4_UM2_12NM).abs() / DECODER4_UM2_12NM;
-        assert!(rel < 0.35, "scaled {} vs published {}", scaled, DECODER4_UM2_12NM);
+        assert!(
+            rel < 0.35,
+            "scaled {} vs published {}",
+            scaled,
+            DECODER4_UM2_12NM
+        );
     }
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn scale_area_rejects_zero_node()
-    {
+    fn scale_area_rejects_zero_node() {
         let _ = scale_area(1.0, 0.0, 12.0);
     }
 }

@@ -211,7 +211,11 @@ mod tests {
         let results = sim.compare(&wl, &QuantScheme::gpu_comparison_set());
         let olive = results[0].energy.total();
         for r in &results[1..] {
-            assert!(olive < r.energy.total(), "{} uses less energy than OliVe", r.scheme);
+            assert!(
+                olive < r.energy.total(),
+                "{} uses less energy than OliVe",
+                r.scheme
+            );
         }
     }
 
@@ -219,10 +223,7 @@ mod tests {
     fn single_token_decode_is_more_memory_bound_than_batched_prefill() {
         let sim = GpuSimulator::rtx_2080_ti();
         let scheme = QuantScheme::fp16();
-        let prefill = sim.run(
-            &Workload::from_config(&ModelConfig::bloom_7b1()),
-            &scheme,
-        );
+        let prefill = sim.run(&Workload::from_config(&ModelConfig::bloom_7b1()), &scheme);
         let decode = sim.run(
             &Workload::with_batch_and_seq(&ModelConfig::bloom_7b1(), 1, 1),
             &scheme,

@@ -88,8 +88,8 @@ impl SystolicSimulator {
 
     /// Effective square array dimension for a scheme at iso-area.
     pub fn array_dim(&self, scheme: &QuantScheme) -> usize {
-        let per_pe_cost = scheme.compute.pe_area_factor()
-            * (1.0 + scheme.outlier_controller_area_overhead);
+        let per_pe_cost =
+            scheme.compute.pe_area_factor() * (1.0 + scheme.outlier_controller_area_overhead);
         let pes = (self.config.pe_area_budget as f64 / per_pe_cost).max(1.0);
         (pes.sqrt().floor() as usize).max(1)
     }
@@ -134,9 +134,7 @@ impl SystolicSimulator {
             }
 
             let (a_bits, b_bits) = match g.kind {
-                GemmKind::WeightActivation => {
-                    (scheme.act_storage_bits, scheme.weight_storage_bits)
-                }
+                GemmKind::WeightActivation => (scheme.act_storage_bits, scheme.weight_storage_bits),
                 GemmKind::ActivationActivation => {
                     (scheme.act_storage_bits, scheme.act_storage_bits)
                 }
@@ -218,7 +216,11 @@ mod tests {
         let results = sim.compare(&wl, &QuantScheme::accelerator_comparison_set());
         let olive = results[0].energy.total();
         for r in &results[1..] {
-            assert!(olive < r.energy.total(), "{} beats OliVe on energy", r.scheme);
+            assert!(
+                olive < r.energy.total(),
+                "{} beats OliVe on energy",
+                r.scheme
+            );
         }
     }
 

@@ -73,8 +73,8 @@ impl AdaptivFloatQuantizer {
         let sign = x.signum();
         let mag = x.abs();
         let max_exp_field = (1i32 << self.exponent_bits) - 1;
-        let max_val = (2.0 - 0.5f32.powi(self.mantissa_bits as i32))
-            * 2f32.powi(max_exp_field + bias);
+        let max_val =
+            (2.0 - 0.5f32.powi(self.mantissa_bits as i32)) * 2f32.powi(max_exp_field + bias);
         let min_val = 2f32.powi(bias);
         if mag >= max_val {
             return sign * max_val;

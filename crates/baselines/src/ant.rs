@@ -142,7 +142,9 @@ impl AntQuantizer {
             return (t.clone(), 1.0);
         }
         let hi = stats.max_abs as f32 / gmax;
-        let lo = (((3.0 * stats.std) as f32) / gmax).min(hi * 0.999).max(hi * 1e-3);
+        let lo = (((3.0 * stats.std) as f32) / gmax)
+            .min(hi * 0.999)
+            .max(hi * 1e-3);
         let mut best_scale = hi;
         let mut best_mse = f64::INFINITY;
         let mut best = t.clone();
@@ -165,7 +167,11 @@ impl AntQuantizer {
         let mean_sq = if t.is_empty() {
             0.0
         } else {
-            t.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / t.len() as f64
+            t.data()
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                / t.len() as f64
         };
         let rel = |deq: &Tensor| -> f64 {
             if mean_sq == 0.0 {
@@ -179,7 +185,7 @@ impl AntQuantizer {
         for ty in [AntType::Int4, AntType::Flint4, AntType::Float4] {
             let (deq, _) = self.fake_quant_grid(t, &ty.grid());
             let r = rel(&deq);
-            if best.as_ref().map_or(true, |(_, _, br)| r < *br) {
+            if best.as_ref().is_none_or(|(_, _, br)| r < *br) {
                 best = Some((ty, deq, r));
             }
         }
@@ -195,7 +201,13 @@ impl AntQuantizer {
                 ty = AntType::Int8;
             }
         }
-        (deq, AntDecision { chosen: ty, rel_mse: r })
+        (
+            deq,
+            AntDecision {
+                chosen: ty,
+                rel_mse: r,
+            },
+        )
     }
 
     /// Fraction of the given tensors that would escalate to int8.
@@ -319,7 +331,12 @@ mod tests {
 
     #[test]
     fn type_grids_are_symmetric_and_contain_zero() {
-        for ty in [AntType::Int4, AntType::Flint4, AntType::Float4, AntType::Int8] {
+        for ty in [
+            AntType::Int4,
+            AntType::Flint4,
+            AntType::Float4,
+            AntType::Int8,
+        ] {
             let g = ty.grid();
             assert!(g.contains(&0.0));
             for &v in &g {

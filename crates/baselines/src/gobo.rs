@@ -71,7 +71,11 @@ impl GoboQuantizer {
         let threshold = (stats.mean.abs() + self.outlier_sigma * stats.std) as f32;
         let data = t.data();
 
-        let normals: Vec<f32> = data.iter().copied().filter(|x| x.abs() <= threshold).collect();
+        let normals: Vec<f32> = data
+            .iter()
+            .copied()
+            .filter(|x| x.abs() <= threshold)
+            .collect();
         let n_outliers = data.len() - normals.len();
         let k = 1usize << self.centroid_bits;
 

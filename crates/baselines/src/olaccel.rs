@@ -62,8 +62,7 @@ impl OlAccelQuantizer {
         }
         let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
         mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let k = ((t.len() as f64 * self.outlier_fraction).ceil() as usize)
-            .clamp(1, t.len());
+        let k = ((t.len() as f64 * self.outlier_fraction).ceil() as usize).clamp(1, t.len());
         mags[k - 1]
     }
 }
@@ -103,8 +102,7 @@ impl TensorQuantizer for OlAccelQuantizer {
 
     fn bits_per_element(&self) -> f64 {
         // Dense bits plus the outlier payload and coordinate overhead.
-        self.normal_bits as f64
-            + self.outlier_fraction * (self.outlier_bits as f64 + 32.0)
+        self.normal_bits as f64 + self.outlier_fraction * (self.outlier_bits as f64 + 32.0)
     }
 }
 

@@ -1,62 +1,65 @@
-//! Criterion micro-benchmarks of the OVP encode/decode path and the abfloat
-//! encoder (the per-value software cost of the scheme).
+//! Micro-benchmarks of the OVP encode/decode path and the abfloat encoder
+//! (the per-value software cost of the scheme), on the in-repo olive-harness
+//! runner — this workspace builds offline, so no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use olive_core::OliveQuantizer;
 use olive_dtypes::abfloat::{AbfloatCode, AbfloatFormat};
+use olive_harness::bench::{black_box, BenchSuite};
 use olive_models::SynthProfile;
 use olive_tensor::rng::Rng;
 
-fn bench_tensor_quantize(c: &mut Criterion) {
+fn bench_tensor_quantize(suite: &mut BenchSuite) {
     let mut rng = Rng::seed_from(0xBE);
     let t = SynthProfile::transformer().generate(vec![256, 1024], &mut rng);
-    let mut group = c.benchmark_group("ovp_quantize");
-    group.throughput(Throughput::Elements(t.len() as u64));
-    group.bench_function("int4_full_search", |b| {
-        let q = OliveQuantizer::int4();
-        b.iter(|| black_box(q.quantize(black_box(&t))))
+    let elements = t.len() as u64;
+    let q4 = OliveQuantizer::int4();
+    suite.bench_with_elements("ovp_quantize/int4_full_search", elements, || {
+        black_box(q4.quantize(black_box(&t)))
     });
-    group.bench_function("int4_fixed_scale", |b| {
-        let q = OliveQuantizer::int4();
-        let scale = q.select_scale(&t);
-        b.iter(|| black_box(q.quantize_with_scale(black_box(&t), scale)))
+    let scale4 = q4.select_scale(&t);
+    suite.bench_with_elements("ovp_quantize/int4_fixed_scale", elements, || {
+        black_box(q4.quantize_with_scale(black_box(&t), scale4))
     });
-    group.bench_function("int8_fixed_scale", |b| {
-        let q = OliveQuantizer::int8();
-        let scale = q.select_scale(&t);
-        b.iter(|| black_box(q.quantize_with_scale(black_box(&t), scale)))
+    let q8 = OliveQuantizer::int8();
+    let scale8 = q8.select_scale(&t);
+    suite.bench_with_elements("ovp_quantize/int8_fixed_scale", elements, || {
+        black_box(q8.quantize_with_scale(black_box(&t), scale8))
     });
-    group.finish();
 }
 
-fn bench_dequantize(c: &mut Criterion) {
+fn bench_dequantize(suite: &mut BenchSuite) {
     let mut rng = Rng::seed_from(0xDE);
     let t = SynthProfile::transformer().generate(vec![256, 1024], &mut rng);
     let q = OliveQuantizer::int4().quantize(&t);
-    let mut group = c.benchmark_group("ovp_decode");
-    group.throughput(Throughput::Elements(t.len() as u64));
-    group.bench_function("dequantize", |b| b.iter(|| black_box(q.dequantize())));
-    group.bench_function("decode_expints", |b| b.iter(|| black_box(q.decode_expints())));
-    group.finish();
+    let elements = t.len() as u64;
+    suite.bench_with_elements("ovp_decode/dequantize", elements, || {
+        black_box(q.dequantize())
+    });
+    suite.bench_with_elements("ovp_decode/decode_expints", elements, || {
+        black_box(q.decode_expints())
+    });
 }
 
-fn bench_abfloat(c: &mut Criterion) {
+fn bench_abfloat(suite: &mut BenchSuite) {
     let mut rng = Rng::seed_from(0xAB);
     let values: Vec<f32> = (0..4096)
         .map(|_| rng.uniform_range(8.0, 300.0) as f32)
         .collect();
-    c.bench_function("abfloat_encode_e2m1", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &v in &values {
-                acc = acc.wrapping_add(
-                    AbfloatCode::encode(black_box(v), 2, AbfloatFormat::E2M1).bits() as u32,
-                );
-            }
-            black_box(acc)
-        })
+    suite.bench_with_elements("abfloat_encode_e2m1", values.len() as u64, || {
+        let mut acc = 0u32;
+        for &v in &values {
+            acc = acc.wrapping_add(
+                AbfloatCode::encode(black_box(v), 2, AbfloatFormat::E2M1).bits() as u32,
+            );
+        }
+        black_box(acc)
     });
 }
 
-criterion_group!(benches, bench_tensor_quantize, bench_dequantize, bench_abfloat);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("encoding");
+    bench_tensor_quantize(&mut suite);
+    bench_dequantize(&mut suite);
+    bench_abfloat(&mut suite);
+    suite.report();
+}

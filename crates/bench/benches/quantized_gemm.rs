@@ -1,13 +1,14 @@
-//! Criterion benchmarks of the bit-accurate quantized GEMM versus the FP32
-//! reference GEMM.
+//! Micro-benchmarks of the bit-accurate quantized GEMM versus the FP32
+//! reference GEMM, on the in-repo olive-harness runner — this workspace
+//! builds offline, so no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use olive_core::{quantized_matmul, OliveQuantizer};
+use olive_harness::bench::{black_box, BenchSuite};
 use olive_models::SynthProfile;
 use olive_tensor::matmul::matmul;
 use olive_tensor::rng::Rng;
 
-fn bench_gemm(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng::seed_from(0x6E);
     let a = SynthProfile::transformer().generate(vec![64, 256], &mut rng);
     let b = SynthProfile::transformer().generate(vec![256, 64], &mut rng);
@@ -15,16 +16,12 @@ fn bench_gemm(c: &mut Criterion) {
     let qb = OliveQuantizer::int4().quantize(&b);
 
     let macs = (a.rows() * a.cols() * b.cols()) as u64;
-    let mut group = c.benchmark_group("gemm_64x256x64");
-    group.throughput(Throughput::Elements(macs));
-    group.bench_function("fp32_reference", |bch| {
-        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    let mut suite = BenchSuite::new("quantized_gemm");
+    suite.bench_with_elements("gemm_64x256x64/fp32_reference", macs, || {
+        black_box(matmul(black_box(&a), black_box(&b)))
     });
-    group.bench_function("ovp_int4_bit_accurate", |bch| {
-        bch.iter(|| black_box(quantized_matmul(black_box(&qa), black_box(&qb))))
+    suite.bench_with_elements("gemm_64x256x64/ovp_int4_bit_accurate", macs, || {
+        black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
     });
-    group.finish();
+    suite.report();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

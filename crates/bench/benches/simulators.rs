@@ -1,27 +1,28 @@
-//! Criterion benchmarks of the performance simulators themselves (how long it
-//! takes to evaluate one model under one scheme — useful when sweeping).
+//! Micro-benchmarks of the performance simulators themselves (how long it
+//! takes to evaluate one model under one scheme — useful when sweeping), on
+//! the in-repo olive-harness runner — this workspace builds offline, so no
+//! criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use olive_accel::{GpuSimulator, QuantScheme, SystolicSimulator};
+use olive_harness::bench::{black_box, BenchSuite};
 use olive_models::{ModelConfig, Workload};
 
-fn bench_simulators(c: &mut Criterion) {
+fn main() {
     let wl = Workload::from_config(&ModelConfig::bert_base());
     let gpu = GpuSimulator::rtx_2080_ti();
     let sa = SystolicSimulator::paper_default();
     let scheme = QuantScheme::olive4();
 
-    c.bench_function("gpu_model_bert_base", |b| {
-        b.iter(|| black_box(gpu.run(black_box(&wl), black_box(&scheme))))
+    let mut suite = BenchSuite::new("simulators");
+    suite.bench("gpu_model_bert_base", || {
+        black_box(gpu.run(black_box(&wl), black_box(&scheme)))
     });
-    c.bench_function("systolic_model_bert_base", |b| {
-        b.iter(|| black_box(sa.run(black_box(&wl), black_box(&scheme))))
+    suite.bench("systolic_model_bert_base", || {
+        black_box(sa.run(black_box(&wl), black_box(&scheme)))
     });
-    c.bench_function("workload_extraction_bloom", |b| {
-        let cfg = ModelConfig::bloom_7b1();
-        b.iter(|| black_box(Workload::from_config(black_box(&cfg))))
+    let bloom = ModelConfig::bloom_7b1();
+    suite.bench("workload_extraction_bloom", || {
+        black_box(Workload::from_config(black_box(&bloom)))
     });
+    suite.report();
 }
-
-criterion_group!(benches, bench_simulators);
-criterion_main!(benches);

@@ -27,7 +27,13 @@ impl Experiment {
     /// Builds a teacher + task pair for a named task with the harness-default
     /// model size and input count.
     pub fn build(task_name: &str, severity: OutlierSeverity, seed: u64) -> Self {
-        Self::build_sized(task_name, severity, seed, EngineConfig::small(), TASK_INPUTS)
+        Self::build_sized(
+            task_name,
+            severity,
+            seed,
+            EngineConfig::small(),
+            TASK_INPUTS,
+        )
     }
 
     /// Builds a teacher + task pair with an explicit model size and input
@@ -51,24 +57,24 @@ impl Experiment {
     /// (+ optional activation) quantizer.
     pub fn accuracy(&self, weight_q: &dyn TensorQuantizer, quantize_acts: bool) -> f64 {
         let student = self.teacher.quantize_weights(weight_q);
-        let act_q: Option<&dyn TensorQuantizer> = if quantize_acts && weight_q.quantizes_activations()
-        {
-            Some(weight_q)
-        } else {
-            None
-        };
+        let act_q: Option<&dyn TensorQuantizer> =
+            if quantize_acts && weight_q.quantizes_activations() {
+                Some(weight_q)
+            } else {
+                None
+            };
         logit_fidelity(&self.teacher, &student, &self.task, act_q)
     }
 
     /// Pseudo-perplexity for a weight (+ optional activation) quantizer.
     pub fn perplexity(&self, weight_q: &dyn TensorQuantizer, quantize_acts: bool) -> f64 {
         let student = self.teacher.quantize_weights(weight_q);
-        let act_q: Option<&dyn TensorQuantizer> = if quantize_acts && weight_q.quantizes_activations()
-        {
-            Some(weight_q)
-        } else {
-            None
-        };
+        let act_q: Option<&dyn TensorQuantizer> =
+            if quantize_acts && weight_q.quantizes_activations() {
+                Some(weight_q)
+            } else {
+                None
+            };
         pseudo_perplexity(&self.teacher, &student, &self.task, act_q)
     }
 

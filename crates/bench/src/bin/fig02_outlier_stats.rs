@@ -44,8 +44,8 @@ fn print_series(title: &str, stats: &[TensorStats]) {
 
 fn main() {
     println!("Figure 2 reproduction: outlier statistics, CNN vs Transformer");
-    let cnn = tensor_series(&ModelConfig::resnet18(), 0xF16_02_01);
-    let bert = tensor_series(&ModelConfig::bert_base(), 0xF16_02_02);
+    let cnn = tensor_series(&ModelConfig::resnet18(), 0xF160201);
+    let bert = tensor_series(&ModelConfig::bert_base(), 0xF160202);
     print_series("Fig. 2a — ResNet-18 (synthetic CNN tensors)", &cnn);
     print_series("Fig. 2b — BERT-base (synthetic Transformer tensors)", &bert);
 

@@ -64,10 +64,10 @@ fn largest_outliers(cfg: &ModelConfig, seed: u64) -> Vec<f32> {
 fn main() {
     println!("Figure 5 reproduction: abfloat configuration rounding error on outliers");
     let models = [
-        (ModelConfig::bert_base(), 0xF5_01u64),
-        (ModelConfig::bert_large(), 0xF5_02),
-        (ModelConfig::bart_base(), 0xF5_03),
-        (ModelConfig::gpt2_xl(), 0xF5_04),
+        (ModelConfig::bert_base(), 0xF501u64),
+        (ModelConfig::bert_large(), 0xF502),
+        (ModelConfig::bart_base(), 0xF503),
+        (ModelConfig::gpt2_xl(), 0xF504),
     ];
     let formats = AbfloatFormat::four_bit_formats();
     let mut table = Table::new(
@@ -81,7 +81,11 @@ fn main() {
             .iter()
             .map(|&f| mean_error(&outliers, f, complementary_bias(f)))
             .collect();
-        let best = errors.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+        let best = errors
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
         let mut row = vec![cfg.name.clone()];
         row.extend(errors.iter().map(|e| fmt_f(e / best, 2)));
         table.row(row);

@@ -28,10 +28,7 @@ fn main() {
     for cfg in &models {
         let wl = Workload::from_config(cfg);
         let results = sim.compare(&wl, &schemes);
-        let baseline = results
-            .iter()
-            .map(|r| r.latency_s)
-            .fold(f64::MIN, f64::max);
+        let baseline = results.iter().map(|r| r.latency_s).fold(f64::MIN, f64::max);
         let olive_latency = results[0].latency_s;
         let mut row = vec![cfg.name.clone()];
         for (i, r) in results.iter().enumerate() {
@@ -94,11 +91,17 @@ fn main() {
     }
     energy_table.print_with_title("Fig. 9b — normalized energy breakdown (normalized to GOBO)");
 
-    println!("OliVe geomean energy reduction vs each design (paper: 4.0x GOBO, 2.3x INT8, 2.0x ANT):");
+    println!(
+        "OliVe geomean energy reduction vs each design (paper: 4.0x GOBO, 2.3x INT8, 2.0x ANT):"
+    );
     for (i, s) in schemes.iter().enumerate() {
         if i == 0 {
             continue;
         }
-        println!("  vs {:<8} {:>6}", s.name, fmt_x(geomean(&olive_energy_ratio[i])));
+        println!(
+            "  vs {:<8} {:>6}",
+            s.name,
+            fmt_x(geomean(&olive_energy_ratio[i]))
+        );
     }
 }

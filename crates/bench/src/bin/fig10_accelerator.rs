@@ -24,10 +24,7 @@ fn main() {
     for cfg in &models {
         let wl = Workload::from_config(cfg);
         let results = sim.compare(&wl, &schemes);
-        let baseline = results
-            .iter()
-            .map(|r| r.latency_s)
-            .fold(f64::MIN, f64::max);
+        let baseline = results.iter().map(|r| r.latency_s).fold(f64::MIN, f64::max);
         let olive_latency = results[0].latency_s;
         let mut row = vec![cfg.name.clone()];
         for (i, r) in results.iter().enumerate() {
@@ -87,7 +84,8 @@ fn main() {
             ]);
         }
     }
-    energy_table.print_with_title("Fig. 10b — normalized energy breakdown (normalized to AdaFloat)");
+    energy_table
+        .print_with_title("Fig. 10b — normalized energy breakdown (normalized to AdaFloat)");
 
     println!(
         "OliVe geomean energy reduction vs each design (paper: 3.7x AdaFloat, 2.1x OLAccel, 3.3x ANT):"

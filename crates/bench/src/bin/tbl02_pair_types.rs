@@ -21,10 +21,10 @@ fn model_pair_stats(cfg: &ModelConfig, seed: u64) -> PairStats {
 fn main() {
     println!("Table 2 reproduction: pair-type percentages under the 3-sigma rule");
     let models = [
-        (ModelConfig::bert_base(), 0x7B_02_01u64),
-        (ModelConfig::bert_large(), 0x7B_02_02),
-        (ModelConfig::gpt2_xl(), 0x7B_02_03),
-        (ModelConfig::opt_6_7b(), 0x7B_02_04),
+        (ModelConfig::bert_base(), 0x7B0201u64),
+        (ModelConfig::bert_large(), 0x7B0202),
+        (ModelConfig::gpt2_xl(), 0x7B0203),
+        (ModelConfig::opt_6_7b(), 0x7B0204),
     ];
     let mut table = Table::new(vec![
         "Model".into(),

@@ -14,7 +14,7 @@ use olive_models::OutlierSeverity;
 
 fn main() {
     println!("Table 7 reproduction: weight-only comparison against GOBO");
-    let tasks = [("MNLI", 0x7B07_01u64), ("STSB", 0x7B07_02)];
+    let tasks = [("MNLI", 0x7B0701u64), ("STSB", 0x7B0702)];
     let olive = OliveQuantizer::int4();
     let gobo = GoboQuantizer::paper_3bit();
     let methods: Vec<(&str, &dyn TensorQuantizer)> = vec![
@@ -22,11 +22,7 @@ fn main() {
         ("GOBO (weights only, 3-bit)", &gobo),
     ];
 
-    let mut table = Table::new(vec![
-        "Method".into(),
-        "MNLI".into(),
-        "STSB".into(),
-    ]);
+    let mut table = Table::new(vec!["Method".into(), "MNLI".into(), "STSB".into()]);
     table.row(vec!["BERT-base FP32".into(), pct(1.0), pct(1.0)]);
     for (name, q) in methods {
         let mut row = vec![name.to_string()];

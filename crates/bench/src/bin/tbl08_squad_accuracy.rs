@@ -49,7 +49,7 @@ fn argmax(row: &[f32]) -> usize {
 
 fn main() {
     println!("Table 8 reproduction: SQuAD-style (per-position) accuracy proxies");
-    let datasets = [("SQuAD v1.1", 0x7B08_01u64), ("SQuAD v2.0", 0x7B08_02)];
+    let datasets = [("SQuAD v1.1", 0x7B0801u64), ("SQuAD v2.0", 0x7B0802)];
     let models = ["BERT-base", "BART-base"];
     let olive = OliveQuantizer::int4();
     let os6 = OutlierSuppressionQuantizer::ptq_6bit();

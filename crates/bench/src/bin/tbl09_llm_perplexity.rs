@@ -17,9 +17,9 @@ use olive_models::OutlierSeverity;
 fn main() {
     println!("Table 9 reproduction: LLM pseudo-perplexity under PTQ (lower is better)");
     let models = [
-        ("GPT2-XL", 0x7B09_01u64),
-        ("BLOOM-7B1", 0x7B09_02),
-        ("OPT-6.7B", 0x7B09_03),
+        ("GPT2-XL", 0x7B0901u64),
+        ("BLOOM-7B1", 0x7B0902),
+        ("OPT-6.7B", 0x7B0903),
     ];
     let datasets = [("Wiki", 11u64), ("C4", 23)];
 

@@ -1,8 +1,8 @@
 //! # olive-bench
 //!
 //! Shared helpers for the benchmark harness binaries (`src/bin/*`) that
-//! regenerate the tables and figures of the OliVe paper, plus the criterion
-//! micro-benchmarks in `benches/`.
+//! regenerate the tables and figures of the OliVe paper, plus the
+//! olive-harness micro-benchmarks in `benches/`.
 
 pub mod accuracy;
 pub mod report;

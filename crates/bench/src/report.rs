@@ -1,134 +1,5 @@
-//! Small plain-text table reporting helpers shared by the harness binaries.
+//! Plain-text table reporting, re-exported from `olive-harness` so the
+//! figure/table binaries keep their historical `olive_bench::report::Table`
+//! path.
 
-/// A simple fixed-width text table printer.
-///
-/// # Examples
-///
-/// ```
-/// use olive_bench::report::Table;
-///
-/// let mut t = Table::new(vec!["model".into(), "speedup".into()]);
-/// t.row(vec!["BERT-base".into(), "4.5".into()]);
-/// let s = t.render();
-/// assert!(s.contains("BERT-base"));
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new(headers: Vec<String>) -> Self {
-        Table {
-            headers,
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (cells are not required to match the header count, but
-    /// aligned rendering assumes they do).
-    pub fn row(&mut self, cells: Vec<String>) {
-        self.rows.push(cells);
-    }
-
-    /// Renders the table as an aligned plain-text string.
-    pub fn render(&self) -> String {
-        let ncols = self
-            .rows
-            .iter()
-            .map(|r| r.len())
-            .chain(std::iter::once(self.headers.len()))
-            .max()
-            .unwrap_or(0);
-        let mut widths = vec![0usize; ncols];
-        for (i, h) in self.headers.iter().enumerate() {
-            widths[i] = widths[i].max(h.len());
-        }
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for (i, w) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:<width$}  ", cell, width = w));
-            }
-            line.trim_end().to_string()
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders the table as CSV.
-    pub fn render_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the table (text form) to stdout, preceded by a title banner.
-    pub fn print_with_title(&self, title: &str) {
-        println!("\n== {} ==", title);
-        println!("{}", self.render());
-    }
-}
-
-/// Formats a float with a fixed number of decimals.
-pub fn fmt_f(value: f64, decimals: usize) -> String {
-    format!("{:.*}", decimals, value)
-}
-
-/// Formats a ratio as `N.NNx`.
-pub fn fmt_x(value: f64) -> String {
-    format!("{:.2}x", value)
-}
-
-/// Formats a percentage with two decimals.
-pub fn fmt_pct(value: f64) -> String {
-    format!("{:.2}%", value * 100.0)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn render_contains_headers_and_rows() {
-        let mut t = Table::new(vec!["a".into(), "b".into()]);
-        t.row(vec!["1".into(), "2".into()]);
-        let s = t.render();
-        assert!(s.contains('a') && s.contains('1'));
-    }
-
-    #[test]
-    fn csv_has_one_line_per_row_plus_header() {
-        let mut t = Table::new(vec!["a".into()]);
-        t.row(vec!["1".into()]);
-        t.row(vec!["2".into()]);
-        assert_eq!(t.render_csv().lines().count(), 3);
-    }
-
-    #[test]
-    fn formatters() {
-        assert_eq!(fmt_f(1.23456, 2), "1.23");
-        assert_eq!(fmt_x(4.5), "4.50x");
-        assert_eq!(fmt_pct(0.25), "25.00%");
-    }
-}
+pub use olive_harness::report::*;

@@ -143,7 +143,12 @@ mod tests {
         let q = OliveQuantizer::int4();
         let search = ScalePolicy::MseSearch.round_trip_mse(&q, &t);
         let seed = ScalePolicy::SigmaRule(3.0).round_trip_mse(&q, &t);
-        assert!(search <= seed + 1e-9, "search {} vs 3-sigma {}", search, seed);
+        assert!(
+            search <= seed + 1e-9,
+            "search {} vs 3-sigma {}",
+            search,
+            seed
+        );
     }
 
     #[test]
@@ -171,10 +176,7 @@ mod tests {
         let q = OliveQuantizer::int4();
         let rows = ablate_scale_policies(&q, &t);
         assert_eq!(rows.len(), 4);
-        let best = rows
-            .iter()
-            .map(|r| r.mse)
-            .fold(f64::INFINITY, f64::min);
+        let best = rows.iter().map(|r| r.mse).fold(f64::INFINITY, f64::min);
         let search = rows.iter().find(|r| r.policy == "mse-search").unwrap();
         assert!(search.mse <= best + 1e-9);
     }

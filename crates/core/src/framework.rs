@@ -193,7 +193,11 @@ impl OlivePtq {
         let mean_sq = if t.is_empty() {
             0.0
         } else {
-            t.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / t.len() as f64
+            t.data()
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                / t.len() as f64
         };
         let rel = |deq: &Tensor| -> f64 {
             if mean_sq == 0.0 {

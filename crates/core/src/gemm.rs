@@ -104,7 +104,8 @@ mod tests {
         rng.fill_normal(&mut data, 0.0, 1.0);
         for _ in 0..outliers {
             let i = rng.below(n);
-            data[i] = rng.uniform_range(15.0, 40.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+            data[i] =
+                rng.uniform_range(15.0, 40.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
         }
         Tensor::from_vec(shape, data)
     }

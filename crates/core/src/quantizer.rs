@@ -107,7 +107,7 @@ impl OvpTensor {
 
     /// Number of stored pairs (including the possible padding pair).
     pub fn n_pairs(&self) -> usize {
-        (self.n_elems + 1) / 2
+        self.n_elems.div_ceil(2)
     }
 
     /// Decodes the tensor back to real values.
@@ -116,8 +116,7 @@ impl OvpTensor {
         let mut out = Vec::with_capacity(self.n_elems);
         for p in 0..self.n_pairs() {
             let (c0, c1) = self.pair_codes(p);
-            let (a, b) =
-                decode_pair_values(c0, c1, spec.normal_type, spec.abfloat_bias);
+            let (a, b) = decode_pair_values(c0, c1, spec.normal_type, spec.abfloat_bias);
             out.push(a as f32 * spec.scale);
             if out.len() < self.n_elems {
                 out.push(b as f32 * spec.scale);
@@ -227,7 +226,7 @@ impl OliveQuantizer {
         let spec = self.spec_for_scale(scale);
         let data = t.data();
         let n = data.len();
-        let n_pairs = (n + 1) / 2;
+        let n_pairs = n.div_ceil(2);
         let threshold = self.normal_type.max_magnitude() as f32;
         let mut bytes = Vec::with_capacity(match self.normal_type {
             NormalDataType::Int8 => 2 * n_pairs,
@@ -236,7 +235,11 @@ impl OliveQuantizer {
         let inv = 1.0 / spec.scale;
         for p in 0..n_pairs {
             let v1 = data[2 * p] * inv;
-            let v2 = if 2 * p + 1 < n { data[2 * p + 1] * inv } else { 0.0 };
+            let v2 = if 2 * p + 1 < n {
+                data[2 * p + 1] * inv
+            } else {
+                0.0
+            };
             let pair = encode_pair(v1, v2, threshold, self.normal_type, spec.abfloat_bias);
             match self.normal_type {
                 NormalDataType::Int8 => {
@@ -328,7 +331,11 @@ impl OliveQuantizer {
         let mut i = 0;
         while i < data.len() {
             let v1 = data[i] * inv;
-            let v2 = if i + 1 < data.len() { data[i + 1] * inv } else { 0.0 };
+            let v2 = if i + 1 < data.len() {
+                data[i + 1] * inv
+            } else {
+                0.0
+            };
             let pair = encode_pair(v1, v2, threshold, self.normal_type, bias);
             let (a, b) = decode_pair_values(pair.code0, pair.code1, self.normal_type, bias);
             let d0 = (a as f32 * scale - data[i]) as f64;

@@ -24,7 +24,10 @@ fn chosen_scale_is_at_least_as_good_as_any_grid_candidate() {
     let s = TensorStats::compute(&t);
     let chosen = q.select_scale(&t);
     let chosen_mse = q.round_trip_mse(t.data(), chosen);
-    println!("sigma = {:.3}, chosen scale = {:.4}, mse = {:.4}", s.std, chosen, chosen_mse);
+    println!(
+        "sigma = {:.3}, chosen scale = {:.4}, mse = {:.4}",
+        s.std, chosen, chosen_mse
+    );
     for f in [0.3f32, 0.5, 0.7, 0.9, 1.1, 1.4, 1.8, 2.2, 2.6, 3.0] {
         let thr = 3.0 * s.std as f32 * f;
         let scale = thr / 7.0;

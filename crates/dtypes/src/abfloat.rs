@@ -229,7 +229,11 @@ impl AbfloatCode {
         let mb = format.mantissa_bits();
         let eb = format.exponent_bits();
         let exp_field = exp_field.min((1 << eb) - 1);
-        let mantissa = if mb == 0 { 0 } else { mantissa.min((1 << mb) - 1) };
+        let mantissa = if mb == 0 {
+            0
+        } else {
+            mantissa.min((1 << mb) - 1)
+        };
         let bits = ((negative as u32) << (eb + mb)) | (exp_field << mb) | mantissa;
         AbfloatCode {
             format,
@@ -299,7 +303,14 @@ impl AbfloatCode {
         let mb = self.format.mantissa_bits();
         let integer = (1i64 << mb) | self.mantissa_field() as i64;
         let exponent = (self.exponent_field() as i32 + bias).max(0) as u32;
-        ExpInt::new(exponent, if self.is_negative() { -integer } else { integer })
+        ExpInt::new(
+            exponent,
+            if self.is_negative() {
+                -integer
+            } else {
+                integer
+            },
+        )
     }
 
     /// Absolute rounding error of encoding `x` (on the integer grid).
@@ -412,7 +423,11 @@ mod tests {
     fn e4m3_covers_int8_complementary_range() {
         // 8-bit outliers with bias 4 start above the int8 range (127).
         let vals = AbfloatFormat::E4M3.positive_values(4);
-        assert!(*vals.first().unwrap() >= 128, "min = {}", vals.first().unwrap());
+        assert!(
+            *vals.first().unwrap() >= 128,
+            "min = {}",
+            vals.first().unwrap()
+        );
         // Paper Sec. 4.5: outliers are clipped at 2^15; the format itself can
         // represent well beyond that.
         assert!(*vals.last().unwrap() >= (1 << 15));

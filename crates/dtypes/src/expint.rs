@@ -65,6 +65,8 @@ impl ExpInt {
 
     /// Multiplies two pairs the way the OliVe MAC unit does: integers multiply,
     /// exponents add (paper Sec. 4.4).
+    // Inherent so callers don't need `std::ops::Mul` in scope; `*` also works.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: ExpInt) -> ExpInt {
         ExpInt {
             exponent: self.exponent + other.exponent,
@@ -85,9 +87,23 @@ impl ExpInt {
     }
 }
 
+impl std::ops::Mul for ExpInt {
+    type Output = ExpInt;
+
+    fn mul(self, other: ExpInt) -> ExpInt {
+        ExpInt::mul(self, other)
+    }
+}
+
 impl std::fmt::Display for ExpInt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "<{}, {}> (= {})", self.exponent, self.integer, self.value())
+        write!(
+            f,
+            "<{}, {}> (= {})",
+            self.exponent,
+            self.integer,
+            self.value()
+        )
     }
 }
 
@@ -100,10 +116,7 @@ impl std::fmt::Display for ExpInt {
 /// Panics if the two slices have different lengths.
 pub fn dot(a: &[ExpInt], b: &[ExpInt]) -> i64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| x.mul(y).value())
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| x.mul(y).value()).sum()
 }
 
 #[cfg(test)]

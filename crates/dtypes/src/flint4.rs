@@ -120,10 +120,7 @@ impl Flint4 {
 
     /// All representable values in ascending order (deduplicated zero).
     pub fn all_values() -> Vec<i32> {
-        let mut v: Vec<i32> = FLINT4_MAGNITUDES
-            .iter()
-            .flat_map(|&m| [m, -m])
-            .collect();
+        let mut v: Vec<i32> = FLINT4_MAGNITUDES.iter().flat_map(|&m| [m, -m]).collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn only_one_8bit_code_is_identifier() {
-        let count = (0u16..256)
-            .filter(|&c| is_identifier_8bit(c as u8))
-            .count();
+        let count = (0u16..256).filter(|&c| is_identifier_8bit(c as u8)).count();
         assert_eq!(count, 1);
     }
 

@@ -1,55 +1,76 @@
-//! Property-based tests of the OliVe data types.
+//! Property-based tests of the OliVe data types, run on the in-repo
+//! deterministic property harness (`olive-harness`) — this workspace builds
+//! offline, so no proptest.
 
 use olive_dtypes::abfloat::{AbfloatCode, AbfloatFormat};
 use olive_dtypes::{ExpInt, Flint4, Int4, Int8, OUTLIER_IDENTIFIER_4BIT, OUTLIER_IDENTIFIER_8BIT};
-use proptest::prelude::*;
+use olive_harness::{check, gen, prop_assert, prop_assert_eq, prop_assert_ne};
 
-proptest! {
-    /// int4 quantization never emits the outlier identifier and never strays
-    /// more than half a step (or the saturation bound) from its input.
-    #[test]
-    fn int4_quantize_is_sound(x in -1000.0f32..1000.0) {
-        let q = Int4::quantize(x);
-        prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
-        let v = q.value() as f32;
-        if x.abs() <= 7.0 {
-            prop_assert!((v - x).abs() <= 0.5 + 1e-4);
-        } else {
-            prop_assert_eq!(v, 7.0f32.copysign(x));
-        }
-    }
+/// int4 quantization never emits the outlier identifier and never strays
+/// more than half a step (or the saturation bound) from its input.
+#[test]
+fn int4_quantize_is_sound() {
+    check::check(
+        "int4_quantize_is_sound",
+        gen::f32_in(-1000.0, 1000.0),
+        |&x| {
+            let q = Int4::quantize(x);
+            prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
+            let v = q.value() as f32;
+            if x.abs() <= 7.0 {
+                prop_assert!((v - x).abs() <= 0.5 + 1e-4);
+            } else {
+                prop_assert_eq!(v, 7.0f32.copysign(x));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// int8 quantization never emits the identifier; round trip through the
-    /// code is exact.
-    #[test]
-    fn int8_round_trip(v in -127i32..=127) {
+/// int8 quantization never emits the identifier; round trip through the
+/// code is exact.
+#[test]
+fn int8_round_trip() {
+    check::check("int8_round_trip", gen::i32_in(-127, 127), |&v| {
         let q = Int8::from_value(v);
         prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_8BIT);
         prop_assert_eq!(Int8::decode(q.code()).unwrap().value(), v);
         let (h, l) = q.split_high_low();
         prop_assert_eq!(h.value() + l.value(), v as i64);
-    }
+        Ok(())
+    });
+}
 
-    /// flint4 quantization picks a representable value and never the
-    /// identifier; the chosen value is the nearest grid point.
-    #[test]
-    fn flint4_quantize_is_nearest(x in -40.0f32..40.0) {
-        let q = Flint4::quantize(x);
-        prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
-        let grid = Flint4::all_values();
-        let v = q.value();
-        prop_assert!(grid.contains(&v));
-        let best = grid
-            .iter()
-            .map(|&g| (g as f32 - x.clamp(-16.0, 16.0)).abs())
-            .fold(f32::INFINITY, f32::min);
-        prop_assert!((v as f32 - x.clamp(-16.0, 16.0)).abs() <= best + 0.5 + 1e-4);
-    }
+/// flint4 quantization picks a representable value and never the
+/// identifier; the chosen value is the nearest grid point.
+#[test]
+fn flint4_quantize_is_nearest() {
+    check::check(
+        "flint4_quantize_is_nearest",
+        gen::f32_in(-40.0, 40.0),
+        |&x| {
+            let q = Flint4::quantize(x);
+            prop_assert_ne!(q.code(), OUTLIER_IDENTIFIER_4BIT);
+            let grid = Flint4::all_values();
+            let v = q.value();
+            prop_assert!(grid.contains(&v));
+            let best = grid
+                .iter()
+                .map(|&g| (g as f32 - x.clamp(-16.0, 16.0)).abs())
+                .fold(f32::INFINITY, f32::min);
+            prop_assert!((v as f32 - x.clamp(-16.0, 16.0)).abs() <= best + 0.5 + 1e-4);
+            Ok(())
+        },
+    );
+}
 
-    /// The abfloat encoder never produces the reserved codes, and its decode
-    /// stays within the representable range.
-    #[test]
-    fn abfloat_encode_in_range(x in 0.01f32..100_000.0, bias in 0i32..6) {
+/// The abfloat encoder never produces the reserved codes, and its decode
+/// stays within the representable range.
+#[test]
+fn abfloat_encode_in_range() {
+    let input =
+        |rng: &mut olive_harness::Rng| (gen::f32_in(0.01, 100_000.0)(rng), gen::i32_in(0, 5)(rng));
+    check::check("abfloat_encode_in_range", input, |&(x, bias)| {
         for format in AbfloatFormat::four_bit_formats() {
             let c = AbfloatCode::encode(x, bias, format);
             // Reserved codes 0…0 and 1000…0 decode to zero; they must not appear.
@@ -60,25 +81,44 @@ proptest! {
             let n = AbfloatCode::encode(-x, bias, format);
             prop_assert_eq!(n.value(bias), -c.value(bias));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Abfloat rounding error is bounded by the local grid spacing (one
-    /// exponent step) inside the representable range.
-    #[test]
-    fn abfloat_error_is_bounded(x in 12.0f32..96.0) {
+/// Abfloat rounding error is bounded by the local grid spacing (one
+/// exponent step) inside the representable range.
+#[test]
+fn abfloat_error_is_bounded() {
+    check::check("abfloat_error_is_bounded", gen::f32_in(12.0, 96.0), |&x| {
         let bias = 2;
         let c = AbfloatCode::encode(x, bias, AbfloatFormat::E2M1);
         let err = (c.magnitude(bias) as f32 - x).abs();
         // Largest spacing in {12,16,24,32,48,64,96} is 32.
         prop_assert!(err <= 16.0 + 1e-3, "x = {}, err = {}", x, err);
-    }
+        Ok(())
+    });
+}
 
-    /// Exponent-integer multiplication equals plain integer multiplication of
-    /// the represented values.
-    #[test]
-    fn expint_mul_matches_values(a_e in 0u32..8, a_i in -128i64..128, b_e in 0u32..8, b_i in -128i64..128) {
-        let a = ExpInt::new(a_e, a_i);
-        let b = ExpInt::new(b_e, b_i);
-        prop_assert_eq!(a.mul(b).value(), a.value() * b.value());
-    }
+/// Exponent-integer multiplication equals plain integer multiplication of
+/// the represented values.
+#[test]
+fn expint_mul_matches_values() {
+    let input = |rng: &mut olive_harness::Rng| {
+        (
+            gen::u32_below(8)(rng),
+            gen::i64_in(-128, 127)(rng),
+            gen::u32_below(8)(rng),
+            gen::i64_in(-128, 127)(rng),
+        )
+    };
+    check::check(
+        "expint_mul_matches_values",
+        input,
+        |&(a_e, a_i, b_e, b_i)| {
+            let a = ExpInt::new(a_e, a_i);
+            let b = ExpInt::new(b_e, b_i);
+            prop_assert_eq!(a.mul(b).value(), a.value() * b.value());
+            Ok(())
+        },
+    );
 }

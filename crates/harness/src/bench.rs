@@ -1,0 +1,306 @@
+//! `std::time`-based micro-benchmark runner (offline replacement for
+//! criterion).
+//!
+//! Each benchmark runs a warmup phase followed by N individually-timed
+//! iterations; the suite reports median, p95, min and mean wall time plus
+//! element throughput (when declared) as a plain-text
+//! [`report::Table`](crate::report::Table). Iteration counts can be overridden
+//! with the `OLIVE_BENCH_SAMPLES` and `OLIVE_BENCH_WARMUP` environment
+//! variables, e.g. for a quick smoke pass in CI.
+
+use crate::report::{fmt_f, Table};
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iteration counts for one suite.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed iterations executed first (cache/branch-predictor warmup).
+    pub warmup_iters: u32,
+    /// Timed iterations; each contributes one sample.
+    pub sample_iters: u32,
+}
+
+impl Default for BenchConfig {
+    /// Defaults (3 warmup / 20 samples), overridable via `OLIVE_BENCH_WARMUP`
+    /// and `OLIVE_BENCH_SAMPLES`.
+    fn default() -> Self {
+        let env_u32 = |key: &str, fallback: u32| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(fallback)
+        };
+        BenchConfig {
+            warmup_iters: env_u32("OLIVE_BENCH_WARMUP", 3),
+            sample_iters: env_u32("OLIVE_BENCH_SAMPLES", 20),
+        }
+    }
+}
+
+/// The timing samples of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (one table row).
+    pub name: String,
+    /// Per-iteration wall times in nanoseconds, in execution order.
+    pub samples_ns: Vec<u64>,
+    /// Elements processed per iteration, for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    fn sorted(&self) -> Vec<u64> {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// Median wall time in nanoseconds (0 when no samples were taken).
+    pub fn median_ns(&self) -> u64 {
+        let s = self.sorted();
+        if s.is_empty() {
+            return 0;
+        }
+        let mid = s.len() / 2;
+        if s.len() % 2 == 0 {
+            (s[mid - 1] + s[mid]) / 2
+        } else {
+            s[mid]
+        }
+    }
+
+    /// 95th-percentile wall time in nanoseconds (nearest-rank).
+    pub fn p95_ns(&self) -> u64 {
+        let s = self.sorted();
+        if s.is_empty() {
+            return 0;
+        }
+        let rank = ((s.len() as f64 * 0.95).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    /// Fastest iteration in nanoseconds.
+    pub fn min_ns(&self) -> u64 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Mean wall time in nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        (self.samples_ns.iter().map(|&n| n as u128).sum::<u128>() / self.samples_ns.len() as u128)
+            as u64
+    }
+
+    /// Median throughput in elements per second, if `elements` was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        let median = self.median_ns();
+        match (self.elements, median) {
+            (Some(elems), m) if m > 0 => Some(elems as f64 * 1e9 / m as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (ns / µs / ms / s).
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Formats an elements/second rate with an adaptive SI prefix.
+pub fn fmt_rate(elems_per_sec: f64) -> String {
+    if elems_per_sec >= 1e9 {
+        format!("{} Gelem/s", fmt_f(elems_per_sec / 1e9, 2))
+    } else if elems_per_sec >= 1e6 {
+        format!("{} Melem/s", fmt_f(elems_per_sec / 1e6, 2))
+    } else if elems_per_sec >= 1e3 {
+        format!("{} Kelem/s", fmt_f(elems_per_sec / 1e3, 2))
+    } else {
+        format!("{} elem/s", fmt_f(elems_per_sec, 2))
+    }
+}
+
+/// A named collection of benchmarks sharing one [`BenchConfig`].
+///
+/// ```
+/// use olive_harness::bench::{black_box, BenchSuite};
+///
+/// let mut suite = BenchSuite::new("example");
+/// suite.bench_with_elements("sum_range", 1000, || black_box((0..1000u64).sum::<u64>()));
+/// assert!(suite.render().contains("sum_range"));
+/// ```
+#[derive(Debug)]
+pub struct BenchSuite {
+    title: String,
+    config: BenchConfig,
+    measurements: Vec<Measurement>,
+}
+
+impl BenchSuite {
+    /// Creates a suite with the environment-aware default configuration.
+    pub fn new(title: &str) -> Self {
+        BenchSuite {
+            title: title.to_string(),
+            config: BenchConfig::default(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Creates a suite with an explicit configuration.
+    pub fn with_config(title: &str, config: BenchConfig) -> Self {
+        BenchSuite {
+            title: title.to_string(),
+            config,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark: warmup, then one timed sample per iteration.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Measurement {
+        self.run(name, None, &mut f)
+    }
+
+    /// Like [`bench`](Self::bench), additionally declaring how many elements
+    /// one iteration processes so the report includes throughput.
+    pub fn bench_with_elements<R>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        mut f: impl FnMut() -> R,
+    ) -> &Measurement {
+        self.run(name, Some(elements), &mut f)
+    }
+
+    fn run<R>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        f: &mut impl FnMut() -> R,
+    ) -> &Measurement {
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        let mut samples_ns = Vec::with_capacity(self.config.sample_iters as usize);
+        for _ in 0..self.config.sample_iters {
+            let start = Instant::now();
+            black_box(f());
+            samples_ns.push(start.elapsed().as_nanos() as u64);
+        }
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            samples_ns,
+            elements,
+        });
+        self.measurements.last().expect("just pushed")
+    }
+
+    /// The measurements taken so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Renders the suite as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "benchmark".into(),
+            "iters".into(),
+            "median".into(),
+            "p95".into(),
+            "min".into(),
+            "mean".into(),
+            "throughput".into(),
+        ]);
+        for m in &self.measurements {
+            table.row(vec![
+                m.name.clone(),
+                m.samples_ns.len().to_string(),
+                fmt_ns(m.median_ns()),
+                fmt_ns(m.p95_ns()),
+                fmt_ns(m.min_ns()),
+                fmt_ns(m.mean_ns()),
+                m.elements_per_sec()
+                    .map(fmt_rate)
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Prints the rendered table to stdout with a title banner.
+    pub fn report(&self) {
+        println!("\n== bench: {} ==", self.title);
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(samples: &[u64]) -> Measurement {
+        Measurement {
+            name: "fixed".into(),
+            samples_ns: samples.to_vec(),
+            elements: Some(1000),
+        }
+    }
+
+    #[test]
+    fn median_and_p95_from_known_samples() {
+        let m = fixed(&[10, 20, 30, 40, 100]);
+        assert_eq!(m.median_ns(), 30);
+        assert_eq!(m.p95_ns(), 100);
+        assert_eq!(m.min_ns(), 10);
+        assert_eq!(m.mean_ns(), 40);
+    }
+
+    #[test]
+    fn even_sample_count_takes_middle_average() {
+        let m = fixed(&[10, 20, 30, 40]);
+        assert_eq!(m.median_ns(), 25);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let m = fixed(&[1_000, 1_000, 1_000]);
+        // 1000 elements in 1 µs = 1e9 elem/s.
+        assert!((m.elements_per_sec().unwrap() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn suite_runs_and_renders() {
+        let cfg = BenchConfig {
+            warmup_iters: 1,
+            sample_iters: 3,
+        };
+        let mut suite = BenchSuite::with_config("unit", cfg);
+        suite.bench_with_elements("count_up", 64, || black_box((0..64u32).sum::<u32>()));
+        assert_eq!(suite.measurements().len(), 1);
+        assert_eq!(suite.measurements()[0].samples_ns.len(), 3);
+        let rendered = suite.render();
+        assert!(rendered.contains("count_up"));
+        assert!(rendered.contains("elem/s"));
+    }
+
+    #[test]
+    fn formatters_pick_adaptive_units() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+        assert_eq!(fmt_rate(2.5e6), "2.50 Melem/s");
+    }
+}

@@ -1,0 +1,254 @@
+//! Deterministic property-testing runner.
+//!
+//! A property is a closure `Fn(&T) -> Result<(), String>` checked over a
+//! stream of pseudo-random cases produced by a [`gen`](crate::gen)erator. The
+//! case stream is fully determined by the configured seed and the property
+//! name, so a red run reproduces bit-identically on every machine — no
+//! `proptest` persistence files needed. On failure the runner reports the
+//! property name, the failing case index, the seed and the `Debug` rendering
+//! of the offending input.
+
+use olive_tensor::rng::Rng;
+
+/// Default number of cases per property (matches proptest's 256).
+pub const DEFAULT_CASES: usize = 256;
+
+/// Default base seed; mixed with the property name per run.
+pub const DEFAULT_SEED: u64 = 0x5EED_CA5E_0011_7E57;
+
+/// Configuration of a property run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Number of generated cases to check.
+    pub cases: usize,
+    /// Base seed; the per-property stream also mixes in the property name.
+    pub seed: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// A failed property: everything needed to understand and replay the case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Name passed to [`check`]/[`try_check`].
+    pub property: String,
+    /// Zero-based index of the failing case.
+    pub case_index: usize,
+    /// Total cases the run would have checked.
+    pub cases: usize,
+    /// Base seed of the run (replay with the same seed + name + index).
+    pub seed: u64,
+    /// `Debug` rendering of the offending input.
+    pub input: String,
+    /// The assertion message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property '{}' failed at case {}/{} (seed {:#018x})\n  input: {}\n  error: {}",
+            self.property, self.case_index, self.cases, self.seed, self.input, self.message
+        )
+    }
+}
+
+/// FNV-1a, used to give each property its own deterministic stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The generator stream a run with `seed` uses for the property `name`.
+///
+/// Replays a reported [`Failure`]: draw `case_index + 1` cases from this
+/// generator stream and the last one is the offending input.
+pub fn case_rng(seed: u64, name: &str) -> Rng {
+    Rng::seed_from(seed ^ hash_name(name))
+}
+
+/// Checks `property` over `cfg.cases` generated inputs and returns the first
+/// failure, if any, instead of panicking.
+pub fn try_check<T: std::fmt::Debug>(
+    cfg: CheckConfig,
+    name: &str,
+    mut generate: impl FnMut(&mut Rng) -> T,
+    mut property: impl FnMut(&T) -> Result<(), String>,
+) -> Result<(), Box<Failure>> {
+    let mut rng = case_rng(cfg.seed, name);
+    for case_index in 0..cfg.cases {
+        let input = generate(&mut rng);
+        if let Err(message) = property(&input) {
+            return Err(Box::new(Failure {
+                property: name.to_string(),
+                case_index,
+                cases: cfg.cases,
+                seed: cfg.seed,
+                input: format!("{input:?}"),
+                message,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Checks `property` over generated inputs with an explicit configuration,
+/// panicking with a replayable report on the first failure.
+///
+/// # Panics
+///
+/// Panics if any generated case violates the property.
+pub fn check_with<T: std::fmt::Debug>(
+    cfg: CheckConfig,
+    name: &str,
+    generate: impl FnMut(&mut Rng) -> T,
+    property: impl FnMut(&T) -> Result<(), String>,
+) {
+    if let Err(failure) = try_check(cfg, name, generate, property) {
+        panic!("{failure}");
+    }
+}
+
+/// Checks `property` over [`DEFAULT_CASES`] generated inputs.
+///
+/// # Panics
+///
+/// Panics if any generated case violates the property.
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    generate: impl FnMut(&mut Rng) -> T,
+    property: impl FnMut(&T) -> Result<(), String>,
+) {
+    check_with(CheckConfig::default(), name, generate, property);
+}
+
+/// Asserts a condition inside a property, early-returning `Err` with either
+/// the stringified condition or a custom formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if cond {} else` rather than `if !cond` so float comparisons don't
+        // trip clippy::neg_cmp_op_on_partial_ord at every call site.
+        if $cond {
+        } else {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if $cond {
+        } else {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($arg)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("{} (both: {:?})", format!($($arg)+), l));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_is_ok() {
+        try_check(
+            CheckConfig::default(),
+            "square_nonnegative",
+            gen::f32_in(-10.0, 10.0),
+            |&x| {
+                prop_assert!(x * x >= 0.0);
+                Ok(())
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let record = |name: &str| {
+            let mut seen = Vec::new();
+            let _ = try_check(
+                CheckConfig {
+                    cases: 8,
+                    ..CheckConfig::default()
+                },
+                name,
+                gen::u64_below(u64::MAX),
+                |&x| {
+                    seen.push(x);
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_ne!(record("prop_a"), record("prop_b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "always_fails")]
+    fn check_panics_with_property_name() {
+        check("always_fails", gen::u64_below(4), |_| {
+            Err("nope".to_string())
+        });
+    }
+}

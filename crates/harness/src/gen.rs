@@ -1,0 +1,185 @@
+//! Composable case generators.
+//!
+//! A generator is any `Fn(&mut Rng) -> T`; the free functions here build the
+//! generators the workspace's property suites need (numeric ranges and
+//! vectors). Compose tuples or richer structures with an ordinary closure:
+//!
+//! ```
+//! use olive_harness::gen;
+//! use olive_tensor::rng::Rng;
+//!
+//! let pair = |rng: &mut Rng| (gen::f32_in(-1.0, 1.0)(rng), gen::u64_below(8)(rng));
+//! let mut rng = Rng::seed_from(1);
+//! let (x, e) = pair(&mut rng);
+//! assert!((-1.0..1.0).contains(&x) && e < 8);
+//! ```
+
+use olive_tensor::rng::Rng;
+
+/// Uniform `f32` in the half-open interval `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn f32_in(lo: f32, hi: f32) -> impl Fn(&mut Rng) -> f32 {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    move |rng| {
+        // The f64 draw is strictly below `hi`, but narrowing to f32 rounds to
+        // nearest and can land exactly on `hi`; clamp to keep the interval
+        // half-open.
+        let x = rng.uniform_range(lo as f64, hi as f64) as f32;
+        x.min(hi.next_down())
+    }
+}
+
+/// Uniform `f64` in the half-open interval `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn f64_in(lo: f64, hi: f64) -> impl Fn(&mut Rng) -> f64 {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    move |rng| rng.uniform_range(lo, hi)
+}
+
+/// Uniform `i64` in the closed interval `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn i64_in(lo: i64, hi: i64) -> impl Fn(&mut Rng) -> i64 {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    // Two's-complement width is exact even when `hi - lo` overflows i64.
+    let span = hi.wrapping_sub(lo) as u64;
+    move |rng| {
+        let offset = match span.checked_add(1) {
+            Some(n) => rng.below_u64(n),
+            // Full i64 range: every u64 offset is valid.
+            None => rng.next_u64(),
+        };
+        lo.wrapping_add(offset as i64)
+    }
+}
+
+/// Uniform `i32` in the closed interval `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn i32_in(lo: i32, hi: i32) -> impl Fn(&mut Rng) -> i32 {
+    let inner = i64_in(lo as i64, hi as i64);
+    move |rng| inner(rng) as i32
+}
+
+/// Uniform `u64` in `[0, n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn u64_below(n: u64) -> impl Fn(&mut Rng) -> u64 {
+    assert!(n > 0, "empty range [0, 0)");
+    move |rng| rng.below_u64(n)
+}
+
+/// Uniform `u32` in `[0, n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn u32_below(n: u32) -> impl Fn(&mut Rng) -> u32 {
+    let inner = u64_below(n as u64);
+    move |rng| inner(rng) as u32
+}
+
+/// A vector whose length is uniform in `[min_len, max_len]` and whose elements
+/// are drawn from `elem`.
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len`.
+pub fn vec_of<T>(
+    elem: impl Fn(&mut Rng) -> T,
+    min_len: usize,
+    max_len: usize,
+) -> impl Fn(&mut Rng) -> Vec<T> {
+    assert!(min_len <= max_len, "empty range [{min_len}, {max_len}]");
+    move |rng| {
+        let len = min_len + rng.below(max_len - min_len + 1);
+        (0..len).map(|_| elem(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..1000 {
+            let x = f32_in(-3.0, 5.0)(&mut rng);
+            assert!((-3.0..5.0).contains(&x));
+            let i = i32_in(-127, 127)(&mut rng);
+            assert!((-127..=127).contains(&i));
+            let u = u64_below(500)(&mut rng);
+            assert!(u < 500);
+        }
+    }
+
+    #[test]
+    fn i64_in_covers_both_endpoints() {
+        let mut rng = Rng::seed_from(2);
+        let g = i64_in(0, 1);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[g(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = Rng::seed_from(3);
+        let g = vec_of(f32_in(0.0, 1.0), 16, 200);
+        for _ in 0..100 {
+            let v = g(&mut rng);
+            assert!((16..=200).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn i64_in_handles_extreme_ranges() {
+        let mut rng = Rng::seed_from(5);
+        let full = i64_in(i64::MIN, i64::MAX);
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..200 {
+            let v = full(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos, "full-range draws cover both signs");
+        let wide = i64_in(-2, i64::MAX);
+        for _ in 0..200 {
+            assert!(wide(&mut rng) >= -2);
+        }
+    }
+
+    #[test]
+    fn f32_in_never_returns_the_upper_bound() {
+        let mut rng = Rng::seed_from(6);
+        // A one-ULP-wide interval forces any upward rounding to hit `hi`.
+        let hi = 1.0f32;
+        let g = f32_in(hi.next_down(), hi);
+        for _ in 0..1000 {
+            assert!(g(&mut rng) < hi);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g = vec_of(f32_in(-1.0, 1.0), 4, 8);
+        let a = g(&mut Rng::seed_from(42));
+        let b = g(&mut Rng::seed_from(42));
+        assert_eq!(a, b);
+    }
+}

@@ -236,8 +236,6 @@ mod tests {
         assert!(
             ModelConfig::bert_large().approx_params() > ModelConfig::bert_base().approx_params()
         );
-        assert!(
-            ModelConfig::bloom_7b1().approx_params() > ModelConfig::gpt2_xl().approx_params()
-        );
+        assert!(ModelConfig::bloom_7b1().approx_params() > ModelConfig::gpt2_xl().approx_params());
     }
 }

@@ -168,9 +168,7 @@ impl TinyTransformer {
             Tensor::from_vec(vec![rows, cols], data)
         };
         let gen_gamma = |n: usize, rng: &mut Rng| -> Vec<f32> {
-            let mut g: Vec<f32> = (0..n)
-                .map(|_| 1.0 + rng.normal(0.0, 0.1) as f32)
-                .collect();
+            let mut g: Vec<f32> = (0..n).map(|_| 1.0 + rng.normal(0.0, 0.1) as f32).collect();
             for _ in 0..severity.gamma_channels {
                 let i = rng.below(n);
                 g[i] = rng.uniform_range(severity.gamma_range.0, severity.gamma_range.1) as f32;
@@ -523,8 +521,8 @@ pub fn pseudo_perplexity(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use olive_core::{Fp32Baseline, OliveQuantizer};
     use olive_baselines::UniformQuantizer;
+    use olive_core::{Fp32Baseline, OliveQuantizer};
 
     fn setup() -> (TinyTransformer, EvalTask) {
         let cfg = EngineConfig::tiny();
@@ -538,7 +536,10 @@ mod tests {
     fn forward_produces_logits_of_right_shape() {
         let (teacher, task) = setup();
         let logits = teacher.forward(&task.inputs[0], None);
-        assert_eq!(logits.shape(), &[teacher.config.seq_len, teacher.config.vocab]);
+        assert_eq!(
+            logits.shape(),
+            &[teacher.config.seq_len, teacher.config.vocab]
+        );
         assert!(logits.data().iter().all(|v| v.is_finite()));
     }
 

@@ -160,7 +160,11 @@ mod tests {
         let t = SynthProfile::transformer().generate(vec![256, 512], &mut rng);
         let s = TensorStats::compute(&t);
         assert!(s.max_sigma > 20.0, "max sigma {}", s.max_sigma);
-        assert!(s.frac_gt_3sigma < 0.02, "3 sigma fraction {}", s.frac_gt_3sigma);
+        assert!(
+            s.frac_gt_3sigma < 0.02,
+            "3 sigma fraction {}",
+            s.frac_gt_3sigma
+        );
     }
 
     #[test]

@@ -220,7 +220,12 @@ mod tests {
         let b = vec![0.0; 4];
         let y = layer_norm(&x, &g, &b, 1e-5);
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

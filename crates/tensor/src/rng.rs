@@ -54,10 +54,7 @@ impl Rng {
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -85,9 +82,26 @@ impl Rng {
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
-        assert!(n > 0, "below(0) is not a valid range");
-        // Rejection-free modulo; bias is negligible for the n used here (< 2^32).
-        (self.next_u64() % n as u64) as usize
+        self.below_u64(n as u64) as usize
+    }
+
+    /// Returns a uniform integer in `[0, n)`, exact for every `n` up to
+    /// `u64::MAX` (rejection sampling, no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below_u64(0) is not a valid range");
+        // Accept draws below the largest multiple of n; for n < 2^32 the
+        // rejection probability is < 2^-32, so one draw almost always suffices.
+        let rem = (u64::MAX % n).wrapping_add(1) % n; // 2^64 mod n
+        loop {
+            let x = self.next_u64();
+            if rem == 0 || x <= u64::MAX - rem {
+                return x % n;
+            }
+        }
     }
 
     /// Returns `true` with probability `p`.
@@ -147,7 +161,10 @@ impl Rng {
     ///
     /// Panics if `shape <= 0` or `scale <= 0`.
     pub fn gamma(&mut self, shape: f64, scale: f64) -> f64 {
-        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "gamma parameters must be positive"
+        );
         if shape < 1.0 {
             // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
             let g = self.gamma(shape + 1.0, scale);
@@ -274,6 +291,39 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(10) < 10);
         }
+    }
+
+    #[test]
+    fn below_u64_handles_huge_bounds_without_bias_collapse() {
+        let mut r = Rng::seed_from(23);
+        // n just above 2^63: 2^64 mod n = 2^63 - 1, so a plain `x % n`
+        // implementation would emit values below 2^63 - 1 twice as often as
+        // the rest (low:high ≈ 2:1). Rejection sampling stays 1:1.
+        let n = (1u64 << 63) + 1;
+        let draws = 2000;
+        let (mut low, mut high) = (0u32, 0u32);
+        for _ in 0..draws {
+            let x = r.below_u64(n);
+            assert!(x < n);
+            if x < n / 2 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        // Under modulo bias low/high ≈ 1333/667; uniform gives ≈ 1000/1000.
+        let ratio = low.max(high) as f64 / low.min(high) as f64;
+        assert!(ratio < 1.2, "low {low}, high {high} (ratio {ratio:.2})");
+    }
+
+    #[test]
+    fn below_u64_is_exact_for_tiny_bounds() {
+        let mut r = Rng::seed_from(29);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[r.below_u64(3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use olive::tensor::rng::Rng;
 fn main() {
     let config = EngineConfig::small();
     let mut rng = Rng::seed_from(0xBE127);
-    println!("building a BERT-like proxy teacher ({} layers, d_model {})", config.n_layers, config.d_model);
+    println!(
+        "building a BERT-like proxy teacher ({} layers, d_model {})",
+        config.n_layers, config.d_model
+    );
     let teacher = TinyTransformer::generate(config, OutlierSeverity::transformer(), &mut rng);
     let task = EvalTask::generate("demo", &config, 32, &mut rng);
 

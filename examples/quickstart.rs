@@ -20,8 +20,13 @@ fn main() {
     let t = Tensor::from_vec(vec![64, 64], data);
 
     let stats = TensorStats::compute(&t);
-    println!("input tensor: {} elements, sigma = {:.2}, max = {:.1} ({:.0} sigma)",
-        t.len(), stats.std, stats.max_abs, stats.max_sigma);
+    println!(
+        "input tensor: {} elements, sigma = {:.2}, max = {:.1} ({:.0} sigma)",
+        t.len(),
+        stats.std,
+        stats.max_abs,
+        stats.max_sigma
+    );
 
     // Quantize with 4-bit OliVe (int4 normal values + E2M1 abfloat outliers).
     let quantizer = OliveQuantizer::int4();
@@ -37,7 +42,10 @@ fn main() {
     let back = q.dequantize();
     println!("round-trip MSE = {:.5}", t.mse(&back));
     println!("outlier  87.0 -> {:+.2}", back[100]);
-    println!("victim    0.4 -> {:+.2}  (pruned to zero, as designed)", back[101]);
+    println!(
+        "victim    0.4 -> {:+.2}  (pruned to zero, as designed)",
+        back[101]
+    );
     println!("outlier -52.0 -> {:+.2}", back[2000]);
     println!("a normal value {:+.3} -> {:+.3}", t[0], back[0]);
 

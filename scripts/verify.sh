@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the OliVe reproduction workspace.
+#
+# Runs entirely offline (the workspace has zero crates.io dependencies; see
+# README.md). Exits non-zero if the build, the test suite, or lints fail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy unavailable; skipped =="
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --all -- --check =="
+    cargo fmt --all -- --check
+else
+    echo "== rustfmt unavailable; skipped =="
+fi
+
+echo "verify: OK"

@@ -44,7 +44,11 @@ fn clipping_outliers_is_worse_than_pruning_victims() {
         f_prune,
         f_clip
     );
-    assert!(f_prune > 0.9, "victim pruning should be nearly free: {}", f_prune);
+    assert!(
+        f_prune > 0.9,
+        "victim pruning should be nearly free: {}",
+        f_prune
+    );
 }
 
 #[test]
@@ -90,9 +94,19 @@ fn llm_perplexity_shape_matches_table9() {
     let olive4 = p(&OliveQuantizer::int4());
     let int4 = p(&UniformQuantizer::int4());
     // 8-bit OliVe tracks FP32 closely; int4 is clearly worse than 4-bit OliVe.
-    assert!(olive8 < fp32 * 2.0, "OliVe-8bit {} vs FP32 {}", olive8, fp32);
+    assert!(
+        olive8 < fp32 * 2.0,
+        "OliVe-8bit {} vs FP32 {}",
+        olive8,
+        fp32
+    );
     assert!(olive4 < int4, "OliVe-4bit {} vs int4 {}", olive4, int4);
-    assert!(fp32 <= olive4 + 1e-9, "FP32 {} is the floor, OliVe-4bit {}", fp32, olive4);
+    assert!(
+        fp32 <= olive4 + 1e-9,
+        "FP32 {} is the floor, OliVe-4bit {}",
+        fp32,
+        olive4
+    );
 }
 
 #[test]
@@ -103,7 +117,11 @@ fn olive_wins_performance_and_energy_on_both_platforms() {
         let wl = Workload::from_config(&cfg);
         let gpu_results = gpu.compare(&wl, &QuantScheme::gpu_comparison_set());
         for r in &gpu_results[1..] {
-            assert!(gpu_results[0].latency_s < r.latency_s, "{} faster on GPU", r.scheme);
+            assert!(
+                gpu_results[0].latency_s < r.latency_s,
+                "{} faster on GPU",
+                r.scheme
+            );
             assert!(
                 gpu_results[0].energy.total() < r.energy.total(),
                 "{} cheaper on GPU",
@@ -112,7 +130,11 @@ fn olive_wins_performance_and_energy_on_both_platforms() {
         }
         let sa_results = sa.compare(&wl, &QuantScheme::accelerator_comparison_set());
         for r in &sa_results[1..] {
-            assert!(sa_results[0].latency_s < r.latency_s, "{} faster on SA", r.scheme);
+            assert!(
+                sa_results[0].latency_s < r.latency_s,
+                "{} faster on SA",
+                r.scheme
+            );
             assert!(
                 sa_results[0].energy.total() < r.energy.total(),
                 "{} cheaper on SA",

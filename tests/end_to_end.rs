@@ -12,7 +12,7 @@ use olive::tensor::rng::Rng;
 fn synthetic_layer_quantize_and_multiply() {
     // A weight and an activation tensor with transformer-like outliers,
     // quantized and multiplied entirely in the packed integer domain.
-    let mut rng = Rng::seed_from(0xE2E_01);
+    let mut rng = Rng::seed_from(0xE2E01);
     let acts = SynthProfile::transformer().generate(vec![32, 128], &mut rng);
     let weights = SynthProfile::transformer().generate_scaled(vec![128, 64], 0.05, &mut rng);
 
@@ -80,19 +80,21 @@ fn ptq_framework_reports_whole_model_statistics() {
     use olive::core::{OlivePtq, PtqConfig};
     use olive::models::model_tensor_suite;
 
-    let mut rng = Rng::seed_from(0xE2E_02);
+    let mut rng = Rng::seed_from(0xE2E02);
     let suite = model_tensor_suite(&ModelConfig::bert_base(), 8_192, &mut rng);
     let ptq = OlivePtq::new(PtqConfig::default());
-    let pairs: Vec<(&str, &olive::tensor::Tensor)> = suite
-        .iter()
-        .map(|t| (t.name.as_str(), &t.tensor))
-        .collect();
+    let pairs: Vec<(&str, &olive::tensor::Tensor)> =
+        suite.iter().map(|t| (t.name.as_str(), &t.tensor)).collect();
     let (outputs, report) = ptq.quantize_all(pairs);
     assert_eq!(outputs.len(), suite.len());
     assert_eq!(report.tensors.len(), suite.len());
     // Pure 4-bit: nothing escalates, mean relative error stays small.
     assert_eq!(report.escalation_fraction(), 0.0);
-    assert!(report.mean_rel_mse() < 0.1, "rel mse {}", report.mean_rel_mse());
+    assert!(
+        report.mean_rel_mse() < 0.1,
+        "rel mse {}",
+        report.mean_rel_mse()
+    );
 }
 
 #[test]
