@@ -1,7 +1,10 @@
 //! Micro-benchmarks of the OVP encode/decode path and the abfloat encoder
 //! (the per-value software cost of the scheme), on the in-repo olive-harness
-//! runner — this workspace builds offline, so no criterion.
+//! runner — this workspace builds offline, so no criterion. Supports
+//! `--quick` (CI smoke/gate iteration counts) and `--json <path>` (median
+//! recording for `scripts/bench_gate.sh`).
 
+use olive_bench::cli::BenchCli;
 use olive_core::OliveQuantizer;
 use olive_dtypes::abfloat::{AbfloatCode, AbfloatFormat};
 use olive_harness::bench::{black_box, BenchSuite};
@@ -57,9 +60,10 @@ fn bench_abfloat(suite: &mut BenchSuite) {
 }
 
 fn main() {
-    let mut suite = BenchSuite::new("encoding");
+    let cli = BenchCli::parse();
+    let mut suite = cli.suite("encoding");
     bench_tensor_quantize(&mut suite);
     bench_dequantize(&mut suite);
     bench_abfloat(&mut suite);
-    suite.report();
+    cli.finish(&[&suite]);
 }

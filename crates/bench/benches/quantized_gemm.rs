@@ -1,27 +1,66 @@
 //! Micro-benchmarks of the bit-accurate quantized GEMM versus the FP32
 //! reference GEMM, on the in-repo olive-harness runner — this workspace
 //! builds offline, so no criterion.
+//!
+//! Every kernel is measured twice: pinned to one thread (`*_seq`) and at the
+//! runtime's effective thread count (`*_par`, see `OLIVE_THREADS`), so the
+//! report shows the sequential-vs-parallel throughput side by side. `--quick`
+//! (CI smoke/gate mode) trims iteration counts and skips the 1024-sized
+//! kernels; `--json <path>` records medians for `scripts/bench_gate.sh`.
 
+use olive_bench::cli::BenchCli;
 use olive_core::{quantized_matmul, OliveQuantizer};
-use olive_harness::bench::{black_box, BenchSuite};
+use olive_harness::bench::{black_box, BenchConfig, BenchSuite};
 use olive_models::SynthProfile;
 use olive_tensor::matmul::matmul;
 use olive_tensor::rng::Rng;
+use olive_tensor::Tensor;
 
-fn main() {
-    let mut rng = Rng::seed_from(0x6E);
-    let a = SynthProfile::transformer().generate(vec![64, 256], &mut rng);
-    let b = SynthProfile::transformer().generate(vec![256, 64], &mut rng);
+fn square(n: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    SynthProfile::transformer().generate(vec![n, n], &mut rng)
+}
+
+/// Benchmarks one shape's float and quantized GEMMs, sequential and parallel.
+fn bench_shape(suite: &mut BenchSuite, n: usize, seed: u64) {
+    let a = square(n, seed);
+    let b = square(n, seed + 1);
     let qa = OliveQuantizer::int4().quantize(&a);
     let qb = OliveQuantizer::int4().quantize(&b);
+    let macs = (n * n * n) as u64;
+    let threads = olive_runtime::effective_threads();
 
-    let macs = (a.rows() * a.cols() * b.cols()) as u64;
-    let mut suite = BenchSuite::new("quantized_gemm");
-    suite.bench_with_elements("gemm_64x256x64/fp32_reference", macs, || {
-        black_box(matmul(black_box(&a), black_box(&b)))
+    suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/fp32_seq"), macs, || {
+        olive_runtime::with_threads(1, || black_box(matmul(black_box(&a), black_box(&b))))
     });
-    suite.bench_with_elements("gemm_64x256x64/ovp_int4_bit_accurate", macs, || {
-        black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+    suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/fp32_par"), macs, || {
+        olive_runtime::with_threads(threads, || black_box(matmul(black_box(&a), black_box(&b))))
     });
-    suite.report();
+    suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/ovp_int4_seq"), macs, || {
+        olive_runtime::with_threads(1, || {
+            black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+        })
+    });
+    suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/ovp_int4_par"), macs, || {
+        olive_runtime::with_threads(threads, || {
+            black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+        })
+    });
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    let mut suite = cli.suite("quantized_gemm");
+    // The gate's stable kernel set: shapes measured in both modes.
+    bench_shape(&mut suite, 256, 0x6E);
+
+    if cli.quick {
+        cli.finish(&[&suite]);
+        return;
+    }
+    // The paper-scale 1024-cubed kernels: heavyweight, so they run with a
+    // trimmed sample count and only outside --quick.
+    let mut heavy = BenchSuite::with_config("quantized_gemm", BenchConfig::from_env_or(1, 5));
+    bench_shape(&mut heavy, 1024, 0x6F);
+    cli.finish(&[&suite, &heavy]);
 }

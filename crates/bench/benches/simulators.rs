@@ -1,10 +1,12 @@
 //! Micro-benchmarks of the performance simulators themselves (how long it
 //! takes to evaluate one model under one scheme — useful when sweeping), on
 //! the in-repo olive-harness runner — this workspace builds offline, so no
-//! criterion.
+//! criterion. Supports `--quick` (CI smoke/gate iteration counts) and
+//! `--json <path>` (median recording for `scripts/bench_gate.sh`).
 
 use olive_accel::{GpuSimulator, QuantScheme, SystolicSimulator};
-use olive_harness::bench::{black_box, BenchSuite};
+use olive_bench::cli::BenchCli;
+use olive_harness::bench::black_box;
 use olive_models::{ModelConfig, Workload};
 
 fn main() {
@@ -13,7 +15,8 @@ fn main() {
     let sa = SystolicSimulator::paper_default();
     let scheme = QuantScheme::olive4();
 
-    let mut suite = BenchSuite::new("simulators");
+    let cli = BenchCli::parse();
+    let mut suite = cli.suite("simulators");
     suite.bench("gpu_model_bert_base", || {
         black_box(gpu.run(black_box(&wl), black_box(&scheme)))
     });
@@ -24,5 +27,5 @@ fn main() {
     suite.bench("workload_extraction_bloom", || {
         black_box(Workload::from_config(black_box(&bloom)))
     });
-    suite.report();
+    cli.finish(&[&suite]);
 }

@@ -1,0 +1,151 @@
+//! Bench-regression gate: diffs a `BENCH_results.json` run against the
+//! checked-in `BENCH_baseline.json` and exits non-zero if any kernel median
+//! regressed beyond the tolerance (default 25%) or disappeared.
+//!
+//! ```text
+//! bench_gate <baseline.json> <results.json> [--tolerance-pct N] [--inject-slowdown F]
+//! ```
+//!
+//! `--inject-slowdown F` multiplies every result median by `F` before
+//! comparing — the self-test `scripts/bench_gate.sh --self-test` uses it to
+//! demonstrate that a synthetic 2x slowdown actually fails the gate.
+
+use olive_bench::gate;
+use olive_bench::report::Table;
+use olive_harness::bench::fmt_ns;
+use std::path::PathBuf;
+
+struct Args {
+    baseline: PathBuf,
+    results: PathBuf,
+    tolerance_pct: f64,
+    inject_slowdown: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance_pct = 25.0;
+    let mut inject_slowdown = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance-pct" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tolerance-pct requires a number")?;
+            }
+            "--inject-slowdown" => {
+                let f: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--inject-slowdown requires a factor")?;
+                inject_slowdown = Some(f);
+            }
+            other if !other.starts_with("--") => positional.push(other.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("usage: bench_gate <baseline.json> <results.json> \
+             [--tolerance-pct N] [--inject-slowdown F]"
+            .into());
+    }
+    Ok(Args {
+        baseline: PathBuf::from(&positional[0]),
+        results: PathBuf::from(&positional[1]),
+        tolerance_pct,
+        inject_slowdown,
+    })
+}
+
+fn load(path: &PathBuf) -> gate::Medians {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| exit_err(&format!("reading {}: {e}", path.display())));
+    gate::parse_flat_json(&text)
+        .unwrap_or_else(|e| exit_err(&format!("parsing {}: {e}", path.display())))
+}
+
+fn exit_err(message: &str) -> ! {
+    eprintln!("bench_gate: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| exit_err(&e));
+    let baseline = load(&args.baseline);
+    let mut results = load(&args.results);
+    if let Some(factor) = args.inject_slowdown {
+        println!("injecting a synthetic {factor}x slowdown into every result median");
+        results = gate::scale_medians(&results, factor);
+    }
+
+    let outcome = gate::compare(&baseline, &results, args.tolerance_pct);
+
+    let mut table = Table::new(vec![
+        "kernel".into(),
+        "baseline".into(),
+        "result".into(),
+        "ratio".into(),
+        "verdict".into(),
+    ]);
+    for kernel in &outcome.passed {
+        let (b, r) = (baseline[kernel], results[kernel]);
+        table.row(vec![
+            kernel.clone(),
+            fmt_ns(b),
+            fmt_ns(r),
+            format!("{:.2}x", r as f64 / b.max(1) as f64),
+            "ok".into(),
+        ]);
+    }
+    for reg in &outcome.regressions {
+        table.row(vec![
+            reg.kernel.clone(),
+            fmt_ns(reg.baseline_ns),
+            fmt_ns(reg.result_ns),
+            format!("{:.2}x", reg.ratio()),
+            "REGRESSED".into(),
+        ]);
+    }
+    for kernel in &outcome.missing {
+        table.row(vec![
+            kernel.clone(),
+            fmt_ns(baseline[kernel]),
+            "-".into(),
+            "-".into(),
+            "MISSING".into(),
+        ]);
+    }
+    for kernel in &outcome.unbaselined {
+        table.row(vec![
+            kernel.clone(),
+            "-".into(),
+            fmt_ns(results[kernel]),
+            "-".into(),
+            "new (re-baseline to track)".into(),
+        ]);
+    }
+    println!(
+        "== bench gate: {} vs {} (tolerance {:.0}%) ==",
+        args.results.display(),
+        args.baseline.display(),
+        args.tolerance_pct
+    );
+    println!("{}", table.render());
+
+    if outcome.ok() {
+        println!(
+            "bench gate: OK ({} kernels within tolerance)",
+            outcome.passed.len()
+        );
+    } else {
+        println!(
+            "bench gate: FAILED ({} regressed, {} missing) — if intentional, re-baseline \
+             with scripts/bench_gate.sh --rebaseline",
+            outcome.regressions.len(),
+            outcome.missing.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,4 +5,6 @@
 //! olive-harness micro-benchmarks in `benches/`.
 
 pub mod accuracy;
+pub mod cli;
+pub mod gate;
 pub mod report;

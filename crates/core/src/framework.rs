@@ -21,7 +21,11 @@ use olive_tensor::Tensor;
 /// activations, which is numerically equivalent to the real packed execution
 /// (see `olive_core::gemm` tests) but lets every baseline plug into the same
 /// evaluation harness.
-pub trait TensorQuantizer {
+///
+/// `Send + Sync` is a supertrait so one quantizer can serve every shard of a
+/// batched evaluation (`olive-models` fans inference out over the
+/// `olive-runtime` worker pool); all implementations are plain value types.
+pub trait TensorQuantizer: Send + Sync {
     /// Human-readable name used in reports ("OliVe-4bit", "GOBO", …).
     fn name(&self) -> &str;
 

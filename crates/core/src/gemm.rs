@@ -10,6 +10,8 @@
 
 use crate::quantizer::OvpTensor;
 use olive_tensor::Tensor;
+use std::ops::Range;
+use std::sync::Mutex;
 
 /// Statistics gathered while executing a quantized GEMM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,31 +26,37 @@ pub struct QuantGemmStats {
     pub i32_overflows: u64,
 }
 
-/// Computes `C = A × B` where both operands are OVP-quantized tensors.
-///
-/// `a` must be `[m, k]` and `b` must be `[k, n]`. The result is a dense `f32`
-/// tensor `A·B` evaluated in the quantized domain (integer MACs, final
-/// rescale).
-///
-/// # Panics
-///
-/// Panics if the operands are not rank-2 or the inner dimensions differ.
-pub fn quantized_matmul(a: &OvpTensor, b: &OvpTensor) -> (Tensor, QuantGemmStats) {
-    let (m, k) = shape2(a);
-    let (kb, n) = shape2(b);
-    assert_eq!(k, kb, "quantized_matmul inner dimensions mismatch");
+impl QuantGemmStats {
+    /// Accumulates another shard's counters into `self`.
+    ///
+    /// All fields are integer sums, so merging per-row-block partials in any
+    /// order yields exactly the counters a sequential pass would produce —
+    /// this is what keeps the parallel [`quantized_matmul`] bit-identical to
+    /// the sequential one, statistics included.
+    pub fn merge(&mut self, other: QuantGemmStats) {
+        self.macs += other.macs;
+        self.zero_operand_macs += other.zero_operand_macs;
+        self.i32_overflows += other.i32_overflows;
+    }
+}
 
-    // Decode once into integer grids.
-    let av: Vec<i64> = a.decode_expints().iter().map(|p| p.value()).collect();
-    let bv: Vec<i64> = b.decode_expints().iter().map(|p| p.value()).collect();
-
+/// Computes output rows `rows` of the integer-domain GEMM into `out` (which
+/// holds exactly those rows), returning the shard's statistics. The per-cell
+/// `k` accumulation order is ascending regardless of how rows are sharded.
+fn quantized_gemm_block(
+    av: &[i64],
+    bv: &[i64],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    rescale: f64,
+    out: &mut [f32],
+) -> QuantGemmStats {
     let mut stats = QuantGemmStats::default();
-    let mut out = vec![0.0f32; m * n];
-    let rescale = a.spec().scale as f64 * b.spec().scale as f64;
-
-    for i in 0..m {
+    for (ri, i) in rows.enumerate() {
         let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
+        let orow = &mut out[ri * n..(ri + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
             let mut acc: i64 = 0;
             let mut overflowed = false;
             for kk in 0..k {
@@ -66,8 +74,51 @@ pub fn quantized_matmul(a: &OvpTensor, b: &OvpTensor) -> (Tensor, QuantGemmStats
             if overflowed {
                 stats.i32_overflows += 1;
             }
-            out[i * n + j] = (acc as f64 * rescale) as f32;
+            *o = (acc as f64 * rescale) as f32;
         }
+    }
+    stats
+}
+
+/// Computes `C = A × B` where both operands are OVP-quantized tensors.
+///
+/// `a` must be `[m, k]` and `b` must be `[k, n]`. The result is a dense `f32`
+/// tensor `A·B` evaluated in the quantized domain (integer MACs, final
+/// rescale). Zero-sized shapes (`m`, `k` or `n` equal to 0) are valid.
+///
+/// Large products run row blocks in parallel on the [`olive_runtime`] pool;
+/// per-shard [`QuantGemmStats`] are merged with integer addition, so both the
+/// result tensor and the statistics are bit-identical to the sequential path
+/// at every thread count.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the inner dimensions differ.
+pub fn quantized_matmul(a: &OvpTensor, b: &OvpTensor) -> (Tensor, QuantGemmStats) {
+    let (m, k) = shape2(a);
+    let (kb, n) = shape2(b);
+    assert_eq!(k, kb, "quantized_matmul inner dimensions mismatch");
+
+    // Decode once into integer grids.
+    let av: Vec<i64> = a.decode_expints().iter().map(|p| p.value()).collect();
+    let bv: Vec<i64> = b.decode_expints().iter().map(|p| p.value()).collect();
+
+    let mut stats = QuantGemmStats::default();
+    let mut out = vec![0.0f32; m * n];
+    let rescale = a.spec().scale as f64 * b.spec().scale as f64;
+
+    let work = m as u64 * k as u64 * n as u64;
+    if olive_runtime::should_parallelize(m, work) {
+        let shards: Mutex<Vec<QuantGemmStats>> = Mutex::new(Vec::new());
+        olive_runtime::par_rows_mut(m, n, &mut out, |rows, block| {
+            let local = quantized_gemm_block(&av, &bv, k, n, rows, rescale, block);
+            shards.lock().unwrap().push(local);
+        });
+        for shard in shards.into_inner().unwrap() {
+            stats.merge(shard);
+        }
+    } else {
+        stats = quantized_gemm_block(&av, &bv, k, n, 0..m, rescale, &mut out);
     }
     (Tensor::from_vec(vec![m, n], out), stats)
 }

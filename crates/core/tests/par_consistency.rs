@@ -1,0 +1,177 @@
+//! Property tests for the `olive-runtime` determinism contract: the parallel
+//! GEMM paths must produce **bit-identical** outputs — tensors *and*
+//! [`QuantGemmStats`] — at every thread count, across odd shapes (`m = 1`,
+//! `k = 1`, sizes that are not multiples of the kernel tiles) and zero-sized
+//! edge cases.
+
+use olive_core::{quantized_matmul, OliveQuantizer, QuantGemmStats};
+use olive_harness::check::{check_with, CheckConfig};
+use olive_harness::prop_assert_eq;
+use olive_tensor::matmul::{matmul, matmul_transpose_b};
+use olive_tensor::rng::Rng;
+use olive_tensor::Tensor;
+
+/// Shape pools biased toward rank/tile edges: unit dims, primes, one-off-tile
+/// sizes (the matmul tiles are 128/512) and a couple of larger blocks.
+const DIM_POOL: [usize; 10] = [1, 2, 3, 7, 16, 33, 67, 127, 129, 160];
+
+fn pick_dim(rng: &mut Rng) -> usize {
+    DIM_POOL[rng.below(DIM_POOL.len())]
+}
+
+fn random_tensor(shape: Vec<usize>, rng: &mut Rng, outliers: usize) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = vec![0.0f32; n];
+    rng.fill_normal(&mut data, 0.0, 1.0);
+    for _ in 0..outliers.min(n) {
+        let i = rng.below(n.max(1));
+        data[i] = rng.uniform_range(15.0, 40.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+    }
+    Tensor::from_vec(shape, data)
+}
+
+fn cfg() -> CheckConfig {
+    CheckConfig {
+        cases: 24,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    check_with(
+        cfg(),
+        "matmul_thread_invariance",
+        |rng| {
+            let (m, k, n) = (pick_dim(rng), pick_dim(rng), pick_dim(rng));
+            let a = random_tensor(vec![m, k], rng, 2);
+            let b = random_tensor(vec![k, n], rng, 2);
+            (a, b)
+        },
+        |(a, b)| {
+            let seq = olive_runtime::with_threads(1, || matmul(a, b));
+            let par = olive_runtime::with_threads(8, || matmul(a, b));
+            prop_assert_eq!(
+                seq.data(),
+                par.data(),
+                "matmul {:?}x{:?} differs between 1 and 8 threads",
+                a.shape(),
+                b.shape()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn matmul_transpose_b_is_bit_identical_across_thread_counts() {
+    check_with(
+        cfg(),
+        "matmul_tb_thread_invariance",
+        |rng| {
+            let (m, k, n) = (pick_dim(rng), pick_dim(rng), pick_dim(rng));
+            let a = random_tensor(vec![m, k], rng, 2);
+            let b = random_tensor(vec![n, k], rng, 2);
+            (a, b)
+        },
+        |(a, b)| {
+            let seq = olive_runtime::with_threads(1, || matmul_transpose_b(a, b));
+            let par = olive_runtime::with_threads(8, || matmul_transpose_b(a, b));
+            prop_assert_eq!(seq.data(), par.data());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quantized_matmul_outputs_and_stats_are_bit_identical_across_thread_counts() {
+    check_with(
+        cfg(),
+        "quantized_matmul_thread_invariance",
+        |rng| {
+            let (m, k, n) = (pick_dim(rng), pick_dim(rng), pick_dim(rng));
+            let a = random_tensor(vec![m, k], rng, 3);
+            let b = random_tensor(vec![k, n], rng, 3);
+            let q = if rng.chance(0.5) {
+                OliveQuantizer::int4()
+            } else {
+                OliveQuantizer::int8()
+            };
+            (q.quantize(&a), q.quantize(&b))
+        },
+        |(qa, qb)| {
+            let (seq, seq_stats) = olive_runtime::with_threads(1, || quantized_matmul(qa, qb));
+            let (par, par_stats) = olive_runtime::with_threads(8, || quantized_matmul(qa, qb));
+            prop_assert_eq!(
+                seq.data(),
+                par.data(),
+                "quantized_matmul {:?}x{:?} output differs",
+                qa.shape(),
+                qb.shape()
+            );
+            prop_assert_eq!(
+                seq_stats,
+                par_stats,
+                "quantized_matmul {:?}x{:?} stats differ",
+                qa.shape(),
+                qb.shape()
+            );
+            let (m, k) = (qa.shape()[0], qa.shape()[1]);
+            let n = qb.shape()[1];
+            prop_assert_eq!(seq_stats.macs, (m * n * k) as u64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn olive_threads_env_variable_controls_both_paths() {
+    // The env-var path (as opposed to the with_threads override used above):
+    // OLIVE_THREADS is re-read per call, so one process can compare both
+    // settings. Runs serially inside this one test to avoid env races; the
+    // sibling tests pin their counts via with_threads, which takes priority.
+    let mut rng = Rng::seed_from(0x0111);
+    let a = random_tensor(vec![67, 129], &mut rng, 2);
+    let b = random_tensor(vec![129, 33], &mut rng, 2);
+    let qa = OliveQuantizer::int4().quantize(&a);
+    let qb = OliveQuantizer::int4().quantize(&b);
+
+    std::env::set_var("OLIVE_THREADS", "1");
+    let seq = matmul(&a, &b);
+    let (qseq, sseq) = quantized_matmul(&qa, &qb);
+    std::env::set_var("OLIVE_THREADS", "8");
+    let par = matmul(&a, &b);
+    let (qpar, spar) = quantized_matmul(&qa, &qb);
+    std::env::remove_var("OLIVE_THREADS");
+
+    assert_eq!(seq, par);
+    assert_eq!(qseq, qpar);
+    assert_eq!(sseq, spar);
+}
+
+#[test]
+fn zero_sized_quantized_gemm() {
+    let q = OliveQuantizer::int4();
+    let quant = |shape: Vec<usize>, seed: u64| {
+        let mut rng = Rng::seed_from(seed);
+        q.quantize(&random_tensor(shape, &mut rng, 0))
+    };
+    for threads in [1usize, 8] {
+        olive_runtime::with_threads(threads, || {
+            // m = 0: empty result, zero stats.
+            let (c, stats) = quantized_matmul(&quant(vec![0, 4], 1), &quant(vec![4, 3], 2));
+            assert_eq!(c.shape(), &[0, 3]);
+            assert_eq!(stats, QuantGemmStats::default());
+            // k = 0: the all-zero [m, n] matrix, zero MACs.
+            let (c, stats) = quantized_matmul(&quant(vec![2, 0], 3), &quant(vec![0, 3], 4));
+            assert_eq!(c.shape(), &[2, 3]);
+            assert!(c.data().iter().all(|&v| v == 0.0));
+            assert_eq!(stats.macs, 0);
+            // n = 0: rows exist but hold nothing.
+            let (c, stats) = quantized_matmul(&quant(vec![2, 4], 5), &quant(vec![4, 0], 6));
+            assert_eq!(c.shape(), &[2, 0]);
+            assert!(c.is_empty());
+            assert_eq!(stats.macs, 0);
+        });
+    }
+}

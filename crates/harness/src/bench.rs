@@ -22,10 +22,11 @@ pub struct BenchConfig {
     pub sample_iters: u32,
 }
 
-impl Default for BenchConfig {
-    /// Defaults (3 warmup / 20 samples), overridable via `OLIVE_BENCH_WARMUP`
-    /// and `OLIVE_BENCH_SAMPLES`.
-    fn default() -> Self {
+impl BenchConfig {
+    /// Reads `OLIVE_BENCH_WARMUP` / `OLIVE_BENCH_SAMPLES`, falling back to
+    /// the given counts where unset — the env always wins, so a harness can
+    /// stabilise or shrink any suite (including `--quick` ones) externally.
+    pub fn from_env_or(warmup_fallback: u32, samples_fallback: u32) -> Self {
         let env_u32 = |key: &str, fallback: u32| {
             std::env::var(key)
                 .ok()
@@ -34,9 +35,17 @@ impl Default for BenchConfig {
                 .unwrap_or(fallback)
         };
         BenchConfig {
-            warmup_iters: env_u32("OLIVE_BENCH_WARMUP", 3),
-            sample_iters: env_u32("OLIVE_BENCH_SAMPLES", 20),
+            warmup_iters: env_u32("OLIVE_BENCH_WARMUP", warmup_fallback),
+            sample_iters: env_u32("OLIVE_BENCH_SAMPLES", samples_fallback),
         }
+    }
+}
+
+impl Default for BenchConfig {
+    /// Defaults (3 warmup / 20 samples), overridable via `OLIVE_BENCH_WARMUP`
+    /// and `OLIVE_BENCH_SAMPLES`.
+    fn default() -> Self {
+        BenchConfig::from_env_or(3, 20)
     }
 }
 
@@ -205,6 +214,11 @@ impl BenchSuite {
             elements,
         });
         self.measurements.last().expect("just pushed")
+    }
+
+    /// The suite title (used to namespace kernels in recorded results).
+    pub fn title(&self) -> &str {
+        &self.title
     }
 
     /// The measurements taken so far, in execution order.

@@ -406,11 +406,13 @@ impl EvalTask {
     ) -> Self {
         let config = &teacher.config;
         let candidates = EvalTask::generate(name, config, n_inputs * oversample.max(1), rng);
-        let mut scored: Vec<(f32, Vec<usize>)> = candidates
-            .inputs
-            .into_iter()
-            .map(|input| (teacher.decision_margin(&input), input))
-            .collect();
+        // Margin scoring is embarrassingly parallel over candidates; par_map
+        // keeps input order, and the stable sort below keeps ties
+        // deterministic, so the selected task is thread-count independent.
+        let margins =
+            olive_runtime::par_map(&candidates.inputs, |input| teacher.decision_margin(input));
+        let mut scored: Vec<(f32, Vec<usize>)> =
+            margins.into_iter().zip(candidates.inputs).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         EvalTask {
             name: name.to_string(),
@@ -421,6 +423,10 @@ impl EvalTask {
 
 /// Fraction of task inputs on which `student` predicts the same next token as
 /// `teacher` (the "accuracy" proxy).
+///
+/// The batch is sharded over the `olive-runtime` worker pool (one forward
+/// pass per input is independent of every other); the score is identical at
+/// every thread count.
 pub fn agreement(
     teacher: &TinyTransformer,
     student: &TinyTransformer,
@@ -430,14 +436,11 @@ pub fn agreement(
     if task.inputs.is_empty() {
         return 1.0;
     }
-    let mut hits = 0usize;
-    for input in &task.inputs {
-        let t = teacher.predict(input, None);
-        let s = student.predict(input, act_quant);
-        if t == s {
-            hits += 1;
-        }
-    }
+    let hits: usize = olive_runtime::par_map(&task.inputs, |input| {
+        usize::from(teacher.predict(input, None) == student.predict(input, act_quant))
+    })
+    .into_iter()
+    .sum();
     hits as f64 / task.inputs.len() as f64
 }
 
@@ -458,15 +461,23 @@ pub fn logit_fidelity(
     task: &EvalTask,
     act_quant: Option<&dyn TensorQuantizer>,
 ) -> f64 {
-    let mut total = 0.0f64;
-    let mut count = 0usize;
-    for input in &task.inputs {
+    // One (sum, count) partial per input, computed in parallel over the batch
+    // and folded in input order — the f64 reduction order is therefore fixed,
+    // keeping the score bit-identical at every thread count.
+    let partials = olive_runtime::par_map(&task.inputs, |input| {
         let t_logits = teacher.forward(input, None);
         let s_logits = student.forward(input, act_quant);
+        let mut sum = 0.0f64;
         for pos in 0..t_logits.rows() {
-            total += cosine(t_logits.row(pos), s_logits.row(pos));
-            count += 1;
+            sum += cosine(t_logits.row(pos), s_logits.row(pos));
         }
+        (sum, t_logits.rows())
+    });
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (sum, rows) in partials {
+        total += sum;
+        count += rows;
     }
     if count == 0 {
         1.0
@@ -498,18 +509,25 @@ pub fn pseudo_perplexity(
     task: &EvalTask,
     act_quant: Option<&dyn TensorQuantizer>,
 ) -> f64 {
-    let mut total_ce = 0.0f64;
-    let mut count = 0usize;
-    for input in &task.inputs {
+    // Sharded over the batch like `logit_fidelity`, with the same
+    // fold-in-input-order determinism argument.
+    let partials = olive_runtime::par_map(&task.inputs, |input| {
         let t_logits = teacher.forward(input, None);
         let s_logits = student.forward(input, act_quant);
+        let mut ce = 0.0f64;
         for pos in 0..t_logits.rows() {
             let label = argmax(t_logits.row(pos));
             let probs = softmax_vec(s_logits.row(pos));
             let p = probs[label].max(1e-12);
-            total_ce += -p.ln();
-            count += 1;
+            ce += -p.ln();
         }
+        (ce, t_logits.rows())
+    });
+    let mut total_ce = 0.0f64;
+    let mut count = 0usize;
+    for (ce, rows) in partials {
+        total_ce += ce;
+        count += rows;
     }
     if count == 0 {
         1.0
@@ -619,6 +637,40 @@ mod tests {
         let q = OliveQuantizer::int4();
         let acc = agreement(&teacher, &student, &task, Some(&q));
         assert!(acc > 0.3, "agreement {}", acc);
+    }
+
+    #[test]
+    fn batched_eval_is_thread_count_invariant() {
+        // The full teacher/student evaluation stack — batched forward passes,
+        // the parallel GEMMs under them, and the f64 score reductions — must
+        // produce bit-identical scores at 1 and 8 threads.
+        let (teacher, task) = setup();
+        let student = teacher.quantize_weights(&OliveQuantizer::int4());
+        let q = OliveQuantizer::int4();
+        let run = || {
+            (
+                agreement(&teacher, &student, &task, Some(&q)),
+                logit_fidelity(&teacher, &student, &task, Some(&q)),
+                pseudo_perplexity(&teacher, &student, &task, Some(&q)),
+            )
+        };
+        let seq = olive_runtime::with_threads(1, run);
+        let par = olive_runtime::with_threads(8, run);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn confident_task_selection_is_thread_count_invariant() {
+        let cfg = EngineConfig::tiny();
+        let mut rng = Rng::seed_from(7);
+        let teacher = TinyTransformer::generate(cfg, OutlierSeverity::llm(), &mut rng);
+        let gen = |threads: usize| {
+            let mut rng = Rng::seed_from(99);
+            olive_runtime::with_threads(threads, || {
+                EvalTask::generate_confident("unit", &teacher, 6, 4, &mut rng)
+            })
+        };
+        assert_eq!(gen(1).inputs, gen(8).inputs);
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! The persistent worker pool behind the [`par_rows`](crate::par_rows)-family
+//! primitives.
+//!
+//! One [`Pool`] owns a set of `std::thread` workers that live for the life of
+//! the pool (the [global pool](Pool::global) lives for the process). A call to
+//! [`Pool::scoped`] publishes one *job* — a closure plus a number of chunks —
+//! and returns once every chunk has executed. Idle workers (and the calling
+//! thread, which always participates) *steal* chunk indices from a shared
+//! atomic counter, so a slow chunk never leaves the rest of the pool idle.
+//!
+//! The closure is borrowed for the duration of the call only; `scoped`
+//! lifetime-erases it internally and guarantees — by waiting for every chunk
+//! to finish before returning — that no worker touches it afterwards.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Hard upper bound on pool threads, guarding against absurd `OLIVE_THREADS`.
+pub const MAX_THREADS: usize = 256;
+
+/// One published job: a lifetime-erased chunk closure plus progress counters.
+struct Job {
+    /// Erased `&(dyn Fn(usize) + Sync)` valid until `completed == total`.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim (workers `fetch_add` to steal work).
+    next: AtomicUsize,
+    /// Total chunks in the job.
+    total: usize,
+    /// Chunks whose closure invocation has returned (or panicked).
+    completed: AtomicUsize,
+    /// Worker lanes still unclaimed: the job was published at some
+    /// `threads`-way budget, the caller takes one lane, and only
+    /// `threads - 1` workers may join — surplus pool workers skip the job so
+    /// a small `OLIVE_THREADS`/`with_threads` request on a big pool really
+    /// caps CPU use.
+    worker_lanes: AtomicUsize,
+    /// First panic payload raised by a chunk, re-thrown by the caller.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while the owning
+// `Pool::scoped` frame is alive (it blocks until `completed == total`, and no
+// chunk index beyond `total` is ever executed), and the closure is `Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims one of the job's worker lanes; returns false when the thread
+    /// budget is already fully subscribed.
+    fn try_claim_lane(&self) -> bool {
+        self.worker_lanes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |lanes| {
+                lanes.checked_sub(1)
+            })
+            .is_ok()
+    }
+
+    /// Claims and runs chunks until the shared counter is exhausted.
+    fn run_chunks(&self, shared: &Shared) {
+        loop {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.total {
+                return;
+            }
+            // SAFETY: `completed < total` here, so the `scoped` frame that
+            // owns the closure is still blocked waiting on this job.
+            let task = unsafe { &*self.task };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(chunk))) {
+                let mut slot = self.panic_payload.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == self.total {
+                // Last chunk: retire the job and wake the waiting caller (and
+                // any thread queued to publish the next job).
+                let mut state = shared.state.lock().unwrap();
+                state.job = None;
+                drop(state);
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// State every worker and caller shares.
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job is published (or on shutdown).
+    work_cv: Condvar,
+    /// Signalled when the current job retires.
+    done_cv: Condvar,
+}
+
+struct State {
+    /// Bumped per published job so sleeping workers can tell jobs apart.
+    epoch: u64,
+    /// The in-flight job, if any. At most one job runs at a time.
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A persistent `std::thread` worker pool executing scoped, chunked jobs.
+///
+/// Most code should not construct pools directly but go through the
+/// [`par_rows`](crate::par_rows)-family free functions, which share the
+/// process-wide [`Pool::global`] instance.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Creates a pool that can serve jobs at `threads`-way parallelism.
+    ///
+    /// Since the calling thread always participates in its own jobs, this
+    /// spawns `threads - 1` workers (zero workers is a valid, purely inline
+    /// pool). Thread counts are clamped to [`MAX_THREADS`].
+    pub fn new(threads: usize) -> Self {
+        let pool = Pool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(threads.min(MAX_THREADS).saturating_sub(1));
+        pool
+    }
+
+    /// The process-wide pool used by the free-function primitives.
+    ///
+    /// Created on first use, sized from [`crate::effective_threads`] at that
+    /// moment; later calls that request more parallelism (e.g. a larger
+    /// `OLIVE_THREADS`) grow it on demand.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(crate::effective_threads()))
+    }
+
+    /// Grows the worker set to at least `want` threads (clamped, best-effort:
+    /// spawn failures leave the pool smaller but functional).
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_THREADS.saturating_sub(1));
+        let mut workers = self.workers.lock().unwrap();
+        while workers.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("olive-runtime-{}", workers.len());
+            match std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Current worker-thread count (excludes the participating caller).
+    pub fn workers(&self) -> usize {
+        self.workers.lock().unwrap().len()
+    }
+
+    /// Runs `f(chunk)` for every `chunk in 0..n_chunks` at up-to-`threads`-way
+    /// parallelism and returns when all chunks have finished.
+    ///
+    /// The budget is enforced, not advisory: at most `threads - 1` pool
+    /// workers join the calling thread, even when the pool has more workers
+    /// from earlier, wider jobs.
+    ///
+    /// Chunk indices are claimed dynamically, so the assignment of chunks to
+    /// threads is nondeterministic — callers must make `f` write only to
+    /// chunk-private (disjoint) state for deterministic results; see the
+    /// crate-level determinism contract.
+    ///
+    /// Runs entirely inline (no cross-thread dispatch) when `threads <= 1`,
+    /// `n_chunks <= 1`, or the calling thread is itself a pool worker.
+    ///
+    /// # Panics
+    ///
+    /// If any chunk panics, the first panic payload is re-thrown on the
+    /// calling thread after all remaining chunks have run to completion.
+    pub fn scoped<F: Fn(usize) + Sync>(&self, threads: usize, n_chunks: usize, f: F) {
+        if n_chunks == 0 {
+            return;
+        }
+        if threads <= 1 || n_chunks == 1 || crate::in_worker() {
+            for chunk in 0..n_chunks {
+                f(chunk);
+            }
+            return;
+        }
+        self.ensure_workers(threads.min(MAX_THREADS) - 1);
+
+        // Erase the closure's lifetime. SAFETY: this function does not return
+        // until `completed == total`, after which no worker dereferences the
+        // pointer again (the claim counter is already exhausted).
+        let local: &(dyn Fn(usize) + Sync) = &f;
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(local) };
+        let job = Arc::new(Job {
+            task: erased as *const (dyn Fn(usize) + Sync),
+            next: AtomicUsize::new(0),
+            total: n_chunks,
+            completed: AtomicUsize::new(0),
+            worker_lanes: AtomicUsize::new(threads.min(MAX_THREADS) - 1),
+            panic_payload: Mutex::new(None),
+        });
+
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            // One job at a time: queue behind any in-flight job.
+            while state.job.is_some() {
+                state = self.shared.done_cv.wait(state).unwrap();
+            }
+            state.epoch += 1;
+            state.job = Some(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+
+        // Participate: the caller is one of the `threads` lanes. Mark it as a
+        // worker so nested parallel calls inside `f` run inline instead of
+        // queueing behind this (unfinished) job.
+        crate::enter_worker(|| job.run_chunks(&self.shared));
+
+        let mut state = self.shared.state.lock().unwrap();
+        while job.completed.load(Ordering::Acquire) < job.total {
+            state = self.shared.done_cv.wait(state).unwrap();
+        }
+        drop(state);
+
+        let payload = job.panic_payload.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    if let Some(job) = state.job.clone() {
+                        break job;
+                    }
+                    // Epoch advanced but the job already retired; keep waiting.
+                }
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        };
+        if job.try_claim_lane() {
+            crate::enter_worker(|| job.run_chunks(shared));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scoped_runs_every_chunk_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+        pool.scoped(4, hits.len(), |c| {
+            hits[c].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let pool = Pool::new(2);
+        pool.scoped(2, 0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let sum = AtomicU64::new(0);
+        pool.scoped(1, 10, |c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = Pool::new(3);
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            pool.scoped(3, 16, |c| {
+                sum.fetch_add(round + c as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 16 * round + 120);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_completes() {
+        // More threads than cores (this box may have a single core).
+        let pool = Pool::new(8);
+        let sum = AtomicU64::new(0);
+        pool.scoped(8, 64, |c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn thread_budget_is_enforced_on_a_wider_pool() {
+        // A pool that has 7 workers from an earlier 8-way job must still run
+        // a threads=2 job on at most 2 threads (caller + one worker).
+        let pool = Pool::new(8);
+        pool.scoped(8, 16, |_| std::thread::yield_now());
+        for _ in 0..20 {
+            let ids = Mutex::new(std::collections::HashSet::new());
+            pool.scoped(2, 32, |_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+            let participants = ids.lock().unwrap().len();
+            assert!(
+                participants <= 2,
+                "{participants} threads joined a 2-way job"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(4, 8, |c| {
+                if c == 3 {
+                    panic!("chunk three failed");
+                }
+            });
+        }));
+        let payload = result.expect_err("scoped must re-throw the chunk panic");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "chunk three failed");
+        // The pool survives a panicked job.
+        let sum = AtomicU64::new(0);
+        pool.scoped(4, 4, |c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn nested_scoped_runs_inline_without_deadlock() {
+        let pool = Pool::new(4);
+        let sum = AtomicU64::new(0);
+        pool.scoped(4, 4, |_outer| {
+            // Nested use of the *same* pool must not wait for the outer job.
+            pool.scoped(4, 4, |inner| {
+                sum.fetch_add(inner as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4 * 6);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+    }
+}

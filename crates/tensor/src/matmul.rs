@@ -1,13 +1,82 @@
 //! Dense matrix multiplication and common neural-network primitives.
+//!
+//! The GEMM kernels are cache-blocked (tiled over `i`/`k`/`j`) and
+//! parallelised over row blocks on the [`olive_runtime`] worker pool. The
+//! decomposition follows the runtime's determinism contract: every row of the
+//! output is computed by the same kernel code with the same `k`-ascending
+//! accumulation order no matter how many threads run (`OLIVE_THREADS=1` and
+//! `OLIVE_THREADS=8` produce bit-identical tensors).
 
 use crate::Tensor;
+use std::ops::Range;
+
+/// `k`-tile: rows of `B` (or columns of `Bᵀ`) kept hot in cache per pass.
+const KC: usize = 128;
+/// `j`-tile: output columns processed per pass, keeping the `B` panel
+/// (`KC × NC` floats) within L2.
+const NC: usize = 512;
+
+/// Total fused multiply-adds of an `[m,k] × [k,n]` GEMM, the cost measure fed
+/// to [`olive_runtime::should_parallelize`].
+fn gemm_work(m: usize, k: usize, n: usize) -> u64 {
+    m as u64 * k as u64 * n as u64
+}
+
+/// Computes rows `rows` of `C = A × B` into `out` (which holds exactly those
+/// rows, zero-initialised). Tiled `j0 → k0 → i → k → j`; for any fixed output
+/// element the `k` accumulation order is ascending, independent of `rows`
+/// splits — the bit-determinism anchor for the parallel path.
+fn gemm_block(ad: &[f32], bd: &[f32], k: usize, n: usize, rows: Range<usize>, out: &mut [f32]) {
+    for j0 in (0..n).step_by(NC) {
+        let j1 = (j0 + NC).min(n);
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for (ri, i) in rows.clone().enumerate() {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[ri * n + j0..ri * n + j1];
+                for kk in k0..k1 {
+                    let av = arow[kk];
+                    // Zero activations (pruned victims) contribute nothing.
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n + j0..kk * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes rows `rows` of `C = A × Bᵀ` into `out` (holding those rows).
+/// Each output element is one dot product accumulated in ascending `k` order.
+fn gemm_tb_block(ad: &[f32], bd: &[f32], k: usize, n: usize, rows: Range<usize>, out: &mut [f32]) {
+    for (ri, i) in rows.enumerate() {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[ri * n..(ri + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
 
 /// Dense row-major GEMM: `C = A × B`.
 ///
 /// `a` must be `[m, k]` and `b` must be `[k, n]`; the result is `[m, n]`.
+/// Zero-sized operands (`m`, `k` or `n` equal to 0) are valid and produce an
+/// empty (or all-zero, for `k = 0`) result.
 ///
-/// The inner loop is written in `i-k-j` order so the compiler can vectorise the
-/// innermost accumulation over contiguous memory.
+/// The kernel is cache-blocked and, when the matrices are large enough, runs
+/// row blocks in parallel on the [`olive_runtime`] pool (thread count from
+/// `OLIVE_THREADS`, default [`std::thread::available_parallelism`]). The
+/// result is bit-identical for every thread count.
 ///
 /// # Panics
 ///
@@ -31,25 +100,21 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
+    if olive_runtime::should_parallelize(m, gemm_work(m, k, n)) {
+        olive_runtime::par_rows_mut(m, n, &mut out, |rows, block| {
+            gemm_block(ad, bd, k, n, rows, block);
+        });
+    } else {
+        gemm_block(ad, bd, k, n, 0..m, &mut out);
     }
     Tensor::from_vec(vec![m, n], out)
 }
 
 /// `C = A × Bᵀ` without materialising the transpose.
 ///
-/// `a` is `[m, k]`, `b` is `[n, k]`; the result is `[m, n]`.
+/// `a` is `[m, k]`, `b` is `[n, k]`; the result is `[m, n]`. Zero-sized
+/// operands are valid. Parallelised over row blocks like [`matmul`], with the
+/// same bit-determinism guarantee across thread counts.
 ///
 /// # Panics
 ///
@@ -61,16 +126,12 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += arow[kk] * brow[kk];
-            }
-            out[i * n + j] = acc;
-        }
+    if olive_runtime::should_parallelize(m, gemm_work(m, k, n)) {
+        olive_runtime::par_rows_mut(m, n, &mut out, |rows, block| {
+            gemm_tb_block(ad, bd, k, n, rows, block);
+        });
+    } else {
+        gemm_tb_block(ad, bd, k, n, 0..m, &mut out);
     }
     Tensor::from_vec(vec![m, n], out)
 }
@@ -190,6 +251,57 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![2, 3]);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn zero_sized_gemm_cases() {
+        for threads in [1usize, 8] {
+            olive_runtime::with_threads(threads, || {
+                // m = 0: no output rows.
+                let c = matmul(&Tensor::zeros(vec![0, 3]), &Tensor::zeros(vec![3, 4]));
+                assert_eq!(c.shape(), &[0, 4]);
+                assert!(c.is_empty());
+                // n = 0: rows exist but are empty.
+                let c = matmul(&Tensor::zeros(vec![2, 3]), &Tensor::zeros(vec![3, 0]));
+                assert_eq!(c.shape(), &[2, 0]);
+                // k = 0: an [m,0] x [0,n] product is the m x n zero matrix.
+                let c = matmul(&Tensor::zeros(vec![2, 0]), &Tensor::zeros(vec![0, 4]));
+                assert_eq!(c.shape(), &[2, 4]);
+                assert!(c.data().iter().all(|&v| v == 0.0));
+                // Same edges through the transposed-B path.
+                let c = matmul_transpose_b(&Tensor::zeros(vec![0, 3]), &Tensor::zeros(vec![5, 3]));
+                assert_eq!(c.shape(), &[0, 5]);
+                let c = matmul_transpose_b(&Tensor::zeros(vec![2, 0]), &Tensor::zeros(vec![5, 0]));
+                assert_eq!(c.shape(), &[2, 5]);
+                assert!(c.data().iter().all(|&v| v == 0.0));
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_sequential() {
+        // Big enough to clear the parallel work threshold, with shapes that
+        // are not multiples of the kernel tiles.
+        let mut next = 0x243F_6A88u32;
+        let mut gen = |shape: Vec<usize>| {
+            let n: usize = shape.iter().product();
+            let data = (0..n)
+                .map(|_| {
+                    next = next.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (next >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+                })
+                .collect();
+            Tensor::from_vec(shape, data)
+        };
+        let a = gen(vec![67, 131]);
+        let b = gen(vec![131, 53]);
+        let bt = gen(vec![53, 131]);
+        let seq = olive_runtime::with_threads(1, || matmul(&a, &b));
+        let par = olive_runtime::with_threads(8, || matmul(&a, &b));
+        assert_eq!(seq, par, "matmul must be bit-identical across threads");
+        let seq = olive_runtime::with_threads(1, || matmul_transpose_b(&a, &bt));
+        let par = olive_runtime::with_threads(8, || matmul_transpose_b(&a, &bt));
+        assert_eq!(seq, par, "matmul_transpose_b must be bit-identical");
     }
 
     #[test]

@@ -32,9 +32,12 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     ///
+    /// Zero-sized dimensions are allowed (`[0, 4]` is a valid, empty matrix);
+    /// GEMM edge cases rely on this.
+    ///
     /// # Panics
     ///
-    /// Panics if the shape is empty or has a zero dimension.
+    /// Panics if the shape is empty (rank 0).
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = checked_numel(&shape);
         Tensor {
@@ -88,7 +91,7 @@ impl Tensor {
         self.data.len()
     }
 
-    /// Returns `true` if the tensor has no elements (never true for valid tensors).
+    /// Returns `true` if the tensor has no elements (some dimension is zero).
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -298,7 +301,6 @@ fn checked_numel(shape: &[usize]) -> usize {
     assert!(!shape.is_empty(), "tensor shape must not be empty");
     let mut n: usize = 1;
     for &d in shape {
-        assert!(d > 0, "tensor dimensions must be non-zero, got {:?}", shape);
         n = n
             .checked_mul(d)
             .expect("tensor element count overflows usize");
@@ -437,9 +439,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_dimension_rejected() {
-        let _ = Tensor::zeros(vec![2, 0]);
+    fn zero_dimension_yields_empty_tensor() {
+        let t = Tensor::zeros(vec![2, 0]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 0);
+        let tr = t.transpose();
+        assert_eq!(tr.shape(), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rank_zero_shape_rejected() {
+        let _ = Tensor::zeros(vec![]);
     }
 
     #[test]

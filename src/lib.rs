@@ -5,7 +5,10 @@
 //!
 //! This facade crate re-exports the individual workspace crates:
 //!
-//! * [`tensor`] — minimal dense tensor library (matmul, statistics, RNG).
+//! * [`runtime`] — zero-dependency worker pool and data-parallel primitives
+//!   (thread count via `OLIVE_THREADS`, bit-deterministic at any count).
+//! * [`tensor`] — minimal dense tensor library (parallel cache-blocked
+//!   matmul, statistics, RNG).
 //! * [`dtypes`] — the numeric data types used by OliVe (`int4`, `flint4`,
 //!   `int8`, `abfloat`) and their hardware-style decoders.
 //! * [`core`] — the outlier-victim pair (OVP) encoding, the OliVe quantization
@@ -46,4 +49,5 @@ pub use olive_baselines as baselines;
 pub use olive_core as core;
 pub use olive_dtypes as dtypes;
 pub use olive_models as models;
+pub use olive_runtime as runtime;
 pub use olive_tensor as tensor;
