@@ -1,0 +1,181 @@
+//! Minimal zero-dependency JSON rendering for machine-readable reports.
+//!
+//! The workspace deliberately has no crates.io dependencies, so this module
+//! provides the tiny subset of JSON the evaluation reports need: objects with
+//! insertion-ordered keys, arrays, strings, numbers, booleans and null.
+//! Non-finite numbers render as `null` (JSON has no NaN/inf).
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A signed integer, rendered without a decimal point.
+    Int(i64),
+    /// An unsigned integer (e.g. 64-bit seeds, which do not fit in `Int`).
+    UInt(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order so reports diff cleanly.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience object constructor.
+    pub fn object<K: Into<String>>(entries: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `Num` for a finite value, `Null` otherwise (also used for "metric not
+    /// computed").
+    pub fn num_or_null(x: f64) -> JsonValue {
+        if x.is_finite() {
+            JsonValue::Num(x)
+        } else {
+            JsonValue::Null
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is Rust's shortest round-trip rendering,
+                    // which is valid JSON for finite values.
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Int(i) => out.push_str(&format!("{i}")),
+            JsonValue::UInt(u) => out.push_str(&format!("{u}")),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::Str("olive-4bit".into())),
+            ("bits", JsonValue::Num(4.0)),
+            ("n", JsonValue::Int(24)),
+            ("acts", JsonValue::Bool(true)),
+            (
+                "metrics",
+                JsonValue::Array(vec![JsonValue::Num(0.5), JsonValue::Null]),
+            ),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"olive-4bit\""), "{s}");
+        assert!(s.contains("\"bits\": 4"), "{s}");
+        assert!(s.contains("null"), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::num_or_null(f64::INFINITY), JsonValue::Null);
+        assert_eq!(JsonValue::num_or_null(1.5), JsonValue::Num(1.5));
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]\n");
+        assert_eq!(JsonValue::Object(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn numbers_round_trip_textually() {
+        // Shortest round-trip rendering: full precision without noise.
+        assert_eq!(JsonValue::Num(0.1).render(), "0.1\n");
+        assert_eq!(JsonValue::Num(1.0).render(), "1\n");
+        // Unsigned values beyond i64::MAX must not wrap negative.
+        assert_eq!(JsonValue::UInt(u64::MAX).render(), "18446744073709551615\n");
+    }
+}

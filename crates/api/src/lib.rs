@@ -1,0 +1,49 @@
+//! # olive-api
+//!
+//! The unified public surface of the OliVe reproduction, re-exported by the
+//! facade crate as `olive::api`. Three layers:
+//!
+//! * [`scheme`] — the **scheme registry**: every quantizer in `olive-core`
+//!   and `olive-baselines` addressable by spec string ([`Scheme::parse`],
+//!   [`Scheme::all`], [`Scheme::build`]), including a per-row granularity
+//!   dimension (`"olive-4bit@per-row"`) and the mapping to the `olive-accel`
+//!   hardware designs ([`Scheme::to_accel`]).
+//! * [`pipeline`] — the **evaluation pipeline**: a builder
+//!   ([`Pipeline::new`]`(`[`ModelFamily::Bert`]`.small()).schemes([...])
+//!   .seed(7).run()`) producing a unified [`EvalReport`] with
+//!   accuracy/agreement proxies, pseudo-perplexity, bits per element, GEMM
+//!   statistics and wall-times, renderable as a text table or JSON.
+//! * [`json`] — the zero-dependency JSON values the reports render through.
+//!
+//! The paper-table binaries in `olive-bench`, the runnable examples and the
+//! integration tests are all thin drivers over this API.
+//!
+//! ```
+//! use olive_api::{ModelFamily, Pipeline, Scheme};
+//!
+//! // Schemes are addressable by name…
+//! let scheme = Scheme::parse("olive-4bit").unwrap();
+//! assert_eq!(scheme.build().name(), "OliVe-4bit");
+//!
+//! // …and a whole comparison is one builder chain.
+//! let report = Pipeline::new(ModelFamily::Bert.tiny())
+//!     .schemes(["olive-4bit", "uniform:4"])
+//!     .seed(7)
+//!     .batches(3)
+//!     .run();
+//! let olive = report.result("olive-4bit").unwrap().fidelity;
+//! let int4 = report.result("uniform:4").unwrap().fidelity;
+//! assert!(olive > int4, "OliVe must beat plain int4: {olive} vs {int4}");
+//! ```
+
+pub mod json;
+pub mod pipeline;
+pub mod scheme;
+
+pub use json::JsonValue;
+pub use olive_core::Granularity;
+pub use pipeline::{
+    Calibration, EvalReport, GemmProfile, ModelFamily, ModelSpec, Pipeline, PreparedEval,
+    SchemeResult, DEFAULT_BATCHES, DEFAULT_OVERSAMPLE,
+};
+pub use scheme::{accel_designs, Scheme, SchemeError, SchemeKind};

@@ -1,0 +1,107 @@
+//! Acceptance test: the pipeline reproduces the pre-refactor tbl06/tbl09
+//! numbers **bit-identically**.
+//!
+//! The golden constants below were captured from the pre-refactor harness
+//! code path (`olive_bench::accuracy::Experiment` + the standalone metric
+//! functions) at the exact seeds the `tbl06_glue_accuracy` and
+//! `tbl09_llm_perplexity` binaries use. The pipeline must reproduce them to
+//! the last bit — any drift in teacher generation, task selection, quantizer
+//! behaviour or metric folding fails this test.
+
+use olive_api::{Calibration, ModelFamily, Pipeline};
+use olive_core::TensorQuantizer;
+use olive_models::{
+    logit_fidelity, pseudo_perplexity, EngineConfig, EvalTask, OutlierSeverity, TinyTransformer,
+};
+use olive_tensor::rng::Rng;
+
+/// The pre-refactor harness defaults: `EngineConfig::small()`, 24 inputs,
+/// confidence filtering at 6× oversampling.
+const BATCHES: usize = 24;
+const OVERSAMPLE: usize = 6;
+
+/// tbl06, BERT-base × CoLA cell (seed `0x7B06_0000 + mi*101 + ti` with
+/// `mi = ti = 0`): fidelity with weights + activations quantized.
+const TBL06_SEED: u64 = 0x7B06_0000;
+const TBL06_GOLDEN: [(&str, f64); 6] = [
+    ("olive-4bit", 0.6777846228802514),
+    ("ant:4bit", 0.4555762409735949),
+    ("os:4bit", 0.15884167707614696),
+    ("os:6bit", 0.6760894234470428),
+    ("uniform:8", 0.9518976334994638),
+    ("uniform:4", 0.23863463783075098),
+];
+
+/// tbl09, GPT2-XL × Wiki cell (seed `0x7B0901 * 131 + 11`): pseudo-perplexity
+/// with weights + activations quantized; "fp32" is the FP32 floor row.
+const TBL09_SEED: u64 = 0x7B0901 * 131 + 11;
+const TBL09_GOLDEN: [(&str, f64); 6] = [
+    ("fp32", 1.207966904595803),
+    ("uniform:8", 37.197947480917215),
+    ("olive-8bit", 2.972031600450773),
+    ("uniform:4", 1308.6076316039375),
+    ("ant:4bit", 1444207.9371676007),
+    ("olive-4bit", 2432.002882350858),
+];
+
+#[test]
+fn tbl06_cell_is_bit_identical_through_the_pipeline() {
+    let report = Pipeline::new(ModelFamily::Bert.small().named("BERT-base"))
+        .task("CoLA")
+        .schemes(TBL06_GOLDEN.iter().map(|(spec, _)| *spec))
+        .seed(TBL06_SEED)
+        .batches(BATCHES)
+        .calibrate(Calibration::confident(OVERSAMPLE))
+        .run();
+    for (spec, golden) in TBL06_GOLDEN {
+        let got = report.result(spec).expect(spec).fidelity;
+        assert_eq!(got, golden, "{spec}: {got:?} != golden {golden:?}");
+    }
+}
+
+#[test]
+fn tbl09_cell_is_bit_identical_through_the_pipeline() {
+    let report = Pipeline::new(ModelFamily::Gpt2.small().named("GPT2-XL"))
+        .task("Wiki")
+        .schemes(TBL09_GOLDEN.iter().map(|(spec, _)| *spec))
+        .seed(TBL09_SEED)
+        .batches(BATCHES)
+        .calibrate(Calibration::confident(OVERSAMPLE))
+        .run();
+    for (spec, golden) in TBL09_GOLDEN {
+        let got = report.result(spec).expect(spec).perplexity;
+        assert_eq!(got, golden, "{spec}: {got:?} != golden {golden:?}");
+    }
+}
+
+/// Belt and braces: independently of the hard-coded constants, the pipeline
+/// must agree bit-for-bit with a hand-constructed legacy evaluation (the
+/// exact construction sequence the pre-refactor `Experiment` used).
+#[test]
+fn pipeline_matches_a_hand_constructed_legacy_evaluation() {
+    let seed = 0x7B06_0000 + 101 + 2; // tbl06 BERT-large × MNLI cell
+    let mut rng = Rng::seed_from(seed);
+    let teacher = TinyTransformer::generate(
+        EngineConfig::small(),
+        OutlierSeverity::transformer(),
+        &mut rng,
+    );
+    let task = EvalTask::generate_confident("MNLI", &teacher, BATCHES, OVERSAMPLE, &mut rng);
+
+    let q = olive_core::OliveQuantizer::int4();
+    let student = teacher.quantize_weights(&q);
+    let legacy_fidelity =
+        logit_fidelity(&teacher, &student, &task, Some(&q as &dyn TensorQuantizer));
+    let legacy_ppl = pseudo_perplexity(&teacher, &student, &task, Some(&q as &dyn TensorQuantizer));
+
+    let report = Pipeline::new(ModelFamily::Bert.small().named("BERT-large"))
+        .task("MNLI")
+        .schemes(["olive-4bit"])
+        .seed(seed)
+        .batches(BATCHES)
+        .calibrate(Calibration::confident(OVERSAMPLE))
+        .run();
+    let r = report.result("olive-4bit").unwrap();
+    assert_eq!(r.fidelity, legacy_fidelity);
+    assert_eq!(r.perplexity, legacy_ppl);
+}

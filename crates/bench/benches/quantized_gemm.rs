@@ -7,7 +7,15 @@
 //! report shows the sequential-vs-parallel throughput side by side. `--quick`
 //! (CI smoke/gate mode) trims iteration counts and skips the 1024-sized
 //! kernels; `--json <path>` records medians for `scripts/bench_gate.sh`.
+//!
+//! `--scheme <spec>` (repeatable, see `--list-schemes`) switches the bench to
+//! the registry: each selected scheme's 256³ GEMM is measured instead of the
+//! default kernel set — OliVe schemes run the packed OVP integer GEMM, every
+//! other scheme runs fake-quantization + FP32 GEMM. The default set (no
+//! `--scheme`) is what `BENCH_baseline.json` gates, so its kernel names are
+//! stable.
 
+use olive_api::Scheme;
 use olive_bench::cli::BenchCli;
 use olive_core::{quantized_matmul, OliveQuantizer};
 use olive_harness::bench::{black_box, BenchConfig, BenchSuite};
@@ -48,9 +56,58 @@ fn bench_shape(suite: &mut BenchSuite, n: usize, seed: u64) {
     });
 }
 
+/// Benchmarks one registry scheme's 256³ GEMM (seq + par): OliVe schemes
+/// execute the packed integer-domain GEMM, everything else fake-quantizes
+/// both operands and runs the FP32 GEMM (how the accuracy harness executes
+/// those schemes).
+fn bench_scheme(suite: &mut BenchSuite, scheme: &Scheme, n: usize, seed: u64) {
+    let a = square(n, seed);
+    let b = square(n, seed + 1);
+    let macs = (n * n * n) as u64;
+    let threads = olive_runtime::effective_threads();
+    let spec = scheme.to_string();
+
+    if let Some(oq) = scheme.olive_quantizer() {
+        let qa = oq.quantize(&a);
+        let qb = oq.quantize(&b);
+        suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/{spec}_seq"), macs, || {
+            olive_runtime::with_threads(1, || {
+                black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+            })
+        });
+        suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/{spec}_par"), macs, || {
+            olive_runtime::with_threads(threads, || {
+                black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+            })
+        });
+    } else {
+        let q = scheme.build();
+        let qa = q.quantize_dequantize(&a);
+        let qb = q.quantize_dequantize(&b);
+        suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/{spec}_seq"), macs, || {
+            olive_runtime::with_threads(1, || black_box(matmul(black_box(&qa), black_box(&qb))))
+        });
+        suite.bench_with_elements(&format!("gemm_{n}x{n}x{n}/{spec}_par"), macs, || {
+            olive_runtime::with_threads(threads, || {
+                black_box(matmul(black_box(&qa), black_box(&qb)))
+            })
+        });
+    }
+}
+
 fn main() {
     let cli = BenchCli::parse();
     let mut suite = cli.suite("quantized_gemm");
+
+    if !cli.schemes.is_empty() {
+        // Registry mode: measure exactly the requested schemes.
+        for scheme in &cli.schemes {
+            bench_scheme(&mut suite, scheme, 256, 0x6E);
+        }
+        cli.finish(&[&suite]);
+        return;
+    }
+
     // The gate's stable kernel set: shapes measured in both modes.
     bench_shape(&mut suite, 256, 0x6E);
 

@@ -1,98 +1,10 @@
-//! Shared helpers for the accuracy-proxy harnesses (Fig. 3, Tbl. 6–9).
+//! Shared formatting helpers for the accuracy-proxy harnesses (Fig. 3,
+//! Tbl. 6–9).
 //!
-//! All accuracy experiments follow the same teacher–student recipe (see
-//! DESIGN.md): a runnable Transformer with planted outliers is the teacher,
-//! each quantization method produces a student, and we report agreement
-//! (accuracy proxy) or pseudo-perplexity.
-
-use olive_core::TensorQuantizer;
-use olive_models::{
-    logit_fidelity, pseudo_perplexity, EngineConfig, EvalTask, OutlierSeverity, TinyTransformer,
-};
-use olive_tensor::rng::Rng;
-
-/// Number of evaluation sequences per task used by the harnesses.
-pub const TASK_INPUTS: usize = 24;
-
-/// A prepared accuracy experiment: one teacher and one input set.
-#[derive(Debug, Clone)]
-pub struct Experiment {
-    /// The FP32 teacher model.
-    pub teacher: TinyTransformer,
-    /// The evaluation inputs.
-    pub task: EvalTask,
-}
-
-impl Experiment {
-    /// Builds a teacher + task pair for a named task with the harness-default
-    /// model size and input count.
-    pub fn build(task_name: &str, severity: OutlierSeverity, seed: u64) -> Self {
-        Self::build_sized(
-            task_name,
-            severity,
-            seed,
-            EngineConfig::small(),
-            TASK_INPUTS,
-        )
-    }
-
-    /// Builds a teacher + task pair with an explicit model size and input
-    /// count (small configurations keep unit tests fast).
-    pub fn build_sized(
-        task_name: &str,
-        severity: OutlierSeverity,
-        seed: u64,
-        config: EngineConfig,
-        n_inputs: usize,
-    ) -> Self {
-        let mut rng = Rng::seed_from(seed);
-        let teacher = TinyTransformer::generate(config, severity, &mut rng);
-        // Confidence-filtered inputs: mirrors the high-margin decisions a
-        // fine-tuned GLUE/SQuAD model makes on its evaluation set.
-        let task = EvalTask::generate_confident(task_name, &teacher, n_inputs, 6, &mut rng);
-        Experiment { teacher, task }
-    }
-
-    /// Accuracy proxy (functional fidelity against the teacher) for a weight
-    /// (+ optional activation) quantizer.
-    pub fn accuracy(&self, weight_q: &dyn TensorQuantizer, quantize_acts: bool) -> f64 {
-        let student = self.teacher.quantize_weights(weight_q);
-        let act_q: Option<&dyn TensorQuantizer> =
-            if quantize_acts && weight_q.quantizes_activations() {
-                Some(weight_q)
-            } else {
-                None
-            };
-        logit_fidelity(&self.teacher, &student, &self.task, act_q)
-    }
-
-    /// Pseudo-perplexity for a weight (+ optional activation) quantizer.
-    pub fn perplexity(&self, weight_q: &dyn TensorQuantizer, quantize_acts: bool) -> f64 {
-        let student = self.teacher.quantize_weights(weight_q);
-        let act_q: Option<&dyn TensorQuantizer> =
-            if quantize_acts && weight_q.quantizes_activations() {
-                Some(weight_q)
-            } else {
-                None
-            };
-        pseudo_perplexity(&self.teacher, &student, &self.task, act_q)
-    }
-
-    /// Accuracy proxy for an arbitrary transformation of the weights (used by
-    /// the Fig. 3 clipping/pruning study).
-    pub fn accuracy_of_weight_transform<F>(&self, f: F) -> f64
-    where
-        F: Fn(&str, &olive_tensor::Tensor) -> olive_tensor::Tensor,
-    {
-        let student = self.teacher.map_weights(f);
-        logit_fidelity(&self.teacher, &student, &self.task, None)
-    }
-
-    /// Baseline pseudo-perplexity of the unquantized teacher on this task.
-    pub fn fp32_perplexity(&self) -> f64 {
-        pseudo_perplexity(&self.teacher, &self.teacher, &self.task, None)
-    }
-}
+//! The teacher/student experiment construction that used to live here is now
+//! the `olive::api` evaluation pipeline
+//! ([`olive_api::Pipeline`]); the table binaries are thin drivers over it and
+//! this module only keeps the presentation helpers they share.
 
 /// The GLUE task labels used by the Fig. 3 / Tbl. 6 harnesses.
 pub fn glue_tasks() -> Vec<&'static str> {
@@ -109,51 +21,15 @@ pub fn pct(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use olive_core::{Fp32Baseline, OliveQuantizer};
-
-    fn tiny(seed: u64) -> Experiment {
-        Experiment::build_sized(
-            "t",
-            OutlierSeverity::transformer(),
-            seed,
-            EngineConfig::tiny(),
-            6,
-        )
-    }
-
-    #[test]
-    fn experiment_reproducibility() {
-        let a = tiny(7);
-        let b = tiny(7);
-        assert_eq!(a.task.inputs, b.task.inputs);
-        assert_eq!(a.accuracy(&Fp32Baseline, false), 1.0);
-        assert_eq!(b.accuracy(&Fp32Baseline, false), 1.0);
-    }
-
-    #[test]
-    fn olive_accuracy_is_reasonable() {
-        let e = tiny(11);
-        let acc = e.accuracy(&OliveQuantizer::int4(), false);
-        assert!(acc > 0.6, "fidelity {}", acc);
-    }
-
-    #[test]
-    fn fidelity_preserves_the_paper_ordering() {
-        use olive_baselines::UniformQuantizer;
-        let e = tiny(17);
-        let olive = e.accuracy(&OliveQuantizer::int4(), false);
-        let int4 = e.accuracy(&UniformQuantizer::int4(), false);
-        assert!(olive > int4, "olive {} vs int4 {}", olive, int4);
-    }
-
-    #[test]
-    fn fp32_perplexity_is_low() {
-        let e = tiny(13);
-        assert!(e.fp32_perplexity() < 10.0);
-    }
 
     #[test]
     fn glue_task_list_has_eight_entries() {
         assert_eq!(glue_tasks().len(), 8);
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(1.0), "100.00");
+        assert_eq!(pct(0.12345), "12.35");
     }
 }

@@ -7,8 +7,17 @@
 //! Run with: `cargo run --release -p olive-bench --bin abl_array_size`
 
 use olive_accel::{QuantScheme, SystolicConfig, SystolicSimulator};
+use olive_api::Scheme;
 use olive_bench::report::{fmt_x, Table};
 use olive_models::{ModelConfig, Workload};
+
+/// Registry spec → hardware design (the ablation's comparison axis).
+fn design(spec: &str) -> QuantScheme {
+    Scheme::parse(spec)
+        .expect("ablation specs parse")
+        .to_accel()
+        .expect("ablation specs have hardware designs")
+}
 
 fn main() {
     println!("Ablation: PE-array area budget sweep (BERT-base workload)");
@@ -26,10 +35,10 @@ fn main() {
             ..SystolicConfig::paper_64x64()
         };
         let sim = SystolicSimulator::new(cfg);
-        let olive = sim.run(&wl, &QuantScheme::olive4());
-        let ada = sim.run(&wl, &QuantScheme::adafloat());
-        let ol = sim.run(&wl, &QuantScheme::olaccel());
-        let ant = sim.run(&wl, &QuantScheme::ant_mixed());
+        let olive = sim.run(&wl, &design("olive-4bit"));
+        let ada = sim.run(&wl, &design("adafloat"));
+        let ol = sim.run(&wl, &design("olaccel"));
+        let ant = sim.run(&wl, &design("ant:int8-fallback"));
         table.row(vec![
             format!("{}", budget),
             format!("{0}x{0}", olive.array_dim),

@@ -4,14 +4,15 @@
 //! All values stay FP32 except for the studied transformation, exactly as in
 //! the paper's motivation study. The expected shape: clipping the ~1% of
 //! outliers is catastrophic, pruning the same number of victims (or random
-//! normal values) is almost free.
+//! normal values) is almost free. Thin driver over `olive::api`'s prepared
+//! evaluation (`Pipeline::prepare` + weight transforms).
 //!
 //! Run with: `cargo run --release -p olive-bench --bin fig03_pruning_accuracy`
 
-use olive_bench::accuracy::{glue_tasks, pct, Experiment};
+use olive_api::{ModelFamily, Pipeline};
+use olive_bench::accuracy::{glue_tasks, pct};
 use olive_bench::report::Table;
 use olive_core::pair::{clip_outliers, prune_random_normals, prune_victims, victim_count};
-use olive_models::OutlierSeverity;
 use olive_tensor::rng::Rng;
 use olive_tensor::stats::TensorStats;
 
@@ -26,15 +27,19 @@ fn main() {
     ]);
 
     for (i, task) in glue_tasks().iter().enumerate() {
-        let exp = Experiment::build(task, OutlierSeverity::transformer(), 0xF1603 + i as u64);
+        let prepared = Pipeline::new(ModelFamily::Bert.small().named("BERT-base"))
+            .task(*task)
+            .seed(0xF1603 + i as u64)
+            .prepare();
         let threshold_of = |w: &olive_tensor::Tensor| -> f32 {
             let s = TensorStats::compute(w);
             (s.mean.abs() + 3.0 * s.std) as f32
         };
 
-        let clip = exp.accuracy_of_weight_transform(|_, w| clip_outliers(w, threshold_of(w)));
-        let victims = exp.accuracy_of_weight_transform(|_, w| prune_victims(w, threshold_of(w)));
-        let normals = exp.accuracy_of_weight_transform(|name, w| {
+        let clip = prepared.fidelity_of_weight_transform(|_, w| clip_outliers(w, threshold_of(w)));
+        let victims =
+            prepared.fidelity_of_weight_transform(|_, w| prune_victims(w, threshold_of(w)));
+        let normals = prepared.fidelity_of_weight_transform(|name, w| {
             // Prune the same number of *random normal* values as there are
             // victims, with a per-tensor deterministic seed.
             let thr = threshold_of(w);

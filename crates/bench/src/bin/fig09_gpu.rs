@@ -4,16 +4,20 @@
 //! Speedups are normalised to GOBO (the slowest design), energies to GOBO's
 //! total, matching the paper's presentation.
 //!
+//! The comparison set comes from the `olive::api` scheme registry
+//! (`Scheme::gpu_comparison()` → hardware designs via `to_accel`).
+//!
 //! Run with: `cargo run --release -p olive-bench --bin fig09_gpu`
 
-use olive_accel::{geomean, GpuSimulator, QuantScheme};
+use olive_accel::{geomean, GpuSimulator};
+use olive_api::{accel_designs, Scheme};
 use olive_bench::report::{fmt_f, fmt_x, Table};
 use olive_models::{ModelConfig, Workload};
 
 fn main() {
     println!("Figure 9 reproduction: GPU (RTX 2080 Ti class) performance and energy");
     let sim = GpuSimulator::rtx_2080_ti();
-    let schemes = QuantScheme::gpu_comparison_set();
+    let schemes = accel_designs(&Scheme::gpu_comparison());
     let models = ModelConfig::performance_suite();
 
     // --- Fig. 9a: speedup over the slowest design (GOBO). ---

@@ -1,16 +1,20 @@
 //! Figure 10: systolic-array accelerator speedup (a) and normalized energy
 //! breakdown (b) of OliVe vs ANT, OLAccel and AdaptivFloat at similar area.
 //!
+//! The comparison set comes from the `olive::api` scheme registry
+//! (`Scheme::accelerator_comparison()` → hardware designs via `to_accel`).
+//!
 //! Run with: `cargo run --release -p olive-bench --bin fig10_accelerator`
 
-use olive_accel::{geomean, QuantScheme, SystolicSimulator};
+use olive_accel::{geomean, SystolicSimulator};
+use olive_api::{accel_designs, Scheme};
 use olive_bench::report::{fmt_f, fmt_x, Table};
 use olive_models::{ModelConfig, Workload};
 
 fn main() {
     println!("Figure 10 reproduction: systolic-array accelerator performance and energy");
     let sim = SystolicSimulator::paper_default();
-    let schemes = QuantScheme::accelerator_comparison_set();
+    let schemes = accel_designs(&Scheme::accelerator_comparison());
     let models = ModelConfig::performance_suite();
 
     // --- Fig. 10a: speedup normalized to the slowest design (AdaFloat). ---

@@ -3,37 +3,48 @@
 //!
 //! Accuracy is the teacher–student agreement proxy (FP32 teacher = 100%); the
 //! reproduced *shape* is the ordering: OliVe 4-bit ≈ FP32, ahead of OS-6bit,
-//! OS-4bit, ANT-4bit and int4.
+//! OS-4bit, ANT-4bit and int4. Thin driver over the `olive::api` pipeline —
+//! one pipeline per (model, task) cell, schemes addressed by registry spec.
 //!
 //! Run with: `cargo run --release -p olive-bench --bin tbl06_glue_accuracy`
 
-use olive_baselines::{AntQuantizer, OutlierSuppressionQuantizer, UniformQuantizer};
-use olive_bench::accuracy::{pct, Experiment};
+use olive_api::{ModelFamily, Pipeline};
+use olive_bench::accuracy::pct;
 use olive_bench::report::Table;
-use olive_core::{OliveQuantizer, TensorQuantizer};
-use olive_models::OutlierSeverity;
+
+const METHODS: [(&str, &str); 6] = [
+    ("Ours 4-bit PTQ", "olive-4bit"),
+    ("ANT 4-bit PTQ", "ant:4bit"),
+    ("OS 4-bit PTQ", "os:4bit"),
+    ("OS 6-bit PTQ", "os:6bit"),
+    ("Q8 8-bit", "uniform:8"),
+    ("int4", "uniform:4"),
+];
 
 fn main() {
     println!("Table 6 reproduction: GLUE accuracy proxies (weights + activations quantized)");
     let tasks = ["CoLA", "SST-2", "MNLI", "QQP", "MRPC"];
-    let models = ["BERT-base", "BERT-large", "BART-base"];
-
-    let olive4 = OliveQuantizer::int4();
-    let ant4 = AntQuantizer::fixed_4bit();
-    let os4 = OutlierSuppressionQuantizer::bits4();
-    let os6 = OutlierSuppressionQuantizer::ptq_6bit();
-    let q8 = UniformQuantizer::int8();
-    let int4 = UniformQuantizer::int4();
-    let methods: Vec<(&str, &dyn TensorQuantizer, bool)> = vec![
-        ("Ours 4-bit PTQ", &olive4, true),
-        ("ANT 4-bit PTQ", &ant4, true),
-        ("OS 4-bit PTQ", &os4, true),
-        ("OS 6-bit PTQ", &os6, true),
-        ("Q8 8-bit", &q8, true),
-        ("int4", &int4, true),
+    let models = [
+        ("BERT-base", ModelFamily::Bert),
+        ("BERT-large", ModelFamily::Bert),
+        ("BART-base", ModelFamily::Bart),
     ];
 
-    for (mi, model) in models.iter().enumerate() {
+    for (mi, (model, family)) in models.iter().enumerate() {
+        // One pipeline run per task cell; the seed formula is the harness's
+        // historical one, so numbers are unchanged by the API migration.
+        let reports: Vec<_> = tasks
+            .iter()
+            .enumerate()
+            .map(|(ti, task)| {
+                Pipeline::new(family.small().named(*model))
+                    .task(*task)
+                    .schemes(METHODS.iter().map(|(_, spec)| *spec))
+                    .seed(0x7B06_0000 + (mi as u64) * 101 + ti as u64)
+                    .run()
+            })
+            .collect();
+
         let mut table = Table::new(
             std::iter::once("Method".to_string())
                 .chain(tasks.iter().map(|t| t.to_string()))
@@ -45,12 +56,10 @@ fn main() {
                 .chain(tasks.iter().map(|_| pct(1.0)))
                 .collect(),
         );
-        for (name, q, acts) in &methods {
-            let mut row = vec![name.to_string()];
-            for (ti, task) in tasks.iter().enumerate() {
-                let seed = 0x7B06_0000 + (mi as u64) * 101 + ti as u64;
-                let exp = Experiment::build(task, OutlierSeverity::transformer(), seed);
-                row.push(pct(exp.accuracy(*q, *acts)));
+        for (label, spec) in &METHODS {
+            let mut row = vec![label.to_string()];
+            for report in &reports {
+                row.push(pct(report.result(spec).expect(spec).fidelity));
             }
             table.row(row);
         }

@@ -2,34 +2,42 @@
 //! MNLI- and STSB-like tasks).
 //!
 //! GOBO only quantizes weights, so OliVe is evaluated in the same weight-only
-//! setting for a fair comparison (paper Tbl. 7).
+//! setting for a fair comparison (paper Tbl. 7). Thin driver over the
+//! `olive::api` pipeline in `weights_only` mode.
 //!
 //! Run with: `cargo run --release -p olive-bench --bin tbl07_gobo_weight_only`
 
-use olive_baselines::GoboQuantizer;
-use olive_bench::accuracy::{pct, Experiment};
+use olive_api::{ModelFamily, Pipeline};
+use olive_bench::accuracy::pct;
 use olive_bench::report::Table;
-use olive_core::{OliveQuantizer, TensorQuantizer};
-use olive_models::OutlierSeverity;
+
+const METHODS: [(&str, &str); 2] = [
+    ("Ours (weights only, 4-bit)", "olive-4bit"),
+    ("GOBO (weights only, 3-bit)", "gobo"),
+];
 
 fn main() {
     println!("Table 7 reproduction: weight-only comparison against GOBO");
     let tasks = [("MNLI", 0x7B0701u64), ("STSB", 0x7B0702)];
-    let olive = OliveQuantizer::int4();
-    let gobo = GoboQuantizer::paper_3bit();
-    let methods: Vec<(&str, &dyn TensorQuantizer)> = vec![
-        ("Ours (weights only, 4-bit)", &olive),
-        ("GOBO (weights only, 3-bit)", &gobo),
-    ];
+
+    let reports: Vec<_> = tasks
+        .iter()
+        .map(|(task, seed)| {
+            Pipeline::new(ModelFamily::Bert.small().named("BERT-base"))
+                .task(*task)
+                .schemes(METHODS.iter().map(|(_, spec)| *spec))
+                .seed(*seed)
+                .weights_only()
+                .run()
+        })
+        .collect();
 
     let mut table = Table::new(vec!["Method".into(), "MNLI".into(), "STSB".into()]);
     table.row(vec!["BERT-base FP32".into(), pct(1.0), pct(1.0)]);
-    for (name, q) in methods {
-        let mut row = vec![name.to_string()];
-        for (task, seed) in &tasks {
-            let exp = Experiment::build(task, OutlierSeverity::transformer(), *seed);
-            // Weight-only: activations stay FP32.
-            row.push(pct(exp.accuracy(q, false)));
+    for (label, spec) in &METHODS {
+        let mut row = vec![label.to_string()];
+        for report in &reports {
+            row.push(pct(report.result(spec).expect(spec).fidelity));
         }
         table.row(row);
     }

@@ -1,62 +1,43 @@
 //! Table 8: SQuAD-style results (a harder task than GLUE) for BERT-base and
 //! BART-base against Outlier Suppression 6-bit PTQ.
 //!
-//! The proxy for "harder": predictions must agree at *every* position of the
-//! sequence (exact-match style) and we also report the average per-position
-//! agreement (F1 style). Both metrics stress the student more than the single
-//! next-token agreement used for GLUE.
+//! The proxy for "harder": the pipeline's per-position agreement (exact-match
+//! style, every position's argmax must match) next to the logit-fidelity F1
+//! proxy. Thin driver over the `olive::api` pipeline, which reports both
+//! metrics from one run.
 //!
 //! Run with: `cargo run --release -p olive-bench --bin tbl08_squad_accuracy`
 
-use olive_baselines::OutlierSuppressionQuantizer;
-use olive_bench::accuracy::{pct, Experiment};
+use olive_api::{ModelFamily, Pipeline};
+use olive_bench::accuracy::pct;
 use olive_bench::report::Table;
-use olive_core::{OliveQuantizer, TensorQuantizer};
-use olive_models::{OutlierSeverity, TinyTransformer};
 
-/// (per-position exact-match proxy, fidelity-based F1 proxy) of a student
-/// against the teacher. The EM proxy requires the argmax to match at every
-/// position (strict); the F1 proxy is the per-position logit fidelity.
-fn span_metrics(
-    teacher: &TinyTransformer,
-    student: &TinyTransformer,
-    task: &olive_models::EvalTask,
-) -> (f64, f64) {
-    let mut pos_hits = 0usize;
-    let mut pos_total = 0usize;
-    for input in &task.inputs {
-        let t = teacher.forward(input, None);
-        let s = student.forward(input, None);
-        for p in 0..t.rows() {
-            if argmax(t.row(p)) == argmax(s.row(p)) {
-                pos_hits += 1;
-            }
-            pos_total += 1;
-        }
-    }
-    let em = pos_hits as f64 / pos_total.max(1) as f64;
-    let f1 = olive_models::logit_fidelity(teacher, student, task, None);
-    (em, f1)
-}
-
-fn argmax(row: &[f32]) -> usize {
-    row.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(i, _)| i)
-        .unwrap_or(0)
-}
+const METHODS: [(&str, &str); 2] = [
+    ("Ours 4-bit", "olive-4bit"),
+    ("Outlier Suppression 6-bit", "os:6bit"),
+];
 
 fn main() {
     println!("Table 8 reproduction: SQuAD-style (per-position) accuracy proxies");
     let datasets = [("SQuAD v1.1", 0x7B0801u64), ("SQuAD v2.0", 0x7B0802)];
-    let models = ["BERT-base", "BART-base"];
-    let olive = OliveQuantizer::int4();
-    let os6 = OutlierSuppressionQuantizer::ptq_6bit();
-    let methods: Vec<(&str, &dyn TensorQuantizer)> =
-        vec![("Ours 4-bit", &olive), ("Outlier Suppression 6-bit", &os6)];
+    let models = [
+        ("BERT-base", ModelFamily::Bert),
+        ("BART-base", ModelFamily::Bart),
+    ];
 
-    for (mi, model) in models.iter().enumerate() {
+    for (mi, (model, family)) in models.iter().enumerate() {
+        let reports: Vec<_> = datasets
+            .iter()
+            .map(|(ds, seed)| {
+                Pipeline::new(family.small().named(*model))
+                    .task(*ds)
+                    .schemes(METHODS.iter().map(|(_, spec)| *spec))
+                    .seed(seed + mi as u64 * 97)
+                    .weights_only()
+                    .run()
+            })
+            .collect();
+
         let mut table = Table::new(vec![
             "Method".into(),
             "SQuAD v1.1 (F1/EM)".into(),
@@ -67,14 +48,11 @@ fn main() {
             "100.00/100.00".into(),
             "100.00/100.00".into(),
         ]);
-        for (name, q) in &methods {
-            let mut row = vec![name.to_string()];
-            for (ds, seed) in &datasets {
-                let exp =
-                    Experiment::build(ds, OutlierSeverity::transformer(), seed + mi as u64 * 97);
-                let student = exp.teacher.quantize_weights(*q);
-                let (em, f1) = span_metrics(&exp.teacher, &student, &exp.task);
-                row.push(format!("{}/{}", pct(f1), pct(em)));
+        for (label, spec) in &METHODS {
+            let mut row = vec![label.to_string()];
+            for report in &reports {
+                let r = report.result(spec).expect(spec);
+                row.push(format!("{}/{}", pct(r.fidelity), pct(r.position_agreement)));
             }
             table.row(row);
         }

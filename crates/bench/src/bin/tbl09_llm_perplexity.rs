@@ -5,59 +5,59 @@
 //! the FP32 teacher's argmax labels (lower is better, FP32 gives the floor).
 //! The paper's shape to reproduce: 8-bit OliVe ≈ FP32, int8 degrades on
 //! OPT-class outliers, int4 and 4-bit ANT blow up, 4-bit OliVe stays usable.
+//! Thin driver over the `olive::api` pipeline; `fp32` is just another
+//! registry scheme, so the FP32 floor row needs no special casing.
 //!
 //! Run with: `cargo run --release -p olive-bench --bin tbl09_llm_perplexity`
 
-use olive_baselines::{AntQuantizer, UniformQuantizer};
-use olive_bench::accuracy::Experiment;
+use olive_api::{ModelFamily, Pipeline};
 use olive_bench::report::{fmt_f, Table};
-use olive_core::{OliveQuantizer, TensorQuantizer};
-use olive_models::OutlierSeverity;
+
+const METHODS: [(&str, &str); 6] = [
+    ("FP32", "fp32"),
+    ("int8", "uniform:8"),
+    ("8-bit OliVe", "olive-8bit"),
+    ("int4", "uniform:4"),
+    ("4-bit ANT", "ant:4bit"),
+    ("4-bit OliVe", "olive-4bit"),
+];
 
 fn main() {
     println!("Table 9 reproduction: LLM pseudo-perplexity under PTQ (lower is better)");
     let models = [
-        ("GPT2-XL", 0x7B0901u64),
-        ("BLOOM-7B1", 0x7B0902),
-        ("OPT-6.7B", 0x7B0903),
+        ("GPT2-XL", ModelFamily::Gpt2, 0x7B0901u64),
+        ("BLOOM-7B1", ModelFamily::Bloom, 0x7B0902),
+        ("OPT-6.7B", ModelFamily::Opt, 0x7B0903),
     ];
     let datasets = [("Wiki", 11u64), ("C4", 23)];
 
-    let int8 = UniformQuantizer::int8();
-    let olive8 = OliveQuantizer::int8();
-    let int4 = UniformQuantizer::int4();
-    let ant4 = AntQuantizer::fixed_4bit();
-    let olive4 = OliveQuantizer::int4();
-    let methods: Vec<(&str, Option<&dyn TensorQuantizer>)> = vec![
-        ("FP32", None),
-        ("int8", Some(&int8)),
-        ("8-bit OliVe", Some(&olive8)),
-        ("int4", Some(&int4)),
-        ("4-bit ANT", Some(&ant4)),
-        ("4-bit OliVe", Some(&olive4)),
-    ];
+    // One pipeline run per (model, dataset) cell, historical seed formula.
+    let reports: Vec<_> = models
+        .iter()
+        .flat_map(|(model, family, mseed)| {
+            datasets.iter().map(move |(ds, dseed)| {
+                Pipeline::new(family.small().named(*model))
+                    .task(*ds)
+                    .schemes(METHODS.iter().map(|(_, spec)| *spec))
+                    .seed(mseed * 131 + dseed)
+                    .run()
+            })
+        })
+        .collect();
 
-    let mut table = Table::new(vec![
-        "Method".into(),
-        "GPT2-XL Wiki".into(),
-        "GPT2-XL C4".into(),
-        "BLOOM-7B1 Wiki".into(),
-        "BLOOM-7B1 C4".into(),
-        "OPT-6.7B Wiki".into(),
-        "OPT-6.7B C4".into(),
-    ]);
-
-    for (name, q) in &methods {
-        let mut row = vec![name.to_string()];
-        for (model, mseed) in &models {
-            for (_ds, dseed) in &datasets {
-                let exp = Experiment::build(model, OutlierSeverity::llm(), mseed * 131 + dseed);
-                let ppl = match q {
-                    None => exp.fp32_perplexity(),
-                    Some(q) => exp.perplexity(*q, true),
-                };
-                row.push(fmt_f(ppl, 2));
-            }
+    let mut table = Table::new(
+        std::iter::once("Method".to_string())
+            .chain(
+                models
+                    .iter()
+                    .flat_map(|(m, _, _)| datasets.iter().map(move |(d, _)| format!("{m} {d}"))),
+            )
+            .collect(),
+    );
+    for (label, spec) in &METHODS {
+        let mut row = vec![label.to_string()];
+        for report in &reports {
+            row.push(fmt_f(report.result(spec).expect(spec).perplexity, 2));
         }
         table.row(row);
     }

@@ -10,10 +10,16 @@
 //!   to a flat JSON file (created if missing, existing keys overwritten).
 //!   `scripts/bench_gate.sh` aggregates all three benches into one
 //!   `BENCH_results.json` this way and diffs it against the checked-in
-//!   `BENCH_baseline.json`.
+//!   `BENCH_baseline.json`;
+//! * `--list-schemes` — print every spec in the `olive::api` scheme registry
+//!   (bits per element + activation-quantization flag) and exit;
+//! * `--scheme <spec>` (repeatable) — restrict scheme-aware benches (the
+//!   quantized GEMM bench) to the named registry schemes.
 
 use crate::gate;
+use olive_api::Scheme;
 use olive_harness::bench::{BenchConfig, BenchSuite};
+use olive_harness::report::Table;
 use std::path::PathBuf;
 
 /// Parsed benchmark command line.
@@ -23,12 +29,15 @@ pub struct BenchCli {
     pub quick: bool,
     /// Where to merge this run's medians as flat JSON, if anywhere.
     pub json: Option<PathBuf>,
+    /// Registry schemes selected with `--scheme` (empty = the bench's
+    /// default kernel set, which is what the regression gate baselines).
+    pub schemes: Vec<Scheme>,
 }
 
 impl BenchCli {
     /// Parses `std::env::args`, exiting with a usage message on unknown flags
     /// (unknown args would otherwise silently change what a gate run
-    /// measures).
+    /// measures). `--list-schemes` prints the registry and exits.
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1))
     }
@@ -37,8 +46,10 @@ impl BenchCli {
     ///
     /// # Errors
     ///
-    /// Returns a usage string on unknown flags or a missing `--json` value.
-    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    /// Returns a usage string on unknown flags, a missing `--json`/`--scheme`
+    /// value, or a malformed scheme spec. `Ok(None)` means `--list-schemes`
+    /// was requested (print [`render_scheme_list`] and exit).
+    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Self>, String> {
         let mut cli = BenchCli::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -50,21 +61,34 @@ impl BenchCli {
                         .ok_or_else(|| "--json requires a file path".to_string())?;
                     cli.json = Some(PathBuf::from(path));
                 }
+                "--list-schemes" => return Ok(None),
+                "--scheme" => {
+                    let spec = args.next().ok_or_else(|| {
+                        "--scheme requires a spec (see --list-schemes)".to_string()
+                    })?;
+                    cli.schemes
+                        .push(Scheme::parse(&spec).map_err(|e| e.to_string())?);
+                }
                 // `cargo bench` passes --bench to harness=false targets.
                 "--bench" => {}
                 other => {
                     return Err(format!(
-                        "unknown argument '{other}' (expected --quick and/or --json <path>)"
+                        "unknown argument '{other}' (expected --quick, --json <path>, \
+                         --scheme <spec> and/or --list-schemes)"
                     ))
                 }
             }
         }
-        Ok(cli)
+        Ok(Some(cli))
     }
 
     fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         match Self::try_parse_from(args) {
-            Ok(cli) => cli,
+            Ok(Some(cli)) => cli,
+            Ok(None) => {
+                println!("{}", render_scheme_list());
+                std::process::exit(0);
+            }
             Err(message) => {
                 eprintln!("{message}");
                 std::process::exit(2);
@@ -107,6 +131,36 @@ impl BenchCli {
     }
 }
 
+/// Renders the scheme registry as a table: one row per canonical spec with
+/// its display name, storage bits per element and whether it quantizes
+/// activations (what `--list-schemes` prints).
+pub fn render_scheme_list() -> String {
+    let mut table = Table::new(vec![
+        "Spec".into(),
+        "Name".into(),
+        "Bits/elem".into(),
+        "Quantizes acts".into(),
+    ]);
+    for scheme in Scheme::all() {
+        let q = scheme.build();
+        table.row(vec![
+            scheme.to_string(),
+            q.name().to_string(),
+            format!("{:.2}", q.bits_per_element()),
+            if q.quantizes_activations() {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
+        ]);
+    }
+    format!(
+        "Registry schemes (append '@per-row' to any spec for per-row granularity):\n{}",
+        table.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,21 +171,26 @@ mod tests {
 
     #[test]
     fn parses_quick_and_json() {
-        let cli = BenchCli::try_parse_from(strings(&["--quick", "--json", "out.json"])).unwrap();
+        let cli = BenchCli::try_parse_from(strings(&["--quick", "--json", "out.json"]))
+            .unwrap()
+            .unwrap();
         assert!(cli.quick);
         assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
     }
 
     #[test]
     fn defaults_to_full_mode() {
-        let cli = BenchCli::try_parse_from(strings(&[])).unwrap();
+        let cli = BenchCli::try_parse_from(strings(&[])).unwrap().unwrap();
         assert!(!cli.quick);
         assert!(cli.json.is_none());
+        assert!(cli.schemes.is_empty());
     }
 
     #[test]
     fn ignores_cargo_bench_flag() {
-        let cli = BenchCli::try_parse_from(strings(&["--bench"])).unwrap();
+        let cli = BenchCli::try_parse_from(strings(&["--bench"]))
+            .unwrap()
+            .unwrap();
         assert!(!cli.quick);
     }
 
@@ -146,6 +205,46 @@ mod tests {
     }
 
     #[test]
+    fn parses_scheme_filters() {
+        let cli = BenchCli::try_parse_from(strings(&[
+            "--scheme",
+            "olive-4bit",
+            "--scheme",
+            "uniform:8@per-row",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cli.schemes.len(), 2);
+        assert_eq!(cli.schemes[0].to_string(), "olive-4bit");
+        assert_eq!(cli.schemes[1].to_string(), "uniform:8@per-row");
+    }
+
+    #[test]
+    fn rejects_malformed_scheme_specs() {
+        let err = BenchCli::try_parse_from(strings(&["--scheme", "olive-5bit"])).unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+        assert!(BenchCli::try_parse_from(strings(&["--scheme"])).is_err());
+    }
+
+    #[test]
+    fn list_schemes_short_circuits_parsing() {
+        assert!(BenchCli::try_parse_from(strings(&["--list-schemes"]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn scheme_list_covers_the_registry() {
+        let listing = render_scheme_list();
+        for scheme in Scheme::all() {
+            assert!(listing.contains(&scheme.to_string()), "{listing}");
+        }
+        assert!(listing.contains("Bits/elem"), "{listing}");
+        // GOBO is the weights-only scheme; the flag column must show it.
+        assert!(listing.contains("no"), "{listing}");
+    }
+
+    #[test]
     fn quick_mode_shrinks_iteration_counts() {
         // Only meaningful when the env overrides are unset (they win).
         if std::env::var("OLIVE_BENCH_SAMPLES").is_err()
@@ -153,7 +252,7 @@ mod tests {
         {
             let quick = BenchCli {
                 quick: true,
-                json: None,
+                ..BenchCli::default()
             };
             assert!(quick.bench_config().sample_iters < BenchConfig::default().sample_iters);
         }

@@ -1,28 +1,29 @@
-//! Diagnostic: fidelity of several schemes on the tiny proxy teacher.
+//! Diagnostic: fidelity of several registry schemes on the tiny proxy
+//! teacher, through the `olive::api` pipeline.
 
-use olive_baselines::{OutlierSuppressionQuantizer, UniformQuantizer};
-use olive_bench::accuracy::Experiment;
-use olive_core::{OliveQuantizer, TensorQuantizer};
-use olive_models::{EngineConfig, OutlierSeverity};
+use olive_api::{ModelFamily, Pipeline};
 
 #[test]
 fn print_fidelity_ladder() {
-    let e = Experiment::build_sized(
-        "debug",
-        OutlierSeverity::transformer(),
-        11,
-        EngineConfig::tiny(),
-        6,
-    );
-    let olive4 = OliveQuantizer::int4();
-    let olive8 = OliveQuantizer::int8();
-    let int8 = UniformQuantizer::int8();
-    let int4 = UniformQuantizer::int4();
-    let os6 = OutlierSuppressionQuantizer::ptq_6bit();
-    let methods: Vec<&dyn TensorQuantizer> = vec![&olive8, &int8, &os6, &olive4, &int4];
-    for m in methods {
-        println!("{:<14} fidelity {:.4}", m.name(), e.accuracy(m, false));
+    let report = Pipeline::new(ModelFamily::Bert.tiny())
+        .task("debug")
+        .schemes([
+            "olive-8bit",
+            "uniform:8",
+            "os:6bit",
+            "olive-4bit",
+            "uniform:4",
+        ])
+        .seed(11)
+        .batches(6)
+        .weights_only()
+        .run();
+    for r in &report.results {
+        println!("{:<14} fidelity {:.4}", r.name, r.fidelity);
     }
     // The ladder must at least order OliVe-4bit above plain int4.
-    assert!(e.accuracy(&olive4, false) > e.accuracy(&int4, false));
+    assert!(
+        report.result("olive-4bit").unwrap().fidelity
+            > report.result("uniform:4").unwrap().fidelity
+    );
 }

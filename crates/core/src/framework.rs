@@ -15,6 +15,39 @@ use crate::quantizer::OliveQuantizer;
 use olive_dtypes::NormalDataType;
 use olive_tensor::Tensor;
 
+/// The granularity at which a quantizer computes its parameters (scale,
+/// centroids, clip threshold, …).
+///
+/// Every quantizer in this workspace is written per-tensor; per-row (also
+/// called per-channel) granularity is obtained by wrapping any of them in the
+/// generic [`PerRowQuantizer`] adapter, which calibrates each row of a rank-2
+/// tensor independently. Scheme spec strings select it with an `@per-row`
+/// suffix (see `olive::api`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One set of quantization parameters for the whole tensor.
+    #[default]
+    PerTensor,
+    /// Independent parameters per row (output channel) of a rank-2 tensor.
+    PerRow,
+}
+
+impl Granularity {
+    /// The spec-string label (`"per-tensor"` / `"per-row"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::PerTensor => "per-tensor",
+            Granularity::PerRow => "per-row",
+        }
+    }
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A tensor-granularity fake-quantizer: quantize, then dequantize.
 ///
 /// The accuracy experiments run models with fake-quantized weights and
@@ -44,6 +77,108 @@ pub trait TensorQuantizer: Send + Sync {
     /// Whether activations are quantized too (GOBO quantizes weights only).
     fn quantizes_activations(&self) -> bool {
         true
+    }
+
+    /// Granularity at which this quantizer calibrates its parameters.
+    /// Everything is per-tensor unless wrapped in [`PerRowQuantizer`].
+    fn granularity(&self) -> Granularity {
+        Granularity::PerTensor
+    }
+}
+
+/// Boxed quantizers delegate, so adapters like [`PerRowQuantizer`] can wrap
+/// `Box<dyn TensorQuantizer>` values produced by a registry.
+impl<Q: TensorQuantizer + ?Sized> TensorQuantizer for Box<Q> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        (**self).quantize_dequantize(t)
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        (**self).bits_per_element()
+    }
+
+    fn compute_bits(&self) -> f64 {
+        (**self).compute_bits()
+    }
+
+    fn quantizes_activations(&self) -> bool {
+        (**self).quantizes_activations()
+    }
+
+    fn granularity(&self) -> Granularity {
+        (**self).granularity()
+    }
+}
+
+/// Generic per-row granularity adapter: calibrates and quantizes each row
+/// (output channel) of a rank-2 tensor independently with the wrapped
+/// quantizer.
+///
+/// Rank-0/1 and single-row tensors are passed through to the inner quantizer
+/// unchanged, so per-row and per-tensor granularity agree bit-exactly there
+/// (each row is handed to the inner quantizer as a `[1, cols]` tensor and all
+/// workspace quantizers are shape-agnostic).
+#[derive(Debug, Clone)]
+pub struct PerRowQuantizer<Q: TensorQuantizer> {
+    inner: Q,
+    name: String,
+}
+
+impl<Q: TensorQuantizer> PerRowQuantizer<Q> {
+    /// Wraps `inner`, reporting `"<inner name>@per-row"` as the name.
+    pub fn new(inner: Q) -> Self {
+        let name = format!("{}@per-row", inner.name());
+        PerRowQuantizer { inner, name }
+    }
+
+    /// The wrapped per-tensor quantizer.
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+}
+
+impl<Q: TensorQuantizer> TensorQuantizer for PerRowQuantizer<Q> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_dequantize(&self, t: &Tensor) -> Tensor {
+        let rows = if t.shape().len() >= 2 {
+            t.shape()[0]
+        } else {
+            1
+        };
+        if rows <= 1 {
+            return self.inner.quantize_dequantize(t);
+        }
+        let cols = t.len() / rows;
+        let data = t.data();
+        let mut out = Vec::with_capacity(t.len());
+        for r in 0..rows {
+            let row = Tensor::from_vec(vec![1, cols], data[r * cols..(r + 1) * cols].to_vec());
+            out.extend_from_slice(self.inner.quantize_dequantize(&row).data());
+        }
+        Tensor::from_vec(t.shape().to_vec(), out)
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.inner.bits_per_element()
+    }
+
+    fn compute_bits(&self) -> f64 {
+        self.inner.compute_bits()
+    }
+
+    fn quantizes_activations(&self) -> bool {
+        self.inner.quantizes_activations()
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerRow
     }
 }
 
@@ -338,5 +473,74 @@ mod tests {
         assert_eq!(r.average_bits(), 0.0);
         assert_eq!(r.escalation_fraction(), 0.0);
         assert_eq!(r.mean_rel_mse(), 0.0);
+    }
+
+    #[test]
+    fn per_row_matches_per_tensor_on_single_row_tensors() {
+        let mut rng = Rng::seed_from(8);
+        let mut data = vec![0.0f32; 256];
+        rng.fill_normal(&mut data, 0.0, 1.0);
+        data[7] = 40.0;
+        for shape in [vec![256], vec![1, 256]] {
+            let t = Tensor::from_vec(shape, data.clone());
+            let per_tensor = OliveQuantizer::int4().quantize_dequantize(&t);
+            let per_row = PerRowQuantizer::new(OliveQuantizer::int4()).quantize_dequantize(&t);
+            assert_eq!(per_tensor, per_row);
+        }
+    }
+
+    #[test]
+    fn per_row_calibrates_rows_independently() {
+        // Two rows with wildly different magnitudes: one shared per-tensor
+        // scale must lose against independent per-row scales.
+        let mut rng = Rng::seed_from(9);
+        let mut data = vec![0.0f32; 512];
+        rng.fill_normal(&mut data[..256], 0.0, 1.0);
+        rng.fill_normal(&mut data[256..], 0.0, 1000.0);
+        let t = Tensor::from_vec(vec![2, 256], data);
+        let q = OliveQuantizer::int4();
+        let per_tensor = q.quantize_dequantize(&t);
+        let per_row = PerRowQuantizer::new(q).quantize_dequantize(&t);
+        // The shared per-tensor scale is set by the huge second row and
+        // crushes the unit-scale first row; per-row calibration must
+        // reconstruct that row far better.
+        let first_row_mse = |approx: &Tensor| -> f64 {
+            (0..256)
+                .map(|i| ((approx[i] - t[i]) as f64).powi(2))
+                .sum::<f64>()
+                / 256.0
+        };
+        let pt = first_row_mse(&per_tensor);
+        let pr = first_row_mse(&per_row);
+        assert!(pr < pt * 0.5, "per-row {} vs per-tensor {}", pr, pt);
+    }
+
+    #[test]
+    fn per_row_adapter_reports_name_and_granularity() {
+        let q = PerRowQuantizer::new(OliveQuantizer::int4());
+        assert_eq!(q.name(), "OliVe-4bit@per-row");
+        assert_eq!(q.granularity(), Granularity::PerRow);
+        assert_eq!(q.bits_per_element(), 4.0);
+        assert_eq!(OliveQuantizer::int4().granularity(), Granularity::PerTensor);
+        assert_eq!(Granularity::PerRow.to_string(), "per-row");
+    }
+
+    #[test]
+    fn boxed_quantizers_delegate() {
+        let boxed: Box<dyn TensorQuantizer> = Box::new(OliveQuantizer::int4());
+        assert_eq!(boxed.name(), "OliVe-4bit");
+        let wrapped = PerRowQuantizer::new(boxed);
+        assert_eq!(wrapped.name(), "OliVe-4bit@per-row");
+        let t = tensor_with_outliers(10);
+        assert_eq!(wrapped.quantize_dequantize(&t).shape(), t.shape());
+    }
+
+    #[test]
+    fn per_row_preserves_shape_and_handles_empty() {
+        let q = PerRowQuantizer::new(OliveQuantizer::int4());
+        let t = Tensor::zeros(vec![4, 8]);
+        assert_eq!(q.quantize_dequantize(&t), t);
+        let empty = Tensor::zeros(vec![0, 8]);
+        assert_eq!(q.quantize_dequantize(&empty).shape(), &[0, 8]);
     }
 }

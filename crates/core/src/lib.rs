@@ -30,7 +30,9 @@ pub mod quantizer;
 
 pub use calibration::{ablate_scale_policies, CalibrationReport, ScalePolicy};
 pub use encode::{encode_pair, EncodedPair, PairClass};
-pub use framework::{Fp32Baseline, OlivePtq, PtqConfig, PtqReport, TensorQuantizer};
+pub use framework::{
+    Fp32Baseline, Granularity, OlivePtq, PerRowQuantizer, PtqConfig, PtqReport, TensorQuantizer,
+};
 pub use gemm::{quantized_matmul, QuantGemmStats};
 pub use mac::{MacUnit, OVERFLOW_CLIP};
 pub use olive_dtypes::NormalDataType as NormalType;

@@ -444,6 +444,41 @@ pub fn agreement(
     hits as f64 / task.inputs.len() as f64
 }
 
+/// Fraction of *positions* (across all task inputs) at which `student`'s
+/// argmax prediction matches `teacher`'s — the SQuAD-style exact-match proxy
+/// of Tbl. 8, stricter than the last-position [`agreement`].
+///
+/// Sharded over the batch like the other metrics; the per-input counters are
+/// integers, so the score is identical at every thread count.
+pub fn position_agreement(
+    teacher: &TinyTransformer,
+    student: &TinyTransformer,
+    task: &EvalTask,
+    act_quant: Option<&dyn TensorQuantizer>,
+) -> f64 {
+    if task.inputs.is_empty() {
+        return 1.0;
+    }
+    let partials = olive_runtime::par_map(&task.inputs, |input| {
+        let t_logits = teacher.forward(input, None);
+        let s_logits = student.forward(input, act_quant);
+        let mut hits = 0usize;
+        for pos in 0..t_logits.rows() {
+            if argmax(t_logits.row(pos)) == argmax(s_logits.row(pos)) {
+                hits += 1;
+            }
+        }
+        (hits, t_logits.rows())
+    });
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (h, rows) in partials {
+        hits += h;
+        total += rows;
+    }
+    hits as f64 / total.max(1) as f64
+}
+
 /// Functional-fidelity score: the mean cosine similarity between the teacher's
 /// and the student's logit vectors over every position of every task input.
 ///
@@ -483,6 +518,93 @@ pub fn logit_fidelity(
         1.0
     } else {
         total / count as f64
+    }
+}
+
+/// All four teacher–student scores of one evaluation, computed in a single
+/// pass (one teacher + one student forward per input).
+///
+/// Each field is **bit-identical** to the corresponding standalone metric
+/// function ([`logit_fidelity`], [`agreement`], [`position_agreement`],
+/// [`pseudo_perplexity`]): the per-input partials and the in-input-order f64
+/// folds are the same, only the forward passes are shared. This is what the
+/// `olive::api` evaluation pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalScores {
+    /// Mean cosine similarity of the logit vectors (the accuracy proxy).
+    pub fidelity: f64,
+    /// Last-position argmax agreement.
+    pub agreement: f64,
+    /// All-position argmax agreement (the SQuAD-style EM proxy).
+    pub position_agreement: f64,
+    /// Pseudo-perplexity against the teacher's argmax labels.
+    pub perplexity: f64,
+}
+
+/// Computes [`EvalScores`] for a student against a teacher on a task.
+pub fn eval_scores(
+    teacher: &TinyTransformer,
+    student: &TinyTransformer,
+    task: &EvalTask,
+    act_quant: Option<&dyn TensorQuantizer>,
+) -> EvalScores {
+    if task.inputs.is_empty() {
+        return EvalScores {
+            fidelity: 1.0,
+            agreement: 1.0,
+            position_agreement: 1.0,
+            perplexity: 1.0,
+        };
+    }
+    let partials = olive_runtime::par_map(&task.inputs, |input| {
+        let t_logits = teacher.forward(input, None);
+        let s_logits = student.forward(input, act_quant);
+        let rows = t_logits.rows();
+        let mut cos_sum = 0.0f64;
+        let mut pos_hits = 0usize;
+        let mut ce = 0.0f64;
+        for pos in 0..rows {
+            let t_row = t_logits.row(pos);
+            let s_row = s_logits.row(pos);
+            cos_sum += cosine(t_row, s_row);
+            let label = argmax(t_row);
+            if label == argmax(s_row) {
+                pos_hits += 1;
+            }
+            let probs = softmax_vec(s_row);
+            let p = probs[label].max(1e-12);
+            ce += -p.ln();
+        }
+        let last_hit = argmax(t_logits.row(rows - 1)) == argmax(s_logits.row(rows - 1));
+        (cos_sum, pos_hits, ce, usize::from(last_hit), rows)
+    });
+    let mut cos_total = 0.0f64;
+    let mut ce_total = 0.0f64;
+    let mut pos_hits = 0usize;
+    let mut last_hits = 0usize;
+    let mut rows_total = 0usize;
+    for (cos_sum, hits, ce, last, rows) in partials {
+        cos_total += cos_sum;
+        ce_total += ce;
+        pos_hits += hits;
+        last_hits += last;
+        rows_total += rows;
+    }
+    EvalScores {
+        // The `rows_total == 0` guards mirror the standalone functions'
+        // empty-count behaviour (only reachable with zero-length inputs).
+        fidelity: if rows_total == 0 {
+            1.0
+        } else {
+            cos_total / rows_total as f64
+        },
+        agreement: last_hits as f64 / task.inputs.len() as f64,
+        position_agreement: pos_hits as f64 / rows_total.max(1) as f64,
+        perplexity: if rows_total == 0 {
+            1.0
+        } else {
+            (ce_total / rows_total as f64).exp()
+        },
     }
 }
 
@@ -598,6 +720,22 @@ mod tests {
     }
 
     #[test]
+    fn position_agreement_is_perfect_for_identity_and_bounded_otherwise() {
+        let (teacher, task) = setup();
+        assert_eq!(position_agreement(&teacher, &teacher, &task, None), 1.0);
+        let student = teacher.quantize_weights(&UniformQuantizer::int4());
+        let pos = position_agreement(&teacher, &student, &task, None);
+        assert!((0.0..=1.0).contains(&pos));
+        // Matching at every position is at most as easy as matching anywhere,
+        // so the per-position score is bounded by 1 and thread-invariant.
+        let seq =
+            olive_runtime::with_threads(1, || position_agreement(&teacher, &student, &task, None));
+        let par =
+            olive_runtime::with_threads(8, || position_agreement(&teacher, &student, &task, None));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn perplexity_of_identity_student_is_low() {
         let (teacher, task) = setup();
         let ppl_self = pseudo_perplexity(&teacher, &teacher, &task, None);
@@ -637,6 +775,43 @@ mod tests {
         let q = OliveQuantizer::int4();
         let acc = agreement(&teacher, &student, &task, Some(&q));
         assert!(acc > 0.3, "agreement {}", acc);
+    }
+
+    #[test]
+    fn eval_scores_is_bit_identical_to_the_standalone_metrics() {
+        let (teacher, task) = setup();
+        let student = teacher.quantize_weights(&OliveQuantizer::int4());
+        let q = OliveQuantizer::int4();
+        for act in [None, Some(&q as &dyn TensorQuantizer)] {
+            let fused = eval_scores(&teacher, &student, &task, act);
+            assert_eq!(
+                fused.fidelity,
+                logit_fidelity(&teacher, &student, &task, act)
+            );
+            assert_eq!(fused.agreement, agreement(&teacher, &student, &task, act));
+            assert_eq!(
+                fused.position_agreement,
+                position_agreement(&teacher, &student, &task, act)
+            );
+            assert_eq!(
+                fused.perplexity,
+                pseudo_perplexity(&teacher, &student, &task, act)
+            );
+        }
+    }
+
+    #[test]
+    fn eval_scores_of_empty_task_is_neutral() {
+        let (teacher, _) = setup();
+        let empty = EvalTask {
+            name: "empty".into(),
+            inputs: vec![],
+        };
+        let s = eval_scores(&teacher, &teacher, &empty, None);
+        assert_eq!(s.fidelity, 1.0);
+        assert_eq!(s.agreement, 1.0);
+        assert_eq!(s.position_agreement, 1.0);
+        assert_eq!(s.perplexity, 1.0);
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub mod workload;
 
 pub use config::{ModelConfig, ModelFamily};
 pub use engine::{
-    agreement, logit_fidelity, pseudo_perplexity, EngineConfig, EvalTask, OutlierSeverity,
-    TinyTransformer,
+    agreement, eval_scores, logit_fidelity, position_agreement, pseudo_perplexity, EngineConfig,
+    EvalScores, EvalTask, OutlierSeverity, TinyTransformer,
 };
 pub use synth::{model_tensor_suite, NamedTensor, SynthProfile};
 pub use workload::{Gemm, GemmKind, Workload};

@@ -1,9 +1,11 @@
 //! Run the GPU and systolic-array performance models across the paper's model
-//! suite and print speedup/energy summaries (a condensed Fig. 9 + Fig. 10).
+//! suite and print speedup summaries (a condensed Fig. 9 + Fig. 10), with
+//! both comparison sets taken from the `olive::api` scheme registry.
 //!
 //! Run with: `cargo run --release --example accelerator_comparison`
 
 use olive::accel::{geomean, GpuSimulator, QuantScheme, SystolicSimulator};
+use olive::api::{accel_designs, Scheme};
 use olive::models::{ModelConfig, Workload};
 
 fn main() {
@@ -11,12 +13,12 @@ fn main() {
 
     println!("== GPU (RTX 2080 Ti class), speedup normalized to GOBO ==");
     let gpu = GpuSimulator::rtx_2080_ti();
-    let gpu_schemes = QuantScheme::gpu_comparison_set();
+    let gpu_schemes = accel_designs(&Scheme::gpu_comparison());
     print_comparison(&models, |wl, s| gpu.run(wl, s).latency_s, &gpu_schemes);
 
     println!("\n== Systolic-array accelerator, speedup normalized to AdaFloat ==");
     let sa = SystolicSimulator::paper_default();
-    let sa_schemes = QuantScheme::accelerator_comparison_set();
+    let sa_schemes = accel_designs(&Scheme::accelerator_comparison());
     print_comparison(&models, |wl, s| sa.run(wl, s).latency_s, &sa_schemes);
 }
 

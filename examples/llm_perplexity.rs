@@ -1,35 +1,31 @@
-//! Pseudo-perplexity of an LLM-like proxy model under different PTQ schemes
-//! (a condensed Table 9).
+//! Pseudo-perplexity of an LLM-like proxy model under different PTQ schemes —
+//! a thin driver over the `olive::api` pipeline (a condensed Table 9).
 //!
 //! Run with: `cargo run --release --example llm_perplexity`
 
-use olive::baselines::{AntQuantizer, UniformQuantizer};
-use olive::core::{OliveQuantizer, TensorQuantizer};
-use olive::models::{pseudo_perplexity, EngineConfig, EvalTask, OutlierSeverity, TinyTransformer};
-use olive::tensor::rng::Rng;
+use olive::api::{Calibration, ModelFamily, Pipeline};
 
 fn main() {
-    let config = EngineConfig::small();
-    let mut rng = Rng::seed_from(0x0CCB);
     println!("building an OPT-like proxy teacher with severe activation/weight outliers...");
-    let teacher = TinyTransformer::generate(config, OutlierSeverity::llm(), &mut rng);
-    let task = EvalTask::generate("wiki-like", &config, 16, &mut rng);
+    let report = Pipeline::new(ModelFamily::Opt.small().named("OPT-like"))
+        .task("wiki-like")
+        .schemes([
+            "fp32",
+            "uniform:8",
+            "olive-8bit",
+            "uniform:4",
+            "ant:4bit",
+            "olive-4bit",
+        ])
+        .seed(0x0CCB)
+        .batches(16)
+        .calibrate(Calibration::random())
+        .run();
 
-    let fp32 = pseudo_perplexity(&teacher, &teacher, &task, None);
     println!("\n{:<14} {:>12}", "method", "pseudo-ppl");
     println!("{}", "-".repeat(28));
-    println!("{:<14} {:>12.2}", "FP32", fp32);
-
-    let int8 = UniformQuantizer::int8();
-    let olive8 = OliveQuantizer::int8();
-    let int4 = UniformQuantizer::int4();
-    let ant4 = AntQuantizer::fixed_4bit();
-    let olive4 = OliveQuantizer::int4();
-    let methods: Vec<&dyn TensorQuantizer> = vec![&int8, &olive8, &int4, &ant4, &olive4];
-    for q in methods {
-        let student = teacher.quantize_weights(q);
-        let ppl = pseudo_perplexity(&teacher, &student, &task, Some(q));
-        println!("{:<14} {:>12.2}", q.name(), ppl);
+    for r in &report.results {
+        println!("{:<14} {:>12.2}", r.name, r.perplexity);
     }
     println!("\nExpected shape (paper Tbl. 9): OliVe-8bit tracks FP32; int4 and ANT-4bit blow up;");
     println!("OliVe-4bit stays usable.");

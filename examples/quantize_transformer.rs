@@ -1,42 +1,46 @@
-//! Quantize a BERT-like proxy transformer with OliVe and several baselines and
-//! compare the accuracy proxy (agreement with the FP32 teacher).
+//! Quantize a BERT-like proxy transformer with OliVe and several baselines
+//! and compare the accuracy proxies — a thin driver over the `olive::api`
+//! pipeline (a condensed Table 6).
 //!
 //! Run with: `cargo run --release --example quantize_transformer`
 
-use olive::baselines::{AntQuantizer, OutlierSuppressionQuantizer, UniformQuantizer};
-use olive::core::{OliveQuantizer, TensorQuantizer};
-use olive::models::{agreement, EngineConfig, EvalTask, OutlierSeverity, TinyTransformer};
-use olive::tensor::rng::Rng;
+use olive::api::{Calibration, ModelFamily, Pipeline};
 
 fn main() {
-    let config = EngineConfig::small();
-    let mut rng = Rng::seed_from(0xBE127);
+    let model = ModelFamily::Bert.small();
     println!(
         "building a BERT-like proxy teacher ({} layers, d_model {})",
-        config.n_layers, config.d_model
+        model.config.n_layers, model.config.d_model
     );
-    let teacher = TinyTransformer::generate(config, OutlierSeverity::transformer(), &mut rng);
-    let task = EvalTask::generate("demo", &config, 32, &mut rng);
+    let report = Pipeline::new(model)
+        .task("demo")
+        .schemes([
+            "fp32",
+            "olive-4bit",
+            "olive-8bit",
+            "uniform:8",
+            "uniform:4",
+            "ant:4bit",
+            "os:6bit",
+        ])
+        .seed(0xBE127)
+        .batches(32)
+        .calibrate(Calibration::random())
+        .weights_only()
+        .run();
 
-    let olive4 = OliveQuantizer::int4();
-    let olive8 = OliveQuantizer::int8();
-    let int8 = UniformQuantizer::int8();
-    let int4 = UniformQuantizer::int4();
-    let ant = AntQuantizer::fixed_4bit();
-    let os6 = OutlierSuppressionQuantizer::ptq_6bit();
-    let methods: Vec<&dyn TensorQuantizer> = vec![&olive4, &olive8, &int8, &int4, &ant, &os6];
-
-    println!("\n{:<16} {:>10} {:>8}", "method", "agreement", "bits");
-    println!("{}", "-".repeat(38));
-    println!("{:<16} {:>9.1}% {:>8}", "FP32 teacher", 100.0, 32);
-    for q in methods {
-        let student = teacher.quantize_weights(q);
-        let acc = agreement(&teacher, &student, &task, None);
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>8}",
+        "method", "agreement", "fidelity", "bits"
+    );
+    println!("{}", "-".repeat(48));
+    for r in &report.results {
         println!(
-            "{:<16} {:>9.1}% {:>8.1}",
-            q.name(),
-            100.0 * acc,
-            q.bits_per_element()
+            "{:<16} {:>9.1}% {:>9.1}% {:>8.1}",
+            r.name,
+            100.0 * r.agreement,
+            100.0 * r.fidelity,
+            r.bits_per_element
         );
     }
     println!("\nExpected shape: OliVe-4bit stays near FP32 while int4/ANT-4bit degrade.");

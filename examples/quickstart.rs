@@ -1,60 +1,75 @@
-//! Quickstart: quantize a single outlier-heavy tensor with OliVe and inspect
-//! what the encoding did.
+//! Quickstart for the `olive::api` surface: address schemes by spec string,
+//! run a two-scheme comparison through the evaluation pipeline, and inspect
+//! the packed encoding of a single tensor.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (CI runs this example on every push — it is deliberately tiny.)
 
-use olive::core::{OliveQuantizer, TensorQuantizer};
+use olive::api::{Calibration, ModelFamily, Pipeline, Scheme};
+use olive::core::TensorQuantizer;
 use olive::tensor::rng::Rng;
-use olive::tensor::stats::TensorStats;
 use olive::tensor::Tensor;
 
 fn main() {
-    // Build a tensor that looks like a transformer activation: a Gaussian bulk
-    // plus a few extreme outliers.
+    // --- 1. Schemes are addressable by name. ---
+    let olive4 = Scheme::parse("olive-4bit").expect("registry spec");
+    println!(
+        "scheme '{}' -> {} ({} bits/element)",
+        olive4,
+        olive4.display_name(),
+        olive4.bits_per_element()
+    );
+
+    // --- 2. A whole comparison is one builder chain. ---
+    let report = Pipeline::new(ModelFamily::Bert.tiny())
+        .task("quickstart")
+        .schemes(["fp32", "olive-4bit", "uniform:4", "olive-4bit@per-row"])
+        .seed(2023)
+        .batches(4)
+        .calibrate(Calibration::confident(2))
+        .run();
+    report
+        .table()
+        .print_with_title("Tiny BERT-class proxy, weights + activations quantized");
+    println!(
+        "machine-readable: EvalReport::to_json() renders {} bytes of JSON",
+        report.to_json().len()
+    );
+
+    let olive = report.result("olive-4bit").unwrap().fidelity;
+    let int4 = report.result("uniform:4").unwrap().fidelity;
+    assert!(olive > int4, "OliVe must beat plain int4");
+    println!(
+        "\nOliVe-4bit fidelity {:.2}% vs plain int4 {:.2}% — the outlier-victim pairs pay off.",
+        100.0 * olive,
+        100.0 * int4
+    );
+
+    // --- 3. Under the hood: the packed OVP encoding of one tensor. ---
     let mut rng = Rng::seed_from(2023);
     let mut data = vec![0.0f32; 64 * 64];
     rng.fill_normal(&mut data, 0.0, 1.0);
-    data[100] = 87.0;
-    data[101] = 0.4; // will become the victim of the outlier at index 100
-    data[2000] = -52.0;
+    data[100] = 87.0; // outlier; data[101] becomes its victim
     let t = Tensor::from_vec(vec![64, 64], data);
-
-    let stats = TensorStats::compute(&t);
+    let q = olive4.olive_quantizer().unwrap().quantize(&t);
+    let back = q.dequantize();
     println!(
-        "input tensor: {} elements, sigma = {:.2}, max = {:.1} ({:.0} sigma)",
-        t.len(),
-        stats.std,
-        stats.max_abs,
-        stats.max_sigma
-    );
-
-    // Quantize with 4-bit OliVe (int4 normal values + E2M1 abfloat outliers).
-    let quantizer = OliveQuantizer::int4();
-    let q = quantizer.quantize(&t);
-    println!(
-        "quantized: {} bytes ({}x compression), scale = {:.4}, outlier pairs = {:.3}%",
+        "\npacked tensor: {} bytes ({}x compression), outlier 87.0 -> {:+.2}, victim {:+.2} -> {:+.2}",
         q.storage_bytes(),
         q.compression_ratio(),
-        q.spec().scale,
-        100.0 * q.outlier_pair_fraction()
-    );
-
-    let back = q.dequantize();
-    println!("round-trip MSE = {:.5}", t.mse(&back));
-    println!("outlier  87.0 -> {:+.2}", back[100]);
-    println!(
-        "victim    0.4 -> {:+.2}  (pruned to zero, as designed)",
+        back[100],
+        t[101],
         back[101]
     );
-    println!("outlier -52.0 -> {:+.2}", back[2000]);
-    println!("a normal value {:+.3} -> {:+.3}", t[0], back[0]);
-
-    // Compare against plain int4, which has no outlier mechanism.
-    let int4 = olive::baselines::UniformQuantizer::int4();
-    let int4_back = int4.quantize_dequantize(&t);
+    let int4_mse = t.mse(
+        &Scheme::parse("uniform:4")
+            .unwrap()
+            .build()
+            .quantize_dequantize(&t),
+    );
     println!(
-        "\nplain int4 round-trip MSE = {:.5} (OliVe is {:.1}x more accurate on this tensor)",
-        t.mse(&int4_back),
-        t.mse(&int4_back) / t.mse(&back).max(1e-12)
+        "round-trip MSE: OliVe {:.5} vs plain int4 {:.5}",
+        t.mse(&back),
+        int4_mse
     );
 }

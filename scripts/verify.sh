@@ -15,6 +15,11 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
 
+# The examples are the public face of the `olive::api` surface; build them
+# all so the API cannot silently rot (CI additionally *runs* quickstart).
+echo "== cargo build --release --examples =="
+cargo build --release --examples
+
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 

@@ -3,26 +3,40 @@
 //! A reproduction of *"OliVe: Accelerating Large Language Models via
 //! Hardware-friendly Outlier-Victim Pair Quantization"* (ISCA 2023).
 //!
-//! This facade crate re-exports the individual workspace crates:
+//! ## Quickstart: the `olive::api` surface
 //!
-//! * [`runtime`] — zero-dependency worker pool and data-parallel primitives
-//!   (thread count via `OLIVE_THREADS`, bit-deterministic at any count).
-//! * [`tensor`] — minimal dense tensor library (parallel cache-blocked
-//!   matmul, statistics, RNG).
-//! * [`dtypes`] — the numeric data types used by OliVe (`int4`, `flint4`,
-//!   `int8`, `abfloat`) and their hardware-style decoders.
-//! * [`core`] — the outlier-victim pair (OVP) encoding, the OliVe quantization
-//!   framework and the bit-accurate quantized GEMM.
-//! * [`baselines`] — re-implementations of the quantization baselines the paper
-//!   compares against (ANT, GOBO, OLAccel, AdaptivFloat, int4/int8, Outlier
-//!   Suppression).
-//! * [`models`] — transformer workload definitions (BERT/BART/GPT-2/BLOOM/OPT),
-//!   synthetic outlier-realistic tensors and a small runnable transformer used
-//!   as an accuracy proxy.
-//! * [`accel`] — cycle-level systolic-array and analytical GPU performance,
-//!   energy and area models.
+//! Every quantization scheme — OliVe and all the paper's baselines — is
+//! addressable by a spec string through the [`api`] **scheme registry**
+//! (`"olive-4bit"`, `"ant:int8-fallback"`, `"gobo"`, `"uniform:8"`,
+//! `"fp32"`, …; append `@per-row` for per-row granularity), and a complete
+//! accuracy comparison is one **pipeline** builder chain:
 //!
-//! ## Quickstart
+//! ```
+//! use olive::api::{Calibration, ModelFamily, Pipeline, Scheme};
+//!
+//! // Schemes parse from spec strings and build ready-to-use quantizers.
+//! let scheme = Scheme::parse("olive-4bit").unwrap();
+//! assert_eq!(scheme.build().name(), "OliVe-4bit");
+//! assert!(Scheme::parse("olive-5bit").is_err());
+//!
+//! // A tiny two-scheme comparison: OliVe-4bit vs plain int4 on a
+//! // BERT-class proxy teacher with planted outliers.
+//! let report = Pipeline::new(ModelFamily::Bert.tiny())
+//!     .task("quickstart")
+//!     .schemes(["olive-4bit", "uniform:4"])
+//!     .seed(7)
+//!     .batches(3)
+//!     .calibrate(Calibration::confident(2))
+//!     .run();
+//! let olive = report.result("olive-4bit").unwrap().fidelity;
+//! let int4 = report.result("uniform:4").unwrap().fidelity;
+//! assert!(olive > int4, "OliVe must beat plain int4: {olive} vs {int4}");
+//! // Reports also render as a text table or machine-readable JSON.
+//! assert!(report.to_json().contains("\"spec\": \"olive-4bit\""));
+//! ```
+//!
+//! Lower-level entry points remain available; the tensor-level encoding, for
+//! example:
 //!
 //! ```
 //! use olive::core::{OliveQuantizer, NormalType};
@@ -43,8 +57,35 @@
 //! assert!((back[[1, 1]] - 58.0).abs() / 58.0 < 0.20);
 //! assert_eq!(q.spec().normal_type, NormalType::Int4);
 //! ```
+//!
+//! ## Crate map
+//!
+//! This facade crate re-exports the individual workspace crates:
+//!
+//! * [`api`] — the unified public surface: the scheme registry
+//!   (`Scheme::parse` / `Scheme::all` / `Scheme::build`, `@per-row`
+//!   granularity, `to_accel` hardware-design mapping) and the builder-style
+//!   evaluation pipeline producing unified text/JSON reports.
+//! * [`runtime`] — zero-dependency worker pool and data-parallel primitives
+//!   (thread count via `OLIVE_THREADS`, bit-deterministic at any count).
+//! * [`tensor`] — minimal dense tensor library (parallel cache-blocked
+//!   matmul, statistics, RNG).
+//! * [`dtypes`] — the numeric data types used by OliVe (`int4`, `flint4`,
+//!   `int8`, `abfloat`) and their hardware-style decoders.
+//! * [`core`] — the outlier-victim pair (OVP) encoding, the OliVe quantization
+//!   framework, the bit-accurate quantized GEMM, and the [`core::Granularity`]
+//!   / per-row adapter machinery behind `@per-row` specs.
+//! * [`baselines`] — re-implementations of the quantization baselines the paper
+//!   compares against (ANT, GOBO, OLAccel, AdaptivFloat, int4/int8, Outlier
+//!   Suppression).
+//! * [`models`] — transformer workload definitions (BERT/BART/GPT-2/BLOOM/OPT),
+//!   synthetic outlier-realistic tensors and a small runnable transformer used
+//!   as an accuracy proxy.
+//! * [`accel`] — cycle-level systolic-array and analytical GPU performance,
+//!   energy and area models.
 
 pub use olive_accel as accel;
+pub use olive_api as api;
 pub use olive_baselines as baselines;
 pub use olive_core as core;
 pub use olive_dtypes as dtypes;

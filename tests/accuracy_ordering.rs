@@ -1,5 +1,5 @@
-//! The paper's headline qualitative claims, checked end-to-end on the proxy
-//! models:
+//! The paper's headline qualitative claims, checked end-to-end through the
+//! `olive::api` pipeline on the proxy models:
 //!
 //! 1. Clipping outliers is catastrophic; pruning victims is benign (Fig. 3).
 //! 2. OliVe 4-bit beats plain int4 and ANT 4-bit (Tbl. 6 / Tbl. 9).
@@ -8,36 +8,37 @@
 //! 5. The OliVe accelerator/GPU designs win on both latency and energy
 //!    (Fig. 9 / Fig. 10).
 
-use olive::accel::{GpuSimulator, QuantScheme, SystolicSimulator};
-use olive::baselines::{AntQuantizer, OutlierSuppressionQuantizer, UniformQuantizer};
+use olive::accel::{GpuSimulator, SystolicSimulator};
+use olive::api::{Calibration, EvalReport, ModelFamily, Pipeline, Scheme};
 use olive::core::pair::{clip_outliers, prune_victims};
-use olive::core::OliveQuantizer;
-use olive::models::{
-    logit_fidelity, pseudo_perplexity, EngineConfig, EvalTask, ModelConfig, OutlierSeverity,
-    TinyTransformer, Workload,
-};
-use olive::tensor::rng::Rng;
+use olive::models::{ModelConfig, Workload};
 use olive::tensor::stats::TensorStats;
 
-fn teacher_and_task(severity: OutlierSeverity, seed: u64) -> (TinyTransformer, EvalTask) {
-    let cfg = EngineConfig::tiny();
-    let mut rng = Rng::seed_from(seed);
-    let teacher = TinyTransformer::generate(cfg, severity, &mut rng);
-    let task = EvalTask::generate("ordering", &cfg, 8, &mut rng);
-    (teacher, task)
+/// The shared test pipeline: tiny proxy model, 8 random inputs.
+fn pipeline(family: ModelFamily, seed: u64) -> Pipeline {
+    Pipeline::new(family.tiny())
+        .task("ordering")
+        .seed(seed)
+        .batches(8)
+        .calibrate(Calibration::random())
+}
+
+fn run(family: ModelFamily, seed: u64, specs: &[&str]) -> EvalReport {
+    pipeline(family, seed)
+        .schemes(specs.iter().copied())
+        .weights_only()
+        .run()
 }
 
 #[test]
 fn clipping_outliers_is_worse_than_pruning_victims() {
-    let (teacher, task) = teacher_and_task(OutlierSeverity::transformer(), 21);
+    let prepared = pipeline(ModelFamily::Bert, 21).prepare();
     let threshold = |w: &olive::tensor::Tensor| {
         let s = TensorStats::compute(w);
         (s.mean.abs() + 3.0 * s.std) as f32
     };
-    let clipped = teacher.map_weights(|_, w| clip_outliers(w, threshold(w)));
-    let pruned = teacher.map_weights(|_, w| prune_victims(w, threshold(w)));
-    let f_clip = logit_fidelity(&teacher, &clipped, &task, None);
-    let f_prune = logit_fidelity(&teacher, &pruned, &task, None);
+    let f_clip = prepared.fidelity_of_weight_transform(|_, w| clip_outliers(w, threshold(w)));
+    let f_prune = prepared.fidelity_of_weight_transform(|_, w| prune_victims(w, threshold(w)));
     assert!(
         f_prune > f_clip + 0.05,
         "prune fidelity {} should clearly beat clip fidelity {}",
@@ -53,27 +54,23 @@ fn clipping_outliers_is_worse_than_pruning_victims() {
 
 #[test]
 fn olive_4bit_beats_int4_and_ant_4bit() {
-    let (teacher, task) = teacher_and_task(OutlierSeverity::transformer(), 22);
-    let f = |q: &dyn olive::core::TensorQuantizer| {
-        let student = teacher.quantize_weights(q);
-        logit_fidelity(&teacher, &student, &task, None)
-    };
-    let olive = f(&OliveQuantizer::int4());
-    let int4 = f(&UniformQuantizer::int4());
-    let ant = f(&AntQuantizer::fixed_4bit());
+    let report = run(
+        ModelFamily::Bert,
+        22,
+        &["olive-4bit", "uniform:4", "ant:4bit"],
+    );
+    let olive = report.result("olive-4bit").unwrap().fidelity;
+    let int4 = report.result("uniform:4").unwrap().fidelity;
+    let ant = report.result("ant:4bit").unwrap().fidelity;
     assert!(olive > int4, "OliVe {} vs int4 {}", olive, int4);
     assert!(olive > ant, "OliVe {} vs ANT {}", olive, ant);
 }
 
 #[test]
 fn olive_4bit_matches_or_beats_outlier_suppression_6bit() {
-    let (teacher, task) = teacher_and_task(OutlierSeverity::transformer(), 23);
-    let f = |q: &dyn olive::core::TensorQuantizer| {
-        let student = teacher.quantize_weights(q);
-        logit_fidelity(&teacher, &student, &task, None)
-    };
-    let olive4 = f(&OliveQuantizer::int4());
-    let os6 = f(&OutlierSuppressionQuantizer::ptq_6bit());
+    let report = run(ModelFamily::Bert, 23, &["olive-4bit", "os:6bit"]);
+    let olive4 = report.result("olive-4bit").unwrap().fidelity;
+    let os6 = report.result("os:6bit").unwrap().fidelity;
     assert!(
         olive4 + 1e-6 >= os6,
         "OliVe-4bit {} should not lose to OS-6bit {}",
@@ -84,15 +81,15 @@ fn olive_4bit_matches_or_beats_outlier_suppression_6bit() {
 
 #[test]
 fn llm_perplexity_shape_matches_table9() {
-    let (teacher, task) = teacher_and_task(OutlierSeverity::llm(), 24);
-    let fp32 = pseudo_perplexity(&teacher, &teacher, &task, None);
-    let p = |q: &dyn olive::core::TensorQuantizer| {
-        let student = teacher.quantize_weights(q);
-        pseudo_perplexity(&teacher, &student, &task, None)
-    };
-    let olive8 = p(&OliveQuantizer::int8());
-    let olive4 = p(&OliveQuantizer::int4());
-    let int4 = p(&UniformQuantizer::int4());
+    let report = run(
+        ModelFamily::Gpt2,
+        24,
+        &["fp32", "olive-8bit", "olive-4bit", "uniform:4"],
+    );
+    let fp32 = report.result("fp32").unwrap().perplexity;
+    let olive8 = report.result("olive-8bit").unwrap().perplexity;
+    let olive4 = report.result("olive-4bit").unwrap().perplexity;
+    let int4 = report.result("uniform:4").unwrap().perplexity;
     // 8-bit OliVe tracks FP32 closely; int4 is clearly worse than 4-bit OliVe.
     assert!(
         olive8 < fp32 * 2.0,
@@ -113,9 +110,11 @@ fn llm_perplexity_shape_matches_table9() {
 fn olive_wins_performance_and_energy_on_both_platforms() {
     let gpu = GpuSimulator::rtx_2080_ti();
     let sa = SystolicSimulator::paper_default();
+    let gpu_set = olive::api::accel_designs(&Scheme::gpu_comparison());
+    let sa_set = olive::api::accel_designs(&Scheme::accelerator_comparison());
     for cfg in [ModelConfig::bert_base(), ModelConfig::gpt2_xl()] {
         let wl = Workload::from_config(&cfg);
-        let gpu_results = gpu.compare(&wl, &QuantScheme::gpu_comparison_set());
+        let gpu_results = gpu.compare(&wl, &gpu_set);
         for r in &gpu_results[1..] {
             assert!(
                 gpu_results[0].latency_s < r.latency_s,
@@ -128,7 +127,7 @@ fn olive_wins_performance_and_energy_on_both_platforms() {
                 r.scheme
             );
         }
-        let sa_results = sa.compare(&wl, &QuantScheme::accelerator_comparison_set());
+        let sa_results = sa.compare(&wl, &sa_set);
         for r in &sa_results[1..] {
             assert!(
                 sa_results[0].latency_s < r.latency_s,
@@ -150,13 +149,16 @@ fn gpu_speedup_factors_are_in_the_papers_range() {
     // accept a generous band around those factors — the substrate is an
     // analytical model, not the authors' GPGPU-Sim setup.
     let gpu = GpuSimulator::rtx_2080_ti();
+    let olive_design = Scheme::parse("olive-4bit").unwrap().to_accel().unwrap();
+    let gobo_design = Scheme::parse("gobo").unwrap().to_accel().unwrap();
+    let int8_design = Scheme::parse("uniform:8").unwrap().to_accel().unwrap();
     let mut over_gobo = Vec::new();
     let mut over_int8 = Vec::new();
     for cfg in ModelConfig::performance_suite() {
         let wl = Workload::from_config(&cfg);
-        let olive = gpu.run(&wl, &QuantScheme::olive4()).latency_s;
-        over_gobo.push(gpu.run(&wl, &QuantScheme::gobo()).latency_s / olive);
-        over_int8.push(gpu.run(&wl, &QuantScheme::int8_tensor_core()).latency_s / olive);
+        let olive = gpu.run(&wl, &olive_design).latency_s;
+        over_gobo.push(gpu.run(&wl, &gobo_design).latency_s / olive);
+        over_int8.push(gpu.run(&wl, &int8_design).latency_s / olive);
     }
     let g_gobo = olive::accel::geomean(&over_gobo);
     let g_int8 = olive::accel::geomean(&over_int8);

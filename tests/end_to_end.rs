@@ -99,11 +99,47 @@ fn ptq_framework_reports_whole_model_statistics() {
 
 #[test]
 fn facade_reexports_are_usable_together() {
-    // The facade crate must expose a coherent API across all sub-crates.
-    let quantizer: &dyn TensorQuantizer = &OliveQuantizer::int4();
+    // The facade crate must expose a coherent API across all sub-crates:
+    // a registry spec string builds a quantizer that runs on a synthetic
+    // tensor, and the same spec resolves to a hardware design.
+    let scheme = olive::api::Scheme::parse("olive-4bit").unwrap();
+    let quantizer = scheme.build();
     let mut rng = Rng::seed_from(1);
     let t = SynthProfile::cnn().generate(vec![64], &mut rng);
     let d = quantizer.quantize_dequantize(&t);
     assert_eq!(d.len(), t.len());
     assert_eq!(quantizer.bits_per_element(), 4.0);
+    assert_eq!(scheme.to_accel().unwrap().name, "OliVe");
+}
+
+#[test]
+fn every_registry_scheme_runs_through_the_pipeline() {
+    use olive::api::{Calibration, ModelFamily, Pipeline, Scheme};
+
+    let report = Pipeline::new(ModelFamily::Bert.tiny())
+        .task("registry-sweep")
+        .scheme_set(Scheme::all())
+        .seed(0xE2E04)
+        .batches(2)
+        .calibrate(Calibration::confident(2))
+        .run();
+    assert_eq!(report.results.len(), Scheme::all().len());
+    for r in &report.results {
+        assert!(
+            r.fidelity.is_finite() && r.fidelity <= 1.0 + 1e-12,
+            "{}: fidelity {}",
+            r.spec,
+            r.fidelity
+        );
+        assert!(r.perplexity.is_finite(), "{}: ppl {}", r.spec, r.perplexity);
+        assert!(r.bits_per_element > 0.0);
+    }
+    // The JSON rendering covers the whole sweep.
+    let json = report.to_json();
+    for scheme in Scheme::all() {
+        assert!(
+            json.contains(&format!("\"spec\": \"{}\"", scheme)),
+            "{scheme}"
+        );
+    }
 }
