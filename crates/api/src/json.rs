@@ -1,9 +1,14 @@
-//! Minimal zero-dependency JSON rendering for machine-readable reports.
+//! Minimal zero-dependency JSON rendering *and parsing* for machine-readable
+//! reports and the `olive-serve` wire protocol.
 //!
 //! The workspace deliberately has no crates.io dependencies, so this module
-//! provides the tiny subset of JSON the evaluation reports need: objects with
-//! insertion-ordered keys, arrays, strings, numbers, booleans and null.
-//! Non-finite numbers render as `null` (JSON has no NaN/inf).
+//! provides the subset of JSON the evaluation reports and the serving layer
+//! need: objects with insertion-ordered keys, arrays, strings, numbers,
+//! booleans and null. Non-finite numbers render as `null` (JSON has no
+//! NaN/inf). [`JsonValue::parse`] is a recursive-descent parser accepting any
+//! standard JSON text (UTF-8, `\uXXXX` escapes including surrogate pairs);
+//! integers that fit are parsed into [`JsonValue::Int`]/[`JsonValue::UInt`]
+//! so that values rendered by [`JsonValue::render`] round-trip exactly.
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +44,95 @@ impl JsonValue {
             JsonValue::Num(x)
         } else {
             JsonValue::Null
+        }
+    }
+
+    /// Parses a JSON text into a [`JsonValue`].
+    ///
+    /// Accepts any standard JSON document (RFC 8259): nested containers (to a
+    /// depth of [`MAX_PARSE_DEPTH`]), all escapes including `\uXXXX` with
+    /// surrogate pairs, and arbitrary finite numbers. Integer literals that
+    /// fit are parsed as [`JsonValue::Int`] (or [`JsonValue::UInt`] beyond
+    /// `i64::MAX`), so everything [`JsonValue::render`] emits parses back to
+    /// an equal value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] naming the byte offset and what went
+    /// wrong: trailing garbage, unterminated containers/strings, bad escapes,
+    /// numbers too large for `f64`, or non-JSON tokens.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` on missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`JsonValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`JsonValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant holding an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(u) => Some(*u),
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            // Strict '<': `u64::MAX as f64` rounds *up* to 2^64, which is out
+            // of range (the cast there would silently saturate to u64::MAX).
+            JsonValue::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`JsonValue::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The items, if this is a [`JsonValue::Array`].
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items.as_slice()),
+            _ => None,
         }
     }
 
@@ -128,6 +222,291 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting depth [`JsonValue::parse`] accepts — a
+/// server-facing parser must fail fast on adversarial `[[[[…` input instead
+/// of overflowing the stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// A parse failure: the byte offset it happened at and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent state over the raw input bytes. Multi-byte UTF-8 only
+/// occurs inside strings, where whole spans are re-validated via the input's
+/// `str` origin (the input is `&str`, so spans between structural bytes are
+/// valid UTF-8 by construction).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Consumes a keyword (`null`/`true`/`false`) or errors.
+    fn keyword(&mut self, word: &str) -> Result<(), JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null").map(|()| JsonValue::Null),
+            Some(b't') => self.keyword("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false").map(|()| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character '{}'", char::from(other)))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')
+            .map_err(|_| self.err("expected a string"))?;
+        let mut out = String::new();
+        let mut span_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.span_str(span_start));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.span_str(span_start));
+                    self.pos += 1;
+                    out.push(self.escape_char()?);
+                    span_start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// The raw (escape-free) string span from `start` to the current
+    /// position. Valid UTF-8: the input is a `str` and the span is delimited
+    /// by ASCII structural bytes, which never split a multi-byte sequence.
+    fn span_str(&self, start: usize) -> &'a str {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("span delimited by ASCII bytes within a str input")
+    }
+
+    fn escape_char(&mut self) -> Result<char, JsonParseError> {
+        let escaped = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match escaped {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let unit = self.hex4()?;
+                if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let low = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        let c = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                        char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    return Err(self.err("lone low surrogate"));
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.err("invalid \\u escape"))?
+                }
+            }
+            other => {
+                return Err(self.err(format!("invalid escape '\\{}'", char::from(other))));
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| char::from(b).to_digit(16))
+                .ok_or_else(|| self.err("\\u requires four hex digits"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let literal = self.span_str(start);
+        if integral {
+            if let Ok(i) = literal.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+            if !negative {
+                if let Ok(u) = literal.parse::<u64>() {
+                    return Ok(JsonValue::UInt(u));
+                }
+            }
+            // Falls through to f64 for integers beyond 64-bit range.
+        }
+        let x: f64 = literal
+            .parse()
+            .map_err(|_| self.err(format!("malformed number '{literal}'")))?;
+        if !x.is_finite() {
+            return Err(self.err(format!("number '{literal}' does not fit in an f64")));
+        }
+        Ok(JsonValue::Num(x))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +547,154 @@ mod tests {
     fn empty_containers_render_compactly() {
         assert_eq!(JsonValue::Array(vec![]).render(), "[]\n");
         assert_eq!(JsonValue::Object(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(JsonValue::parse("0.5").unwrap(), JsonValue::Num(0.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        assert_eq!(JsonValue::parse("-2.5E-1").unwrap(), JsonValue::Num(-0.25));
+        assert_eq!(
+            JsonValue::parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_containers_with_whitespace() {
+        let v = JsonValue::parse("\t{ \"a\" : [ 1 , {\"b\": [] } , null ] ,\r\n \"c\": {} }  ")
+            .unwrap();
+        assert_eq!(
+            v,
+            JsonValue::object(vec![
+                (
+                    "a",
+                    JsonValue::Array(vec![
+                        JsonValue::Int(1),
+                        JsonValue::object(vec![("b", JsonValue::Array(vec![]))]),
+                        JsonValue::Null,
+                    ]),
+                ),
+                ("c", JsonValue::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            JsonValue::parse(r#""a\"b\\c\nd\u0001\t\/\b\f\r""#).unwrap(),
+            JsonValue::Str("a\"b\\c\nd\u{1}\t/\u{8}\u{c}\r".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            JsonValue::parse(r#""\ud83d\ude00""#).unwrap(),
+            JsonValue::Str("😀".into())
+        );
+        // Raw (unescaped) non-ASCII passes through.
+        assert_eq!(
+            JsonValue::parse("\"héllo 日本\"").unwrap(),
+            JsonValue::Str("héllo 日本".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "nul",
+            "truefalse",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "{a: 1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\udc00x\"",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "--1",
+            "1 2",
+            "[1] garbage",
+            "\"tab\tinside\"",
+            "1e999",
+        ] {
+            let err = JsonValue::parse(bad).expect_err(&format!("input {bad:?} must be rejected"));
+            assert!(!err.message.is_empty());
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting() {
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 2) + &"]".repeat(MAX_PARSE_DEPTH + 2);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // One level under the limit is fine.
+        let ok = "[".repeat(MAX_PARSE_DEPTH - 1) + &"]".repeat(MAX_PARSE_DEPTH - 1);
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rendered_reports_parse_back_exactly() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::Str("olive-4bit@per-row".into())),
+            ("fidelity", JsonValue::Num(0.987_654_321)),
+            ("seed", JsonValue::UInt(u64::MAX)),
+            ("batches", JsonValue::Int(-3)),
+            ("acts", JsonValue::Bool(true)),
+            ("missing", JsonValue::Null),
+            (
+                "metrics",
+                JsonValue::Array(vec![JsonValue::Num(0.5), JsonValue::Null]),
+            ),
+        ]);
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_narrow_types() {
+        let v = JsonValue::parse(
+            r#"{"s": "x", "b": false, "u": 7, "i": -2, "f": 1.5, "a": [1], "big": 2.0}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("u").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("u").and_then(JsonValue::as_usize), Some(7));
+        assert_eq!(v.get("i").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("i").and_then(JsonValue::as_f64), Some(-2.0));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("big").and_then(JsonValue::as_u64), Some(2));
+        // 2^64 (the float u64::MAX rounds up to) is out of range, not
+        // saturated; the largest in-range f64 still converts.
+        assert_eq!(JsonValue::Num(18_446_744_073_709_551_616.0).as_u64(), None);
+        assert_eq!(
+            JsonValue::Num(18_446_744_073_709_549_568.0).as_u64(),
+            Some(18_446_744_073_709_549_568)
+        );
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("nope"), None);
+        assert_eq!(JsonValue::Null.get("s"), None);
+        assert_eq!(JsonValue::Null.as_str(), None);
     }
 
     #[test]

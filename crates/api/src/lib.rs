@@ -40,7 +40,7 @@ pub mod json;
 pub mod pipeline;
 pub mod scheme;
 
-pub use json::JsonValue;
+pub use json::{JsonParseError, JsonValue};
 pub use olive_core::Granularity;
 pub use pipeline::{
     Calibration, EvalReport, GemmProfile, ModelFamily, ModelSpec, Pipeline, PreparedEval,

@@ -54,6 +54,38 @@ pub enum ModelFamily {
 }
 
 impl ModelFamily {
+    /// Every family, in registry order.
+    pub fn all() -> [ModelFamily; 5] {
+        [
+            ModelFamily::Bert,
+            ModelFamily::Bart,
+            ModelFamily::Gpt2,
+            ModelFamily::Bloom,
+            ModelFamily::Opt,
+        ]
+    }
+
+    /// Parses a family from its wire name (`"bert"`, `"bart"`, `"gpt2"`,
+    /// `"bloom"`, `"opt"`; case-insensitive, `"gpt-2"` accepted) — the
+    /// untrusted-input counterpart of matching on the enum directly, used by
+    /// the `olive-serve` request decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown family and the valid names.
+    pub fn parse(name: &str) -> Result<ModelFamily, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "bert" => Ok(ModelFamily::Bert),
+            "bart" => Ok(ModelFamily::Bart),
+            "gpt2" | "gpt-2" => Ok(ModelFamily::Gpt2),
+            "bloom" => Ok(ModelFamily::Bloom),
+            "opt" => Ok(ModelFamily::Opt),
+            _ => Err(format!(
+                "unknown model family '{name}' (expected one of: bert, bart, gpt2, bloom, opt)"
+            )),
+        }
+    }
+
     /// The family's display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -246,6 +278,19 @@ impl EvalReport {
         self.results.iter().find(|r| r.spec == spec)
     }
 
+    /// The report with every `wall_time_s` zeroed — everything else in a
+    /// report is bit-deterministic in (model, task, seed, batches,
+    /// calibration, schemes), wall time is the lone measurement. Serving
+    /// responses are rendered from this form so an `/v1/eval` answer is
+    /// byte-identical to a direct [`Pipeline::run`] at any batch size and
+    /// thread count (the `olive-serve` determinism contract).
+    pub fn without_wall_times(mut self) -> Self {
+        for r in &mut self.results {
+            r.wall_time_s = 0.0;
+        }
+        self
+    }
+
     /// Renders the report as a plain-text [`Table`].
     pub fn table(&self) -> Table {
         let mut table = Table::new(vec![
@@ -399,9 +444,12 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics with the parse error if a spec is malformed — spec strings in
-    /// driver code are programmer input. Use [`Scheme::parse`] +
-    /// [`Pipeline::scheme_set`] to handle untrusted input.
+    /// Panics with the parse error if a spec is malformed, and on duplicate
+    /// schemes (a scheme silently evaluated twice doubles a run's cost and
+    /// almost always indicates a typo in the comparison set) — spec strings
+    /// in driver code are programmer input. Use [`Scheme::parse`] +
+    /// [`Pipeline::scheme_set`] to handle untrusted input, validating for
+    /// duplicates first.
     pub fn schemes<I, S>(mut self, specs: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -409,7 +457,7 @@ impl Pipeline {
     {
         for spec in specs {
             match Scheme::parse(spec.as_ref()) {
-                Ok(s) => self.schemes.push(s),
+                Ok(s) => self.push_scheme(s),
                 Err(e) => panic!("{e}"),
             }
         }
@@ -417,9 +465,23 @@ impl Pipeline {
     }
 
     /// Adds pre-parsed schemes, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate schemes, like [`Pipeline::schemes`].
     pub fn scheme_set<I: IntoIterator<Item = Scheme>>(mut self, schemes: I) -> Self {
-        self.schemes.extend(schemes);
+        for scheme in schemes {
+            self.push_scheme(scheme);
+        }
         self
+    }
+
+    fn push_scheme(&mut self, scheme: Scheme) {
+        assert!(
+            !self.schemes.contains(&scheme),
+            "duplicate scheme '{scheme}' in the pipeline's comparison set"
+        );
+        self.schemes.push(scheme);
     }
 
     /// Sets the RNG seed of the teacher + task generation.
@@ -474,11 +536,20 @@ impl Pipeline {
 
     /// Runs every configured scheme and collects the unified report.
     pub fn run(&self) -> EvalReport {
-        let prepared = self.prepare();
+        self.run_prepared(&self.prepare())
+    }
+
+    /// Runs every configured scheme against an already-[`prepare`](Self::prepare)d
+    /// teacher + task, producing the same report [`run`](Self::run) would —
+    /// bit-identically, since preparation is deterministic in the pipeline's
+    /// (model, seed, batches, calibration). This is the quantize-once,
+    /// serve-many entry point: `olive-serve`'s model cache prepares each
+    /// (model, seed, batches) once and reuses it across requests.
+    pub fn run_prepared(&self, prepared: &PreparedEval) -> EvalReport {
         let results = self
             .schemes
             .iter()
-            .map(|scheme| self.run_scheme(&prepared, scheme))
+            .map(|scheme| self.run_scheme(prepared, scheme))
             .collect();
         EvalReport {
             model: self.model.name.clone(),
@@ -630,6 +701,65 @@ mod tests {
     #[should_panic(expected = "invalid scheme spec")]
     fn malformed_spec_panics_in_the_builder() {
         let _ = tiny_pipeline().schemes(["olive-5bit"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scheme 'olive-4bit'")]
+    fn duplicate_specs_panic_in_the_builder() {
+        let _ = tiny_pipeline().schemes(["olive-4bit", "uniform:4", "olive-4bit"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scheme")]
+    fn duplicates_across_builder_calls_panic_too() {
+        let _ = tiny_pipeline()
+            .schemes(["fp32"])
+            .scheme_set([crate::Scheme::parse("fp32").unwrap()]);
+    }
+
+    #[test]
+    fn per_row_variant_is_not_a_duplicate() {
+        // Same scheme at a different granularity is a legitimate comparison.
+        let report = tiny_pipeline()
+            .schemes(["uniform:4", "uniform:4@per-row"])
+            .run();
+        assert_eq!(report.results.len(), 2);
+    }
+
+    #[test]
+    fn run_prepared_matches_run_bit_for_bit() {
+        let pipeline = tiny_pipeline().schemes(["olive-4bit", "uniform:8"]);
+        let direct = pipeline.run();
+        let prepared = pipeline.prepare();
+        // Serve-many: the same preparation feeds several runs.
+        for _ in 0..2 {
+            let served = pipeline.run_prepared(&prepared);
+            assert_eq!(
+                served.without_wall_times().to_json(),
+                direct.clone().without_wall_times().to_json()
+            );
+        }
+    }
+
+    #[test]
+    fn without_wall_times_zeroes_only_wall_times() {
+        let report = tiny_pipeline().schemes(["fp32"]).run();
+        let normalized = report.clone().without_wall_times();
+        assert_eq!(normalized.results[0].wall_time_s, 0.0);
+        assert_eq!(normalized.results[0].fidelity, report.results[0].fidelity);
+        assert!(normalized.to_json().contains("\"wall_time_s\": 0"));
+    }
+
+    #[test]
+    fn model_family_parses_wire_names() {
+        for family in ModelFamily::all() {
+            let name = family.label().to_ascii_lowercase().replace('-', "");
+            assert_eq!(ModelFamily::parse(&name).unwrap(), family);
+        }
+        assert_eq!(ModelFamily::parse("GPT-2").unwrap(), ModelFamily::Gpt2);
+        assert_eq!(ModelFamily::parse("Bert").unwrap(), ModelFamily::Bert);
+        let err = ModelFamily::parse("llama").unwrap_err();
+        assert!(err.contains("llama") && err.contains("bert"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Serialize→parse round-trip property tests for `olive_api::json`.
+//!
+//! The writer existed first (reports render through it); the parser was added
+//! for the `olive-serve` wire protocol. These properties pin the two to each
+//! other: anything [`JsonValue::render`] emits must parse back to an equal
+//! value, including the string-escaping edge cases (control characters,
+//! quotes, backslashes, non-ASCII) the writer-only tests never exercised.
+
+use olive_api::json::JsonValue;
+use olive_harness::check::{check, check_with, CheckConfig};
+use olive_harness::{prop_assert, prop_assert_eq};
+use olive_tensor::rng::Rng;
+
+/// Characters the string generator draws from — deliberately heavy on JSON's
+/// awkward cases: every escape shorthand, raw control chars, quotes,
+/// backslashes, multi-byte UTF-8 (2/3/4-byte) and the `]`/`}`/`,`/`:`
+/// structural characters that would expose span-tracking bugs.
+const STRING_ALPHABET: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{8}',
+    '\u{c}',
+    '\u{0}',
+    '\u{1}',
+    '\u{1f}',
+    '\u{7f}',
+    'é',
+    'ß',
+    '中',
+    '日',
+    '🦀',
+    '😀',
+    '\u{ffff}',
+    '\u{10000}',
+    '{',
+    '}',
+    '[',
+    ']',
+    ',',
+    ':',
+    '-',
+    '.',
+];
+
+fn gen_string(rng: &mut Rng) -> String {
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| STRING_ALPHABET[rng.below(STRING_ALPHABET.len())])
+        .collect()
+}
+
+/// A random `JsonValue` tree of bounded depth. Scalars cover every variant;
+/// finite `Num` values come from a wide log-uniform-ish mix including
+/// negatives, zero and subnormal-ish magnitudes.
+fn gen_value(rng: &mut Rng, depth: usize) -> JsonValue {
+    let scalar_only = depth >= 4;
+    match rng.below(if scalar_only { 6 } else { 8 }) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.chance(0.5)),
+        2 => {
+            // Finite f64s across many magnitudes, plus exact integer-valued
+            // floats (which must re-parse as Int/UInt yet stay == via render).
+            let exp = rng.uniform_range(-30.0, 30.0);
+            let x = rng.normal(0.0, 1.0) * 10f64.powf(exp);
+            JsonValue::Num(if x.is_finite() { x } else { 0.0 })
+        }
+        3 => JsonValue::Int(rng.next_u64() as i64),
+        4 => JsonValue::UInt(rng.next_u64()),
+        5 => JsonValue::Str(gen_string(rng)),
+        6 => {
+            let n = rng.below(5);
+            JsonValue::Array((0..n).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.below(5);
+            JsonValue::Object(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_value(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// `Num` whose payload is an exact integer renders without a decimal point,
+/// so it re-parses as `Int`/`UInt`. That is the one intentional asymmetry;
+/// equality modulo it is what serving needs (rendering is the wire format).
+fn semantically_eq(a: &JsonValue, b: &JsonValue) -> bool {
+    match (a, b) {
+        (JsonValue::Array(xs), JsonValue::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| semantically_eq(x, y))
+        }
+        (JsonValue::Object(xs), JsonValue::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && semantically_eq(va, vb))
+        }
+        (x, y) if x == y => true,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+#[test]
+fn render_parse_round_trips_semantically() {
+    check("json_render_parse_round_trip", gen_value_root, |v| {
+        let text = v.render();
+        let parsed = JsonValue::parse(&text)
+            .map_err(|e| format!("render output failed to parse: {e}\n{text}"))?;
+        prop_assert!(
+            semantically_eq(&parsed, v),
+            "parsed value diverged\nrendered: {}\nparsed:   {:?}",
+            text,
+            parsed
+        );
+        // And rendering is a fixed point: parse(render(v)) renders the same.
+        prop_assert_eq!(parsed.render(), text);
+        Ok(())
+    });
+}
+
+fn gen_value_root(rng: &mut Rng) -> JsonValue {
+    gen_value(rng, 0)
+}
+
+#[test]
+fn string_escaping_round_trips_exactly() {
+    check_with(
+        CheckConfig {
+            cases: 512,
+            ..CheckConfig::default()
+        },
+        "json_string_escape_round_trip",
+        |rng| {
+            // Longer, nastier strings than the tree generator produces.
+            let len = rng.below(40);
+            (0..len)
+                .map(|_| STRING_ALPHABET[rng.below(STRING_ALPHABET.len())])
+                .collect::<String>()
+        },
+        |s| {
+            let v = JsonValue::Str(s.clone());
+            let parsed = JsonValue::parse(&v.render()).map_err(|e| e.to_string())?;
+            prop_assert_eq!(parsed, v, "string {:?} did not round-trip", s);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn integer_values_round_trip_exactly() {
+    check(
+        "json_integer_round_trip",
+        |rng| rng.next_u64(),
+        |&u| {
+            let as_uint =
+                JsonValue::parse(&JsonValue::UInt(u).render()).map_err(|e| e.to_string())?;
+            prop_assert!(as_uint.as_u64() == Some(u), "u64 {} mangled", u);
+            let i = u as i64;
+            let as_int =
+                JsonValue::parse(&JsonValue::Int(i).render()).map_err(|e| e.to_string())?;
+            prop_assert_eq!(as_int, JsonValue::Int(i));
+            Ok(())
+        },
+    );
+}

@@ -59,11 +59,37 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// The exact command that regenerates one `"<suite>/<kernel>"` entry of a
+/// results file — printed whenever a file or kernel is missing, so the fix
+/// is always one copy-paste away.
+fn regen_command(kernel: &str, results: &std::path::Path) -> String {
+    let suite = kernel.split('/').next().unwrap_or(kernel);
+    match suite {
+        "serve" => format!(
+            "cargo run --release -p olive-bench --bin serve_loadgen -- --quick --json {}",
+            results.display()
+        ),
+        _ => format!(
+            "cargo bench -p olive-bench --bench {suite} -- --quick --json {}",
+            results.display()
+        ),
+    }
+}
+
 fn load(path: &PathBuf) -> gate::Medians {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| exit_err(&format!("reading {}: {e}", path.display())));
-    gate::parse_flat_json(&text)
-        .unwrap_or_else(|e| exit_err(&format!("parsing {}: {e}", path.display())))
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        exit_err(&format!(
+            "reading {path}: {e}\n  regenerate the full results file with: scripts/bench_gate.sh\n  \
+             (or rewrite the baseline after intentional changes: scripts/bench_gate.sh --rebaseline)",
+            path = path.display()
+        ))
+    });
+    gate::parse_flat_json(&text).unwrap_or_else(|e| {
+        exit_err(&format!(
+            "parsing {path}: {e}\n  regenerate it with: scripts/bench_gate.sh",
+            path = path.display()
+        ))
+    })
 }
 
 fn exit_err(message: &str) -> ! {
@@ -140,6 +166,23 @@ fn main() {
             outcome.passed.len()
         );
     } else {
+        if !outcome.missing.is_empty() {
+            println!(
+                "{} kernel(s) in {} are missing from {} — re-measure them:",
+                outcome.missing.len(),
+                args.baseline.display(),
+                args.results.display(),
+            );
+            let mut commands: Vec<String> = outcome
+                .missing
+                .iter()
+                .map(|kernel| regen_command(kernel, &args.results))
+                .collect();
+            commands.dedup();
+            for command in commands {
+                println!("  {command}");
+            }
+        }
         println!(
             "bench gate: FAILED ({} regressed, {} missing) — if intentional, re-baseline \
              with scripts/bench_gate.sh --rebaseline",

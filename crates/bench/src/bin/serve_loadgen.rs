@@ -1,0 +1,168 @@
+//! `serve_loadgen`: closed-loop load generator for `olive-serve`, and the
+//! serving-throughput kernel of the bench-regression gate.
+//!
+//! ```text
+//! serve_loadgen [--quick] [--json <results.json>] [--clients N] [--requests M]
+//! ```
+//!
+//! Starts an in-process server (dynamic batching on, ephemeral port), warms
+//! the model cache with one request, then drives it with N client threads ×
+//! M keep-alive `/v1/eval` requests each and reports the latency
+//! distribution (p50/p95/p99) and sustained req/s. With `--json`, the p50 is
+//! merged into the shared flat results file under the kernel name
+//! `serve/eval_tiny_cached`, which `scripts/bench_gate.sh` diffs against
+//! `BENCH_baseline.json` — serving throughput is regression-gated exactly
+//! like the GEMM kernels.
+//!
+//! The measured path is the serving hot path of the quantize-once,
+//! serve-many deployment model: HTTP parse → queue → micro-batch →
+//! cache hit → response write.
+
+use olive_bench::gate;
+use olive_bench::report::Table;
+use olive_harness::bench::fmt_ns;
+use olive_serve::client::Connection;
+use olive_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The request every client issues — tiny model, two schemes, small batch
+/// count, all cached after warmup.
+const EVAL_BODY: &str =
+    r#"{"schemes": ["olive-4bit", "uniform:4"], "batches": 2, "oversample": 2, "seed": 13}"#;
+
+struct Args {
+    quick: bool,
+    json: Option<PathBuf>,
+    clients: Option<usize>,
+    requests: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        json: None,
+        clients: None,
+        requests: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: serve_loadgen [--quick] [--json <path>] [--clients N] [--requests M]";
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--clients" => match value("--clients").parse() {
+                Ok(n) if n >= 1 => parsed.clients = Some(n),
+                _ => {
+                    eprintln!("--clients must be a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => parsed.requests = Some(n),
+                _ => {
+                    eprintln!("--requests must be a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+/// The `q`-quantile (0.0–1.0) of sorted latencies, nearest-rank.
+fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1]
+}
+
+fn main() {
+    let args = parse_args();
+    let clients = args.clients.unwrap_or(if args.quick { 4 } else { 8 });
+    let requests = args.requests.unwrap_or(if args.quick { 25 } else { 100 });
+
+    let server = Server::start(ServeConfig::default()).unwrap_or_else(|e| {
+        eprintln!("serve_loadgen: failed to start the server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr();
+
+    // Warmup: populate the model + response caches so the timed phase
+    // measures the serve-many steady state, not the one-off quantization.
+    let warmup_start = Instant::now();
+    let mut warm = Connection::open(addr).expect("warmup connect");
+    let response = warm
+        .request("POST", "/v1/eval", Some(EVAL_BODY))
+        .expect("warmup request");
+    assert_eq!(response.status, 200, "warmup failed: {}", response.body);
+    let uncached_ns = warmup_start.elapsed().as_nanos() as u64;
+
+    // Timed phase: closed-loop clients over kept-alive connections.
+    let run_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut connection = Connection::open(addr).expect("client connect");
+                let mut latencies_ns = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let start = Instant::now();
+                    let response = connection
+                        .request("POST", "/v1/eval", Some(EVAL_BODY))
+                        .expect("eval request");
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    latencies_ns.push(start.elapsed().as_nanos() as u64);
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * requests);
+    for worker in workers {
+        latencies.extend(worker.join().expect("client thread"));
+    }
+    let wall_s = run_start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let (p50, p95, p99) = (
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.95),
+        quantile(&latencies, 0.99),
+    );
+    let req_per_s = total as f64 / wall_s;
+
+    let mut table = Table::new(vec!["metric".into(), "value".into()]);
+    table.row(vec!["clients".into(), clients.to_string()]);
+    table.row(vec!["requests/client".into(), requests.to_string()]);
+    table.row(vec!["total requests".into(), total.to_string()]);
+    table.row(vec!["uncached first eval".into(), fmt_ns(uncached_ns)]);
+    table.row(vec!["latency p50".into(), fmt_ns(p50)]);
+    table.row(vec!["latency p95".into(), fmt_ns(p95)]);
+    table.row(vec!["latency p99".into(), fmt_ns(p99)]);
+    table.row(vec!["throughput".into(), format!("{req_per_s:.0} req/s")]);
+    println!("== serve_loadgen: {total} cached /v1/eval requests ==");
+    println!("{}", table.render());
+
+    if let Some(path) = &args.json {
+        // Gate only the p50: tail percentiles on shared hardware are too
+        // noisy to gate, and req/s is the p50's reciprocal under a closed
+        // loop. (Printed above for humans either way.)
+        let mut medians = gate::Medians::new();
+        medians.insert("serve/eval_tiny_cached".to_string(), p50);
+        gate::merge_into_file(path, &medians)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote medians to {}", path.display());
+    }
+}

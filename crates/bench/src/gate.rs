@@ -89,18 +89,29 @@ pub fn suite_medians(suites: &[&BenchSuite]) -> Medians {
 
 /// Merges the suites' medians into the flat JSON file at `path`, creating it
 /// when absent and overwriting re-measured keys while keeping the rest (the
-/// three bench binaries append to one shared results file).
+/// bench binaries append to one shared results file).
 ///
 /// # Errors
 ///
 /// Returns a description of any I/O or parse failure.
 pub fn merge_medians_into_file(path: &Path, suites: &[&BenchSuite]) -> Result<(), String> {
+    merge_into_file(path, &suite_medians(suites))
+}
+
+/// Merges pre-computed medians into the flat JSON file at `path` — the entry
+/// point for measurements that do not come from a [`BenchSuite`] (the
+/// `serve_loadgen` latency percentiles).
+///
+/// # Errors
+///
+/// Returns a description of any I/O or parse failure.
+pub fn merge_into_file(path: &Path, medians: &Medians) -> Result<(), String> {
     let mut merged = match std::fs::read_to_string(path) {
         Ok(text) => parse_flat_json(&text).map_err(|e| format!("existing file: {e}"))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Medians::new(),
         Err(e) => return Err(e.to_string()),
     };
-    merged.extend(suite_medians(suites));
+    merged.extend(medians.iter().map(|(k, &v)| (k.clone(), v)));
     std::fs::write(path, render_flat_json(&merged)).map_err(|e| e.to_string())
 }
 

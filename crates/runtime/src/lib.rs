@@ -3,7 +3,8 @@
 //! Zero-dependency data-parallel runtime for the OliVe reproduction: a
 //! persistent [`Pool`] of `std::thread` workers plus the row-range primitives
 //! ([`par_rows`], [`par_rows_mut`], [`par_map`]) the tensor, core and model
-//! layers build their hot loops on.
+//! layers build their hot loops on, and a bounded micro-batching
+//! [`queue::BoundedQueue`] that `olive-serve` turns into its dynamic batcher.
 //!
 //! ## Thread-count selection
 //!
@@ -58,8 +59,10 @@
 //! ```
 
 pub mod pool;
+pub mod queue;
 
 pub use pool::{Pool, MAX_THREADS};
+pub use queue::{BoundedQueue, PushError};
 
 use std::cell::Cell;
 use std::ops::Range;

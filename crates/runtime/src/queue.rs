@@ -1,0 +1,265 @@
+//! A bounded multi-producer/single-consumer queue — the batching primitive
+//! behind `olive-serve`'s dynamic batcher.
+//!
+//! Producers [`try_push`](BoundedQueue::try_push) items; when the queue is at
+//! capacity the push fails *immediately* instead of blocking, which is what
+//! lets a server turn overload into back-pressure (HTTP 503) rather than
+//! unbounded memory growth. A consumer drains items with
+//! [`pop_batch`](BoundedQueue::pop_batch): it blocks until at least one item
+//! is available, then keeps collecting until either `max_batch` items are in
+//! hand or `max_wait` has elapsed since the first item arrived — the classic
+//! micro-batching policy (batch as much as shows up quickly, never stall a
+//! lone request for long).
+//!
+//! Items come out in exactly the order they went in (FIFO), so a consumer
+//! that processes batches with order-preserving primitives such as
+//! [`par_map`](crate::par_map) observes global FIFO order end to end; the
+//! tests in `crates/runtime/tests/queue_pool.rs` pin this down together with
+//! panic propagation through [`Pool`](crate::Pool)-backed batch execution.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already holds `capacity` items — shed load and retry later.
+    Full,
+    /// The queue was [`close`](BoundedQueue::close)d; no more items are
+    /// accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue is full"),
+            PushError::Closed => write!(f, "queue is closed"),
+        }
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue with non-blocking producers and a micro-batching
+/// consumer. See the [module docs](self) for the protocol.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled whenever an item arrives or the queue closes.
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy by nature; for stats/back-pressure
+    /// reporting only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` unless the queue is full or closed; never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back along with the reason so the caller can shed
+    /// load (e.g. answer 503) without losing the request it was holding.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue closes),
+    /// then collects up to `max_batch` items, waiting at most `max_wait`
+    /// after the first item for stragglers.
+    ///
+    /// Returns the batch in FIFO order; an empty vector means the queue is
+    /// closed *and* drained — the consumer should exit.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Vec<T> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        // Phase 1: wait (indefinitely) for the first item or close+drain.
+        while inner.items.is_empty() {
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+        let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
+        // Phase 2: batch whatever is already queued, then linger up to
+        // `max_wait` (measured from the first item) for more.
+        let deadline = Instant::now() + max_wait;
+        loop {
+            while batch.len() < max_batch {
+                match inner.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || inner.closed {
+                return batch;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return batch;
+            }
+            let (guard, timeout) = self.available.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return batch;
+            }
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail with
+    /// [`PushError::Closed`], and blocked consumers wake up.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// True once [`close`](BoundedQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_preserves_fifo_order() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(10, Duration::ZERO);
+        assert_eq!(batch, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_refuses_when_full_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        let (err, item) = q.try_push("c").unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(item, "c");
+        // Draining frees capacity again.
+        assert_eq!(q.pop_batch(1, Duration::ZERO), vec!["a"]);
+        q.try_push("c").unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pending_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let (err, _) = q.try_push(2).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(q.pop_batch(8, Duration::ZERO), vec![1]);
+        // Closed and drained: the consumer-exit signal.
+        assert!(q.pop_batch(8, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max_batch() {
+        let q = BoundedQueue::new(16);
+        for i in 0..9 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![4, 5, 6, 7]);
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![8]);
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_late_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.try_push(7u32).unwrap();
+            })
+        };
+        // Blocks in phase 1 until the producer delivers.
+        let batch = q.pop_batch(4, Duration::ZERO);
+        assert_eq!(batch, vec![7]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_stragglers_within_max_wait() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(15));
+                q.try_push(2).unwrap();
+            })
+        };
+        let batch = q.pop_batch(2, Duration::from_secs(5));
+        assert_eq!(batch, vec![1, 2], "straggler must join the batch");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2).unwrap_err().0, PushError::Full);
+    }
+}

@@ -1,0 +1,87 @@
+//! The `olive-serve` daemon: binds, prints the URL, serves until shut down.
+//!
+//! ```text
+//! olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N]
+//!             [--queue-capacity N] [--allow-shutdown]
+//! ```
+//!
+//! `--port 0` (the default) picks an ephemeral port; the chosen URL is
+//! printed as `olive-serve listening on http://HOST:PORT` so harnesses can
+//! scrape it. With `--allow-shutdown`, `POST /shutdown` stops the server and
+//! the process exits 0 after draining queued requests.
+
+use olive_serve::{BatchConfig, ServeConfig, Server};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N] \
+         [--queue-capacity N] [--allow-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 0u16;
+    let mut batch = BatchConfig::default();
+    let mut allow_shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{name} requires a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--addr" => host = value("--addr"),
+            "--port" => match value("--port").parse() {
+                Ok(p) => port = p,
+                Err(_) => usage(),
+            },
+            "--max-batch" => match value("--max-batch").parse() {
+                Ok(n) if n >= 1 => batch.max_batch = n,
+                _ => usage(),
+            },
+            "--max-wait-ms" => match value("--max-wait-ms").parse() {
+                Ok(ms) => batch.max_wait = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--queue-capacity" => match value("--queue-capacity").parse() {
+                Ok(n) if n >= 1 => batch.queue_capacity = n,
+                _ => usage(),
+            },
+            "--allow-shutdown" => allow_shutdown = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    ServeConfig {
+        addr: format!("{host}:{port}"),
+        batch,
+        allow_shutdown,
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("olive-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The exact line the smoke harness scrapes; flush so a piped stdout
+    // delivers it immediately.
+    println!("olive-serve listening on {}", server.url());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    // Best-effort: the harness may have closed our stdout pipe already, and
+    // a farewell message is not worth a broken-pipe panic.
+    let _ = writeln!(std::io::stdout(), "olive-serve: shut down cleanly");
+}

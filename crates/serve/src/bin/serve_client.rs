@@ -1,0 +1,103 @@
+//! `serve_client`: a std-only command-line HTTP client for the smoke
+//! scripts and CI (no curl dependency).
+//!
+//! ```text
+//! serve_client GET  http://127.0.0.1:8080/healthz
+//! serve_client POST http://127.0.0.1:8080/v1/eval --body '{"scheme": "olive-4bit"}'
+//! ```
+//!
+//! Prints the response body to stdout. Exits 0 only when the status matches
+//! `--expect-status` (default 200) **and** the body parses as JSON (pass
+//! `--no-json` to skip the parse check).
+
+use olive_api::JsonValue;
+use olive_serve::client;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+struct Args {
+    method: String,
+    addr: SocketAddr,
+    path: String,
+    body: Option<String>,
+    expect_status: u16,
+    check_json: bool,
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_client: {message}");
+    std::process::exit(2);
+}
+
+/// Splits `http://host:port/path` into a socket address and a path.
+fn parse_url(url: &str) -> (SocketAddr, String) {
+    let rest = url
+        .strip_prefix("http://")
+        .unwrap_or_else(|| fail("URL must start with http://"));
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_string()),
+        None => (rest, "/".to_string()),
+    };
+    let addr = authority
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .unwrap_or_else(|| fail(&format!("cannot resolve '{authority}'")));
+    (addr, path)
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut body = None;
+    let mut expect_status = 200u16;
+    let mut check_json = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--body" => body = Some(args.next().unwrap_or_else(|| fail("--body needs a value"))),
+            "--expect-status" => {
+                expect_status = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--expect-status needs a number"))
+            }
+            "--no-json" => check_json = false,
+            other if !other.starts_with("--") => positional.push(other.to_string()),
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    if positional.len() != 2 {
+        fail("usage: serve_client <METHOD> <URL> [--body JSON] [--expect-status N] [--no-json]");
+    }
+    let (addr, path) = parse_url(&positional[1]);
+    Args {
+        method: positional[0].to_ascii_uppercase(),
+        addr,
+        path,
+        body,
+        expect_status,
+        check_json,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut connection = client::Connection::open(args.addr)
+        .unwrap_or_else(|e| fail(&format!("connecting to {}: {e}", args.addr)));
+    let response = connection
+        .request(&args.method, &args.path, args.body.as_deref())
+        .unwrap_or_else(|e| fail(&format!("request failed: {e}")));
+    println!("{}", response.body);
+    if response.status != args.expect_status {
+        eprintln!(
+            "serve_client: expected status {}, got {}",
+            args.expect_status, response.status
+        );
+        std::process::exit(1);
+    }
+    if args.check_json {
+        if let Err(e) = JsonValue::parse(&response.body) {
+            eprintln!("serve_client: response body is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The scheme-keyed model cache: quantize-once, serve-many.
+//!
+//! The deployment model the paper's accelerator assumes is a model quantized
+//! *once* and then served for millions of requests. This cache realises that
+//! for the proxy pipelines: the expensive part of an `/v1/eval` — generating
+//! the FP32 teacher and its calibrated task ([`Pipeline::prepare`]) — is
+//! computed once per (family, size, seed, batches, calibration, task) and
+//! shared across every request and every scheme; the fully rendered response
+//! body is additionally cached per (preparation, scheme set, weights-only)
+//! so a repeated request is answered without touching the model at all.
+//!
+//! Correctness leans on determinism, not invalidation: a cache entry is a
+//! pure function of its key (the runtime's bit-determinism contract), so a
+//! hit can never serve a stale or divergent answer, and eviction (bounded
+//! FIFO) is purely a memory-footprint concern.
+
+use crate::protocol::EvalRequest;
+use olive_api::PreparedEval;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Most prepared (teacher, task) pairs kept alive.
+pub const MAX_PREPARED: usize = 32;
+
+/// Most rendered response bodies kept alive.
+pub const MAX_RESPONSES: usize = 1024;
+
+/// A bounded FIFO map: the simplest eviction policy whose behaviour is easy
+/// to reason about under concurrent fill (insertion order, oldest out).
+struct FifoMap<V> {
+    entries: HashMap<String, V>,
+    order: Vec<String>,
+    capacity: usize,
+}
+
+impl<V: Clone> FifoMap<V> {
+    fn new(capacity: usize) -> Self {
+        FifoMap {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<V> {
+        self.entries.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        if let std::collections::hash_map::Entry::Occupied(mut slot) =
+            self.entries.entry(key.clone())
+        {
+            slot.insert(value);
+            return;
+        }
+        while self.order.len() >= self.capacity {
+            let oldest = self.order.remove(0);
+            self.entries.remove(&oldest);
+        }
+        self.order.push(key.clone());
+        self.entries.insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Shared cache of prepared models and rendered eval responses.
+pub struct ModelCache {
+    prepared: Mutex<FifoMap<Arc<PreparedEval>>>,
+    responses: Mutex<FifoMap<Arc<String>>>,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelCache {
+    /// An empty cache with the default bounds.
+    pub fn new() -> Self {
+        ModelCache {
+            prepared: Mutex::new(FifoMap::new(MAX_PREPARED)),
+            responses: Mutex::new(FifoMap::new(MAX_RESPONSES)),
+        }
+    }
+
+    /// The rendered `/v1/eval` response body for `req`, computing and caching
+    /// on miss.
+    ///
+    /// Locks are never held across model computation; two racing misses on
+    /// the same key both compute and produce byte-identical bodies (the
+    /// determinism contract), so the race is a wasted computation, never a
+    /// wrong answer.
+    pub fn eval_body(&self, req: &EvalRequest) -> Arc<String> {
+        let response_key = req.response_key();
+        if let Some(hit) = self.responses.lock().unwrap().get(&response_key) {
+            return hit;
+        }
+        let pipeline = req.pipeline();
+        let prepared = {
+            let prepared_key = req.prepared_key();
+            let hit = self.prepared.lock().unwrap().get(&prepared_key);
+            match hit {
+                Some(p) => p,
+                None => {
+                    let p = Arc::new(pipeline.prepare());
+                    self.prepared
+                        .lock()
+                        .unwrap()
+                        .insert(prepared_key, Arc::clone(&p));
+                    p
+                }
+            }
+        };
+        // Wall times are the lone nondeterministic report field; serving
+        // strips them so responses are byte-stable (crate determinism
+        // contract).
+        let body = Arc::new(
+            pipeline
+                .run_prepared(&prepared)
+                .without_wall_times()
+                .to_json(),
+        );
+        self.responses
+            .lock()
+            .unwrap()
+            .insert(response_key, Arc::clone(&body));
+        body
+    }
+
+    /// (prepared models, cached response bodies) currently held — surfaced
+    /// by `/healthz`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.prepared.lock().unwrap().len(),
+            self.responses.lock().unwrap().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_api::JsonValue;
+
+    fn request(text: &str) -> EvalRequest {
+        EvalRequest::decode(&JsonValue::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn repeated_requests_share_one_body_allocation() {
+        let cache = ModelCache::new();
+        let req = request(r#"{"scheme": "fp32", "batches": 2, "oversample": 2}"#);
+        let a = cache.eval_body(&req);
+        let b = cache.eval_body(&req);
+        assert!(Arc::ptr_eq(&a, &b), "second request must be a cache hit");
+        assert_eq!(cache.sizes(), (1, 1));
+    }
+
+    #[test]
+    fn schemes_share_the_prepared_teacher() {
+        let cache = ModelCache::new();
+        let a = request(r#"{"scheme": "fp32", "batches": 2, "oversample": 2}"#);
+        let b = request(r#"{"scheme": "uniform:8", "batches": 2, "oversample": 2}"#);
+        let _ = cache.eval_body(&a);
+        let _ = cache.eval_body(&b);
+        // Two response bodies, one prepared teacher.
+        assert_eq!(cache.sizes(), (1, 2));
+    }
+
+    #[test]
+    fn cached_bodies_match_a_direct_pipeline_run() {
+        let cache = ModelCache::new();
+        let req = request(r#"{"scheme": "olive-4bit", "seed": 3, "batches": 2, "oversample": 2}"#);
+        let served = cache.eval_body(&req);
+        let direct = req.pipeline().run().without_wall_times().to_json();
+        assert_eq!(*served.as_str(), direct);
+    }
+
+    #[test]
+    fn fifo_map_evicts_oldest_first() {
+        let mut map = FifoMap::new(2);
+        map.insert("a".into(), 1);
+        map.insert("b".into(), 2);
+        map.insert("a".into(), 10); // overwrite, no eviction
+        assert_eq!(map.len(), 2);
+        map.insert("c".into(), 3); // evicts "a" (oldest insertion)
+        assert_eq!(map.get("a"), None);
+        assert_eq!(map.get("b"), Some(2));
+        assert_eq!(map.get("c"), Some(3));
+        assert_eq!(map.len(), 2);
+    }
+}

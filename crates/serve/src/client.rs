@@ -1,0 +1,140 @@
+//! A tiny std-only HTTP/1.1 client — enough to drive the server from load
+//! generators, smoke scripts and examples without curl or any crate.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body (decoded via `Content-Length`).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A kept-alive connection to one server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` with a 10-second I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Issues one request and reads the full response. `body` implies POST
+    /// semantics supplied by the caller via `method`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses as `io::Error`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        // Head and body in one write: separate small segments would tickle
+        // Nagle + delayed-ACK stalls on loopback.
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: olive\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let status_line = self.read_line()?;
+        // "HTTP/1.1 200 OK"
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("malformed status line '{status_line}'")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("malformed header '{line}'")))?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.parse())
+            .transpose()
+            .map_err(|_| bad("invalid Content-Length".into()))?
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 response body".into()))?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot GET on a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    Connection::open(addr)?.request("GET", path, None)
+}
+
+/// One-shot POST of a JSON body on a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    Connection::open(addr)?.request("POST", path, Some(body))
+}

@@ -1,0 +1,526 @@
+//! Minimal HTTP/1.1 request parsing and response writing over raw streams.
+//!
+//! Only what the serving endpoints need, implemented defensively: request
+//! line + headers + `Content-Length` bodies (no chunked transfer coding),
+//! keep-alive connection reuse, and hard limits on line, header and body
+//! sizes so a misbehaving client cannot balloon server memory. Every
+//! violation maps to a definite 4xx/5xx status instead of a panic or a hang.
+
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Largest accepted request body, in bytes (an `/v1/quantize` payload of a
+/// million f32 literals fits comfortably).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// The connection read-timeout tick: the granularity at which connection
+/// threads notice server shutdown between requests. The actual idle-close
+/// threshold is `MAX_IDLE_TICKS` of these (see `crate::server`), not one.
+pub const IDLE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method ("GET", "POST", …).
+    pub method: String,
+    /// Path without query string ("/v1/eval").
+    pub path: String,
+    /// Raw header name/value pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8, or an error suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
+    }
+}
+
+/// A request-reading failure with the status code it should be answered with
+/// (when the connection is still answerable).
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Status code to answer with (400, 405, 413, 431, 501, 505…).
+    pub status: u16,
+    /// Human-readable explanation, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// The outcome of trying to read one request off a kept-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed the connection before sending any byte of a next
+    /// request — normal keep-alive termination, not an error.
+    Disconnected,
+    /// The stream's read timeout elapsed before any byte of a next request —
+    /// the connection is still healthy; the caller decides whether to keep
+    /// waiting (and can check for server shutdown in between).
+    Idle,
+    /// The request was malformed or over limits; answer with the error's
+    /// status and close the connection.
+    Bad(HttpError),
+}
+
+/// Reads one request. `Disconnected` is only reported when the connection
+/// dies *between* requests; a connection dropping mid-request surfaces as
+/// `Bad` (and writing the error response will simply fail, which is fine).
+pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
+    let mut line = Vec::new();
+    match read_line(reader, &mut line) {
+        LineOutcome::Eof if line.is_empty() => return ReadOutcome::Disconnected,
+        LineOutcome::Eof => {
+            return ReadOutcome::Bad(HttpError::bad_request("truncated request line"))
+        }
+        LineOutcome::TimedOut if line.is_empty() => return ReadOutcome::Idle,
+        LineOutcome::TimedOut => {
+            return ReadOutcome::Bad(HttpError::new(408, "timed out mid-request"))
+        }
+        LineOutcome::TooLong => {
+            return ReadOutcome::Bad(HttpError::new(431, "request line too long"))
+        }
+        LineOutcome::Line => {}
+    }
+    let request_line = match std::str::from_utf8(&line) {
+        Ok(s) => s,
+        Err(_) => return ReadOutcome::Bad(HttpError::bad_request("non-UTF-8 request line")),
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return ReadOutcome::Bad(HttpError::bad_request(format!(
+                "malformed request line '{request_line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ReadOutcome::Bad(HttpError::new(
+            505,
+            format!("unsupported protocol version '{version}'"),
+        ));
+    }
+    // Query strings are accepted but ignored: every endpoint is JSON-bodied.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let method = method.to_ascii_uppercase();
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        match read_line(reader, &mut line) {
+            LineOutcome::Line => {}
+            LineOutcome::TooLong => {
+                return ReadOutcome::Bad(HttpError::new(431, "header line too long"))
+            }
+            _ => return ReadOutcome::Bad(HttpError::bad_request("truncated headers")),
+        }
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return ReadOutcome::Bad(HttpError::new(431, "too many headers"));
+        }
+        let text = match std::str::from_utf8(&line) {
+            Ok(s) => s,
+            Err(_) => return ReadOutcome::Bad(HttpError::bad_request("non-UTF-8 header")),
+        };
+        match text.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_string(), value.trim().to_string()))
+            }
+            None => {
+                return ReadOutcome::Bad(HttpError::bad_request(format!(
+                    "malformed header '{text}'"
+                )))
+            }
+        }
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return ReadOutcome::Bad(HttpError::new(
+            501,
+            "chunked transfer coding is not supported; send Content-Length",
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ReadOutcome::Bad(HttpError::bad_request(format!(
+                    "invalid Content-Length '{v}'"
+                )))
+            }
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return ReadOutcome::Bad(HttpError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            ),
+        ));
+    }
+    let mut request = request;
+    if content_length > 0 {
+        match read_body_retrying(reader, content_length) {
+            Ok(body) => request.body = body,
+            Err(e) => {
+                return ReadOutcome::Bad(HttpError::bad_request(format!(
+                    "failed to read the {content_length}-byte body: {e}"
+                )))
+            }
+        }
+    }
+    ReadOutcome::Request(request)
+}
+
+enum LineOutcome {
+    Line,
+    Eof,
+    TimedOut,
+    TooLong,
+}
+
+/// Reads a CRLF-(or LF-)terminated line, excluding the terminator, bounded
+/// by [`MAX_LINE_BYTES`].
+fn read_line<R: BufRead>(reader: &mut R, out: &mut Vec<u8>) -> LineOutcome {
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return LineOutcome::Eof,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if out.last() == Some(&b'\r') {
+                        out.pop();
+                    }
+                    return LineOutcome::Line;
+                }
+                if out.len() >= MAX_LINE_BYTES {
+                    return LineOutcome::TooLong;
+                }
+                out.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineOutcome::TimedOut
+            }
+            Err(_) => return LineOutcome::Eof,
+        }
+    }
+}
+
+/// Reads a `len`-byte body, growing the buffer only as bytes actually
+/// arrive — the advertised `Content-Length` is untrusted, so preallocating
+/// it would let header-only connections pin [`MAX_BODY_BYTES`] each. Keeps
+/// going across read-timeout ticks as long as bytes are flowing (a large
+/// body legitimately spans several [`IDLE_TIMEOUT`]s); gives up when a full
+/// tick passes with no progress.
+fn read_body_retrying<R: Read>(reader: &mut R, len: usize) -> std::io::Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(len.min(64 * 1024));
+    let mut chunk = [0u8; 8 * 1024];
+    let mut stalled_once = false;
+    while body.len() < len {
+        let want = chunk.len().min(len - body.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => {
+                body.extend_from_slice(&chunk[..n]);
+                stalled_once = false;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut)
+                    && !stalled_once =>
+            {
+                stalled_once = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(body)
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this server).
+    pub body: String,
+    /// Extra headers beyond the always-present set (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error body `{"error": message}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = olive_api::JsonValue::object(vec![(
+            "error",
+            olive_api::JsonValue::Str(message.to_string()),
+        )])
+        .render();
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response, honouring `keep_alive` in the `Connection`
+    /// header.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        // One write for head+body: two small segments would tickle Nagle +
+        // delayed-ACK stalls (tens of ms per response) on loopback.
+        head.push_str(&self.body);
+        writer.write_all(head.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let outcome = read("GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+        let ReadOutcome::Request(req) = outcome else {
+            panic!("expected a request, got {outcome:?}");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_connection_close() {
+        let outcome = read(
+            "POST /v1/eval HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\n{\"a\":1}",
+        );
+        let ReadOutcome::Request(req) = outcome else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_disconnect() {
+        assert!(matches!(read(""), ReadOutcome::Disconnected));
+    }
+
+    #[test]
+    fn truncated_requests_are_bad() {
+        for raw in [
+            "GET /x HTTP/1.1",                                     // no terminator at all
+            "GET /x HTTP/1.1\r\nHost: x",                          // headers never finish
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", // body short
+        ] {
+            let outcome = read(raw);
+            assert!(
+                matches!(outcome, ReadOutcome::Bad(_)),
+                "{raw:?}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_protocol_violations_with_specific_statuses() {
+        let cases = [
+            ("FLY /x\r\n\r\n", 400),                        // two-token request line
+            ("GET /x HTTP/2\r\n\r\n", 505),                 // wrong version
+            ("GET /x HTTP/1.1\r\nbad header\r\n\r\n", 400), // colon-free header
+            ("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (raw, status) in cases {
+            match read(raw) {
+                ReadOutcome::Bad(e) => assert_eq!(e.status, status, "{raw:?}: {}", e.message),
+                other => panic!("{raw:?}: expected Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE_BYTES + 10));
+        match read(&long_line) {
+            ReadOutcome::Bad(e) => assert_eq!(e.status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match read(&huge_body) {
+            ReadOutcome::Bad(e) => assert_eq!(e.status, 413),
+            other => panic!("expected 413, got {other:?}"),
+        }
+        let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 2) {
+            many_headers.push_str(&format!("H{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        match read(&many_headers) {
+            ReadOutcome::Bad(e) => assert_eq!(e.status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_connections_yield_sequential_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let ReadOutcome::Request(a) = read_request(&mut reader) else {
+            panic!("first request");
+        };
+        let ReadOutcome::Request(b) = read_request(&mut reader) else {
+            panic!("second request");
+        };
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(a.keep_alive() && !b.keep_alive());
+        assert!(matches!(
+            read_request(&mut reader),
+            ReadOutcome::Disconnected
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_required_headers() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+
+        let mut out = Vec::new();
+        Response::error(503, "queue full")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("503 Service Unavailable"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.contains("\"error\": \"queue full\""), "{text}");
+    }
+}

@@ -1,0 +1,97 @@
+//! # olive-serve
+//!
+//! A zero-dependency HTTP/1.1 inference-and-evaluation server over the OliVe
+//! scheme registry — the layer that turns the reproduction's batch
+//! experiments into a long-lived service. Everything is `std`: the socket
+//! loop is `std::net::TcpListener`, the wire format is the workspace's own
+//! `olive_api::json`, and request execution rides the `olive-runtime` worker
+//! pool from PR 2.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint            | Method | Body                                   |
+//! |---------------------|--------|----------------------------------------|
+//! | `/healthz`          | GET    | — (liveness + serving counters)        |
+//! | `/v1/schemes`       | GET    | — (the scheme registry)                |
+//! | `/v1/eval`          | POST   | `{"scheme"\|"schemes", "family", "size", "seed", "batches", …}` |
+//! | `/v1/quantize`      | POST   | `{"scheme", "rows", "cols", "data"}`   |
+//! | `/shutdown`         | POST   | — (403 unless `allow_shutdown` is set) |
+//!
+//! ## The determinism contract
+//!
+//! An `/v1/eval` response body is **byte-identical** to rendering the same
+//! evaluation directly:
+//!
+//! ```text
+//! Pipeline (same family/size/schemes/seed/batches/calibration)
+//!     .run().without_wall_times().to_json()
+//! ```
+//!
+//! at *any* micro-batch size, queue state, concurrency level and
+//! `OLIVE_THREADS` setting. This holds by construction, not by testing
+//! alone:
+//!
+//! * each request is computed by a pure function of its decoded parameters —
+//!   the batcher only chooses *which thread* runs it ([`par_map`] never
+//!   changes what a job computes, per the `olive-runtime` contract);
+//! * the model cache is keyed by everything that feeds the computation, so a
+//!   hit returns bytes a miss would have produced;
+//! * wall-clock times — the one measurement in an [`EvalReport`] — are
+//!   stripped (`without_wall_times`) before rendering.
+//!
+//! `crates/serve/tests/determinism.rs` enforces the contract end to end with
+//! concurrent clients at `OLIVE_THREADS` ∈ {1, 8} and micro-batch sizes
+//! {1, 4}.
+//!
+//! ## Dynamic batching & back-pressure
+//!
+//! Requests enqueue into a bounded [`BoundedQueue`] and a drain thread
+//! executes them in micro-batches (up to `max_batch` jobs, lingering at most
+//! `max_wait` for stragglers) on the shared worker pool — so ten concurrent
+//! tiny requests cost one pool dispatch, not ten thread pile-ups. When the
+//! queue is full the server answers **503 + `Retry-After: 1`** immediately:
+//! overload is shed at the door, visible to clients, instead of growing an
+//! unbounded backlog. Quantize-once-serve-many lives in [`cache`]: teachers
+//! are prepared once per configuration and shared across requests and
+//! schemes.
+//!
+//! ## Quickstart (in-process)
+//!
+//! ```
+//! use olive_serve::{client, Server, ServeConfig};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let health = client::get(server.local_addr(), "/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! let eval = client::post_json(
+//!     server.local_addr(),
+//!     "/v1/eval",
+//!     r#"{"scheme": "olive-4bit", "batches": 2, "oversample": 2}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(eval.status, 200);
+//! assert!(eval.body.contains("\"spec\": \"olive-4bit\""));
+//! server.shutdown();
+//! ```
+//!
+//! The `olive-serve` binary wraps [`Server`] as a daemon (`--port`,
+//! `--max-batch`, `--max-wait-ms`, `--queue-capacity`, `--allow-shutdown`),
+//! and `serve_client` is a std-only CLI client for smoke scripts; see the
+//! README's "Serving" section for the curl quickstart.
+//!
+//! [`par_map`]: olive_runtime::par_map
+//! [`BoundedQueue`]: olive_runtime::BoundedQueue
+//! [`EvalReport`]: olive_api::EvalReport
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod protocol;
+pub mod server;
+
+pub use batch::{BatchConfig, Batcher, Job};
+pub use cache::ModelCache;
+pub use http::{Request, Response};
+pub use protocol::{EvalRequest, ModelSize, QuantizeRequest};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,305 @@
+//! The TCP accept loop, connection handling and endpoint routing.
+
+use crate::batch::{BatchConfig, Batcher, Job};
+use crate::cache::ModelCache;
+use crate::http::{read_request, ReadOutcome, Request, Response, IDLE_TIMEOUT};
+use crate::protocol::{render_schemes_body, EvalRequest, QuantizeRequest};
+use olive_api::JsonValue;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How long a kept-alive connection may sit idle before the server closes
+/// it, in units of [`IDLE_TIMEOUT`] polling ticks (20 × 500 ms = 10 s).
+const MAX_IDLE_TICKS: u32 = 20;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Batching policy (see [`BatchConfig`]).
+    pub batch: BatchConfig,
+    /// Whether `POST /shutdown` is honoured (the smoke harness uses it; off
+    /// by default so a stray request cannot stop a real deployment).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig::default(),
+            allow_shutdown: false,
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    batcher: Batcher,
+    cache: Arc<ModelCache>,
+    /// Pre-rendered `/v1/schemes` body (the registry is static).
+    schemes_body: String,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    fn healthz_body(&self) -> String {
+        let stats = self.batcher.stats();
+        let (prepared, responses) = self.cache.sizes();
+        JsonValue::object(vec![
+            ("status", JsonValue::Str("ok".into())),
+            (
+                "requests_served",
+                JsonValue::UInt(stats.served.load(Ordering::Relaxed)),
+            ),
+            (
+                "requests_rejected",
+                JsonValue::UInt(stats.rejected.load(Ordering::Relaxed)),
+            ),
+            (
+                "batches_executed",
+                JsonValue::UInt(stats.batches.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue_depth",
+                JsonValue::Int(self.batcher.queue_depth() as i64),
+            ),
+            (
+                "connections_accepted",
+                JsonValue::UInt(self.connections.load(Ordering::Relaxed)),
+            ),
+            ("cached_models", JsonValue::Int(prepared as i64)),
+            ("cached_responses", JsonValue::Int(responses as i64)),
+        ])
+        .render()
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`] leaves
+/// the accept thread running for the life of the process; tests and
+/// embedders should shut down explicitly.
+pub struct Server {
+    state: Arc<ServerState>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads; returns once the
+    /// listener is accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Arc::new(ModelCache::new());
+        let state = Arc::new(ServerState {
+            batcher: Batcher::start(config.batch.clone(), Arc::clone(&cache)),
+            cache,
+            schemes_body: render_schemes_body(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            local_addr,
+            config,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::Builder::new()
+            .name("olive-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Server {
+            state,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// `http://host:port` of the bound address.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.state.local_addr)
+    }
+
+    /// True once shutdown has been requested (via [`Server::shutdown`] or
+    /// `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested, then tears the server down:
+    /// stops accepting, drains queued requests, joins the worker threads.
+    /// The daemon binary's main loop.
+    pub fn wait(&self) {
+        if let Some(handle) = self.accept_handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.state.batcher.shutdown();
+    }
+
+    /// Requests shutdown and waits for it to complete. Idempotent.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.state);
+        self.wait();
+    }
+}
+
+/// Flags shutdown and pokes the listener so the accept loop observes it.
+fn request_shutdown(state: &ServerState) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the blocking accept with a throwaway connection.
+    let _ = TcpStream::connect(state.local_addr);
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        state.connections.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(state);
+        // Connection threads are detached: they exit on their own via
+        // keep-alive idle polling once shutdown is flagged.
+        let _ = std::thread::Builder::new()
+            .name("olive-serve-conn".into())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // The read timeout doubles as the shutdown-polling tick; NODELAY because
+    // request/response exchanges are small and latency-bound.
+    if stream.set_read_timeout(Some(IDLE_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut idle_ticks = 0u32;
+    loop {
+        match read_request(&mut reader) {
+            ReadOutcome::Disconnected => return,
+            ReadOutcome::Idle => {
+                idle_ticks += 1;
+                if idle_ticks >= MAX_IDLE_TICKS || state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            ReadOutcome::Bad(error) => {
+                // Protocol violations close the connection: framing is gone.
+                let _ = Response::error(error.status, &error.message).write_to(&mut writer, false);
+                return;
+            }
+            ReadOutcome::Request(request) => {
+                idle_ticks = 0;
+                let routed = route(&request, state);
+                let keep_alive = request.keep_alive()
+                    && !routed.shutdown
+                    && !state.shutdown.load(Ordering::SeqCst);
+                // The response must be on the wire before shutdown is
+                // triggered: once the accept loop unblocks, the process may
+                // exit while this (detached) thread is still writing.
+                let write_result = routed.response.write_to(&mut writer, keep_alive);
+                if routed.shutdown {
+                    request_shutdown(state);
+                }
+                if write_result.is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A routed response, plus whether server shutdown must be triggered after
+/// the response has been written out.
+struct Routed {
+    response: Response,
+    shutdown: bool,
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Self {
+        Routed {
+            response,
+            shutdown: false,
+        }
+    }
+}
+
+fn route(request: &Request, state: &ServerState) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, state.healthz_body()).into(),
+        ("GET", "/v1/schemes") => Response::json(200, state.schemes_body.clone()).into(),
+        ("POST", "/v1/eval") => match decode_body(request)
+            .and_then(|v| EvalRequest::decode(&v).map_err(|e| Response::error(400, &e.0)))
+        {
+            Ok(req) => state.batcher.submit(Job::Eval(req)).into(),
+            Err(response) => response.into(),
+        },
+        ("POST", "/v1/quantize") => match decode_body(request)
+            .and_then(|v| QuantizeRequest::decode(&v).map_err(|e| Response::error(400, &e.0)))
+        {
+            Ok(req) => state.batcher.submit(Job::Quantize(req)).into(),
+            Err(response) => response.into(),
+        },
+        ("POST", "/shutdown") => {
+            if state.config.allow_shutdown {
+                Routed {
+                    response: Response::json(
+                        200,
+                        JsonValue::object(vec![("status", JsonValue::Str("shutting down".into()))])
+                            .render(),
+                    ),
+                    shutdown: true,
+                }
+            } else {
+                Response::error(
+                    403,
+                    "shutdown over HTTP is disabled (start with --allow-shutdown)",
+                )
+                .into()
+            }
+        }
+        // Known path, wrong method.
+        (_, "/healthz" | "/v1/schemes") => Response::error(405, "use GET")
+            .with_header("Allow", "GET")
+            .into(),
+        (_, "/v1/eval" | "/v1/quantize" | "/shutdown") => Response::error(405, "use POST")
+            .with_header("Allow", "POST")
+            .into(),
+        (_, path) => Response::error(
+            404,
+            &format!(
+                "no such endpoint '{path}' (have: GET /healthz, GET /v1/schemes, \
+                 POST /v1/eval, POST /v1/quantize)"
+            ),
+        )
+        .into(),
+    }
+}
+
+/// Parses a request body as JSON, mapping failures to 400 responses.
+fn decode_body(request: &Request) -> Result<JsonValue, Response> {
+    let text = request
+        .body_utf8()
+        .map_err(|e| Response::error(e.status, &e.message))?;
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "expected a JSON request body"));
+    }
+    JsonValue::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}

@@ -1,0 +1,114 @@
+//! The serving determinism contract, enforced end to end (the PR's
+//! acceptance criterion): an `/v1/eval` response body must be byte-identical
+//! to a direct `Pipeline::run()` + `without_wall_times().to_json()` for the
+//! same (family, size, schemes, seed, batches, calibration) — under
+//! concurrent clients, at micro-batch sizes 1 and 4, and at
+//! `OLIVE_THREADS` ∈ {1, 8}.
+//!
+//! One `#[test]` drives the whole matrix because it mutates the
+//! process-global `OLIVE_THREADS` variable; splitting it would race the
+//! test harness's thread pool.
+
+use olive_serve::client::Connection;
+use olive_serve::{BatchConfig, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The request mix: distinct schemes, seeds, batch counts, sizes and
+/// calibrations, so concurrent micro-batches interleave unrelated work.
+fn request_mix() -> Vec<String> {
+    vec![
+        r#"{"scheme": "olive-4bit", "batches": 2, "oversample": 2}"#.to_string(),
+        r#"{"schemes": ["fp32", "uniform:4"], "seed": 7, "batches": 3, "oversample": 2}"#
+            .to_string(),
+        r#"{"scheme": "olive-4bit@per-row", "family": "gpt2", "seed": 11, "batches": 2,
+            "oversample": 2}"#
+            .to_string(),
+        r#"{"scheme": "ant:4bit", "calibration": "random", "batches": 2}"#.to_string(),
+        r#"{"scheme": "olive-8bit", "weights_only": true, "batches": 2, "oversample": 3}"#
+            .to_string(),
+        r#"{"scheme": "gobo", "family": "bloom", "seed": 5, "batches": 1, "oversample": 2}"#
+            .to_string(),
+    ]
+}
+
+/// What a direct (no server, no batching) pipeline run renders for `body`.
+fn direct_answer(body: &str) -> String {
+    let parsed = olive_api::JsonValue::parse(body).expect("test request must be valid JSON");
+    let request = olive_serve::EvalRequest::decode(&parsed).expect("test request must decode");
+    request.pipeline().run().without_wall_times().to_json()
+}
+
+/// Hammers `server` with `clients` concurrent connections, each issuing the
+/// whole request mix `rounds` times over one kept-alive connection, and
+/// asserts every response is byte-identical to its direct answer.
+fn assert_bit_identical_under_load(
+    server: &Server,
+    expected: &Arc<Vec<(String, String)>>,
+    clients: usize,
+    rounds: usize,
+) {
+    let workers: Vec<_> = (0..clients)
+        .map(|client_id| {
+            let addr = server.local_addr();
+            let expected = Arc::clone(expected);
+            std::thread::spawn(move || {
+                let mut connection = Connection::open(addr).expect("client connect");
+                for round in 0..rounds {
+                    // Stagger request order per client so batches mix.
+                    for k in 0..expected.len() {
+                        let (body, want) = &expected[(k + client_id + round) % expected.len()];
+                        let response = connection
+                            .request("POST", "/v1/eval", Some(body))
+                            .expect("eval request");
+                        assert_eq!(response.status, 200, "{}", response.body);
+                        assert_eq!(
+                            &response.body, want,
+                            "served bytes diverged from the direct pipeline run \
+                             (client {client_id}, round {round}, request {body})"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+}
+
+#[test]
+fn eval_responses_are_byte_identical_to_direct_runs() {
+    // Expected bodies computed once, directly, before any server exists.
+    // The runtime's determinism contract says thread count never changes
+    // results, so one set of expectations serves every configuration.
+    let expected: Arc<Vec<(String, String)>> = Arc::new(
+        request_mix()
+            .into_iter()
+            .map(|body| {
+                let want = direct_answer(&body);
+                (body, want)
+            })
+            .collect(),
+    );
+
+    for threads in ["1", "8"] {
+        std::env::set_var("OLIVE_THREADS", threads);
+        for max_batch in [1usize, 4] {
+            let server = Server::start(ServeConfig {
+                batch: BatchConfig {
+                    max_batch,
+                    // Long enough that concurrent clients really coalesce
+                    // into multi-request batches.
+                    max_wait: Duration::from_millis(5),
+                    queue_capacity: 256,
+                },
+                ..ServeConfig::default()
+            })
+            .expect("server start");
+            assert_bit_identical_under_load(&server, &expected, 4, 2);
+            server.shutdown();
+        }
+    }
+    std::env::remove_var("OLIVE_THREADS");
+}

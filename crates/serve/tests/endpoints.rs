@@ -1,0 +1,169 @@
+//! End-to-end endpoint behaviour over real sockets: routing, status codes,
+//! JSON error bodies, keep-alive reuse and the registry listing.
+
+use olive_api::{JsonValue, Scheme};
+use olive_serve::client::{self, Connection};
+use olive_serve::{ServeConfig, Server};
+
+fn start() -> Server {
+    Server::start(ServeConfig::default()).expect("server must bind an ephemeral port")
+}
+
+#[test]
+fn healthz_reports_ok_and_counters() {
+    let server = start();
+    let response = client::get(server.local_addr(), "/healthz").unwrap();
+    assert_eq!(response.status, 200);
+    let v = JsonValue::parse(&response.body).expect("healthz must be valid JSON");
+    assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert!(v
+        .get("requests_served")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+    assert!(v.get("queue_depth").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn schemes_endpoint_lists_the_registry() {
+    let server = start();
+    let response = client::get(server.local_addr(), "/v1/schemes").unwrap();
+    assert_eq!(response.status, 200);
+    let v = JsonValue::parse(&response.body).unwrap();
+    let listed = v.get("schemes").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(listed.len(), Scheme::all().len());
+    server.shutdown();
+}
+
+#[test]
+fn eval_runs_a_scheme_comparison() {
+    let server = start();
+    let response = client::post_json(
+        server.local_addr(),
+        "/v1/eval",
+        r#"{"schemes": ["fp32", "olive-4bit"], "batches": 2, "oversample": 2, "seed": 9}"#,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let v = JsonValue::parse(&response.body).unwrap();
+    assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(9));
+    let results = v.get("results").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+    // fp32 is lossless through the whole serving stack.
+    assert_eq!(
+        results[0].get("fidelity").and_then(JsonValue::as_f64),
+        Some(1.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn quantize_round_trips_a_matrix() {
+    let server = start();
+    let response = client::post_json(
+        server.local_addr(),
+        "/v1/quantize",
+        r#"{"scheme": "olive-8bit", "rows": 2, "cols": 8,
+            "data": [0.1, -0.2, 0.3, 12.5, 0.0, 0.5, -0.1, 0.2,
+                     0.4, -0.3, 0.2, 0.1, -12.0, 0.3, 0.1, -0.4]}"#,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let v = JsonValue::parse(&response.body).unwrap();
+    assert_eq!(v.get("rows").and_then(JsonValue::as_u64), Some(2));
+    assert!(v.get("mse").and_then(JsonValue::as_f64).unwrap() < 0.1);
+    assert_eq!(
+        v.get("values")
+            .and_then(JsonValue::as_array)
+            .map(<[_]>::len),
+        Some(16)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_map_to_specific_statuses() {
+    let server = start();
+    let addr = server.local_addr();
+    // 404 with a helpful listing.
+    let response = client::get(addr, "/nope").unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("/v1/eval"), "{}", response.body);
+    // 405 with Allow.
+    let response = client::post_json(addr, "/healthz", "{}").unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET"));
+    let response = client::get(addr, "/v1/eval").unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("POST"));
+    // 400s: no body, non-JSON body, schema violations.
+    let response = client::post_json(addr, "/v1/eval", "").unwrap();
+    assert_eq!(response.status, 400);
+    let response = client::post_json(addr, "/v1/eval", "not json").unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("invalid JSON"), "{}", response.body);
+    let response = client::post_json(addr, "/v1/eval", r#"{"scheme": "olive-5bit"}"#).unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("olive-5bit"), "{}", response.body);
+    let response = client::post_json(addr, "/v1/eval", r#"{"schemes": ["fp32", "fp32"]}"#).unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("duplicate"), "{}", response.body);
+    // 403 when shutdown is not allowed (the default).
+    let response = client::post_json(addr, "/shutdown", "").unwrap();
+    assert_eq!(response.status, 403);
+    // Every error body is itself valid JSON with an "error" field.
+    assert!(JsonValue::parse(&response.body)
+        .unwrap()
+        .get("error")
+        .is_some());
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = start();
+    let mut connection = Connection::open(server.local_addr()).unwrap();
+    for i in 0..5 {
+        let response = connection.request("GET", "/healthz", None).unwrap();
+        assert_eq!(response.status, 200, "request {i}");
+    }
+    let response = connection
+        .request(
+            "POST",
+            "/v1/eval",
+            Some(r#"{"scheme": "uniform:8", "batches": 1, "oversample": 2}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 200);
+    // The healthz counters moved.
+    let health = connection.request("GET", "/healthz", None).unwrap();
+    let v = JsonValue::parse(&health.body).unwrap();
+    assert!(
+        v.get("requests_served")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        v.get("connections_accepted").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn repeated_evals_hit_the_model_cache() {
+    let server = start();
+    let body = r#"{"scheme": "olive-4bit", "batches": 2, "oversample": 2}"#;
+    let first = client::post_json(server.local_addr(), "/v1/eval", body).unwrap();
+    let second = client::post_json(server.local_addr(), "/v1/eval", body).unwrap();
+    assert_eq!(first.body, second.body, "cached answer must be identical");
+    let health = client::get(server.local_addr(), "/healthz").unwrap();
+    let v = JsonValue::parse(&health.body).unwrap();
+    assert_eq!(v.get("cached_models").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        v.get("cached_responses").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    server.shutdown();
+}

@@ -1,0 +1,71 @@
+//! Serving quickstart: start `olive::serve` in-process, list the scheme
+//! registry, run one evaluation and one raw-matrix quantization over HTTP,
+//! and shut down cleanly.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The same endpoints are curl-able when running the daemon instead
+//! (`cargo run --release -p olive-serve --bin olive-serve -- --port 8080`);
+//! see the README "Serving" section.
+
+use olive::api::JsonValue;
+use olive::serve::{client, ServeConfig, Server};
+
+fn main() {
+    let server = Server::start(ServeConfig::default()).expect("bind an ephemeral port");
+    println!("serving on {}\n", server.url());
+    let addr = server.local_addr();
+
+    // The registry over HTTP.
+    let schemes = client::get(addr, "/v1/schemes").expect("/v1/schemes");
+    let parsed = JsonValue::parse(&schemes.body).expect("valid JSON");
+    let count = parsed
+        .get("schemes")
+        .and_then(JsonValue::as_array)
+        .map_or(0, <[JsonValue]>::len);
+    println!("GET /v1/schemes -> {} ({count} schemes)", schemes.status);
+
+    // A two-scheme accuracy comparison, served with dynamic batching.
+    let eval = client::post_json(
+        addr,
+        "/v1/eval",
+        r#"{"schemes": ["olive-4bit", "uniform:4"], "batches": 4, "oversample": 2, "seed": 7}"#,
+    )
+    .expect("/v1/eval");
+    println!("POST /v1/eval   -> {}", eval.status);
+    let report = JsonValue::parse(&eval.body).expect("valid JSON");
+    for result in report.get("results").and_then(JsonValue::as_array).unwrap() {
+        println!(
+            "  {:<12} fidelity {:.4}",
+            result.get("spec").and_then(JsonValue::as_str).unwrap(),
+            result.get("fidelity").and_then(JsonValue::as_f64).unwrap(),
+        );
+    }
+
+    // Quantize a raw matrix with a planted outlier.
+    let mut data: Vec<String> = (0..32).map(|i| format!("{:.2}", 0.01 * i as f64)).collect();
+    data[5] = "40.0".to_string();
+    let quantize = client::post_json(
+        addr,
+        "/v1/quantize",
+        &format!(
+            r#"{{"scheme": "olive-4bit", "rows": 4, "cols": 8, "data": [{}]}}"#,
+            data.join(",")
+        ),
+    )
+    .expect("/v1/quantize");
+    let parsed = JsonValue::parse(&quantize.body).expect("valid JSON");
+    println!(
+        "POST /v1/quantize -> {} (mse {:.6}, outlier 40.0 -> {:.2})",
+        quantize.status,
+        parsed.get("mse").and_then(JsonValue::as_f64).unwrap(),
+        parsed.get("values").and_then(JsonValue::as_array).unwrap()[5]
+            .as_f64()
+            .unwrap(),
+    );
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

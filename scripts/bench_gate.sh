@@ -2,9 +2,10 @@
 # Bench-regression gate for the OliVe reproduction workspace.
 #
 # Runs the three micro-benchmarks (encoding, quantized_gemm, simulators) in
-# --quick mode, merges their per-kernel medians into BENCH_results.json, and
-# fails if any kernel regressed more than the tolerance (default 25%) versus
-# the checked-in BENCH_baseline.json.
+# --quick mode plus the serve_loadgen serving-throughput benchmark, merges
+# their per-kernel medians into BENCH_results.json, and fails if any kernel
+# regressed more than the tolerance (default 25%) versus the checked-in
+# BENCH_baseline.json.
 #
 # Usage:
 #   scripts/bench_gate.sh               # measure + compare against baseline
@@ -47,6 +48,8 @@ measure() {
         echo "== cargo bench -p olive-bench --bench $bench -- --quick --json $RESULTS =="
         cargo bench -q -p olive-bench --bench "$bench" -- --quick --json "$RESULTS"
     done
+    echo "== cargo run --release -p olive-bench --bin serve_loadgen -- --quick --json $RESULTS =="
+    cargo run -q --release -p olive-bench --bin serve_loadgen -- --quick --json "$RESULTS"
 }
 
 # --self-test only compares a results file against itself, so it reuses the

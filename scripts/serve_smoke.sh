@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Serving smoke test for the OliVe reproduction workspace.
+#
+# Two layers, both using only what the repo ships (no curl needed):
+#
+#  1. The process-level smoke *test* (crates/serve/tests/smoke.rs): spawns
+#     the real `olive-serve` binary on an ephemeral port, drives /healthz and
+#     /v1/eval with the std-only client library, asserts 200s with valid
+#     JSON, and verifies a clean POST /shutdown exit.
+#  2. A shell-driven rehearsal of the same flow with the `serve_client`
+#     binary — proving the daemon + CLI client work exactly as the README
+#     documents them, outside any cargo test harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo test --release -p olive-serve --test smoke =="
+cargo test --release -q -p olive-serve --test smoke
+
+echo "== daemon + serve_client rehearsal =="
+cargo build --release -q -p olive-serve
+
+OUT="$(mktemp)"
+SERVER_PID=""
+# On ANY exit (incl. a failed client step under set -e): never leave the
+# daemon orphaned. The happy path disarms the kill by clearing SERVER_PID.
+trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$OUT"' EXIT
+target/release/olive-serve --port 0 --allow-shutdown >"$OUT" &
+SERVER_PID=$!
+
+# Wait (max ~5s) for the listening line, then scrape the URL.
+URL=""
+for _ in $(seq 1 50); do
+    URL="$(sed -n 's/^olive-serve listening on //p' "$OUT")"
+    [[ -n "$URL" ]] && break
+    sleep 0.1
+done
+if [[ -z "$URL" ]]; then
+    echo "serve_smoke: server did not print its URL" >&2
+    exit 1
+fi
+echo "server is at $URL"
+
+# serve_client exits non-zero unless the status is 200 AND the body parses
+# as JSON.
+target/release/serve_client GET "$URL/healthz" >/dev/null
+target/release/serve_client POST "$URL/v1/eval" \
+    --body '{"scheme": "olive-4bit", "batches": 2, "oversample": 2}' >/dev/null
+target/release/serve_client POST "$URL/shutdown" >/dev/null
+
+# The daemon must exit 0 on its own after /shutdown.
+DAEMON_PID="$SERVER_PID"
+SERVER_PID=""  # disarm the kill-on-exit trap; from here the daemon owns its exit
+if ! wait "$DAEMON_PID"; then
+    echo "serve_smoke: server did not shut down cleanly" >&2
+    exit 1
+fi
+echo "serve_smoke: OK"

@@ -29,6 +29,11 @@ cargo test --workspace -q
 echo "== cargo test --workspace --doc -q =="
 cargo test --workspace --doc -q
 
+# Serving smoke: the olive-serve daemon must come up, answer /healthz and
+# /v1/eval with valid JSON via the std-only client, and shut down cleanly.
+echo "== scripts/serve_smoke.sh =="
+scripts/serve_smoke.sh
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings

@@ -83,6 +83,10 @@
 //!   as an accuracy proxy.
 //! * [`accel`] — cycle-level systolic-array and analytical GPU performance,
 //!   energy and area models.
+//! * [`serve`] — zero-dependency HTTP inference/evaluation server with
+//!   dynamic batching, back-pressure and a quantize-once-serve-many model
+//!   cache over the scheme registry (the `olive-serve` binary; see the
+//!   README "Serving" section).
 
 pub use olive_accel as accel;
 pub use olive_api as api;
@@ -91,4 +95,5 @@ pub use olive_core as core;
 pub use olive_dtypes as dtypes;
 pub use olive_models as models;
 pub use olive_runtime as runtime;
+pub use olive_serve as serve;
 pub use olive_tensor as tensor;
