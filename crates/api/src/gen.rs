@@ -1,0 +1,476 @@
+//! The autoregressive generation arm of the pipeline.
+//!
+//! Where [`Pipeline::run`](crate::Pipeline::run) answers "how much does a
+//! scheme perturb one forward pass", [`Pipeline::generate`] answers the
+//! *generative* question the paper's serving scenario poses: run a quantized
+//! student autoregressively for `max_new_tokens` greedy decode steps and
+//! score, at every step, whether the FP32 teacher (forced along the
+//! student's token sequence) would have picked the same token. The result is
+//! a [`GenReport`]: the generated tokens, the per-step agreement trace, the
+//! aggregate agreement and the decode throughput (tokens/sec).
+//!
+//! ## Streaming, byte-identically
+//!
+//! The report's JSON is assembled from **fragments** — a head, one fragment
+//! per decode step, a per-scheme tail carrying the summary, a report tail —
+//! and [`GenReport::to_json`] is defined as the concatenation of exactly
+//! those fragments. [`Pipeline::generate_streamed`] hands each fragment to a
+//! sink *as the step is decoded*, which is what `olive-serve` writes as
+//! HTTP chunks: a streamed `/v1/generate` body, chunks concatenated, is
+//! byte-identical to `Pipeline::generate(..).without_wall_times().to_json()`
+//! by construction, not by careful bookkeeping.
+
+use crate::json::JsonValue;
+use crate::pipeline::Pipeline;
+use olive_models::{argmax, DecodeSession, TinyTransformer};
+use olive_tensor::rng::Rng;
+
+/// Default prompt length of a generation run, in tokens.
+pub const DEFAULT_PROMPT_TOKENS: usize = 8;
+
+/// Default number of greedy decode steps.
+pub const DEFAULT_MAX_NEW_TOKENS: usize = 16;
+
+/// One greedy decode step of one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenStep {
+    /// The token the quantized student picked (and was fed back).
+    pub token: usize,
+    /// The token the FP32 teacher would have picked on the same prefix.
+    pub teacher_token: usize,
+}
+
+impl GenStep {
+    /// Whether student and teacher picked the same token at this step.
+    pub fn agree(&self) -> bool {
+        self.token == self.teacher_token
+    }
+}
+
+/// Per-scheme outcome of a generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSchemeResult {
+    /// The registry spec string.
+    pub spec: String,
+    /// The quantizer's display name.
+    pub name: String,
+    /// Whether activations were quantized (pipeline setting AND scheme
+    /// capability), per-row as the decode path requires.
+    pub activations_quantized: bool,
+    /// The greedy decode trace, one entry per new token.
+    pub steps: Vec<GenStep>,
+    /// Fraction of steps on which the teacher agreed with the student's
+    /// token (1.0 for an empty trace).
+    pub agreement: f64,
+    /// Decode throughput over the generation loop (0.0 when wall times are
+    /// stripped).
+    pub tokens_per_s: f64,
+    /// Wall time of quantizing + generating, in seconds.
+    pub wall_time_s: f64,
+}
+
+impl GenSchemeResult {
+    /// The student's generated tokens, in order.
+    pub fn tokens(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.token).collect()
+    }
+}
+
+/// The unified result of a generation run — the generative counterpart of
+/// [`EvalReport`](crate::EvalReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenReport {
+    /// Model display name.
+    pub model: String,
+    /// Task name (display only, never part of an RNG stream).
+    pub task: String,
+    /// RNG seed the teacher and prompt were generated from.
+    pub seed: u64,
+    /// The shared prompt all schemes continue from.
+    pub prompt: Vec<usize>,
+    /// Requested number of decode steps.
+    pub max_new_tokens: usize,
+    /// Whether the run requested activation quantization.
+    pub quantize_activations: bool,
+    /// One entry per scheme, in the order they were configured.
+    pub results: Vec<GenSchemeResult>,
+}
+
+impl GenReport {
+    /// Looks up a scheme's result by its spec string.
+    pub fn result(&self, spec: &str) -> Option<&GenSchemeResult> {
+        self.results.iter().find(|r| r.spec == spec)
+    }
+
+    /// The report with `tokens_per_s` and `wall_time_s` zeroed — everything
+    /// else is bit-deterministic in (model, seed, prompt, schemes); the
+    /// throughput numbers are the lone measurements. Streamed serving
+    /// renders this form (the `olive-serve` determinism contract).
+    pub fn without_wall_times(mut self) -> Self {
+        for r in &mut self.results {
+            r.tokens_per_s = 0.0;
+            r.wall_time_s = 0.0;
+        }
+        self
+    }
+
+    /// Renders the report as machine-readable JSON: the concatenation of the
+    /// same fragments [`Pipeline::generate_streamed`] emits.
+    pub fn to_json(&self) -> String {
+        let mut out = head_fragment(self);
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&scheme_head_fragment(r, i == 0));
+            for (j, step) in r.steps.iter().enumerate() {
+                out.push_str(&step_fragment(step, j == 0));
+            }
+            out.push_str(&scheme_tail_fragment(r));
+        }
+        out.push_str(REPORT_TAIL);
+        out
+    }
+}
+
+/// Everything up to and including `"results": [`.
+fn head_fragment(report: &GenReport) -> String {
+    let prompt: Vec<String> = report.prompt.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\n  \"model\": {},\n  \"task\": {},\n  \"seed\": {},\n  \"prompt_tokens\": {},\n  \
+         \"max_new_tokens\": {},\n  \"quantize_activations\": {},\n  \"prompt\": [{}],\n  \
+         \"results\": [",
+        JsonValue::Str(report.model.clone()).render_inline(),
+        JsonValue::Str(report.task.clone()).render_inline(),
+        report.seed,
+        report.prompt.len(),
+        report.max_new_tokens,
+        report.quantize_activations,
+        prompt.join(", "),
+    )
+}
+
+/// One scheme's metadata up to and including `"steps": [`.
+fn scheme_head_fragment(result: &GenSchemeResult, first: bool) -> String {
+    format!(
+        "{}\n    {{\n      \"spec\": {},\n      \"name\": {},\n      \
+         \"activations_quantized\": {},\n      \"steps\": [",
+        if first { "" } else { "," },
+        JsonValue::Str(result.spec.clone()).render_inline(),
+        JsonValue::Str(result.name.clone()).render_inline(),
+        result.activations_quantized,
+    )
+}
+
+/// One decode step — the fragment streamed as the token is produced.
+fn step_fragment(step: &GenStep, first: bool) -> String {
+    format!(
+        "{}\n        {{\"token\": {}, \"teacher_token\": {}, \"agree\": {}}}",
+        if first { "" } else { "," },
+        step.token,
+        step.teacher_token,
+        step.agree(),
+    )
+}
+
+/// Closes the step array and carries the per-scheme summary (which is only
+/// known once every step has been decoded — hence it trails the steps).
+fn scheme_tail_fragment(result: &GenSchemeResult) -> String {
+    format!(
+        "\n      ],\n      \"agreement\": {},\n      \"tokens_per_s\": {},\n      \
+         \"wall_time_s\": {}\n    }}",
+        JsonValue::num_or_null(result.agreement).render_inline(),
+        JsonValue::num_or_null(result.tokens_per_s).render_inline(),
+        JsonValue::num_or_null(result.wall_time_s).render_inline(),
+    )
+}
+
+const REPORT_TAIL: &str = "\n  ]\n}\n";
+
+/// A generated teacher model plus the prompt all schemes continue from — the
+/// reusable (cacheable) part of a generation run, mirroring
+/// [`PreparedEval`](crate::PreparedEval) for the evaluation arm.
+#[derive(Debug, Clone)]
+pub struct PreparedGen {
+    /// The FP32 teacher.
+    pub teacher: TinyTransformer,
+    /// The prompt (at least one token).
+    pub prompt: Vec<usize>,
+}
+
+impl Pipeline {
+    /// Generates the teacher and a `prompt_tokens`-long prompt (clamped to at
+    /// least 1) without running any scheme. The teacher is bit-identical to
+    /// the one [`prepare`](Pipeline::prepare) generates for the same seed;
+    /// the prompt continues the same RNG stream, so a `(model, seed,
+    /// prompt_tokens)` triple fully determines the preparation — the
+    /// quantize-once/serve-many cache key `olive-serve` uses.
+    pub fn prepare_generation(&self, prompt_tokens: usize) -> PreparedGen {
+        let mut rng = Rng::seed_from(self.seed);
+        let teacher = TinyTransformer::generate(self.model.config, self.model.severity, &mut rng);
+        let prompt = (0..prompt_tokens.max(1))
+            .map(|_| rng.below(self.model.config.vocab))
+            .collect();
+        PreparedGen { teacher, prompt }
+    }
+
+    /// Runs every configured scheme for `max_new_tokens` greedy decode steps
+    /// and collects the unified [`GenReport`] (wall times included).
+    pub fn generate(&self, prompt_tokens: usize, max_new_tokens: usize) -> GenReport {
+        self.generate_prepared(&self.prepare_generation(prompt_tokens), max_new_tokens)
+    }
+
+    /// Like [`generate`](Pipeline::generate) against an already-prepared
+    /// teacher + prompt — bit-identical to `generate` for the same
+    /// preparation inputs.
+    pub fn generate_prepared(&self, prepared: &PreparedGen, max_new_tokens: usize) -> GenReport {
+        self.generate_inner(prepared, max_new_tokens, None)
+    }
+
+    /// Streaming generation: decodes like
+    /// [`generate_prepared`](Pipeline::generate_prepared) but hands `sink`
+    /// the report's JSON fragments as they become available — one head, one
+    /// fragment per decode step (emitted the moment the step is decoded),
+    /// one tail per scheme, one report tail. The fragments concatenate to
+    /// exactly the returned report's [`GenReport::to_json`].
+    ///
+    /// Wall times are stripped from both the stream and the returned report:
+    /// a fragment, once emitted, could not honestly carry a measurement that
+    /// finishes later, and serving requires byte-stable output anyway.
+    pub fn generate_streamed(
+        &self,
+        prepared: &PreparedGen,
+        max_new_tokens: usize,
+        sink: &mut dyn FnMut(&str),
+    ) -> GenReport {
+        self.generate_inner(prepared, max_new_tokens, Some(sink))
+    }
+
+    fn generate_inner(
+        &self,
+        prepared: &PreparedGen,
+        max_new_tokens: usize,
+        mut sink: Option<&mut dyn FnMut(&str)>,
+    ) -> GenReport {
+        let streaming = sink.is_some();
+        let mut report = GenReport {
+            model: self.model.name.clone(),
+            task: self.task.clone(),
+            seed: self.seed,
+            prompt: prepared.prompt.clone(),
+            max_new_tokens,
+            quantize_activations: self.quantize_activations,
+            results: Vec::with_capacity(self.schemes.len()),
+        };
+        if let Some(sink) = sink.as_deref_mut() {
+            sink(&head_fragment(&report));
+        }
+        for (i, scheme) in self.schemes.iter().enumerate() {
+            let quantizer = scheme.build();
+            let start = std::time::Instant::now();
+            let student = prepared.teacher.quantize_weights(quantizer.as_ref());
+            let quantize_acts = self.quantize_activations && quantizer.quantizes_activations();
+            let act_q = quantize_acts.then_some(quantizer.as_ref());
+            let mut result = GenSchemeResult {
+                spec: scheme.to_string(),
+                name: quantizer.name().to_string(),
+                activations_quantized: quantize_acts,
+                steps: Vec::with_capacity(max_new_tokens),
+                agreement: 1.0,
+                tokens_per_s: 0.0,
+                wall_time_s: 0.0,
+            };
+            if let Some(sink) = sink.as_deref_mut() {
+                sink(&scheme_head_fragment(&result, i == 0));
+            }
+
+            // The student decodes greedily; the teacher is forced along the
+            // student's tokens so every step compares like with like.
+            let mut student_session = DecodeSession::new(&student, act_q);
+            let mut teacher_session = DecodeSession::new(&prepared.teacher, None);
+            let mut s_logits = student_session
+                .prefill(&prepared.prompt)
+                .expect("prepared prompts are non-empty");
+            let mut t_logits = teacher_session
+                .prefill(&prepared.prompt)
+                .expect("prepared prompts are non-empty");
+            for step_index in 0..max_new_tokens {
+                let step = GenStep {
+                    token: argmax(&s_logits),
+                    teacher_token: argmax(&t_logits),
+                };
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink(&step_fragment(&step, step_index == 0));
+                }
+                result.steps.push(step);
+                if step_index + 1 < max_new_tokens {
+                    s_logits = student_session.push(step.token);
+                    t_logits = teacher_session.push(step.token);
+                }
+            }
+
+            let elapsed = start.elapsed().as_secs_f64();
+            if !result.steps.is_empty() {
+                let agreed = result.steps.iter().filter(|s| s.agree()).count();
+                result.agreement = agreed as f64 / result.steps.len() as f64;
+            }
+            if !streaming {
+                result.wall_time_s = elapsed;
+                if elapsed > 0.0 {
+                    result.tokens_per_s = max_new_tokens as f64 / elapsed;
+                }
+            }
+            if let Some(sink) = sink.as_deref_mut() {
+                sink(&scheme_tail_fragment(&result));
+            }
+            report.results.push(result);
+        }
+        if let Some(sink) = sink {
+            sink(REPORT_TAIL);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ModelFamily;
+
+    fn tiny_pipeline() -> Pipeline {
+        Pipeline::new(ModelFamily::Gpt2.tiny())
+            .task("gen-unit")
+            .seed(21)
+    }
+
+    #[test]
+    fn fp32_student_agrees_with_the_teacher_everywhere() {
+        let report = tiny_pipeline().schemes(["fp32"]).generate(4, 6);
+        let r = report.result("fp32").unwrap();
+        assert_eq!(r.agreement, 1.0);
+        assert_eq!(r.steps.len(), 6);
+        assert!(r.steps.iter().all(GenStep::agree));
+        assert!(r.wall_time_s > 0.0);
+        assert!(r.tokens_per_s > 0.0);
+        assert_eq!(report.prompt.len(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_prepared_matches_direct() {
+        let pipeline = tiny_pipeline().schemes(["olive-4bit", "uniform:4"]);
+        let a = pipeline.generate(5, 8).without_wall_times();
+        let b = pipeline.generate(5, 8).without_wall_times();
+        assert_eq!(a.to_json(), b.to_json());
+        let prepared = pipeline.prepare_generation(5);
+        let c = pipeline
+            .generate_prepared(&prepared, 8)
+            .without_wall_times();
+        assert_eq!(a.to_json(), c.to_json());
+    }
+
+    #[test]
+    fn prepared_teacher_matches_the_eval_preparation() {
+        // The generation arm shares the eval arm's teacher stream: the same
+        // seed must produce the same teacher weights.
+        let pipeline = tiny_pipeline();
+        let gen = pipeline.prepare_generation(4);
+        let eval = pipeline.prepare();
+        assert_eq!(gen.teacher.embedding, eval.teacher.embedding);
+        assert_eq!(
+            gen.teacher.layers[0].wqkv.data(),
+            eval.teacher.layers[0].wqkv.data()
+        );
+    }
+
+    #[test]
+    fn streamed_fragments_concatenate_to_the_report_json() {
+        let pipeline = tiny_pipeline().schemes(["olive-4bit", "uniform:4", "fp32"]);
+        let prepared = pipeline.prepare_generation(4);
+        let mut streamed = String::new();
+        let mut fragments = 0usize;
+        let report = pipeline.generate_streamed(&prepared, 7, &mut |fragment| {
+            streamed.push_str(fragment);
+            fragments += 1;
+        });
+        assert_eq!(streamed, report.to_json());
+        assert_eq!(
+            streamed,
+            pipeline
+                .generate_prepared(&prepared, 7)
+                .without_wall_times()
+                .to_json()
+        );
+        // head + per scheme (head + 7 steps + tail) + report tail.
+        assert_eq!(fragments, 1 + 3 * (1 + 7 + 1) + 1);
+        // Streamed reports carry no wall-clock measurements.
+        assert!(report.results.iter().all(|r| r.wall_time_s == 0.0));
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let report = tiny_pipeline()
+            .schemes(["olive-4bit", "gobo"])
+            .generate(3, 5);
+        let parsed = JsonValue::parse(&report.to_json()).expect("report must be valid JSON");
+        assert_eq!(
+            parsed.get("model").and_then(JsonValue::as_str),
+            Some("GPT-2")
+        );
+        assert_eq!(parsed.get("seed").and_then(JsonValue::as_u64), Some(21));
+        assert_eq!(
+            parsed
+                .get("prompt")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        let results = parsed.get("results").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        let steps = results[0]
+            .get("steps")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(steps.len(), 5);
+        assert!(steps[0].get("token").and_then(JsonValue::as_u64).is_some());
+        assert!(steps[0].get("agree").and_then(JsonValue::as_bool).is_some());
+        // GOBO is weight-only even when activations are requested.
+        assert_eq!(
+            results[1]
+                .get("activations_quantized")
+                .and_then(JsonValue::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn empty_traces_render_and_score_neutrally() {
+        let report = tiny_pipeline().schemes(["fp32"]).generate(2, 0);
+        let r = report.result("fp32").unwrap();
+        assert!(r.steps.is_empty());
+        assert_eq!(r.agreement, 1.0);
+        assert!(JsonValue::parse(&report.to_json()).is_ok());
+        // No schemes at all still renders valid JSON.
+        let bare = tiny_pipeline().generate(2, 3);
+        assert!(bare.results.is_empty());
+        assert!(JsonValue::parse(&bare.to_json()).is_ok());
+    }
+
+    #[test]
+    fn quantized_students_degrade_gracefully_in_order() {
+        let report = tiny_pipeline()
+            .schemes(["olive-4bit", "uniform:4"])
+            .generate(6, 12);
+        let olive = report.result("olive-4bit").unwrap().agreement;
+        let uniform = report.result("uniform:4").unwrap().agreement;
+        assert!(
+            olive >= uniform,
+            "OliVe must track the teacher at least as well: {olive} vs {uniform}"
+        );
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let pipeline = tiny_pipeline().schemes(["olive-4bit"]);
+        let run = || pipeline.generate(4, 6).without_wall_times().to_json();
+        let seq = olive_runtime::with_threads(1, run);
+        let par = olive_runtime::with_threads(8, run);
+        assert_eq!(seq, par);
+    }
+}

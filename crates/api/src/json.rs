@@ -136,6 +136,16 @@ impl JsonValue {
         }
     }
 
+    /// Renders the value without the trailing newline [`render`](Self::render)
+    /// appends — the scalar building block for incremental renderers (e.g.
+    /// the streamed generation report) that assemble a document from
+    /// fragments.
+    pub fn render_inline(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
     /// Renders the value as pretty-printed JSON (two-space indent).
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -410,13 +410,13 @@ impl PreparedEval {
 /// accuracy tables.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    model: ModelSpec,
-    task: String,
-    schemes: Vec<Scheme>,
-    seed: u64,
-    batches: usize,
-    calibration: Calibration,
-    quantize_activations: bool,
+    pub(crate) model: ModelSpec,
+    pub(crate) task: String,
+    pub(crate) schemes: Vec<Scheme>,
+    pub(crate) seed: u64,
+    pub(crate) batches: usize,
+    pub(crate) calibration: Calibration,
+    pub(crate) quantize_activations: bool,
 }
 
 impl Pipeline {

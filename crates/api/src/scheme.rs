@@ -156,30 +156,40 @@ impl Scheme {
 
     /// Parses a spec string (see the module docs for the grammar).
     ///
+    /// Specs arrive from CLIs, environment files and HTTP bodies, so the
+    /// parser normalizes instead of nitpicking: surrounding whitespace is
+    /// trimmed (including around the `@` granularity separator) and the spec
+    /// is ASCII-case-folded — `" OLIVE-4bit @per-row "` parses to the same
+    /// scheme as `"olive-4bit@per-row"`. Whitespace *inside* a token and
+    /// genuinely unknown names still error.
+    ///
     /// # Errors
     ///
-    /// Returns a [`SchemeError`] describing the first problem: unknown scheme
-    /// name, out-of-range bit width, or unknown granularity suffix.
+    /// Returns a [`SchemeError`] (echoing the original, un-normalized spec)
+    /// describing the first problem: unknown scheme name, out-of-range bit
+    /// width, or unknown granularity suffix.
     pub fn parse(spec: &str) -> Result<Scheme, SchemeError> {
-        let trimmed = spec.trim();
-        if trimmed.is_empty() {
+        let normalized = spec.trim().to_ascii_lowercase();
+        if normalized.is_empty() {
             return Err(SchemeError::new(
                 spec,
                 format!("empty spec; known specs are {}", known_specs()),
             ));
         }
-        let (base, granularity) = match trimmed.split_once('@') {
-            None => (trimmed, Granularity::PerTensor),
-            Some((base, "per-row")) => (base, Granularity::PerRow),
-            Some((base, "per-tensor")) => (base, Granularity::PerTensor),
-            Some((_, other)) => {
-                return Err(SchemeError::new(
-                    spec,
-                    format!(
-                        "unknown granularity '@{other}' (expected '@per-row' or '@per-tensor')"
-                    ),
-                ));
-            }
+        let (base, granularity) = match normalized.split_once('@') {
+            None => (normalized.as_str(), Granularity::PerTensor),
+            Some((base, suffix)) => match suffix.trim() {
+                "per-row" => (base.trim_end(), Granularity::PerRow),
+                "per-tensor" => (base.trim_end(), Granularity::PerTensor),
+                other => {
+                    return Err(SchemeError::new(
+                        spec,
+                        format!(
+                            "unknown granularity '@{other}' (expected '@per-row' or '@per-tensor')"
+                        ),
+                    ));
+                }
+            },
         };
         let kind = Self::parse_kind(spec, base)?;
         Ok(Scheme { kind, granularity })
@@ -432,6 +442,30 @@ mod tests {
         assert_eq!(s.granularity(), Granularity::PerRow);
         assert_eq!(s.to_string(), "olive-4bit@per-row");
         assert_eq!(s.build().name(), "OliVe-4bit@per-row");
+    }
+
+    #[test]
+    fn parse_normalizes_case_and_whitespace() {
+        let canonical = Scheme::parse("olive-4bit@per-row").unwrap();
+        for messy in [
+            " OLIVE-4bit @per-row ",
+            "Olive-4Bit@Per-Row",
+            "\tolive-4bit @ per-row\t",
+            "  olive-4bit@per-row",
+        ] {
+            assert_eq!(Scheme::parse(messy).unwrap(), canonical, "{messy:?}");
+            assert_eq!(
+                Scheme::parse(messy).unwrap().to_string(),
+                "olive-4bit@per-row"
+            );
+        }
+        assert_eq!(
+            Scheme::parse(" FP32 ").unwrap(),
+            Scheme::parse("fp32").unwrap()
+        );
+        // Normalization never resurrects unknown specs.
+        assert!(Scheme::parse(" OLIVE-5bit ").is_err());
+        assert!(Scheme::parse("oli ve-4bit").is_err());
     }
 
     #[test]

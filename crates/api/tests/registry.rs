@@ -39,6 +39,65 @@ fn every_registry_spec_round_trips() {
     );
 }
 
+/// `parse(render(s)) == s` survives random case/whitespace mangling: specs
+/// arrive from CLIs and HTTP bodies, so `Scheme::parse` case-folds and trims
+/// (including around the `@` granularity separator) instead of erroring.
+#[test]
+fn parse_survives_case_and_whitespace_mangling() {
+    let entries = Scheme::all();
+    check_with(
+        CheckConfig {
+            cases: 8 * entries.len(),
+            ..CheckConfig::default()
+        },
+        "registry_case_whitespace_mangling",
+        |rng| {
+            let scheme = if rng.chance(0.5) {
+                entries[rng.below(entries.len())].with_granularity(Granularity::PerRow)
+            } else {
+                entries[rng.below(entries.len())]
+            };
+            let canonical = scheme.to_string();
+            // Random per-character case flips…
+            let mut mangled: String = canonical
+                .chars()
+                .map(|c| {
+                    if rng.chance(0.5) {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            // …plus whitespace at the ends and around the '@' separator
+            // (never inside a token — that must stay an error).
+            let pad = |rng: &mut Rng| " ".repeat(rng.below(3));
+            if let Some(at) = mangled.find('@') {
+                let (base, suffix) = mangled.split_at(at);
+                mangled = format!("{base}{}@{}{}", pad(rng), pad(rng), &suffix[1..]);
+            }
+            mangled = format!("{}{mangled}{}", pad(rng), pad(rng));
+            (scheme, mangled)
+        },
+        |(scheme, mangled)| {
+            let parsed = Scheme::parse(mangled)
+                .map_err(|e| format!("mangled spec '{mangled}' failed to parse: {e}"))?;
+            prop_assert_eq!(
+                parsed,
+                *scheme,
+                "mangled spec '{}' parsed to the wrong scheme",
+                mangled
+            );
+            prop_assert_eq!(parsed.to_string(), scheme.to_string());
+            Ok(())
+        },
+    );
+    // Whitespace inside a token is still rejected.
+    for bad in ["oli ve-4bit", "uniform: 8", "olive-4bit@per- row"] {
+        assert!(Scheme::parse(bad).is_err(), "'{bad}' should not parse");
+    }
+}
+
 /// Random mutations of valid specs either parse to something that re-renders
 /// canonically, or are rejected with an error that names the offending spec.
 #[test]

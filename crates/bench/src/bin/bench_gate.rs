@@ -64,12 +64,18 @@ fn parse_args() -> Result<Args, String> {
 /// is always one copy-paste away.
 fn regen_command(kernel: &str, results: &std::path::Path) -> String {
     let suite = kernel.split('/').next().unwrap_or(kernel);
-    match suite {
-        "serve" => format!(
-            "cargo run --release -p olive-bench --bin serve_loadgen -- --quick --json {}",
+    // The "serve" suite is written by two binaries, one kernel each.
+    let loadgen_bin = match kernel {
+        "serve/gen_stream_tiny" => Some("gen_loadgen"),
+        _ if suite == "serve" => Some("serve_loadgen"),
+        _ => None,
+    };
+    match loadgen_bin {
+        Some(bin) => format!(
+            "cargo run --release -p olive-bench --bin {bin} -- --quick --json {}",
             results.display()
         ),
-        _ => format!(
+        None => format!(
             "cargo bench -p olive-bench --bench {suite} -- --quick --json {}",
             results.display()
         ),

@@ -1,0 +1,151 @@
+//! `gen_loadgen`: closed-loop load generator for the streamed `/v1/generate`
+//! endpoint, and the decode-throughput kernel of the bench-regression gate.
+//!
+//! ```text
+//! gen_loadgen [--quick] [--json <results.json>] [--clients N] [--requests M]
+//!             [--max-new-tokens T]
+//! ```
+//!
+//! Starts an in-process server (dynamic batching on, ephemeral port), warms
+//! the generation-preparation cache with one request, then drives it with N
+//! client threads × M keep-alive streamed `/v1/generate` requests each and
+//! reports the per-request latency distribution (p50/p95/p99), the
+//! **tokens/sec p50** (the paper-relevant decode-throughput number) and
+//! sustained req/s. With `--json`, the per-request p50 is merged into the
+//! shared flat results file under the kernel name `serve/gen_stream_tiny`,
+//! which `scripts/bench_gate.sh` diffs against `BENCH_baseline.json` —
+//! decode throughput is regression-gated exactly like the GEMM kernels
+//! (tokens/sec p50 is the gated p50's reciprocal times the token count).
+//!
+//! The measured path is the latency-shaped serving hot path this repo's
+//! generative workload introduces: HTTP parse → queue → micro-batch →
+//! KV-cached incremental decode → one chunked write per token.
+
+use olive_bench::gate;
+use olive_bench::loadgen::{drive, quantile, warmup};
+use olive_bench::report::Table;
+use olive_harness::bench::fmt_ns;
+use olive_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    json: Option<PathBuf>,
+    clients: Option<usize>,
+    requests: Option<usize>,
+    max_new_tokens: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        json: None,
+        clients: None,
+        requests: None,
+        max_new_tokens: 16,
+    };
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: gen_loadgen [--quick] [--json <path>] [--clients N] [--requests M] \
+                 [--max-new-tokens T]";
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--clients" => match value("--clients").parse() {
+                Ok(n) if n >= 1 => parsed.clients = Some(n),
+                _ => {
+                    eprintln!("--clients must be a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => parsed.requests = Some(n),
+                _ => {
+                    eprintln!("--requests must be a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--max-new-tokens" => match value("--max-new-tokens").parse() {
+                Ok(n) if (1..=256).contains(&n) => parsed.max_new_tokens = n,
+                _ => {
+                    eprintln!("--max-new-tokens must be in 1..=256");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let clients = args.clients.unwrap_or(if args.quick { 2 } else { 4 });
+    let requests = args.requests.unwrap_or(if args.quick { 8 } else { 25 });
+    let max_new_tokens = args.max_new_tokens;
+    let body = format!(
+        r#"{{"scheme": "olive-4bit", "prompt_tokens": 8, "max_new_tokens": {max_new_tokens}, "seed": 13}}"#,
+    );
+
+    let server = Server::start(ServeConfig::default()).unwrap_or_else(|e| {
+        eprintln!("gen_loadgen: failed to start the server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr();
+
+    // Warmup: populate the generation-preparation cache (teacher + prompt)
+    // so the timed phase measures the steady-state decode path.
+    let (response, uncached_ns) = warmup(addr, "/v1/generate", &body);
+    assert!(response.chunks.is_some(), "generate must stream");
+
+    // Timed phase: closed-loop clients over kept-alive connections, one
+    // streamed generation per request.
+    let (latencies, wall_s) = drive(addr, "/v1/generate", &body, clients, requests);
+    server.shutdown();
+
+    let total = latencies.len();
+    let (p50, p95, p99) = (
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.95),
+        quantile(&latencies, 0.99),
+    );
+    let tokens_per_s_p50 = max_new_tokens as f64 / (p50 as f64 / 1e9);
+    let req_per_s = total as f64 / wall_s;
+
+    let mut table = Table::new(vec!["metric".into(), "value".into()]);
+    table.row(vec!["clients".into(), clients.to_string()]);
+    table.row(vec!["requests/client".into(), requests.to_string()]);
+    table.row(vec!["tokens/request".into(), max_new_tokens.to_string()]);
+    table.row(vec!["total requests".into(), total.to_string()]);
+    table.row(vec!["uncached first stream".into(), fmt_ns(uncached_ns)]);
+    table.row(vec!["latency p50".into(), fmt_ns(p50)]);
+    table.row(vec!["latency p95".into(), fmt_ns(p95)]);
+    table.row(vec!["latency p99".into(), fmt_ns(p99)]);
+    table.row(vec![
+        "tokens/sec p50".into(),
+        format!("{tokens_per_s_p50:.0} tok/s"),
+    ]);
+    table.row(vec!["throughput".into(), format!("{req_per_s:.1} req/s")]);
+    println!("== gen_loadgen: {total} streamed /v1/generate requests ==");
+    println!("{}", table.render());
+
+    if let Some(path) = &args.json {
+        // Gate the per-request p50 (tokens/sec p50 is its reciprocal scaled
+        // by the fixed token count, so one number gates both; tails are too
+        // noisy on shared hardware).
+        let mut medians = gate::Medians::new();
+        medians.insert("serve/gen_stream_tiny".to_string(), p50);
+        gate::merge_into_file(path, &medians)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote medians to {}", path.display());
+    }
+}

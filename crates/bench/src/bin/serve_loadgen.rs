@@ -19,12 +19,11 @@
 //! cache hit → response write.
 
 use olive_bench::gate;
+use olive_bench::loadgen::{drive, quantile, warmup};
 use olive_bench::report::Table;
 use olive_harness::bench::fmt_ns;
-use olive_serve::client::Connection;
 use olive_serve::{ServeConfig, Server};
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// The request every client issues — tiny model, two schemes, small batch
 /// count, all cached after warmup.
@@ -80,13 +79,6 @@ fn parse_args() -> Args {
     parsed
 }
 
-/// The `q`-quantile (0.0–1.0) of sorted latencies, nearest-rank.
-fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
-    assert!(!sorted_ns.is_empty());
-    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
-    sorted_ns[rank - 1]
-}
-
 fn main() {
     let args = parse_args();
     let clients = args.clients.unwrap_or(if args.quick { 4 } else { 8 });
@@ -100,41 +92,12 @@ fn main() {
 
     // Warmup: populate the model + response caches so the timed phase
     // measures the serve-many steady state, not the one-off quantization.
-    let warmup_start = Instant::now();
-    let mut warm = Connection::open(addr).expect("warmup connect");
-    let response = warm
-        .request("POST", "/v1/eval", Some(EVAL_BODY))
-        .expect("warmup request");
-    assert_eq!(response.status, 200, "warmup failed: {}", response.body);
-    let uncached_ns = warmup_start.elapsed().as_nanos() as u64;
+    let (_, uncached_ns) = warmup(addr, "/v1/eval", EVAL_BODY);
 
     // Timed phase: closed-loop clients over kept-alive connections.
-    let run_start = Instant::now();
-    let workers: Vec<_> = (0..clients)
-        .map(|_| {
-            std::thread::spawn(move || {
-                let mut connection = Connection::open(addr).expect("client connect");
-                let mut latencies_ns = Vec::with_capacity(requests);
-                for _ in 0..requests {
-                    let start = Instant::now();
-                    let response = connection
-                        .request("POST", "/v1/eval", Some(EVAL_BODY))
-                        .expect("eval request");
-                    assert_eq!(response.status, 200, "{}", response.body);
-                    latencies_ns.push(start.elapsed().as_nanos() as u64);
-                }
-                latencies_ns
-            })
-        })
-        .collect();
-    let mut latencies: Vec<u64> = Vec::with_capacity(clients * requests);
-    for worker in workers {
-        latencies.extend(worker.join().expect("client thread"));
-    }
-    let wall_s = run_start.elapsed().as_secs_f64();
+    let (latencies, wall_s) = drive(addr, "/v1/eval", EVAL_BODY, clients, requests);
     server.shutdown();
 
-    latencies.sort_unstable();
     let total = latencies.len();
     let (p50, p95, p99) = (
         quantile(&latencies, 0.50),

@@ -7,4 +7,5 @@
 pub mod accuracy;
 pub mod cli;
 pub mod gate;
+pub mod loadgen;
 pub mod report;

@@ -1,0 +1,102 @@
+//! Shared closed-loop load-generation harness for the serving benchmarks
+//! (`serve_loadgen`, `gen_loadgen`): one warmup request, then N client
+//! threads × M keep-alive requests each against an in-process server, with
+//! the nearest-rank quantiles the gate and the human tables report.
+//!
+//! Keeping this in one place means a fix to the latency-collection loop or
+//! the quantile math reaches every loadgen binary at once — the ROADMAP
+//! promises more scenario families, and each should be a thin `main` over
+//! this module.
+
+use olive_serve::client::{Connection, HttpResponse};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// The `q`-quantile (0.0–1.0) of **sorted** latencies, nearest-rank.
+///
+/// # Panics
+///
+/// Panics on an empty slice (a loadgen always measures at least one
+/// request).
+pub fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1]
+}
+
+/// Issues one warmup request (populating the server-side caches) and
+/// returns the response plus its wall time in nanoseconds.
+///
+/// # Panics
+///
+/// Panics if the connection fails or the response is not a 200 — a loadgen
+/// cannot measure a server that is not answering.
+pub fn warmup(addr: SocketAddr, path: &str, body: &str) -> (HttpResponse, u64) {
+    let start = Instant::now();
+    let mut connection = Connection::open(addr).expect("warmup connect");
+    let response = connection
+        .request("POST", path, Some(body))
+        .expect("warmup request");
+    assert_eq!(response.status, 200, "warmup failed: {}", response.body);
+    (response, start.elapsed().as_nanos() as u64)
+}
+
+/// Drives `clients` closed-loop client threads, each issuing `requests`
+/// keep-alive `POST path` requests with `body`, and returns every observed
+/// per-request latency **sorted ascending**, plus the phase's wall time in
+/// seconds.
+///
+/// # Panics
+///
+/// Panics on connection failures or non-200 responses.
+pub fn drive(
+    addr: SocketAddr,
+    path: &'static str,
+    body: &str,
+    clients: usize,
+    requests: usize,
+) -> (Vec<u64>, f64) {
+    let run_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.to_string();
+            std::thread::spawn(move || {
+                let mut connection = Connection::open(addr).expect("client connect");
+                let mut latencies_ns = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let start = Instant::now();
+                    let response = connection
+                        .request("POST", path, Some(&body))
+                        .expect("loadgen request");
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    latencies_ns.push(start.elapsed().as_nanos() as u64);
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * requests);
+    for worker in workers {
+        latencies.extend(worker.join().expect("client thread"));
+    }
+    let wall_s = run_start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (latencies, wall_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let sorted = [10u64, 20, 30, 40];
+        assert_eq!(quantile(&sorted, 0.0), 10);
+        assert_eq!(quantile(&sorted, 0.25), 10);
+        assert_eq!(quantile(&sorted, 0.5), 20);
+        assert_eq!(quantile(&sorted, 0.75), 30);
+        assert_eq!(quantile(&sorted, 0.99), 40);
+        assert_eq!(quantile(&sorted, 1.0), 40);
+        assert_eq!(quantile(&[7], 0.5), 7);
+    }
+}

@@ -1,0 +1,507 @@
+//! Incremental autoregressive decoding for the proxy Transformer.
+//!
+//! Generative serving means one request turns into hundreds of decode steps,
+//! each a full quantized-GEMM workload — exactly the traffic shape the
+//! paper's accelerator targets. This module adds that workload class to the
+//! proxy model in two bit-identical flavours:
+//!
+//! * [`TinyTransformer::forward_causal`] — the **batch** (prefill) path: one
+//!   causally-masked forward pass over a whole token sequence, the reference
+//!   semantics;
+//! * [`DecodeSession`] — the **incremental** path: a resumable session that
+//!   caches every layer's per-position keys and values, so pushing token
+//!   *t + 1* reuses all of step *t*'s prefix work instead of recomputing the
+//!   full forward pass (O(len) work per step instead of O(len²)).
+//!
+//! ## The decode-cache determinism contract
+//!
+//! For any token sequence, thread count and activation quantizer, row *i* of
+//! `forward_causal(&tokens[..=i])` is **bit-identical** to the logits
+//! [`DecodeSession::push`] returns for token *i* — enforced by the property
+//! tests below. The contract holds by construction:
+//!
+//! * every GEMM row is accumulated in the same ascending-`k` order whether it
+//!   is computed as one row of a batch product or as a `[1, k]` product (the
+//!   `olive-tensor` kernel contract), and the runtime's determinism contract
+//!   makes that independent of `OLIVE_THREADS`;
+//! * attention is causal, so a position's keys/values never change once
+//!   computed, and the softmax over a masked batch row is bit-identical to
+//!   the softmax over the unmasked prefix (masked lanes contribute exactly
+//!   `exp(-inf) = 0.0`, and the GEMM kernels skip zero activations);
+//! * activation quantization is **per row** (each position's activation is
+//!   calibrated as its own `[1, d]` tensor — dynamic per-token scales, as
+//!   decode-time quantization does in deployment), so a row's quantized
+//!   values cannot depend on later rows.
+//!
+//! Note the *causal* forward is a different function from the bidirectional
+//! [`TinyTransformer::forward`] used by the evaluation metrics: full
+//! bidirectional attention lets every position read every other, which makes
+//! incremental reuse impossible by definition. The evaluation path and its
+//! goldens are untouched.
+
+use crate::engine::{argmax, TinyTransformer};
+use olive_core::TensorQuantizer;
+use olive_tensor::matmul::{gelu, layer_norm, matmul, matmul_transpose_b, softmax_rows};
+use olive_tensor::Tensor;
+
+/// Fake-quantizes each row of `t` as its own `[1, cols]` tensor (per-token
+/// dynamic calibration — see the module docs for why decode requires this).
+fn quantize_rows(t: &Tensor, q: Option<&dyn TensorQuantizer>) -> Tensor {
+    let Some(q) = q else {
+        return t.clone();
+    };
+    let (m, n) = (t.rows(), t.cols());
+    let mut out = Tensor::zeros(vec![m, n]);
+    for i in 0..m {
+        let row = Tensor::from_vec(vec![1, n], t.row(i).to_vec());
+        let qrow = q.quantize_dequantize(&row);
+        out.row_mut(i).copy_from_slice(qrow.row(0));
+    }
+    out
+}
+
+/// The token-embedding row for `token` at position `pos`, including the
+/// deterministic sinusoidal position signal (same formula as the batch
+/// embedding in `TinyTransformer::forward`).
+fn embed_row(model: &TinyTransformer, token: usize, pos: usize) -> Tensor {
+    let d = model.config.d_model;
+    assert!(token < model.config.vocab, "token {} out of range", token);
+    let mut x = Tensor::zeros(vec![1, d]);
+    for j in 0..d {
+        let pe = ((pos as f32) / 64f32.powf(j as f32 / d as f32)).sin() * 0.1;
+        x[[0, j]] = model.embedding[[token, j]] + pe;
+    }
+    x
+}
+
+impl TinyTransformer {
+    /// Causally-masked forward pass: position *i* attends only to positions
+    /// `0..=i`. Returns the logits of every position, `[seq_len, vocab]`.
+    ///
+    /// This is the batch (prefill) reference for autoregressive decoding;
+    /// [`DecodeSession`] computes the same logits incrementally,
+    /// bit-identically (see the module docs). Activation quantization, when
+    /// requested, is applied per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of vocabulary range.
+    pub fn forward_causal(
+        &self,
+        tokens: &[usize],
+        act_quant: Option<&dyn TensorQuantizer>,
+    ) -> Tensor {
+        let d = self.config.d_model;
+        let seq = tokens.len();
+        let mut x = Tensor::zeros(vec![seq, d]);
+        for (pos, &tok) in tokens.iter().enumerate() {
+            let row = embed_row(self, tok, pos);
+            x.row_mut(pos).copy_from_slice(row.row(0));
+        }
+
+        for layer in &self.layers {
+            let normed = layer_norm(&x, &layer.ln1_gamma, &layer.ln1_beta, 1e-5);
+            let qkv_in = quantize_rows(&normed, act_quant);
+            let qkv = matmul(&qkv_in, &layer.wqkv);
+            let attn = self.attention_causal(&qkv);
+            let attn_in = quantize_rows(&attn, act_quant);
+            let out = matmul(&attn_in, &layer.wo);
+            x = x.add(&out);
+
+            let normed = layer_norm(&x, &layer.ln2_gamma, &layer.ln2_beta, 1e-5);
+            let ffn_in = quantize_rows(&normed, act_quant);
+            let h = gelu(&matmul(&ffn_in, &layer.w1));
+            let h_in = quantize_rows(&h, act_quant);
+            let ffn = matmul(&h_in, &layer.w2);
+            x = x.add(&ffn);
+        }
+
+        let normed = layer_norm(&x, &self.ln_f_gamma, &self.ln_f_beta, 1e-5);
+        let head_in = quantize_rows(&normed, act_quant);
+        matmul_transpose_b(&head_in, &self.embedding)
+    }
+
+    /// Multi-head self-attention over a fused `[seq, 3·d_model]` QKV tensor
+    /// with a causal mask: scores above the diagonal are `-inf` before the
+    /// softmax, so `exp` maps them to exactly `0.0` and they contribute
+    /// nothing to the context GEMM (whose kernel skips zero activations).
+    fn attention_causal(&self, qkv: &Tensor) -> Tensor {
+        let d = self.config.d_model;
+        let seq = qkv.rows();
+        let heads = self.config.n_heads;
+        let dh = self.config.head_dim();
+        let mut out = Tensor::zeros(vec![seq, d]);
+        for h in 0..heads {
+            let mut q = Tensor::zeros(vec![seq, dh]);
+            let mut k = Tensor::zeros(vec![seq, dh]);
+            let mut v = Tensor::zeros(vec![seq, dh]);
+            for i in 0..seq {
+                for j in 0..dh {
+                    q[[i, j]] = qkv[[i, h * dh + j]];
+                    k[[i, j]] = qkv[[i, d + h * dh + j]];
+                    v[[i, j]] = qkv[[i, 2 * d + h * dh + j]];
+                }
+            }
+            let scale = 1.0 / (dh as f32).sqrt();
+            let mut scores = matmul_transpose_b(&q, &k).scale(scale);
+            for i in 0..seq {
+                for j in (i + 1)..seq {
+                    scores[[i, j]] = f32::NEG_INFINITY;
+                }
+            }
+            let probs = softmax_rows(&scores);
+            let ctx = matmul(&probs, &v);
+            for i in 0..seq {
+                for j in 0..dh {
+                    out[[i, j + h * dh]] = ctx[[i, j]];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A resumable incremental decoding session over one model.
+///
+/// Holds per-layer key/value caches; [`push`](DecodeSession::push)ing a token
+/// computes only that position's activations (reusing every earlier
+/// position's cached keys/values) and returns its logits — bit-identical to
+/// the corresponding row of [`TinyTransformer::forward_causal`] over the full
+/// token sequence, at any `OLIVE_THREADS` (the decode-cache determinism
+/// contract, see the module docs).
+pub struct DecodeSession<'a> {
+    model: &'a TinyTransformer,
+    act_quant: Option<&'a dyn TensorQuantizer>,
+    /// Per-layer key rows, `len × d_model` each, fused head-major like QKV.
+    k_cache: Vec<Vec<f32>>,
+    /// Per-layer value rows, `len × d_model` each.
+    v_cache: Vec<Vec<f32>>,
+    tokens: Vec<usize>,
+}
+
+impl<'a> DecodeSession<'a> {
+    /// An empty session over `model`, quantizing per-row activations with
+    /// `act_quant` when given.
+    pub fn new(model: &'a TinyTransformer, act_quant: Option<&'a dyn TensorQuantizer>) -> Self {
+        DecodeSession {
+            model,
+            act_quant,
+            k_cache: vec![Vec::new(); model.config.n_layers],
+            v_cache: vec![Vec::new(); model.config.n_layers],
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Positions decoded so far.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True before the first [`push`](DecodeSession::push).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The tokens pushed so far, in order.
+    pub fn tokens(&self) -> &[usize] {
+        &self.tokens
+    }
+
+    /// Decodes one token at the next position and returns that position's
+    /// logits (`vocab` values) — the distribution over the *next* token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token id is out of vocabulary range.
+    pub fn push(&mut self, token: usize) -> Vec<f32> {
+        let model = self.model;
+        let d = model.config.d_model;
+        let pos = self.tokens.len();
+        let mut x = embed_row(model, token, pos);
+
+        for (li, layer) in model.layers.iter().enumerate() {
+            let normed = layer_norm(&x, &layer.ln1_gamma, &layer.ln1_beta, 1e-5);
+            let qkv_in = quantize_rows(&normed, self.act_quant);
+            let qkv = matmul(&qkv_in, &layer.wqkv);
+            self.k_cache[li].extend_from_slice(&qkv.data()[d..2 * d]);
+            self.v_cache[li].extend_from_slice(&qkv.data()[2 * d..3 * d]);
+            let attn = self.attention_step(li, &qkv);
+            let attn_in = quantize_rows(&attn, self.act_quant);
+            let out = matmul(&attn_in, &layer.wo);
+            x = x.add(&out);
+
+            let normed = layer_norm(&x, &layer.ln2_gamma, &layer.ln2_beta, 1e-5);
+            let ffn_in = quantize_rows(&normed, self.act_quant);
+            let h = gelu(&matmul(&ffn_in, &layer.w1));
+            let h_in = quantize_rows(&h, self.act_quant);
+            let ffn = matmul(&h_in, &layer.w2);
+            x = x.add(&ffn);
+        }
+        self.tokens.push(token);
+
+        let normed = layer_norm(&x, &model.ln_f_gamma, &model.ln_f_beta, 1e-5);
+        let head_in = quantize_rows(&normed, self.act_quant);
+        let logits = matmul_transpose_b(&head_in, &model.embedding);
+        logits.row(0).to_vec()
+    }
+
+    /// Pushes every token of `prompt` and returns the last position's logits
+    /// (`None` for an empty prompt).
+    pub fn prefill(&mut self, prompt: &[usize]) -> Option<Vec<f32>> {
+        let mut last = None;
+        for &token in prompt {
+            last = Some(self.push(token));
+        }
+        last
+    }
+
+    /// Attention for the newest position: its query row against the cached
+    /// keys/values of positions `0..=pos` (the just-pushed row included).
+    fn attention_step(&self, li: usize, qkv: &Tensor) -> Tensor {
+        let d = self.model.config.d_model;
+        let heads = self.model.config.n_heads;
+        let dh = self.model.config.head_dim();
+        let rows = self.tokens.len() + 1;
+        let kc = &self.k_cache[li];
+        let vc = &self.v_cache[li];
+        let mut out = Tensor::zeros(vec![1, d]);
+        for h in 0..heads {
+            let mut q = Tensor::zeros(vec![1, dh]);
+            let mut k = Tensor::zeros(vec![rows, dh]);
+            let mut v = Tensor::zeros(vec![rows, dh]);
+            for j in 0..dh {
+                q[[0, j]] = qkv[[0, h * dh + j]];
+            }
+            for i in 0..rows {
+                for j in 0..dh {
+                    k[[i, j]] = kc[i * d + h * dh + j];
+                    v[[i, j]] = vc[i * d + h * dh + j];
+                }
+            }
+            let scale = 1.0 / (dh as f32).sqrt();
+            let scores = matmul_transpose_b(&q, &k).scale(scale);
+            let probs = softmax_rows(&scores);
+            let ctx = matmul(&probs, &v);
+            for j in 0..dh {
+                out[[0, j + h * dh]] = ctx[[0, j]];
+            }
+        }
+        out
+    }
+}
+
+/// Greedy (argmax) continuation of `prompt` by `max_new_tokens` tokens via
+/// the incremental [`DecodeSession`] path. Returns only the new tokens.
+///
+/// # Panics
+///
+/// Panics on an empty prompt (there is no distribution to continue from) or
+/// out-of-vocabulary prompt tokens.
+pub fn generate_greedy(
+    model: &TinyTransformer,
+    prompt: &[usize],
+    max_new_tokens: usize,
+    act_quant: Option<&dyn TensorQuantizer>,
+) -> Vec<usize> {
+    let mut session = DecodeSession::new(model, act_quant);
+    let mut logits = session
+        .prefill(prompt)
+        .expect("generate_greedy requires a non-empty prompt");
+    let mut generated = Vec::with_capacity(max_new_tokens);
+    for _ in 0..max_new_tokens {
+        let next = argmax(&logits);
+        generated.push(next);
+        logits = session.push(next);
+    }
+    generated
+}
+
+/// Reference greedy generation that recomputes the full causal forward pass
+/// every step — O(len²) per token, used to pin the [`DecodeSession`] fast
+/// path down in tests and benches.
+///
+/// # Panics
+///
+/// Panics on an empty prompt or out-of-vocabulary prompt tokens.
+pub fn generate_greedy_recompute(
+    model: &TinyTransformer,
+    prompt: &[usize],
+    max_new_tokens: usize,
+    act_quant: Option<&dyn TensorQuantizer>,
+) -> Vec<usize> {
+    assert!(
+        !prompt.is_empty(),
+        "generate_greedy_recompute requires a non-empty prompt"
+    );
+    let mut tokens = prompt.to_vec();
+    let mut generated = Vec::with_capacity(max_new_tokens);
+    for _ in 0..max_new_tokens {
+        let logits = model.forward_causal(&tokens, act_quant);
+        let next = argmax(logits.row(logits.rows() - 1));
+        generated.push(next);
+        tokens.push(next);
+    }
+    generated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, OutlierSeverity};
+    use olive_core::OliveQuantizer;
+    use olive_tensor::rng::Rng;
+
+    fn teacher(seed: u64) -> TinyTransformer {
+        let mut rng = Rng::seed_from(seed);
+        TinyTransformer::generate(EngineConfig::tiny(), OutlierSeverity::llm(), &mut rng)
+    }
+
+    fn random_tokens(rng: &mut Rng, vocab: usize, len: usize) -> Vec<usize> {
+        (0..len).map(|_| rng.below(vocab)).collect()
+    }
+
+    #[test]
+    fn causal_logits_have_the_right_shape_and_are_finite() {
+        let model = teacher(1);
+        let logits = model.forward_causal(&[1, 2, 3], None);
+        assert_eq!(logits.shape(), &[3, model.config.vocab]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn causal_prefix_invariance() {
+        // The defining property of causality: earlier rows do not change
+        // when the sequence is extended.
+        let model = teacher(2);
+        let long = model.forward_causal(&[5, 9, 2, 7], None);
+        let short = model.forward_causal(&[5, 9, 2], None);
+        for pos in 0..3 {
+            assert_eq!(long.row(pos), short.row(pos), "position {pos}");
+        }
+    }
+
+    /// The decode-cache determinism contract, property-tested: incremental
+    /// push-by-push logits are bit-identical to the batch causal forward,
+    /// with and without (per-row) activation quantization, at 1 and 8
+    /// threads.
+    #[test]
+    fn decode_session_is_bit_identical_to_batch_causal_forward() {
+        let cfg = EngineConfig::tiny();
+        let config = olive_harness::check::CheckConfig {
+            cases: 12,
+            ..Default::default()
+        };
+        olive_harness::check::check_with(
+            config,
+            "decode_session_matches_batch",
+            |rng| {
+                let seed = rng.next_u64();
+                let len = 1 + rng.below(2 * cfg.seq_len);
+                (seed, random_tokens(rng, cfg.vocab, len))
+            },
+            |(seed, tokens)| {
+                let model = teacher(*seed);
+                let q = OliveQuantizer::int4();
+                for act in [None, Some(&q as &dyn TensorQuantizer)] {
+                    for threads in [1usize, 8] {
+                        let diverged = olive_runtime::with_threads(threads, || {
+                            let batch = model.forward_causal(tokens, act);
+                            let mut session = DecodeSession::new(&model, act);
+                            for (pos, &tok) in tokens.iter().enumerate() {
+                                if session.push(tok).as_slice() != batch.row(pos) {
+                                    return Some(pos);
+                                }
+                            }
+                            None
+                        });
+                        if let Some(pos) = diverged {
+                            return Err(format!(
+                                "incremental logits diverged from the batch causal \
+                                 forward at position {pos} (act={}, threads={threads})",
+                                act.is_some(),
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn decode_session_resumes_mid_stream() {
+        // prefill(prompt) then push(rest) must equal pushing everything —
+        // the property that makes the serve layer's streaming resumable.
+        let model = teacher(3);
+        let mut rng = Rng::seed_from(17);
+        let tokens = random_tokens(&mut rng, model.config.vocab, 9);
+        let mut whole = DecodeSession::new(&model, None);
+        let mut last_whole = Vec::new();
+        for &t in &tokens {
+            last_whole = whole.push(t);
+        }
+        let mut split = DecodeSession::new(&model, None);
+        split.prefill(&tokens[..4]).unwrap();
+        let mut last_split = Vec::new();
+        for &t in &tokens[4..] {
+            last_split = split.push(t);
+        }
+        assert_eq!(last_whole, last_split);
+        assert_eq!(whole.tokens(), split.tokens());
+        assert_eq!(whole.len(), 9);
+        assert!(!whole.is_empty());
+    }
+
+    #[test]
+    fn incremental_greedy_generation_matches_full_recompute() {
+        let q = OliveQuantizer::int4();
+        for seed in [4u64, 5, 6] {
+            let model = teacher(seed);
+            let mut rng = Rng::seed_from(seed ^ 0xABCD);
+            let prompt = random_tokens(&mut rng, model.config.vocab, 6);
+            for act in [None, Some(&q as &dyn TensorQuantizer)] {
+                let fast = generate_greedy(&model, &prompt, 12, act);
+                let slow = generate_greedy_recompute(&model, &prompt, 12, act);
+                assert_eq!(fast, slow, "seed {seed}, act={}", act.is_some());
+                assert!(fast.iter().all(|&t| t < model.config.vocab));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let model = teacher(7);
+        let mut rng = Rng::seed_from(23);
+        let prompt = random_tokens(&mut rng, model.config.vocab, 5);
+        let run = || generate_greedy(&model, &prompt, 10, None);
+        let seq = olive_runtime::with_threads(1, run);
+        let par = olive_runtime::with_threads(8, run);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn quantized_student_still_tracks_the_teacher_closely() {
+        // A sanity anchor for the generation workload: an OliVe-4bit student
+        // should agree with its teacher on a majority of greedy steps.
+        let model = teacher(8);
+        let student = model.quantize_weights(&OliveQuantizer::int4());
+        let mut rng = Rng::seed_from(31);
+        let prompt = random_tokens(&mut rng, model.config.vocab, 8);
+        let teacher_tokens = generate_greedy(&model, &prompt, 16, None);
+        let student_tokens = generate_greedy(&student, &prompt, 16, None);
+        let agree = teacher_tokens
+            .iter()
+            .zip(&student_tokens)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree * 2 >= teacher_tokens.len(), "agreement {agree}/16");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_session_rejects_out_of_vocab_tokens() {
+        let model = teacher(9);
+        let mut session = DecodeSession::new(&model, None);
+        let _ = session.push(100_000);
+    }
+}

@@ -342,7 +342,9 @@ impl TinyTransformer {
     }
 }
 
-fn argmax(row: &[f32]) -> usize {
+/// Index of the largest value (first winner on ties) — the greedy decoding
+/// rule shared by the evaluation metrics and [`crate::decode`].
+pub fn argmax(row: &[f32]) -> usize {
     let mut best = 0;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &v) in row.iter().enumerate() {

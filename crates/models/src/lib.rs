@@ -12,17 +12,22 @@
 //!   Fig. 2 / Tbl. 2 (Gaussian bulk + sparse extreme outliers).
 //! * [`engine`] — a small runnable Transformer with planted outliers used as a
 //!   teacher–student accuracy proxy for the GLUE/SQuAD/perplexity tables.
+//! * [`decode`] — causal (autoregressive) forward pass plus the KV-cached
+//!   incremental [`DecodeSession`], bit-identical to the batch path — the
+//!   generative workload class behind `olive-serve`'s `/v1/generate`.
 
 pub mod config;
+pub mod decode;
 pub mod engine;
 pub mod resnet;
 pub mod synth;
 pub mod workload;
 
 pub use config::{ModelConfig, ModelFamily};
+pub use decode::{generate_greedy, generate_greedy_recompute, DecodeSession};
 pub use engine::{
-    agreement, eval_scores, logit_fidelity, position_agreement, pseudo_perplexity, EngineConfig,
-    EvalScores, EvalTask, OutlierSeverity, TinyTransformer,
+    agreement, argmax, eval_scores, logit_fidelity, position_agreement, pseudo_perplexity,
+    EngineConfig, EvalScores, EvalTask, OutlierSeverity, TinyTransformer,
 };
 pub use synth::{model_tensor_suite, NamedTensor, SynthProfile};
 pub use workload::{Gemm, GemmKind, Workload};

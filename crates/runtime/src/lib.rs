@@ -19,6 +19,13 @@
 //!
 //! `OLIVE_THREADS=1` forces fully sequential, inline execution everywhere.
 //!
+//! A **set but invalid** `OLIVE_THREADS` (`0`, non-numeric) clamps to 1 with
+//! a one-time stderr warning instead of silently falling back to
+//! [`std::thread::available_parallelism`]: a typo'd environment must never
+//! be able to change which thread count a determinism test actually ran at.
+//! Daemons should additionally call [`validate_thread_env`] at startup to
+//! turn the typo into a hard error before serving anything.
+//!
 //! ## Determinism contract
 //!
 //! Parallel execution is **bit-identical** to sequential execution, for every
@@ -85,18 +92,66 @@ pub const MIN_PARALLEL_WORK: u64 = 32_768;
 /// steal work from slow ones without making chunks too fine.
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// Parses an `OLIVE_THREADS` value: a positive integer, surrounding
+/// whitespace tolerated.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value for `0` (a thread count of
+/// zero is always a typo) and anything non-numeric.
+pub fn parse_thread_env(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("OLIVE_THREADS=0 is invalid: the thread count must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "OLIVE_THREADS='{raw}' is not a positive integer thread count"
+        )),
+    }
+}
+
+/// Checks the `OLIVE_THREADS` environment variable: `Ok` when unset or a
+/// positive integer. Daemons call this at startup so a typo'd environment is
+/// an explicit error instead of a silently different thread count (see the
+/// [module docs](self)).
+///
+/// # Errors
+///
+/// Propagates the [`parse_thread_env`] message for a set-but-invalid value.
+pub fn validate_thread_env() -> Result<(), String> {
+    match std::env::var("OLIVE_THREADS") {
+        Err(_) => Ok(()),
+        Ok(value) => parse_thread_env(&value).map(|_| ()),
+    }
+}
+
+/// Warns about an invalid `OLIVE_THREADS` once per process (the value is
+/// re-read on every primitive call; a warning per GEMM would be noise).
+fn warn_invalid_thread_env_once(message: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!("olive-runtime: {message}; clamping to OLIVE_THREADS=1 (fully sequential)");
+    });
+}
+
 /// The parallelism the current thread's primitives will use.
 ///
 /// Resolution order: [`with_threads`] override, then `OLIVE_THREADS`
-/// (re-read on every call), then [`std::thread::available_parallelism`].
-/// Always at least 1, clamped to [`MAX_THREADS`].
+/// (re-read on every call; an invalid value clamps to 1 with a one-time
+/// warning — see the [module docs](self)), then
+/// [`std::thread::available_parallelism`]. Always at least 1, clamped to
+/// [`MAX_THREADS`].
 pub fn effective_threads() -> usize {
     let raw = THREAD_OVERRIDE
         .with(Cell::get)
         .or_else(|| {
-            std::env::var("OLIVE_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
+            let value = std::env::var("OLIVE_THREADS").ok()?;
+            Some(match parse_thread_env(&value) {
+                Ok(n) => n,
+                Err(message) => {
+                    warn_invalid_thread_env_once(&message);
+                    1
+                }
+            })
         })
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     raw.clamp(1, MAX_THREADS)
@@ -378,8 +433,12 @@ mod tests {
         assert_eq!(effective_threads(), 5);
         std::env::set_var("OLIVE_THREADS", "2");
         assert_eq!(effective_threads(), 2);
+        // Invalid values clamp to exactly 1 (never available_parallelism),
+        // so a typo cannot silently change a determinism test's setting.
         std::env::set_var("OLIVE_THREADS", "0");
-        assert!(effective_threads() >= 1, "0 must clamp to at least 1");
+        assert_eq!(effective_threads(), 1, "0 must clamp to exactly 1");
+        std::env::set_var("OLIVE_THREADS", "eight");
+        assert_eq!(effective_threads(), 1, "garbage must clamp to exactly 1");
         std::env::remove_var("OLIVE_THREADS");
         // Override beats the env var.
         std::env::set_var("OLIVE_THREADS", "3");

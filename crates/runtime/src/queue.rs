@@ -121,7 +121,12 @@ impl<T> BoundedQueue<T> {
         }
         let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
         // Phase 2: batch whatever is already queued, then linger up to
-        // `max_wait` (measured from the first item) for more.
+        // `max_wait` (measured from the first item) for more. The loop is
+        // purely deadline-driven: the remaining wait is recomputed from the
+        // wall clock on *every* iteration and the `WaitTimeoutResult` is
+        // deliberately ignored, so a spurious condvar wakeup (or a wakeup
+        // for an item another effect consumed) can neither extend the
+        // linger past `max_wait` nor cut it short.
         let deadline = Instant::now() + max_wait;
         loop {
             while batch.len() < max_batch {
@@ -133,16 +138,24 @@ impl<T> BoundedQueue<T> {
             if batch.len() >= max_batch || inner.closed {
                 return batch;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return batch;
             }
-            let (guard, timeout) = self.available.wait_timeout(inner, deadline - now).unwrap();
-            inner = guard;
-            if timeout.timed_out() && inner.items.is_empty() {
-                return batch;
-            }
+            (inner, _) = self.available.wait_timeout(inner, remaining).unwrap();
         }
+    }
+
+    /// Wakes every blocked consumer without delivering an item or closing —
+    /// indistinguishable, on the consumer side, from a spurious condvar
+    /// wakeup. Exists so tests can exercise the [`pop_batch`] deadline
+    /// logic deterministically; it is never useful in production code.
+    #[doc(hidden)]
+    pub fn spurious_wake_for_test(&self) {
+        // Take the lock so the wake cannot race past a consumer that is
+        // between checking state and parking.
+        drop(self.inner.lock().unwrap());
+        self.available.notify_all();
     }
 
     /// Closes the queue: pending items remain poppable, new pushes fail with
@@ -241,6 +254,39 @@ mod tests {
         let batch = q.pop_batch(2, Duration::from_secs(5));
         assert_eq!(batch, vec![1, 2], "straggler must join the batch");
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_extend_the_pop_deadline() {
+        // A consumer holding one item and lingering for stragglers is
+        // bombarded with wakeups that never deliver an item. The linger
+        // must still end at (about) `max_wait` — a wakeup-driven
+        // implementation that restarts its timeout on every wake would hang
+        // here for the full 10 seconds of bombardment.
+        let q = Arc::new(BoundedQueue::<u32>::new(8));
+        q.try_push(1).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waker = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let end = Instant::now() + Duration::from_secs(10);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) && Instant::now() < end {
+                    q.spurious_wake_for_test();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let start = Instant::now();
+        let batch = q.pop_batch(4, Duration::from_millis(100));
+        let elapsed = start.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        waker.join().unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "woken-but-empty linger overshot the 100ms deadline: {elapsed:?}"
+        );
     }
 
     #[test]

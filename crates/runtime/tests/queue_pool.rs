@@ -112,6 +112,42 @@ fn concurrent_producers_all_get_answers() {
     }
 }
 
+/// A set-but-invalid `OLIVE_THREADS` must be loud: `validate_thread_env`
+/// (the daemon startup check) errors, and `effective_threads` clamps to
+/// exactly 1 rather than silently falling through to
+/// `available_parallelism` — a typo'd env cannot invalidate a serve
+/// determinism test. One test owns every env mutation in this binary; the
+/// other tests pin their thread counts via `with_threads`, which beats the
+/// env by contract.
+#[test]
+fn invalid_olive_threads_is_an_explicit_error_not_a_silent_fallback() {
+    for bad in ["0", "eight", "-2", "1.5", ""] {
+        std::env::set_var("OLIVE_THREADS", bad);
+        let err = olive_runtime::validate_thread_env()
+            .expect_err(&format!("OLIVE_THREADS={bad:?} must fail validation"));
+        assert!(err.contains("OLIVE_THREADS"), "{bad:?}: {err}");
+        assert_eq!(
+            olive_runtime::effective_threads(),
+            1,
+            "OLIVE_THREADS={bad:?} must clamp to exactly 1"
+        );
+    }
+    for good in ["1", "8", "  4  "] {
+        std::env::set_var("OLIVE_THREADS", good);
+        assert!(olive_runtime::validate_thread_env().is_ok(), "{good:?}");
+    }
+    assert_eq!(
+        olive_runtime::parse_thread_env(" 12 "),
+        Ok(12),
+        "surrounding whitespace is tolerated"
+    );
+    std::env::remove_var("OLIVE_THREADS");
+    assert!(
+        olive_runtime::validate_thread_env().is_ok(),
+        "unset is fine"
+    );
+}
+
 /// A panicking job inside a pool-executed batch must propagate to the thread
 /// draining the queue — not vanish into a worker — and must not poison the
 /// queue or the pool for subsequent batches.

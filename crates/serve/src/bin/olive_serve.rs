@@ -67,6 +67,12 @@ fn parse_args() -> ServeConfig {
 }
 
 fn main() {
+    // A typo'd OLIVE_THREADS is a startup error, not a silently different
+    // thread count: determinism contracts quote the env setting verbatim.
+    if let Err(message) = olive_runtime::validate_thread_env() {
+        eprintln!("olive-serve: {message}");
+        std::process::exit(2);
+    }
     let config = parse_args();
     let server = match Server::start(config) {
         Ok(server) => server,

@@ -14,13 +14,16 @@
 //! hit can never serve a stale or divergent answer, and eviction (bounded
 //! FIFO) is purely a memory-footprint concern.
 
-use crate::protocol::EvalRequest;
-use olive_api::PreparedEval;
+use crate::protocol::{EvalRequest, GenerateRequest};
+use olive_api::{GenReport, PreparedEval, PreparedGen};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Most prepared (teacher, task) pairs kept alive.
 pub const MAX_PREPARED: usize = 32;
+
+/// Most prepared (teacher, prompt) generation preparations kept alive.
+pub const MAX_GEN_PREPARED: usize = 32;
 
 /// Most rendered response bodies kept alive.
 pub const MAX_RESPONSES: usize = 1024;
@@ -69,6 +72,7 @@ impl<V: Clone> FifoMap<V> {
 /// Shared cache of prepared models and rendered eval responses.
 pub struct ModelCache {
     prepared: Mutex<FifoMap<Arc<PreparedEval>>>,
+    gen_prepared: Mutex<FifoMap<Arc<PreparedGen>>>,
     responses: Mutex<FifoMap<Arc<String>>>,
 }
 
@@ -83,6 +87,7 @@ impl ModelCache {
     pub fn new() -> Self {
         ModelCache {
             prepared: Mutex::new(FifoMap::new(MAX_PREPARED)),
+            gen_prepared: Mutex::new(FifoMap::new(MAX_GEN_PREPARED)),
             responses: Mutex::new(FifoMap::new(MAX_RESPONSES)),
         }
     }
@@ -131,11 +136,43 @@ impl ModelCache {
         body
     }
 
-    /// (prepared models, cached response bodies) currently held — surfaced
-    /// by `/healthz`.
-    pub fn sizes(&self) -> (usize, usize) {
+    /// Streams one `/v1/generate` request: fetches (or computes and caches)
+    /// the prepared teacher + prompt, then decodes through
+    /// [`Pipeline::generate_streamed`](olive_api::Pipeline::generate_streamed),
+    /// handing `sink` each JSON fragment as its step is decoded. Returns the
+    /// (wall-time-stripped) report whose `to_json` equals the concatenated
+    /// fragments.
+    ///
+    /// Generation responses are **not** body-cached: the stream is the
+    /// point, and the expensive part (teacher generation) is what the
+    /// preparation cache already amortises.
+    pub fn generate_stream(&self, req: &GenerateRequest, sink: &mut dyn FnMut(&str)) -> GenReport {
+        let pipeline = req.pipeline();
+        let prepared = {
+            let key = req.prepared_key();
+            let hit = self.gen_prepared.lock().unwrap().get(&key);
+            match hit {
+                Some(p) => p,
+                None => {
+                    // Lock never held across the computation (see eval_body).
+                    let p = Arc::new(pipeline.prepare_generation(req.prompt_tokens));
+                    self.gen_prepared
+                        .lock()
+                        .unwrap()
+                        .insert(key, Arc::clone(&p));
+                    p
+                }
+            }
+        };
+        pipeline.generate_streamed(&prepared, req.max_new_tokens, sink)
+    }
+
+    /// (prepared eval models, prepared generation models, cached response
+    /// bodies) currently held — surfaced by `/healthz`.
+    pub fn sizes(&self) -> (usize, usize, usize) {
         (
             self.prepared.lock().unwrap().len(),
+            self.gen_prepared.lock().unwrap().len(),
             self.responses.lock().unwrap().len(),
         )
     }
@@ -157,7 +194,7 @@ mod tests {
         let a = cache.eval_body(&req);
         let b = cache.eval_body(&req);
         assert!(Arc::ptr_eq(&a, &b), "second request must be a cache hit");
-        assert_eq!(cache.sizes(), (1, 1));
+        assert_eq!(cache.sizes(), (1, 0, 1));
     }
 
     #[test]
@@ -168,7 +205,33 @@ mod tests {
         let _ = cache.eval_body(&a);
         let _ = cache.eval_body(&b);
         // Two response bodies, one prepared teacher.
-        assert_eq!(cache.sizes(), (1, 2));
+        assert_eq!(cache.sizes(), (1, 0, 2));
+    }
+
+    #[test]
+    fn generate_streams_share_the_prepared_teacher_across_schemes() {
+        let cache = ModelCache::new();
+        let decode = |text: &str| {
+            GenerateRequest::decode(&JsonValue::parse(text).unwrap()).expect("request decodes")
+        };
+        let olive = decode(r#"{"scheme": "olive-4bit", "max_new_tokens": 3, "prompt_tokens": 4}"#);
+        let fp32 = decode(r#"{"scheme": "fp32", "max_new_tokens": 3, "prompt_tokens": 4}"#);
+        let mut streamed = String::new();
+        let report = cache.generate_stream(&olive, &mut |f| streamed.push_str(f));
+        assert_eq!(streamed, report.to_json(), "fragments must concatenate");
+        let _ = cache.generate_stream(&fp32, &mut |_| {});
+        // One shared generation preparation, no body caching.
+        assert_eq!(cache.sizes(), (0, 1, 0));
+        // Served bytes equal the direct pipeline's rendering.
+        let p = olive.pipeline();
+        let direct = p
+            .generate_prepared(
+                &p.prepare_generation(olive.prompt_tokens),
+                olive.max_new_tokens,
+            )
+            .without_wall_times()
+            .to_json();
+        assert_eq!(streamed, direct);
     }
 
     #[test]

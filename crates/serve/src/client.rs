@@ -12,8 +12,13 @@ pub struct HttpResponse {
     pub status: u16,
     /// Header name/value pairs.
     pub headers: Vec<(String, String)>,
-    /// Body (decoded via `Content-Length`).
+    /// Body: the `Content-Length` bytes, or every chunk of a
+    /// `Transfer-Encoding: chunked` response concatenated.
     pub body: String,
+    /// The individual chunks of a chunked response, in arrival order
+    /// (`None` for a `Content-Length`-framed response). Lets callers assert
+    /// a response really streamed instead of arriving as one blob.
+    pub chunks: Option<Vec<String>>,
 }
 
 impl HttpResponse {
@@ -103,6 +108,19 @@ impl Connection {
                 .ok_or_else(|| bad(format!("malformed header '{line}'")))?;
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
+        let chunked = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+            .is_some_and(|(_, v)| v.eq_ignore_ascii_case("chunked"));
+        if chunked {
+            let chunks = self.read_chunks()?;
+            return Ok(HttpResponse {
+                status,
+                headers,
+                body: chunks.concat(),
+                chunks: Some(chunks),
+            });
+        }
         let length: usize = headers
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
@@ -117,7 +135,38 @@ impl Connection {
             status,
             headers,
             body,
+            chunks: None,
         })
+    }
+
+    /// Decodes a chunked body: size-line-framed chunks until the terminating
+    /// zero chunk (trailers, which this server never sends, are skipped up
+    /// to the final blank line). Keep-alive framing stays intact, so the
+    /// connection is reusable afterwards.
+    fn read_chunks(&mut self) -> std::io::Result<Vec<String>> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut chunks = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let size_token = line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_token, 16)
+                .map_err(|_| bad(format!("malformed chunk size '{line}'")))?;
+            if size == 0 {
+                loop {
+                    if self.read_line()?.is_empty() {
+                        return Ok(chunks);
+                    }
+                }
+            }
+            let mut data = vec![0u8; size];
+            self.reader.read_exact(&mut data)?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad("chunk data not CRLF-terminated".into()));
+            }
+            chunks.push(String::from_utf8(data).map_err(|_| bad("non-UTF-8 chunk".into()))?);
+        }
     }
 }
 

@@ -167,7 +167,17 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
         };
         match text.split_once(':') {
             Some((name, value)) => {
-                headers.push((name.trim().to_string(), value.trim().to_string()))
+                // RFC 7230 §3.2.4: whitespace between the field name and the
+                // colon must be rejected (400) — a lenient parser upstream
+                // that strips or honours such a header disagrees with this
+                // one about framing (request-smuggling guard). A leading
+                // space would be an obs-fold continuation line; reject too.
+                if name.is_empty() || name != name.trim() {
+                    return ReadOutcome::Bad(HttpError::bad_request(format!(
+                        "whitespace around the header name in '{text}'"
+                    )));
+                }
+                headers.push((name.to_string(), value.trim().to_string()))
             }
             None => {
                 return ReadOutcome::Bad(HttpError::bad_request(format!(
@@ -183,25 +193,31 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
         headers,
         body: Vec::new(),
     };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return ReadOutcome::Bad(HttpError::new(
-            501,
-            "chunked transfer coding is not supported; send Content-Length",
-        ));
+    // Like Content-Length below, Transfer-Encoding is checked against every
+    // occurrence, not the first match: a second (e.g. `chunked`) copy that a
+    // front proxy honours while this server reads the first would desync
+    // framing (request-smuggling guard).
+    let mut te_seen = false;
+    for (name, value) in &request.headers {
+        if !name.eq_ignore_ascii_case("transfer-encoding") {
+            continue;
+        }
+        if te_seen {
+            return ReadOutcome::Bad(HttpError::bad_request(
+                "duplicate Transfer-Encoding headers (request-smuggling guard)",
+            ));
+        }
+        te_seen = true;
+        if !value.eq_ignore_ascii_case("identity") {
+            return ReadOutcome::Bad(HttpError::new(
+                501,
+                "chunked transfer coding is not supported; send Content-Length",
+            ));
+        }
     }
-    let content_length = match request.header("content-length") {
-        None => 0usize,
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => {
-                return ReadOutcome::Bad(HttpError::bad_request(format!(
-                    "invalid Content-Length '{v}'"
-                )))
-            }
-        },
+    let content_length = match parse_content_length(&request.headers) {
+        Ok(n) => n,
+        Err(e) => return ReadOutcome::Bad(e),
     };
     if content_length > MAX_BODY_BYTES {
         return ReadOutcome::Bad(HttpError::new(
@@ -223,6 +239,46 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
         }
     }
     ReadOutcome::Request(request)
+}
+
+/// Extracts the request body length from the headers — strictly.
+///
+/// Request-smuggling guard: when two parsers disagree about where a request
+/// body ends, one of them can be fed a hidden second request. So this
+/// rejects (400) anything a lenient parser might read differently instead of
+/// accepting the first plausible parse:
+///
+/// * **duplicate** `Content-Length` headers, case-insensitively, even when
+///   their values agree — a duplicated header means something upstream
+///   already disagreed about framing;
+/// * values that are not pure ASCII digits: `+42` (which `usize::from_str`
+///   would happily accept), `4 2`, `42,42`, an empty value. Surrounding
+///   optional whitespace (` 42`) was already stripped as header OWS and
+///   never reaches the digit check.
+fn parse_content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut seen: Option<&str> = None;
+    for (name, value) in headers {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        if seen.is_some() {
+            return Err(HttpError::bad_request(
+                "duplicate Content-Length headers (request-smuggling guard)",
+            ));
+        }
+        seen = Some(value);
+    }
+    let Some(value) = seen else {
+        return Ok(0);
+    };
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::bad_request(format!(
+            "invalid Content-Length '{value}' (digits only; no signs or whitespace)"
+        )));
+    }
+    value.parse::<usize>().map_err(|_| {
+        HttpError::bad_request(format!("Content-Length '{value}' does not fit in usize"))
+    })
 }
 
 enum LineOutcome {
@@ -339,6 +395,11 @@ impl Response {
 
     /// Serializes the response, honouring `keep_alive` in the `Connection`
     /// header.
+    ///
+    /// Extra headers whose names collide **case-insensitively** with the
+    /// framing set ([`RESERVED_HEADERS`]) are dropped: a handler must never
+    /// be able to emit a second `content-length` and desynchronise the
+    /// connection.
     pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -348,6 +409,12 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
+            if RESERVED_HEADERS
+                .iter()
+                .any(|reserved| name.eq_ignore_ascii_case(reserved))
+            {
+                continue;
+            }
             head.push_str(name);
             head.push_str(": ");
             head.push_str(value);
@@ -360,6 +427,68 @@ impl Response {
         writer.write_all(head.as_bytes())?;
         writer.flush()
     }
+}
+
+/// Header names the response writers own; handler-supplied extra headers can
+/// never override them (compared case-insensitively on the write path, just
+/// as lookups are on the read path).
+pub const RESERVED_HEADERS: [&str; 4] = [
+    "content-type",
+    "content-length",
+    "connection",
+    "transfer-encoding",
+];
+
+/// Writes the head of a chunked (streaming) response: status line, framing
+/// headers with `Transfer-Encoding: chunked`, and the blank line. Follow
+/// with [`write_chunk`] calls and one [`write_last_chunk`].
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunked_head<W: Write>(
+    writer: &mut W,
+    status: u16,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        status,
+        reason_phrase(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one chunk (size line + data + CRLF) in a single syscall and
+/// flushes, so each streamed token fragment hits the wire immediately.
+/// Empty data is a no-op: a zero-length chunk would terminate the stream
+/// ([`write_last_chunk`] owns that).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunk<W: Write>(writer: &mut W, data: &str) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    let mut frame = format!("{:x}\r\n", data.len());
+    frame.push_str(data);
+    frame.push_str("\r\n");
+    writer.write_all(frame.as_bytes())?;
+    writer.flush()
+}
+
+/// Terminates a chunked response (`0\r\n\r\n`), preserving keep-alive
+/// framing for the next request on the connection.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_last_chunk<W: Write>(writer: &mut W) -> std::io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -480,6 +609,116 @@ mod tests {
             ReadOutcome::Bad(e) => assert_eq!(e.status, 431),
             other => panic!("expected 431, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn content_length_smuggling_vectors_are_rejected() {
+        // Duplicate Content-Length headers — identical, differing, and
+        // differing only in name case — all close with a 400.
+        for raw in [
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok",
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nok",
+            "POST /x HTTP/1.1\r\ncontent-length: 2\r\nCONTENT-LENGTH: 5\r\n\r\nok",
+        ] {
+            match read(raw) {
+                ReadOutcome::Bad(e) => {
+                    assert_eq!(e.status, 400, "{raw:?}");
+                    assert!(e.message.contains("duplicate"), "{raw:?}: {}", e.message);
+                }
+                other => panic!("{raw:?}: expected Bad, got {other:?}"),
+            }
+        }
+        // Values with signs, inner whitespace, separators or nothing at all
+        // must not reach a lenient integer parse.
+        for value in ["+42", "-1", "4 2", "42,42", "", "0x10", "42."] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+            match read(&raw) {
+                ReadOutcome::Bad(e) => assert_eq!(e.status, 400, "CL {value:?}: {}", e.message),
+                other => panic!("CL {value:?}: expected Bad, got {other:?}"),
+            }
+        }
+        // A single well-formed header still works regardless of name case
+        // and optional whitespace after the colon (standard header OWS).
+        let outcome = read("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh:   2  \r\n\r\nhi");
+        let ReadOutcome::Request(req) = outcome else {
+            panic!("mixed-case Content-Length must parse, got {outcome:?}");
+        };
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn transfer_encoding_smuggling_vectors_are_rejected() {
+        // A duplicated Transfer-Encoding must never be resolved by taking
+        // the first match: a proxy honouring the second copy would frame
+        // the body differently.
+        for raw in [
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: identity\r\nTransfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\nhi",
+            "POST /x HTTP/1.1\r\ntransfer-encoding: identity\r\nTRANSFER-ENCODING: identity\r\n\r\n",
+        ] {
+            match read(raw) {
+                ReadOutcome::Bad(e) => {
+                    assert_eq!(e.status, 400, "{raw:?}: {}", e.message);
+                    assert!(e.message.contains("duplicate"), "{raw:?}: {}", e.message);
+                }
+                other => panic!("{raw:?}: expected Bad, got {other:?}"),
+            }
+        }
+        // A combined coding list in one header is still unsupported (501).
+        match read("POST /x HTTP/1.1\r\nTransfer-Encoding: identity, chunked\r\n\r\n") {
+            ReadOutcome::Bad(e) => assert_eq!(e.status, 501, "{}", e.message),
+            other => panic!("expected 501, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_around_header_names_is_rejected() {
+        // RFC 7230 §3.2.4: whitespace before the colon is a 400 (and a
+        // leading space would be an obs-fold continuation) — both are
+        // parser-disagreement (smuggling) vectors.
+        for raw in [
+            "POST /x HTTP/1.1\r\nContent-Length : 2\r\n\r\nhi",
+            "GET /x HTTP/1.1\r\n Host: a\r\n\r\n",
+            "GET /x HTTP/1.1\r\n: novalue\r\n\r\n",
+        ] {
+            match read(raw) {
+                ReadOutcome::Bad(e) => assert_eq!(e.status, 400, "{raw:?}: {}", e.message),
+                other => panic!("{raw:?}: expected Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_extra_headers_cannot_override_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("Content-LENGTH", "9999")
+            .with_header("transfer-encoding", "chunked")
+            .with_header("X-Custom", "kept")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(!text.contains("9999"), "{text}");
+        assert!(!text.to_ascii_lowercase().contains("chunked"), "{text}");
+        assert!(text.contains("X-Custom: kept\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, true).unwrap();
+        write_chunk(&mut out, "{\"a\":").unwrap();
+        write_chunk(&mut out, "").unwrap(); // no-op, must not terminate
+        write_chunk(&mut out, " 1}").unwrap();
+        write_last_chunk(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(
+            text.ends_with("5\r\n{\"a\":\r\n3\r\n 1}\r\n0\r\n\r\n"),
+            "{text}"
+        );
     }
 
     #[test]

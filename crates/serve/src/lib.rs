@@ -14,8 +14,21 @@
 //! | `/healthz`          | GET    | — (liveness + serving counters)        |
 //! | `/v1/schemes`       | GET    | — (the scheme registry)                |
 //! | `/v1/eval`          | POST   | `{"scheme"\|"schemes", "family", "size", "seed", "batches", …}` |
+//! | `/v1/generate`      | POST   | `{"scheme", "prompt_tokens", "max_new_tokens", …}` — **streamed** |
 //! | `/v1/quantize`      | POST   | `{"scheme", "rows", "cols", "data"}`   |
 //! | `/shutdown`         | POST   | — (403 unless `allow_shutdown` is set) |
+//!
+//! ## Streaming generation
+//!
+//! `/v1/generate` decodes one scheme autoregressively (greedy, KV-cached via
+//! [`olive_models::DecodeSession`]) and streams the report as **chunked
+//! transfer-encoding** over the same keep-alive HTTP/1.1 layer: one chunk
+//! for the JSON head, one chunk per decode step the moment its token is
+//! produced, then the per-scheme summary and the terminating chunk.
+//! Generation requests ride the same [`BoundedQueue`] batcher — and shed
+//! with the same 503 + `Retry-After` back-pressure — as `/v1/eval`; the
+//! prepared teacher + prompt are cached per `(family, size, seed,
+//! prompt_tokens)` so scheme comparisons share one preparation.
 //!
 //! ## The determinism contract
 //!
@@ -27,6 +40,14 @@
 //!     .run().without_wall_times().to_json()
 //! ```
 //!
+//! and a streamed `/v1/generate` response — chunks concatenated — is
+//! byte-identical to the direct
+//!
+//! ```text
+//! Pipeline (same family/size/scheme/seed)
+//!     .generate(prompt_tokens, max_new_tokens).without_wall_times().to_json()
+//! ```
+//!
 //! at *any* micro-batch size, queue state, concurrency level and
 //! `OLIVE_THREADS` setting. This holds by construction, not by testing
 //! alone:
@@ -36,12 +57,21 @@
 //!   changes what a job computes, per the `olive-runtime` contract);
 //! * the model cache is keyed by everything that feeds the computation, so a
 //!   hit returns bytes a miss would have produced;
-//! * wall-clock times — the one measurement in an [`EvalReport`] — are
-//!   stripped (`without_wall_times`) before rendering.
+//! * the incremental decode path obeys the **decode-cache determinism
+//!   contract** (see [`olive_models::decode`]): the logits a
+//!   `DecodeSession` produces step by step are bit-identical to the batch
+//!   causal forward pass at any thread count, so caching per-step
+//!   activations can never change a streamed token;
+//! * the streamed JSON is assembled from the same fragments
+//!   `GenReport::to_json` concatenates (`olive_api::gen`), so chunking can
+//!   never change the bytes, only their framing;
+//! * wall-clock times — the one measurement in an [`EvalReport`] or
+//!   `GenReport` — are stripped (`without_wall_times`) before rendering.
 //!
-//! `crates/serve/tests/determinism.rs` enforces the contract end to end with
-//! concurrent clients at `OLIVE_THREADS` ∈ {1, 8} and micro-batch sizes
-//! {1, 4}.
+//! `crates/serve/tests/determinism.rs` enforces both contracts end to end
+//! with concurrent clients at `OLIVE_THREADS` ∈ {1, 8} and micro-batch sizes
+//! {1, 4}, with streamed and unary requests interleaved over the same
+//! kept-alive connections.
 //!
 //! ## Dynamic batching & back-pressure
 //!
@@ -90,8 +120,8 @@ pub mod http;
 pub mod protocol;
 pub mod server;
 
-pub use batch::{BatchConfig, Batcher, Job};
+pub use batch::{BatchConfig, Batcher, Job, StreamEvent};
 pub use cache::ModelCache;
 pub use http::{Request, Response};
-pub use protocol::{EvalRequest, ModelSize, QuantizeRequest};
+pub use protocol::{EvalRequest, GenerateRequest, ModelSize, QuantizeRequest};
 pub use server::{ServeConfig, Server};

@@ -1,6 +1,6 @@
-//! The JSON wire protocol: decoding `/v1/eval` and `/v1/quantize` request
-//! bodies into validated, serveable jobs, and rendering the non-batched
-//! endpoint bodies (`/v1/schemes`).
+//! The JSON wire protocol: decoding `/v1/eval`, `/v1/generate` and
+//! `/v1/quantize` request bodies into validated, serveable jobs, and
+//! rendering the non-batched endpoint bodies (`/v1/schemes`).
 //!
 //! Decoding is strict: unknown fields, wrong types, out-of-range sizes and
 //! duplicate schemes are all 400s with messages naming the offending field —
@@ -8,7 +8,7 @@
 
 use olive_api::{
     Calibration, JsonValue, ModelFamily, ModelSpec, Pipeline, Scheme, DEFAULT_BATCHES,
-    DEFAULT_OVERSAMPLE,
+    DEFAULT_MAX_NEW_TOKENS, DEFAULT_OVERSAMPLE, DEFAULT_PROMPT_TOKENS,
 };
 use olive_core::TensorQuantizer;
 use olive_tensor::Tensor;
@@ -251,6 +251,150 @@ impl EvalRequest {
             self.prepared_key(),
             self.weights_only,
             specs.join(","),
+        )
+    }
+}
+
+/// Most decode steps a single `/v1/generate` request may ask for — a
+/// generation request occupies its batch slot for its whole duration, so
+/// this bounds how long one client can hold a slot.
+pub const MAX_NEW_TOKENS: usize = 256;
+
+/// Longest accepted prompt, in tokens.
+pub const MAX_PROMPT_TOKENS: usize = 256;
+
+/// A fully validated `/v1/generate` request: one scheme decoded greedily for
+/// a bounded number of steps, streamed as chunked transfer-encoding.
+///
+/// Exactly **one** scheme per request: a stream is one decode trace; compare
+/// schemes with one request each (they share the cached teacher + prompt).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateRequest {
+    /// Proxy-model family (`"family"`, default `"bert"`).
+    pub family: ModelFamily,
+    /// Proxy-model size (`"size"`, default `"tiny"`).
+    pub size: ModelSize,
+    /// Scheme to generate with (`"scheme"`, required, single).
+    pub scheme: Scheme,
+    /// Teacher/prompt RNG seed (`"seed"`, default 0).
+    pub seed: u64,
+    /// Prompt length (`"prompt_tokens"`, default
+    /// [`DEFAULT_PROMPT_TOKENS`], max [`MAX_PROMPT_TOKENS`]).
+    pub prompt_tokens: usize,
+    /// Greedy decode steps (`"max_new_tokens"`, default
+    /// [`DEFAULT_MAX_NEW_TOKENS`], max [`MAX_NEW_TOKENS`]).
+    pub max_new_tokens: usize,
+    /// Quantize weights only (`"weights_only"`, default false).
+    pub weights_only: bool,
+    /// Task display name (`"task"`, default `"generate"`).
+    pub task: String,
+}
+
+impl GenerateRequest {
+    /// Decodes and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the offending field.
+    pub fn decode(body: &JsonValue) -> Result<GenerateRequest, DecodeError> {
+        let obj = expect_object(body)?;
+        check_fields(
+            obj,
+            &[
+                "family",
+                "size",
+                "scheme",
+                "seed",
+                "prompt_tokens",
+                "max_new_tokens",
+                "weights_only",
+                "task",
+            ],
+        )?;
+        let family = match body.get("family") {
+            None => ModelFamily::Bert,
+            Some(v) => ModelFamily::parse(str_field(v, "family")?).map_err(DecodeError)?,
+        };
+        let size = match body.get("size") {
+            None => ModelSize::Tiny,
+            Some(v) => ModelSize::parse(str_field(v, "size")?)?,
+        };
+        let spec = body
+            .get("scheme")
+            .ok_or_else(|| {
+                DecodeError(
+                    "missing 'scheme' (one per generation stream; see GET /v1/schemes)".into(),
+                )
+            })
+            .and_then(|v| str_field(v, "scheme"))?;
+        let scheme = Scheme::parse(spec).map_err(|e| DecodeError(e.to_string()))?;
+        let seed = match body.get("seed") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| DecodeError("'seed' must be an unsigned integer".into()))?,
+        };
+        let prompt_tokens = usize_field(
+            body,
+            "prompt_tokens",
+            DEFAULT_PROMPT_TOKENS,
+            1,
+            MAX_PROMPT_TOKENS,
+        )?;
+        let max_new_tokens = usize_field(
+            body,
+            "max_new_tokens",
+            DEFAULT_MAX_NEW_TOKENS,
+            1,
+            MAX_NEW_TOKENS,
+        )?;
+        let weights_only = match body.get("weights_only") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| DecodeError("'weights_only' must be a boolean".into()))?,
+        };
+        let task = match body.get("task") {
+            None => "generate".to_string(),
+            Some(v) => str_field(v, "task")?.to_string(),
+        };
+        Ok(GenerateRequest {
+            family,
+            size,
+            scheme,
+            seed,
+            prompt_tokens,
+            max_new_tokens,
+            weights_only,
+            task,
+        })
+    }
+
+    /// The equivalent direct [`Pipeline`] — a streamed `/v1/generate`
+    /// response, chunks concatenated, is byte-identical to this pipeline's
+    /// `generate(..).without_wall_times().to_json()` (the serving
+    /// determinism contract).
+    pub fn pipeline(&self) -> Pipeline {
+        let mut p = Pipeline::new(self.size.spec(self.family))
+            .task(self.task.clone())
+            .scheme_set([self.scheme])
+            .seed(self.seed);
+        if self.weights_only {
+            p = p.weights_only();
+        }
+        p
+    }
+
+    /// Cache key of the prepared teacher + prompt this request needs —
+    /// everything that feeds [`Pipeline::prepare_generation`], excluding the
+    /// scheme (so scheme comparisons share one preparation).
+    pub fn prepared_key(&self) -> String {
+        format!(
+            "family={};size={};seed={};prompt={}",
+            self.family.label(),
+            self.size.wire_name(),
+            self.seed,
+            self.prompt_tokens,
         )
     }
 }
@@ -574,6 +718,82 @@ mod tests {
         // Same preparation, different schemes: shared teacher, distinct body.
         assert_eq!(a.prepared_key(), c.prepared_key());
         assert_ne!(a.response_key(), c.response_key());
+    }
+
+    fn decode_generate(text: &str) -> Result<GenerateRequest, DecodeError> {
+        GenerateRequest::decode(&JsonValue::parse(text).unwrap())
+    }
+
+    #[test]
+    fn generate_defaults_and_full_requests_decode() {
+        let req = decode_generate(r#"{"scheme": "olive-4bit"}"#).unwrap();
+        assert_eq!(req.family, ModelFamily::Bert);
+        assert_eq!(req.size, ModelSize::Tiny);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.prompt_tokens, DEFAULT_PROMPT_TOKENS);
+        assert_eq!(req.max_new_tokens, DEFAULT_MAX_NEW_TOKENS);
+        assert!(!req.weights_only);
+        assert_eq!(req.task, "generate");
+
+        let req = decode_generate(
+            r#"{"family": "gpt2", "size": "small", "scheme": "olive-4bit@per-row",
+                "seed": 3, "prompt_tokens": 5, "max_new_tokens": 7,
+                "weights_only": true, "task": "story"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.family, ModelFamily::Gpt2);
+        assert_eq!(req.prompt_tokens, 5);
+        assert_eq!(req.max_new_tokens, 7);
+        assert!(req.weights_only);
+        // The derived pipeline reports exactly these settings.
+        let report = GenerateRequest {
+            size: ModelSize::Tiny,
+            max_new_tokens: 2,
+            ..req
+        }
+        .pipeline()
+        .generate(5, 2);
+        assert_eq!(report.task, "story");
+        assert_eq!(report.seed, 3);
+        assert_eq!(report.prompt.len(), 5);
+        assert!(!report.quantize_activations);
+    }
+
+    #[test]
+    fn generate_rejections_name_the_problem() {
+        for (body, needle) in [
+            (r#"{}"#, "missing 'scheme'"),
+            (r#"{"schemes": ["fp32"]}"#, "unknown field 'schemes'"),
+            (r#"{"scheme": "olive-5bit"}"#, "olive-5bit"),
+            (
+                r#"{"scheme": "fp32", "max_new_tokens": 0}"#,
+                "max_new_tokens",
+            ),
+            (
+                r#"{"scheme": "fp32", "max_new_tokens": 100000}"#,
+                "max_new_tokens",
+            ),
+            (r#"{"scheme": "fp32", "prompt_tokens": 0}"#, "prompt_tokens"),
+            (r#"{"scheme": "fp32", "seed": -2}"#, "'seed'"),
+            (
+                r#"{"scheme": "fp32", "batches": 4}"#,
+                "unknown field 'batches'",
+            ),
+        ] {
+            let err = decode_generate(body).expect_err(body);
+            assert!(err.0.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn generate_cache_keys_share_preparations_across_schemes() {
+        let a = decode_generate(r#"{"scheme": "fp32", "seed": 1}"#).unwrap();
+        let b = decode_generate(r#"{"scheme": "olive-4bit", "seed": 1}"#).unwrap();
+        let c = decode_generate(r#"{"scheme": "fp32", "seed": 2}"#).unwrap();
+        let d = decode_generate(r#"{"scheme": "fp32", "seed": 1, "prompt_tokens": 9}"#).unwrap();
+        assert_eq!(a.prepared_key(), b.prepared_key());
+        assert_ne!(a.prepared_key(), c.prepared_key());
+        assert_ne!(a.prepared_key(), d.prepared_key());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The TCP accept loop, connection handling and endpoint routing.
 
-use crate::batch::{BatchConfig, Batcher, Job};
+use crate::batch::{BatchConfig, Batcher, Job, StreamEvent};
 use crate::cache::ModelCache;
-use crate::http::{read_request, ReadOutcome, Request, Response, IDLE_TIMEOUT};
-use crate::protocol::{render_schemes_body, EvalRequest, QuantizeRequest};
+use crate::http::{
+    read_request, write_chunk, write_chunked_head, write_last_chunk, ReadOutcome, Request,
+    Response, IDLE_TIMEOUT,
+};
+use crate::protocol::{render_schemes_body, EvalRequest, GenerateRequest, QuantizeRequest};
 use olive_api::JsonValue;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// How long a kept-alive connection may sit idle before the server closes
@@ -52,7 +55,7 @@ struct ServerState {
 impl ServerState {
     fn healthz_body(&self) -> String {
         let stats = self.batcher.stats();
-        let (prepared, responses) = self.cache.sizes();
+        let (prepared, gen_prepared, responses) = self.cache.sizes();
         JsonValue::object(vec![
             ("status", JsonValue::Str("ok".into())),
             (
@@ -76,6 +79,7 @@ impl ServerState {
                 JsonValue::UInt(self.connections.load(Ordering::Relaxed)),
             ),
             ("cached_models", JsonValue::Int(prepared as i64)),
+            ("cached_generators", JsonValue::Int(gen_prepared as i64)),
             ("cached_responses", JsonValue::Int(responses as i64)),
         ])
         .render()
@@ -206,35 +210,96 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             }
             ReadOutcome::Request(request) => {
                 idle_ticks = 0;
-                let routed = route(&request, state);
-                let keep_alive = request.keep_alive()
-                    && !routed.shutdown
-                    && !state.shutdown.load(Ordering::SeqCst);
-                // The response must be on the wire before shutdown is
-                // triggered: once the accept loop unblocks, the process may
-                // exit while this (detached) thread is still writing.
-                let write_result = routed.response.write_to(&mut writer, keep_alive);
-                if routed.shutdown {
-                    request_shutdown(state);
-                }
-                if write_result.is_err() || !keep_alive {
-                    return;
+                match route(&request, state) {
+                    Routed::Unary { response, shutdown } => {
+                        let keep_alive = request.keep_alive()
+                            && !shutdown
+                            && !state.shutdown.load(Ordering::SeqCst);
+                        // The response must be on the wire before shutdown is
+                        // triggered: once the accept loop unblocks, the
+                        // process may exit while this (detached) thread is
+                        // still writing.
+                        let write_result = response.write_to(&mut writer, keep_alive);
+                        if shutdown {
+                            request_shutdown(state);
+                        }
+                        if write_result.is_err() || !keep_alive {
+                            return;
+                        }
+                    }
+                    Routed::Stream(events) => {
+                        let keep_alive =
+                            request.keep_alive() && !state.shutdown.load(Ordering::SeqCst);
+                        match stream_response(&mut writer, &events, keep_alive) {
+                            Ok(true) if keep_alive => {}
+                            // Framing gone (truncated stream) or client asked
+                            // to close: the connection cannot be reused.
+                            _ => return,
+                        }
+                    }
                 }
             }
         }
     }
 }
 
-/// A routed response, plus whether server shutdown must be triggered after
-/// the response has been written out.
-struct Routed {
-    response: Response,
-    shutdown: bool,
+/// Streams a `/v1/generate` reply: the first event decides between a plain
+/// error response and a chunked 200; afterwards every fragment is written as
+/// its own chunk the moment it arrives. Returns `Ok(true)` only when the
+/// stream terminated cleanly — the connection's framing is intact and
+/// keep-alive reuse is safe.
+fn stream_response(
+    writer: &mut TcpStream,
+    events: &mpsc::Receiver<StreamEvent>,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    match events.recv() {
+        Ok(StreamEvent::Failed(response)) => {
+            response.write_to(writer, keep_alive)?;
+            Ok(true)
+        }
+        Ok(StreamEvent::Chunk(first)) => {
+            write_chunked_head(writer, 200, keep_alive)?;
+            write_chunk(writer, &first)?;
+            loop {
+                match events.recv() {
+                    Ok(StreamEvent::Chunk(data)) => write_chunk(writer, &data)?,
+                    Ok(StreamEvent::Done) => {
+                        write_last_chunk(writer)?;
+                        return Ok(true);
+                    }
+                    // A mid-stream failure (worker panic) truncates the body
+                    // without the terminating chunk: the client sees a hard
+                    // framing error, never a complete-looking answer.
+                    Ok(StreamEvent::Failed(_)) | Err(_) => return Ok(false),
+                }
+            }
+        }
+        // An empty stream (nothing produced) is still a well-formed chunked
+        // body; and a worker that died before any event is a plain 500.
+        Ok(StreamEvent::Done) => {
+            write_chunked_head(writer, 200, keep_alive)?;
+            write_last_chunk(writer)?;
+            Ok(true)
+        }
+        Err(_) => {
+            Response::error(500, "batch worker terminated unexpectedly").write_to(writer, false)?;
+            Ok(false)
+        }
+    }
+}
+
+/// A routed outcome: either a complete response (plus whether server
+/// shutdown must be triggered after it has been written out), or a stream of
+/// events to relay as chunked transfer-encoding.
+enum Routed {
+    Unary { response: Response, shutdown: bool },
+    Stream(mpsc::Receiver<StreamEvent>),
 }
 
 impl From<Response> for Routed {
     fn from(response: Response) -> Self {
-        Routed {
+        Routed::Unary {
             response,
             shutdown: false,
         }
@@ -251,6 +316,15 @@ fn route(request: &Request, state: &ServerState) -> Routed {
             Ok(req) => state.batcher.submit(Job::Eval(req)).into(),
             Err(response) => response.into(),
         },
+        ("POST", "/v1/generate") => match decode_body(request)
+            .and_then(|v| GenerateRequest::decode(&v).map_err(|e| Response::error(400, &e.0)))
+        {
+            Ok(req) => match state.batcher.submit_stream(req) {
+                Ok(events) => Routed::Stream(events),
+                Err(response) => response.into(),
+            },
+            Err(response) => response.into(),
+        },
         ("POST", "/v1/quantize") => match decode_body(request)
             .and_then(|v| QuantizeRequest::decode(&v).map_err(|e| Response::error(400, &e.0)))
         {
@@ -259,7 +333,7 @@ fn route(request: &Request, state: &ServerState) -> Routed {
         },
         ("POST", "/shutdown") => {
             if state.config.allow_shutdown {
-                Routed {
+                Routed::Unary {
                     response: Response::json(
                         200,
                         JsonValue::object(vec![("status", JsonValue::Str("shutting down".into()))])
@@ -279,14 +353,16 @@ fn route(request: &Request, state: &ServerState) -> Routed {
         (_, "/healthz" | "/v1/schemes") => Response::error(405, "use GET")
             .with_header("Allow", "GET")
             .into(),
-        (_, "/v1/eval" | "/v1/quantize" | "/shutdown") => Response::error(405, "use POST")
-            .with_header("Allow", "POST")
-            .into(),
+        (_, "/v1/eval" | "/v1/generate" | "/v1/quantize" | "/shutdown") => {
+            Response::error(405, "use POST")
+                .with_header("Allow", "POST")
+                .into()
+        }
         (_, path) => Response::error(
             404,
             &format!(
                 "no such endpoint '{path}' (have: GET /healthz, GET /v1/schemes, \
-                 POST /v1/eval, POST /v1/quantize)"
+                 POST /v1/eval, POST /v1/generate, POST /v1/quantize)"
             ),
         )
         .into(),

@@ -1,12 +1,29 @@
 //! End-to-end endpoint behaviour over real sockets: routing, status codes,
-//! JSON error bodies, keep-alive reuse and the registry listing.
+//! JSON error bodies, keep-alive reuse, chunked streaming and the registry
+//! listing — plus raw-socket regression tests for the request-smuggling
+//! guards (duplicate/non-canonical `Content-Length`).
 
 use olive_api::{JsonValue, Scheme};
 use olive_serve::client::{self, Connection};
 use olive_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
 
 fn start() -> Server {
     Server::start(ServeConfig::default()).expect("server must bind an ephemeral port")
+}
+
+/// Writes raw bytes to the server and returns everything it answers until it
+/// closes the connection — for requests the well-behaved client library
+/// cannot (and should not) produce.
+fn raw_exchange(server: &Server, raw: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
 }
 
 #[test]
@@ -116,6 +133,101 @@ fn protocol_errors_map_to_specific_statuses() {
         .unwrap()
         .get("error")
         .is_some());
+    server.shutdown();
+}
+
+#[test]
+fn generate_streams_a_chunked_decode_trace() {
+    let server = start();
+    let mut connection = Connection::open(server.local_addr()).unwrap();
+    let response = connection
+        .request(
+            "POST",
+            "/v1/generate",
+            Some(r#"{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 5, "seed": 2}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    // The response really streamed: chunked framing, one chunk per fragment.
+    let chunks = response.chunks.as_ref().expect("must be chunked");
+    assert_eq!(chunks.len(), 1 + 1 + 5 + 1 + 1, "head/steps/tails");
+    let v = JsonValue::parse(&response.body).expect("concatenated chunks must be valid JSON");
+    assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(2));
+    let results = v.get("results").and_then(JsonValue::as_array).unwrap();
+    let steps = results[0]
+        .get("steps")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert_eq!(steps.len(), 5);
+    // The connection survives the chunked response (keep-alive reuse).
+    let health = connection.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let v = JsonValue::parse(&health.body).unwrap();
+    assert_eq!(
+        v.get("cached_generators").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    // Bad generation requests still answer as plain 400s.
+    let bad = connection
+        .request("POST", "/v1/generate", Some(r#"{"schemes": ["fp32"]}"#))
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.chunks.is_none(), "errors are not chunked");
+    assert!(bad.body.contains("unknown field"), "{}", bad.body);
+    // fp32 generation agrees with the teacher at every step.
+    let fp32 = connection
+        .request(
+            "POST",
+            "/v1/generate",
+            Some(r#"{"scheme": "fp32", "prompt_tokens": 4, "max_new_tokens": 4}"#),
+        )
+        .unwrap();
+    let v = JsonValue::parse(&fp32.body).unwrap();
+    let results = v.get("results").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(
+        results[0].get("agreement").and_then(JsonValue::as_f64),
+        Some(1.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_or_malformed_content_length_is_rejected_on_the_wire() {
+    let server = start();
+    // Duplicate Content-Length headers (request-smuggling guard) — identical
+    // values, differing values, and differing header-name case.
+    for raw in [
+        "POST /v1/eval HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}",
+        "POST /v1/eval HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}",
+        "POST /v1/eval HTTP/1.1\r\ncontent-length: 2\r\nCONTENT-Length: 5\r\n\r\n{}",
+    ] {
+        let response = raw_exchange(&server, raw);
+        assert!(
+            response.starts_with("HTTP/1.1 400 "),
+            "{raw:?} => {response}"
+        );
+        assert!(response.contains("duplicate Content-Length"), "{response}");
+        assert!(
+            response.contains("Connection: close"),
+            "smuggling attempts must not keep the connection alive: {response}"
+        );
+    }
+    // Sign/whitespace-bearing values must not reach a lenient integer parse.
+    for value in ["+2", "2 2", "2,2", "0x2"] {
+        let raw = format!("POST /v1/eval HTTP/1.1\r\nContent-Length: {value}\r\n\r\n{{}}");
+        let response = raw_exchange(&server, &raw);
+        assert!(
+            response.starts_with("HTTP/1.1 400 "),
+            "CL {value:?} => {response}"
+        );
+    }
+    // Mixed-case single Content-Length still routes normally (read-path
+    // lookups are case-insensitive).
+    let response = raw_exchange(
+        &server,
+        "GET /healthz HTTP/1.1\r\ncOnTent-LengTh: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
     server.shutdown();
 }
 

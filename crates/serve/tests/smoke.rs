@@ -1,11 +1,12 @@
 //! Process-level smoke test: spawns the real `olive-serve` binary on an
-//! ephemeral port, drives it with the std-only client (`/healthz` + one
-//! `/v1/eval`), asserts 200s with valid JSON, and verifies a clean
-//! `POST /shutdown` exit. This is exactly what `scripts/serve_smoke.sh` (and
-//! the CI smoke job) runs.
+//! ephemeral port, drives it with the std-only client (`/healthz`, one
+//! `/v1/eval`, one streamed `/v1/generate` on a kept-alive connection),
+//! asserts 200s with valid JSON, and verifies a clean `POST /shutdown` exit
+//! issued on that same still-open connection. This is exactly what
+//! `scripts/serve_smoke.sh` (and the CI smoke job) runs.
 
 use olive_api::JsonValue;
-use olive_serve::client;
+use olive_serve::client::{self, Connection};
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
@@ -74,7 +75,32 @@ fn spawned_server_answers_and_shuts_down_cleanly() {
         Some("olive-4bit")
     );
 
-    let bye = client::post_json(server.addr, "/shutdown", "").expect("/shutdown request");
+    // Streamed generation over a kept-alive connection; the same connection
+    // then triggers shutdown, proving clean teardown mid-keep-alive.
+    let mut connection = Connection::open(server.addr).expect("keep-alive connect");
+    let generate = connection
+        .request(
+            "POST",
+            "/v1/generate",
+            Some(r#"{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 4}"#),
+        )
+        .expect("/v1/generate request");
+    assert_eq!(generate.status, 200, "{}", generate.body);
+    let chunks = generate.chunks.as_ref().expect("generate must stream");
+    assert!(chunks.len() > 2, "expected a multi-chunk stream");
+    let v = JsonValue::parse(&generate.body).expect("generate must stream valid JSON");
+    assert_eq!(
+        v.get("results")
+            .and_then(JsonValue::as_array)
+            .and_then(|r| r[0].get("steps"))
+            .and_then(JsonValue::as_array)
+            .map(<[_]>::len),
+        Some(4)
+    );
+
+    let bye = connection
+        .request("POST", "/shutdown", Some(""))
+        .expect("/shutdown request");
     assert_eq!(bye.status, 200);
 
     // The process must exit 0 on its own (drain + join, no kill) promptly.

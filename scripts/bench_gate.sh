@@ -2,8 +2,9 @@
 # Bench-regression gate for the OliVe reproduction workspace.
 #
 # Runs the three micro-benchmarks (encoding, quantized_gemm, simulators) in
-# --quick mode plus the serve_loadgen serving-throughput benchmark, merges
-# their per-kernel medians into BENCH_results.json, and fails if any kernel
+# --quick mode plus the serve_loadgen serving-throughput benchmark and the
+# gen_loadgen streamed-decode benchmark (tokens/sec p50), merges their
+# per-kernel medians into BENCH_results.json, and fails if any kernel
 # regressed more than the tolerance (default 25%) versus the checked-in
 # BENCH_baseline.json.
 #
@@ -50,6 +51,8 @@ measure() {
     done
     echo "== cargo run --release -p olive-bench --bin serve_loadgen -- --quick --json $RESULTS =="
     cargo run -q --release -p olive-bench --bin serve_loadgen -- --quick --json "$RESULTS"
+    echo "== cargo run --release -p olive-bench --bin gen_loadgen -- --quick --json $RESULTS =="
+    cargo run -q --release -p olive-bench --bin gen_loadgen -- --quick --json "$RESULTS"
 }
 
 # --self-test only compares a results file against itself, so it reuses the

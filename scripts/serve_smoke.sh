@@ -4,12 +4,15 @@
 # Two layers, both using only what the repo ships (no curl needed):
 #
 #  1. The process-level smoke *test* (crates/serve/tests/smoke.rs): spawns
-#     the real `olive-serve` binary on an ephemeral port, drives /healthz and
-#     /v1/eval with the std-only client library, asserts 200s with valid
-#     JSON, and verifies a clean POST /shutdown exit.
+#     the real `olive-serve` binary on an ephemeral port, drives /healthz,
+#     /v1/eval and a streamed /v1/generate (on a kept-alive connection) with
+#     the std-only client library, asserts 200s with valid JSON, and
+#     verifies a clean POST /shutdown exit triggered on that same still-open
+#     connection (clean shutdown mid-keep-alive).
 #  2. A shell-driven rehearsal of the same flow with the `serve_client`
 #     binary — proving the daemon + CLI client work exactly as the README
-#     documents them, outside any cargo test harness.
+#     documents them, outside any cargo test harness. The /v1/generate step
+#     drives one real chunked stream through the daemon.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +48,10 @@ echo "server is at $URL"
 target/release/serve_client GET "$URL/healthz" >/dev/null
 target/release/serve_client POST "$URL/v1/eval" \
     --body '{"scheme": "olive-4bit", "batches": 2, "oversample": 2}' >/dev/null
+# One real streamed generation: the client decodes the chunked transfer
+# coding and still requires the concatenated body to parse as JSON.
+target/release/serve_client POST "$URL/v1/generate" \
+    --body '{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 6}' >/dev/null
 target/release/serve_client POST "$URL/shutdown" >/dev/null
 
 # The daemon must exit 0 on its own after /shutdown.
