@@ -264,6 +264,7 @@ impl Pipeline {
         }
         for (i, scheme) in self.schemes.iter().enumerate() {
             let quantizer = scheme.build();
+            // olive-lint: allow(no-wallclock-in-deterministic-paths): feeds only wall_time_s, which without_wall_times strips before any byte comparison
             let start = std::time::Instant::now();
             let student = prepared.teacher.quantize_weights(quantizer.as_ref());
             let quantize_acts = self.quantize_activations && quantizer.quantizes_activations();

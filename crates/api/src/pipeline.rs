@@ -564,6 +564,7 @@ impl Pipeline {
 
     fn run_scheme(&self, prepared: &PreparedEval, scheme: &Scheme) -> SchemeResult {
         let quantizer = scheme.build();
+        // olive-lint: allow(no-wallclock-in-deterministic-paths): feeds only wall_time_s, which without_wall_times strips before any byte comparison
         let start = std::time::Instant::now();
         let student = prepared.teacher.quantize_weights(quantizer.as_ref());
         let quantize_acts = self.quantize_activations && quantizer.quantizes_activations();

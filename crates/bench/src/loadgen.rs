@@ -60,6 +60,7 @@ pub fn drive(
     let workers: Vec<_> = (0..clients)
         .map(|_| {
             let body = body.to_string();
+            // olive-lint: allow(no-spawn-outside-runtime): load-generator clients must be real concurrent connections, not pool jobs in the process under test
             std::thread::spawn(move || {
                 let mut connection = Connection::open(addr).expect("client connect");
                 let mut latencies_ns = Vec::with_capacity(requests);

@@ -112,9 +112,13 @@ pub fn quantized_matmul(a: &OvpTensor, b: &OvpTensor) -> (Tensor, QuantGemmStats
         let shards: Mutex<Vec<QuantGemmStats>> = Mutex::new(Vec::new());
         olive_runtime::par_rows_mut(m, n, &mut out, |rows, block| {
             let local = quantized_gemm_block(&av, &bv, k, n, rows, rescale, block);
-            shards.lock().unwrap().push(local);
+            olive_runtime::lock_or_recover(&shards).push(local);
         });
-        for shard in shards.into_inner().unwrap() {
+        // A panicked range already re-threw inside par_rows_mut.
+        for shard in shards
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             stats.merge(shard);
         }
     } else {

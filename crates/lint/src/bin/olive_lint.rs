@@ -1,0 +1,140 @@
+//! The `olive-lint` command-line driver.
+//!
+//! ```text
+//! olive-lint [--root DIR] [--config FILE] [--list-rules] [--self-test]
+//! ```
+//!
+//! Without flags: finds the workspace root (the nearest ancestor of the
+//! current directory containing `lint.toml`), lints every `.rs` file, prints
+//! violations as `path:line: [rule] message`, and exits 1 if any were found.
+
+use olive_lint::{config::Config, engine, rules, selftest};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("olive-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut list_rules = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    iter.next().ok_or("--root needs a directory")?,
+                ))
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(iter.next().ok_or("--config needs a file")?))
+            }
+            "--self-test" => self_test = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::RULES {
+            println!("{:40} {}", rule.name, rule.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if self_test {
+        let checks = selftest::run();
+        for check in &checks {
+            match &check.failure {
+                None => println!("self-test: PASS {}", check.name),
+                Some(why) => println!("self-test: FAIL {} — {why}", check.name),
+            }
+        }
+        return Ok(if selftest::passed(&checks) {
+            println!("self-test: all {} checks passed", checks.len());
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let root = match root {
+        Some(root) => root,
+        None => find_root()?,
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = Config::parse(&config_text)?;
+    let report = engine::lint_workspace(&root, &config)?;
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "olive-lint: {} files clean ({} rules)",
+            report.files_scanned,
+            rules::RULES.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "olive-lint: {} violation(s) in {} files scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Walks up from the current directory to the nearest `lint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &start;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no lint.toml found from {} upward (pass --root)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}
+
+const HELP: &str = "\
+olive-lint: static analysis for the OliVe determinism & concurrency contracts
+
+USAGE:
+    olive-lint [--root DIR] [--config FILE]
+    olive-lint --self-test
+    olive-lint --list-rules
+
+OPTIONS:
+    --root DIR      Workspace root to lint (default: nearest ancestor with lint.toml)
+    --config FILE   Config file (default: <root>/lint.toml)
+    --self-test     Inject a violation per rule and verify the lint catches it
+    --list-rules    Print the rule catalog
+    -h, --help      This help
+
+Suppressions are inline comments with a mandatory reason (see
+crates/lint/RULES.md); unused suppressions are themselves errors.
+";

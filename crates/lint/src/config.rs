@@ -1,0 +1,221 @@
+//! The checked-in `lint.toml` configuration.
+//!
+//! A deliberately small TOML subset — tables and string arrays — parsed by
+//! hand (the workspace has no crates.io dependencies). Two table kinds:
+//!
+//! ```toml
+//! [lint]
+//! skip = ["target"]              # directories never scanned
+//!
+//! [rule.no-unordered-map-in-output]
+//! only = ["crates/api/src"]      # rule applies only under these paths
+//!
+//! [rule.no-spawn-outside-runtime]
+//! allow = ["crates/serve/src/server.rs"]  # exempted paths (must be *used*)
+//! ```
+//!
+//! `only` scopes a rule to path prefixes; `allow` exempts path prefixes from
+//! an otherwise-applicable rule. Allows follow the same only-shrinking
+//! policy as inline suppressions: an `allow` entry that exempts nothing is
+//! itself reported as a violation, so stale escape hatches cannot
+//! accumulate.
+
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// Per-rule path scoping.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// When non-empty, the rule fires only for files under these prefixes.
+    pub only: Vec<String>,
+    /// Files under these prefixes are exempt; every entry must exempt at
+    /// least one match or it is reported as unused.
+    pub allow: Vec<String>,
+}
+
+/// The parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory names/prefixes (relative to the root) never scanned, in
+    /// addition to the built-in `target`/`.git`/dot-dir skips.
+    pub skip: Vec<String>,
+    /// Scoping per rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// True when `rel_path` (forward-slash, root-relative) is `entry` itself or
+/// lies under it.
+pub fn path_matches(rel_path: &str, entry: &str) -> bool {
+    let entry = entry.trim_end_matches('/');
+    rel_path == entry
+        || (rel_path.len() > entry.len()
+            && rel_path.starts_with(entry)
+            && rel_path.as_bytes()[entry.len()] == b'/')
+}
+
+impl Config {
+    /// Scoping for `rule` (empty scoping when unconfigured).
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses the `lint.toml` subset described in the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unknown rule names,
+    /// unknown keys, and anything outside the supported subset.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let errctx = |msg: String| format!("lint.toml:{}: {msg}", idx + 1);
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if name != "lint" {
+                    let rule = name.strip_prefix("rule.").ok_or_else(|| {
+                        errctx(format!(
+                            "unknown table '[{name}]' (expected [lint] or [rule.<name>])"
+                        ))
+                    })?;
+                    if !rules::is_rule_name(rule) {
+                        return Err(errctx(format!(
+                            "unknown rule '{rule}' (run olive-lint --list-rules)"
+                        )));
+                    }
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| errctx(format!("expected 'key = [..]', got '{line}'")))?;
+            let key = key.trim();
+            // Arrays may span lines; keep consuming until the closing ']'.
+            let mut value = value.trim().to_string();
+            while !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(errctx(format!("unterminated array for key '{key}'")));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let items = parse_string_array(&value).map_err(&errctx)?;
+            match (section.as_deref(), key) {
+                (Some("lint"), "skip") => config.skip = items,
+                (Some(rule_section), "only" | "allow") => {
+                    let rule = rule_section
+                        .strip_prefix("rule.")
+                        .ok_or_else(|| errctx(format!("key '{key}' is not valid under [lint]")))?;
+                    let entry = config.rules.entry(rule.to_string()).or_default();
+                    if key == "only" {
+                        entry.only = items;
+                    } else {
+                        entry.allow = items;
+                    }
+                }
+                (Some(s), _) => {
+                    return Err(errctx(format!("unknown key '{key}' in section '[{s}]'")))
+                }
+                (None, _) => return Err(errctx(format!("key '{key}' before any [section]"))),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Strips a trailing `# comment`, honouring quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` (trailing comma tolerated).
+fn parse_string_array(text: &str) -> Result<Vec<String>, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [\"..\"] array, got '{text}'"))?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let item = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("array items must be double-quoted strings, got '{part}'"))?;
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let config = Config::parse(
+            r#"
+# top comment
+[lint]
+skip = ["target", "vendored"]   # trailing comment
+
+[rule.no-unordered-map-in-output]
+only = [
+    "crates/api/src",
+    "crates/serve/src",
+]
+
+[rule.no-spawn-outside-runtime]
+allow = ["crates/serve/src/server.rs"]
+"#,
+        )
+        .expect("config must parse");
+        assert_eq!(config.skip, vec!["target", "vendored"]);
+        assert_eq!(
+            config.rule("no-unordered-map-in-output").only,
+            vec!["crates/api/src", "crates/serve/src"]
+        );
+        assert_eq!(
+            config.rule("no-spawn-outside-runtime").allow,
+            vec!["crates/serve/src/server.rs"]
+        );
+        assert!(config.rule("no-bare-lock-unwrap").only.is_empty());
+    }
+
+    #[test]
+    fn unknown_rules_and_keys_are_errors() {
+        assert!(Config::parse("[rule.no-such-rule]\nallow = []\n")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(Config::parse("[lint]\nfrobnicate = []\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(Config::parse("[weird]\n")
+            .unwrap_err()
+            .contains("unknown table"));
+    }
+
+    #[test]
+    fn path_matching_is_prefix_by_component() {
+        assert!(path_matches("crates/api/src/json.rs", "crates/api/src"));
+        assert!(path_matches("crates/api/src", "crates/api/src"));
+        assert!(!path_matches("crates/api/srcx/json.rs", "crates/api/src"));
+        assert!(!path_matches("crates/api", "crates/api/src"));
+    }
+}

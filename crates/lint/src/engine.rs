@@ -1,0 +1,418 @@
+//! The lint engine: file discovery, test-region detection, suppression
+//! accounting, and rule dispatch.
+//!
+//! A violation survives to the report only if it clears four gates:
+//!
+//! 1. the file is production code (anything under a `tests/`, `benches/` or
+//!    `examples/` directory is skipped outright);
+//! 2. the site is not inside a `#[cfg(test)]` / `#[test]` item (tests may
+//!    spawn threads, unwrap locks, and index at will);
+//! 3. no inline suppression covers it — an `olive-lint:` comment of the form
+//!    `allow(<rule>): <reason>` on the same line or the line above (the
+//!    reason is mandatory; see `RULES.md` for the exact syntax);
+//! 4. no `allow` path entry in `lint.toml` exempts the file for that rule.
+//!
+//! Suppressions are load-bearing state, not annotations: one that stops
+//! matching anything (inline or in `lint.toml`) is itself reported, so the
+//! set of escape hatches can only shrink unless a human re-justifies it.
+
+use crate::config::{path_matches, Config};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{is_rule_name, RULES};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The pseudo-rule name used for suppression bookkeeping errors (malformed
+/// or unused suppressions, dead `lint.toml` allow entries).
+pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// A reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Root-relative, forward-slash path (`lint.toml` for config errors).
+    pub path: String,
+    /// 1-based line (0 for file-level/config errors).
+    pub line: u32,
+    /// The rule name, or [`SUPPRESSION_RULE`].
+    pub rule: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Per-file lint result, before workspace-level aggregation.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations attributed to this file (path already filled in).
+    pub violations: Vec<Violation>,
+    /// `(rule, allow_entry)` pairs this file consumed — used to detect dead
+    /// `lint.toml` entries at the workspace level.
+    pub allow_hits: Vec<(String, String)>,
+}
+
+/// Workspace-level lint result.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All violations, sorted by path, line, rule.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// An inline suppression parsed from a comment token.
+struct Suppression {
+    rule: String,
+    line: u32,
+    used: bool,
+}
+
+/// True when any path component marks the file as test-only.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items, found
+/// lexically: match the attribute, then skip attributes, then extend to the
+/// item's closing brace (balanced) or terminating semicolon.
+fn test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct("#") && code.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let (attr, after) = read_attr(code, i + 2);
+        if !is_test_attr(&attr) {
+            i = after;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Skip any further attributes stacked on the same item.
+        let mut j = after;
+        while code.get(j).is_some_and(|t| t.is_punct("#"))
+            && code.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            j = read_attr(code, j + 2).1;
+        }
+        // Extend to the end of the item: the first `;` before any brace, or
+        // the matching `}` of the first `{`.
+        let mut end_line = u32::MAX; // unterminated item: shield to EOF
+        while let Some(t) = code.get(j) {
+            if t.is_punct(";") {
+                end_line = t.line;
+                break;
+            }
+            if t.is_punct("{") {
+                let mut depth = 1usize;
+                j += 1;
+                while let Some(u) = code.get(j) {
+                    if u.is_punct("{") {
+                        depth += 1;
+                    } else if u.is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = u.line;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Reads attribute tokens starting just inside `#[`; returns the inner
+/// tokens and the index just past the matching `]`.
+fn read_attr(code: &[Tok], start: usize) -> (Vec<&Tok>, usize) {
+    let mut depth = 1usize;
+    let mut inner = Vec::new();
+    let mut i = start;
+    while let Some(t) = code.get(i) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (inner, i + 1);
+            }
+        }
+        inner.push(t);
+        i += 1;
+    }
+    (inner, i)
+}
+
+/// Exactly `cfg(test)` or `test` — `cfg(not(test))` is production code.
+fn is_test_attr(attr: &[&Tok]) -> bool {
+    match attr {
+        [t] => t.is_ident("test"),
+        [c, open, t, close] => {
+            c.is_ident("cfg") && open.is_punct("(") && t.is_ident("test") && close.is_punct(")")
+        }
+        _ => false,
+    }
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// The inline suppression marker. Built by concatenation so this crate's own
+/// comments never contain the literal marker (which would register as a real
+/// suppression when the workspace lints itself).
+const MARKER: &str = concat!("olive-lint:", " allow(");
+
+/// Parses suppressions out of comment tokens; malformed ones become
+/// violations immediately.
+fn parse_suppressions(
+    comments: &[&Tok],
+    regions: &[(u32, u32)],
+) -> (Vec<Suppression>, Vec<Violation>) {
+    let mut suppressions = Vec::new();
+    let mut violations = Vec::new();
+    for comment in comments {
+        if in_regions(comment.line, regions) {
+            continue;
+        }
+        let Some(pos) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &comment.text[pos + MARKER.len()..];
+        let mut malformed = |why: &str| {
+            violations.push(Violation {
+                path: String::new(),
+                line: comment.line,
+                rule: SUPPRESSION_RULE.to_string(),
+                message: format!(
+                    "malformed suppression ({why}) — expected allow(<rule>): <reason>"
+                ),
+            });
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            malformed("missing closing ')'");
+            continue;
+        };
+        let rule = rule.trim();
+        if !is_rule_name(rule) {
+            malformed(&format!("unknown rule '{rule}'"));
+            continue;
+        }
+        let Some(reason) = after.trim_start().strip_prefix(':') else {
+            malformed("missing ': <reason>' — every suppression must say why");
+            continue;
+        };
+        if reason.trim().is_empty() {
+            malformed("empty reason — every suppression must say why");
+            continue;
+        }
+        suppressions.push(Suppression {
+            rule: rule.to_string(),
+            line: comment.line,
+            used: false,
+        });
+    }
+    (suppressions, violations)
+}
+
+/// Lints one file's bytes. `rel_path` must be root-relative with forward
+/// slashes; it scopes `only`/`allow` matching and is stamped on violations.
+pub fn lint_bytes(rel_path: &str, source: &[u8], config: &Config) -> FileOutcome {
+    let mut outcome = FileOutcome::default();
+    if is_test_path(rel_path) {
+        return outcome;
+    }
+    let tokens = lex(source);
+    let code: Vec<Tok> = tokens
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .cloned()
+        .collect();
+    let comments: Vec<&Tok> = tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment)
+        .collect();
+    let regions = test_regions(&code);
+    let (mut suppressions, mut violations) = parse_suppressions(&comments, &regions);
+
+    for rule in RULES {
+        let scope = config.rule(rule.name);
+        if !scope.only.is_empty() && !scope.only.iter().any(|e| path_matches(rel_path, e)) {
+            continue;
+        }
+        for candidate in (rule.check)(&code) {
+            if in_regions(candidate.line, &regions) {
+                continue;
+            }
+            if let Some(s) = suppressions.iter_mut().find(|s| {
+                s.rule == rule.name && (s.line == candidate.line || s.line + 1 == candidate.line)
+            }) {
+                s.used = true;
+                continue;
+            }
+            if let Some(entry) = scope.allow.iter().find(|e| path_matches(rel_path, e)) {
+                outcome
+                    .allow_hits
+                    .push((rule.name.to_string(), entry.clone()));
+                continue;
+            }
+            violations.push(Violation {
+                path: String::new(),
+                line: candidate.line,
+                rule: rule.name.to_string(),
+                message: candidate.message,
+            });
+        }
+    }
+
+    for s in &suppressions {
+        if !s.used {
+            violations.push(Violation {
+                path: String::new(),
+                line: s.line,
+                rule: SUPPRESSION_RULE.to_string(),
+                message: format!(
+                    "unused suppression for '{}' — nothing on this or the next line \
+                     triggers the rule; remove it",
+                    s.rule
+                ),
+            });
+        }
+    }
+
+    for v in &mut violations {
+        v.path = rel_path.to_string();
+    }
+    violations.sort();
+    outcome.violations = violations;
+    outcome
+}
+
+/// Recursively collects workspace `.rs` files, sorted for deterministic
+/// reports. Directories named `target`, dot-directories, and `lint.toml`
+/// `skip` entries are pruned.
+fn collect_rs_files(root: &Path, config: &Config) -> Result<Vec<(PathBuf, String)>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![(root.to_path_buf(), String::new())];
+    while let Some((dir, rel)) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let rel_child = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            let path = entry.path();
+            if path.is_dir() {
+                let skipped = name.starts_with('.')
+                    || name == "target"
+                    || config.skip.iter().any(|s| path_matches(&rel_child, s));
+                if !skipped {
+                    stack.push((path, rel_child));
+                }
+            } else if name.ends_with(".rs") {
+                files.push((path, rel_child));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(files)
+}
+
+/// Lints every `.rs` file under `root` and checks the config's `allow`
+/// entries for liveness.
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be walked or a file cannot be
+/// read; lint findings are *not* errors — they come back in the report.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<WorkspaceReport, String> {
+    let files = collect_rs_files(root, config)?;
+    let mut violations = Vec::new();
+    let mut live_allows: BTreeSet<(String, String)> = BTreeSet::new();
+    let files_scanned = files.len();
+    for (path, rel) in files {
+        let source =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let outcome = lint_bytes(&rel, &source, config);
+        violations.extend(outcome.violations);
+        live_allows.extend(outcome.allow_hits);
+    }
+    for (rule, scope) in &config.rules {
+        for entry in &scope.allow {
+            if !live_allows.contains(&(rule.clone(), entry.clone())) {
+                violations.push(Violation {
+                    path: "lint.toml".to_string(),
+                    line: 0,
+                    rule: SUPPRESSION_RULE.to_string(),
+                    message: format!(
+                        "allow entry \"{entry}\" for rule '{rule}' exempts nothing — remove it"
+                    ),
+                });
+            }
+        }
+    }
+    violations.sort();
+    Ok(WorkspaceReport {
+        violations,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(source: &str) -> Vec<(u32, u32)> {
+        let code: Vec<Tok> = lex(source.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        test_regions(&code)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_one_region() {
+        let regions = regions_of(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n",
+        );
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        assert!(regions_of("#[cfg(not(test))]\nfn prod() {}\n").is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_extend_to_the_item() {
+        let regions = regions_of("#[test]\n#[ignore]\nfn t() {\n    body();\n}\n");
+        assert_eq!(regions, vec![(1, 5)]);
+    }
+}

@@ -1,0 +1,484 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for
+//! reliable pattern matching over source code.
+//!
+//! The rules in [`crate::rules`] match *token* sequences, never raw text, so
+//! the lexer's one job is to classify bytes correctly in the places where a
+//! text search would lie:
+//!
+//! * **strings** — `"…"`, raw strings `r"…"`/`r#"…"#` (any number of
+//!   hashes), byte strings `b"…"`/`br#"…"#`, C strings `c"…"`/`cr#"…"#` —
+//!   so `"HashMap"` inside a string literal is data, not a violation;
+//! * **comments** — line comments and *nested* block comments
+//!   (`/* /* */ */`), preserved as tokens so the suppression scanner can
+//!   read them, but invisible to the rules;
+//! * **`'a` vs `'a'`** — lifetimes and char literals share a sigil; the
+//!   lexer disambiguates so a `'l'` char cannot terminate scanning early;
+//! * **raw identifiers** — `r#match` is an identifier, not the start of a
+//!   raw string.
+//!
+//! The input is arbitrary bytes, not `&str`: source files are read without a
+//! UTF-8 check, and the lexer **never panics** (the property tests in
+//! `tests/lex_fuzz.rs` hammer this with mutated byte soup). Unexpected bytes
+//! become [`TokKind::Unknown`] tokens; unterminated literals and comments
+//! run to end of input.
+
+/// What a token is. See the [module docs](self) for the classification
+/// guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`thread`, `fn`, `HashMap`); keywords are
+    /// distinguished by [`is_keyword`].
+    Ident,
+    /// A raw identifier (`r#match`); `text` keeps the `r#` prefix.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`), without trailing quote.
+    Lifetime,
+    /// A char (`'x'`, `'\n'`) or byte (`b'x'`) literal.
+    Char,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A numeric literal (`42`, `0xff`, `1.5e-3`, `2_000u64`).
+    Num,
+    /// A `// …` or `/* … */` comment (doc comments included); `text` keeps
+    /// the delimiters. Rules skip these; the suppression scanner reads them.
+    Comment,
+    /// Punctuation. Multi-byte only for `::`; every other punct is one byte.
+    Punct,
+    /// A byte the lexer has no rule for (stray `\x00`, non-ASCII outside a
+    /// literal, a lone `'`…). Never fatal.
+    Unknown,
+}
+
+/// One token: classification, the exact source bytes (lossily UTF-8-decoded
+/// for convenience), and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The classification.
+    pub kind: TokKind,
+    /// The token's source text (lossy where the input was not UTF-8).
+    pub text: String,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an [`TokKind::Ident`] with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a [`TokKind::Punct`] with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Rust's strict and reserved keywords — matched so rules can tell `mut [`
+/// (a slice pattern) from `data[` (an index expression).
+pub fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "as" | "async"
+            | "await"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, keeping the line counter honest.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    /// Consumes ident-continue bytes.
+    fn eat_ident(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honouring
+    /// backslash escapes; stops at EOF if unterminated.
+    fn eat_quoted(&mut self, quote: u8) {
+        while let Some(b) = self.bump() {
+            if b == b'\\' {
+                self.bump();
+            } else if b == quote {
+                return;
+            }
+        }
+    }
+
+    /// Consumes a raw-string body `#*"…"#*` starting at the first `#` or `"`
+    /// (the `r`/`br`/`cr` prefix is already consumed).
+    fn eat_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; caller pre-checked, defensive
+        }
+        self.bump();
+        'scan: while let Some(b) = self.bump() {
+            if b != b'"' {
+                continue;
+            }
+            for i in 0..hashes {
+                if self.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                self.bump();
+            }
+            return;
+        }
+    }
+
+    /// Consumes a `/* … */` body with nesting (the opening `/*` is already
+    /// consumed); stops at EOF if unterminated.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                None => return,
+                Some(b'/') if self.peek(0) == Some(b'*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(b'*') if self.peek(0) == Some(b'/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a numeric literal (first digit already consumed). Handles
+    /// `0xff`, `1_000u64`, `1.5`, `1e-3`; deliberately permissive — rules
+    /// never inspect numbers, they only need them kept out of other kinds.
+    fn eat_number(&mut self) {
+        loop {
+            match self.peek(0) {
+                Some(b) if is_ident_continue(b) => {
+                    self.bump();
+                }
+                // `1.5` but not `1..3` (range) and not `1.method()`.
+                Some(b'.') if self.peek(1).is_some_and(|b| b.is_ascii_digit()) => {
+                    self.bump();
+                }
+                // Exponent sign: `1e-3`, `2E+5`.
+                Some(b'+' | b'-')
+                    if self
+                        .bytes
+                        .get(self.pos.wrapping_sub(1))
+                        .is_some_and(|&b| b == b'e' || b == b'E')
+                        && self.peek(1).is_some_and(|b| b.is_ascii_digit()) =>
+                {
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Lexes a `'`-led token: lifetime or char literal.
+    fn quote_token(&mut self, start: usize, line: u32) -> Tok {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            // Escape: definitely a char literal ('\n', '\u{1F600}', '\'').
+            Some(b'\\') => {
+                self.eat_quoted(b'\'');
+                Tok {
+                    kind: TokKind::Char,
+                    text: self.text_from(start),
+                    line,
+                }
+            }
+            Some(b) if is_ident_start(b) => {
+                self.eat_ident();
+                // 'a' / '_' close immediately after the run -> char literal;
+                // 'a / 'static followed by anything else -> lifetime.
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    Tok {
+                        kind: TokKind::Char,
+                        text: self.text_from(start),
+                        line,
+                    }
+                } else {
+                    Tok {
+                        kind: TokKind::Lifetime,
+                        text: self.text_from(start),
+                        line,
+                    }
+                }
+            }
+            // Some other single char: '9', '+', a non-ASCII scalar…
+            // Treat as a char literal if a closing quote follows.
+            Some(_) => {
+                self.bump();
+                while self.peek(0).is_some_and(|b| b >= 0x80) {
+                    self.bump(); // rest of one multi-byte scalar
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    Tok {
+                        kind: TokKind::Char,
+                        text: self.text_from(start),
+                        line,
+                    }
+                } else {
+                    Tok {
+                        kind: TokKind::Unknown,
+                        text: self.text_from(start),
+                        line,
+                    }
+                }
+            }
+            None => Tok {
+                kind: TokKind::Unknown,
+                text: self.text_from(start),
+                line,
+            },
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Tok> {
+        while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.bump();
+        }
+        let start = self.pos;
+        let line = self.line;
+        let b = self.peek(0)?;
+        let tok = |kind, lexer: &Self| Tok {
+            kind,
+            text: lexer.text_from(start),
+            line,
+        };
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                Some(tok(TokKind::Comment, self))
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump();
+                self.bump();
+                self.eat_block_comment();
+                Some(tok(TokKind::Comment, self))
+            }
+            b'"' => {
+                self.bump();
+                self.eat_quoted(b'"');
+                Some(tok(TokKind::Str, self))
+            }
+            b'\'' => Some(self.quote_token(start, line)),
+            // r"…" / r#"…"# raw strings vs r#ident raw identifiers.
+            b'r' if matches!(self.peek(1), Some(b'"' | b'#')) => {
+                if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+                    self.bump();
+                    self.bump();
+                    self.eat_ident();
+                    return Some(tok(TokKind::RawIdent, self));
+                }
+                self.bump();
+                self.eat_raw_string();
+                Some(tok(TokKind::Str, self))
+            }
+            // b'x' byte chars, b"…" byte strings, br#"…"# raw byte strings
+            // (and the c/cr C-string forms).
+            b'b' | b'c' if matches!(self.peek(1), Some(b'"' | b'\'' | b'r')) => {
+                match self.peek(1) {
+                    Some(b'"') => {
+                        self.bump();
+                        self.bump();
+                        self.eat_quoted(b'"');
+                        Some(tok(TokKind::Str, self))
+                    }
+                    Some(b'\'') if b == b'b' => {
+                        self.bump();
+                        self.bump();
+                        self.eat_quoted(b'\'');
+                        Some(tok(TokKind::Char, self))
+                    }
+                    Some(b'r') if matches!(self.peek(2), Some(b'"' | b'#')) => {
+                        self.bump();
+                        self.bump();
+                        self.eat_raw_string();
+                        Some(tok(TokKind::Str, self))
+                    }
+                    _ => {
+                        self.eat_ident();
+                        Some(tok(TokKind::Ident, self))
+                    }
+                }
+            }
+            _ if is_ident_start(b) => {
+                self.eat_ident();
+                Some(tok(TokKind::Ident, self))
+            }
+            _ if b.is_ascii_digit() => {
+                self.bump();
+                self.eat_number();
+                Some(tok(TokKind::Num, self))
+            }
+            b':' if self.peek(1) == Some(b':') => {
+                self.bump();
+                self.bump();
+                Some(tok(TokKind::Punct, self))
+            }
+            _ if b.is_ascii_punctuation() => {
+                self.bump();
+                Some(tok(TokKind::Punct, self))
+            }
+            _ => {
+                self.bump();
+                Some(tok(TokKind::Unknown, self))
+            }
+        }
+    }
+}
+
+/// Lexes `source` into a token stream. Total: consumes every byte, never
+/// panics, and token line numbers are nondecreasing.
+pub fn lex(source: &[u8]) -> Vec<Tok> {
+    let mut lexer = Lexer {
+        bytes: source,
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(tok) = lexer.next_token() {
+        tokens.push(tok);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokKind, String)> {
+        lex(source.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_rules() {
+        let toks = kinds(r#"let x = "HashMap::new() /* not a comment */";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert!(
+            !toks
+                .iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"),
+            "string contents must not produce idents: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let toks = kinds("let x = a / b; // real comment");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "/"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn pathsep_is_one_token() {
+        let toks = kinds("std::thread::spawn");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "std".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "thread".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "spawn".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let toks = lex(b"\"a\nb\nc\"\nfoo");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "foo");
+        assert_eq!(toks[1].line, 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! `olive-lint`: workspace static analysis for the determinism and
+//! concurrency contracts.
+//!
+//! The OliVe reproduction promises byte-identical evaluation and generation
+//! output at any thread count, batch size, or stream interleaving — and a
+//! serving layer where one panicked worker never takes the process hostage.
+//! Those contracts live in *conventions* (all parallelism through
+//! [`Pool`](../olive_runtime), ordered containers in output layers,
+//! poison-recovering locks, no wall-clock reads in deterministic paths) that
+//! the type system cannot see. This crate makes the conventions mechanical:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (raw strings, nested block
+//!   comments, lifetime-vs-char) so rules match token sequences, never text;
+//! * [`rules`] — the named rule catalog (see `RULES.md`);
+//! * [`config`] — the checked-in `lint.toml` with per-rule `only`/`allow`
+//!   path scoping;
+//! * [`engine`] — file discovery, `#[cfg(test)]` exemption, inline
+//!   suppressions with mandatory reasons, and unused-suppression errors;
+//! * [`selftest`] — `--self-test` injects a violation per rule and proves
+//!   the lint still catches it.
+//!
+//! Zero dependencies, like the rest of the workspace: the lexer, TOML
+//! subset, and directory walk are all std-only.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+
+pub use config::Config;
+pub use engine::{lint_bytes, lint_workspace, Violation, WorkspaceReport};

@@ -1,0 +1,380 @@
+//! The rule catalog.
+//!
+//! Each rule is a pure function over the file's *code* tokens (comments
+//! already stripped) returning candidate violations; the engine in
+//! [`crate::engine`] then applies test-region filtering, inline
+//! suppressions, and `lint.toml` scoping. Matching on token sequences
+//! instead of text means a `"thread::spawn"` string literal or a
+//! `// HashMap` comment can never fire a rule.
+//!
+//! The catalog (see `crates/lint/RULES.md` for the full prose rationale):
+//!
+//! | rule | contract it guards |
+//! |------|--------------------|
+//! | `no-spawn-outside-runtime`            | all parallelism goes through `olive_runtime::Pool` |
+//! | `no-available-parallelism`            | thread counts are explicit, never ambient |
+//! | `no-unordered-map-in-output`          | output layers iterate ordered containers only |
+//! | `no-bare-lock-unwrap`                 | poisoned locks recover, never cascade |
+//! | `no-wallclock-in-deterministic-paths` | deterministic paths never read the clock |
+//! | `no-panic-in-request-path`            | request parsing returns errors, never panics |
+
+use crate::lexer::{is_keyword, Tok, TokKind};
+
+/// A candidate violation, before suppression/scoping.
+#[derive(Debug, Clone)]
+pub struct RuleViolation {
+    /// 1-based line the violation anchors to (where a suppression must sit).
+    pub line: u32,
+    /// Human-readable explanation with the expected replacement.
+    pub message: String,
+}
+
+/// A named, individually-suppressible rule.
+pub struct Rule {
+    /// The name used in `lint.toml` sections and `allow(...)` suppressions.
+    pub name: &'static str,
+    /// One-line summary for `--list-rules`.
+    pub summary: &'static str,
+    /// The token-level matcher.
+    pub check: fn(&[Tok]) -> Vec<RuleViolation>,
+}
+
+/// Every rule, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-spawn-outside-runtime",
+        summary: "raw thread::spawn/Builder bypasses the deterministic Pool",
+        check: check_no_spawn,
+    },
+    Rule {
+        name: "no-available-parallelism",
+        summary: "ambient CPU counts make results machine-dependent",
+        check: check_no_available_parallelism,
+    },
+    Rule {
+        name: "no-unordered-map-in-output",
+        summary: "HashMap/HashSet iteration order is unstable across runs",
+        check: check_no_unordered_map,
+    },
+    Rule {
+        name: "no-bare-lock-unwrap",
+        summary: "lock().unwrap() cascades one panic into a hung server",
+        check: check_no_bare_lock_unwrap,
+    },
+    Rule {
+        name: "no-wallclock-in-deterministic-paths",
+        summary: "Instant/SystemTime reads leak wall time into output",
+        check: check_no_wallclock,
+    },
+    Rule {
+        name: "no-panic-in-request-path",
+        summary: "request parsing must reject bad input, not panic on it",
+        check: check_no_panic_in_request_path,
+    },
+];
+
+/// True when `name` names a rule in [`RULES`].
+pub fn is_rule_name(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+fn violation(line: u32, message: impl Into<String>) -> RuleViolation {
+    RuleViolation {
+        line,
+        message: message.into(),
+    }
+}
+
+/// `thread::spawn` / `thread::Builder`: only the runtime's pool (and the
+/// explicitly allowed accept/drain threads) may create threads — ad-hoc
+/// threads make scheduling, and therefore reduction order, nondeterministic.
+fn check_no_spawn(code: &[Tok]) -> Vec<RuleViolation> {
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("thread") || !code.get(i + 1).is_some_and(|t| t.is_punct("::")) {
+            continue;
+        }
+        if let Some(target) = code.get(i + 2) {
+            if target.is_ident("spawn") || target.is_ident("Builder") {
+                out.push(violation(
+                    target.line,
+                    format!(
+                        "thread::{} outside olive_runtime — route work through Pool::scope \
+                         so scheduling stays deterministic",
+                        target.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `available_parallelism()`: thread counts must be explicit configuration
+/// (resolved once, in one place) so the same command line means the same
+/// execution everywhere.
+fn check_no_available_parallelism(code: &[Tok]) -> Vec<RuleViolation> {
+    code.iter()
+        .filter(|t| t.is_ident("available_parallelism"))
+        .map(|t| {
+            violation(
+                t.line,
+                "available_parallelism() makes behaviour machine-dependent — take the \
+                 thread count from configuration (see olive_runtime::Pool::with_threads)",
+            )
+        })
+        .collect()
+}
+
+/// `HashMap`/`HashSet` in output-producing layers: their iteration order
+/// changes across processes (SipHash keying), which breaks byte-identical
+/// reports. Scoped via `only` in lint.toml to the layers that serialize.
+fn check_no_unordered_map(code: &[Tok]) -> Vec<RuleViolation> {
+    code.iter()
+        .filter(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+        .map(|t| {
+            violation(
+                t.line,
+                format!(
+                    "{} iteration order is randomized per-process — use the BTree \
+                     equivalent (or an insertion-ordered Vec) in output-producing code",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `.lock().unwrap()` / `.wait(..).expect(..)` and friends: a panic while a
+/// lock is held poisons it, and unwrapping the poison turns one dead worker
+/// into a cascade. Scoped via `only` to the concurrent layers, which must use
+/// `olive_runtime::lock_or_recover` / `wait_or_recover` instead.
+fn check_no_bare_lock_unwrap(code: &[Tok]) -> Vec<RuleViolation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let acquire = &code[i];
+        let is_acquire = acquire.kind == TokKind::Ident
+            && matches!(acquire.text.as_str(), "lock" | "wait" | "wait_timeout")
+            && i > 0
+            && code[i - 1].is_punct(".")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("("));
+        if !is_acquire {
+            i += 1;
+            continue;
+        }
+        // Skip the balanced argument list of the acquire call.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while let Some(t) = code.get(j) {
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let (Some(dot), Some(consume)) = (code.get(j + 1), code.get(j + 2)) {
+            if dot.is_punct(".") && (consume.is_ident("unwrap") || consume.is_ident("expect")) {
+                let helper = match acquire.text.as_str() {
+                    "lock" => "lock_or_recover",
+                    "wait" => "wait_or_recover",
+                    _ => "wait_timeout_or_recover",
+                };
+                out.push(violation(
+                    consume.line,
+                    format!(
+                        ".{}(..).{}() panics on a poisoned lock and cascades the failure — \
+                         use olive_runtime::{helper} instead",
+                        acquire.text, consume.text
+                    ),
+                ));
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// `Instant::now` / `SystemTime`: wall-clock reads in paths that feed output
+/// make reports differ run-to-run. Timing-report sites carry an inline
+/// suppression documenting where the reading is stripped for comparisons.
+fn check_no_wallclock(code: &[Tok]) -> Vec<RuleViolation> {
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("Instant")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && code.get(i + 2).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(violation(
+                t.line,
+                "Instant::now() in a deterministic path — wall time must not influence \
+                 output bytes; measure in the bench layer or suppress with the reason",
+            ));
+        } else if t.is_ident("SystemTime") {
+            out.push(violation(
+                t.line,
+                "SystemTime in a deterministic path — derive timestamps from inputs \
+                 (seed, request id), never from the host clock",
+            ));
+        }
+    }
+    out
+}
+
+/// `.unwrap()` / `.expect()` / `panic!`-family / bare indexing in the
+/// request-parsing path: malformed network input must surface as an error
+/// response, never a worker panic. Scoped via `only` to the HTTP parser.
+fn check_no_panic_in_request_path(code: &[Tok]) -> Vec<RuleViolation> {
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && i > 0
+            && code[i - 1].is_punct(".")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            out.push(violation(
+                t.line,
+                format!(
+                    ".{}() in the request path panics on malformed input — return an \
+                     error response instead",
+                    t.text
+                ),
+            ));
+        } else if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && code.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            out.push(violation(
+                t.line,
+                format!(
+                    "{}! in the request path — a malformed request must produce a 4xx, \
+                     not kill the worker",
+                    t.text
+                ),
+            ));
+        } else if t.is_punct("[") && i > 0 {
+            // Index *expressions* only: `expr[`, `ident[`, `slice[..][`. A `[`
+            // after a keyword (`mut [a, b]`), punctuation, or `#` is a pattern,
+            // type, or attribute — those cannot panic at runtime.
+            let prev = &code[i - 1];
+            let is_index_base = (prev.kind == TokKind::Ident && !is_keyword(&prev.text))
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if is_index_base {
+                out.push(violation(
+                    t.line,
+                    "indexing in the request path panics when out of bounds — use \
+                     .get()/.get_mut() and handle the None",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_tokens(source: &str) -> Vec<Tok> {
+        lex(source.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect()
+    }
+
+    fn run(rule: &str, source: &str) -> Vec<RuleViolation> {
+        let rule = RULES.iter().find(|r| r.name == rule).expect("known rule");
+        (rule.check)(&code_tokens(source))
+    }
+
+    #[test]
+    fn spawn_matches_calls_not_strings() {
+        assert_eq!(
+            run("no-spawn-outside-runtime", "std::thread::spawn(|| {});").len(),
+            1
+        );
+        assert_eq!(
+            run("no-spawn-outside-runtime", "thread::Builder::new()").len(),
+            1
+        );
+        assert!(run("no-spawn-outside-runtime", r#"let s = "thread::spawn";"#).is_empty());
+        assert!(run("no-spawn-outside-runtime", "pool.spawn(task)").is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_matches_the_chain() {
+        assert_eq!(run("no-bare-lock-unwrap", "m.lock().unwrap()").len(), 1);
+        assert_eq!(
+            run("no-bare-lock-unwrap", "m.lock().expect(\"poisoned\")").len(),
+            1
+        );
+        assert_eq!(
+            run("no-bare-lock-unwrap", "cv.wait(guard).unwrap()").len(),
+            1
+        );
+        assert_eq!(
+            run("no-bare-lock-unwrap", "cv.wait_timeout(g, d).unwrap()").len(),
+            1
+        );
+        assert!(run("no-bare-lock-unwrap", "lock_or_recover(&m)").is_empty());
+        assert!(run("no-bare-lock-unwrap", "m.lock().map(|g| *g)").is_empty());
+        assert!(run("no-bare-lock-unwrap", "match m.lock() { _ => {} }").is_empty());
+    }
+
+    #[test]
+    fn wallclock_matches_instant_now_and_systemtime() {
+        assert_eq!(
+            run("no-wallclock-in-deterministic-paths", "Instant::now()").len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "no-wallclock-in-deterministic-paths",
+                "SystemTime::UNIX_EPOCH"
+            )
+            .len(),
+            1
+        );
+        assert!(run("no-wallclock-in-deterministic-paths", "let t: Instant = x;").is_empty());
+    }
+
+    #[test]
+    fn indexing_rule_distinguishes_expressions_from_patterns() {
+        assert_eq!(run("no-panic-in-request-path", "let b = buf[0];").len(), 1);
+        assert_eq!(run("no-panic-in-request-path", "head(&line)[1]").len(), 1);
+        assert!(run("no-panic-in-request-path", "let [a, b] = pair;").is_empty());
+        assert!(run("no-panic-in-request-path", "fn f(x: [u8; 4]) {}").is_empty());
+        assert!(run("no-panic-in-request-path", "#[derive(Debug)]").is_empty());
+        assert!(run("no-panic-in-request-path", "let v: Vec<[u8; 2]> = vec![];").is_empty());
+    }
+
+    #[test]
+    fn panic_family_needs_the_bang() {
+        assert_eq!(
+            run("no-panic-in-request-path", r#"panic!("boom")"#).len(),
+            1
+        );
+        assert_eq!(run("no-panic-in-request-path", "unreachable!()").len(), 1);
+        assert!(run("no-panic-in-request-path", "std::panic::catch_unwind(f)").is_empty());
+    }
+
+    #[test]
+    fn unordered_map_matches_both_types() {
+        assert_eq!(run("no-unordered-map-in-output", "HashMap::new()").len(), 1);
+        assert_eq!(
+            run("no-unordered-map-in-output", "HashSet::from([1])").len(),
+            1
+        );
+        assert!(run("no-unordered-map-in-output", "BTreeMap::new()").is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! `olive-lint --self-test`: the lint proves it can still catch violations.
+//!
+//! A linter that silently stops matching is worse than no linter — CI would
+//! keep reporting green while the contracts rot. The self-test injects a
+//! known-bad snippet for every rule and fails loudly unless the rule fires,
+//! then proves the whole suppression lifecycle: a suppressed snippet passes,
+//! an unused suppression fails, a reason-less suppression fails, and
+//! test-only code stays exempt.
+
+use crate::config::Config;
+use crate::engine::{lint_bytes, SUPPRESSION_RULE};
+use crate::rules::RULES;
+
+/// One self-test check: a name and an optional failure detail.
+#[derive(Debug)]
+pub struct Check {
+    /// What the check proves, e.g. `rule no-spawn-outside-runtime fires`.
+    pub name: String,
+    /// `None` when the check passed; otherwise why it failed.
+    pub failure: Option<String>,
+}
+
+impl Check {
+    fn pass(name: impl Into<String>) -> Check {
+        Check {
+            name: name.into(),
+            failure: None,
+        }
+    }
+
+    fn fail(name: impl Into<String>, why: impl Into<String>) -> Check {
+        Check {
+            name: name.into(),
+            failure: Some(why.into()),
+        }
+    }
+}
+
+/// Paths used by the injected snippets; the config below scopes the
+/// path-sensitive rules to them.
+const DEMO_LIB: &str = "crates/demo/src/lib.rs";
+const DEMO_HTTP: &str = "crates/demo/src/http.rs";
+
+fn selftest_config() -> Config {
+    Config::parse(
+        r#"
+[rule.no-unordered-map-in-output]
+only = ["crates/demo/src"]
+
+[rule.no-bare-lock-unwrap]
+only = ["crates/demo/src"]
+
+[rule.no-panic-in-request-path]
+only = ["crates/demo/src/http.rs"]
+"#,
+    )
+    .expect("the built-in self-test config must parse")
+}
+
+/// A known-bad snippet per rule, at a path where the rule is in scope.
+fn bad_snippets() -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        (
+            "no-spawn-outside-runtime",
+            DEMO_LIB,
+            "pub fn f() {\n    std::thread::spawn(|| {});\n}\n".to_string(),
+        ),
+        (
+            "no-available-parallelism",
+            DEMO_LIB,
+            "pub fn f() -> usize {\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n"
+                .to_string(),
+        ),
+        (
+            "no-unordered-map-in-output",
+            DEMO_LIB,
+            "pub type Index = std::collections::HashMap<String, u32>;\n".to_string(),
+        ),
+        (
+            "no-bare-lock-unwrap",
+            DEMO_LIB,
+            "pub fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap()\n}\n".to_string(),
+        ),
+        (
+            "no-wallclock-in-deterministic-paths",
+            DEMO_LIB,
+            "pub fn f() -> u64 {\n    std::time::Instant::now().elapsed().as_secs()\n}\n".to_string(),
+        ),
+        (
+            "no-panic-in-request-path",
+            DEMO_HTTP,
+            "pub fn first(v: &[u8]) -> u8 {\n    v[0]\n}\n".to_string(),
+        ),
+    ]
+}
+
+/// The inline suppression for `rule`, assembled here (not written literally
+/// into any comment) so the workspace's own lint never sees a stray marker.
+fn suppression_comment(rule: &str) -> String {
+    format!(
+        "// olive-lint:{} allow({rule}): injected by --self-test",
+        ""
+    )
+}
+
+/// Runs every self-test check. The caller decides how to render them;
+/// [`passed`](fn@passed) summarizes.
+pub fn run() -> Vec<Check> {
+    let config = selftest_config();
+    let mut checks = Vec::new();
+
+    for (rule, path, bad) in bad_snippets() {
+        // 1. The injected violation must fail.
+        let outcome = lint_bytes(path, bad.as_bytes(), &config);
+        let fired: Vec<_> = outcome
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule)
+            .collect();
+        let stray: Vec<_> = outcome
+            .violations
+            .iter()
+            .filter(|v| v.rule != rule)
+            .collect();
+        if fired.is_empty() {
+            checks.push(Check::fail(
+                format!("rule {rule} fires on an injected violation"),
+                format!("no {rule} violation reported for:\n{bad}"),
+            ));
+            continue;
+        } else if !stray.is_empty() {
+            checks.push(Check::fail(
+                format!("rule {rule} fires on an injected violation"),
+                format!("unexpected extra findings: {stray:?}"),
+            ));
+            continue;
+        }
+        checks.push(Check::pass(format!(
+            "rule {rule} fires on an injected violation"
+        )));
+
+        // 2. The same snippet with a suppression above the flagged line must
+        //    pass clean — and the suppression must count as used.
+        let flagged_line = fired[0].line as usize;
+        let mut lines: Vec<&str> = bad.lines().collect();
+        let comment = suppression_comment(rule);
+        lines.insert(flagged_line - 1, &comment);
+        let suppressed = lines.join("\n");
+        let outcome = lint_bytes(path, suppressed.as_bytes(), &config);
+        if outcome.violations.is_empty() {
+            checks.push(Check::pass(format!("suppression silences {rule}")));
+        } else {
+            checks.push(Check::fail(
+                format!("suppression silences {rule}"),
+                format!("still reported: {:?}", outcome.violations),
+            ));
+        }
+    }
+
+    // 3. Trailing (same-line) suppressions work too.
+    let trailing = format!(
+        "pub fn f(m: &std::sync::Mutex<u32>) -> u32 {{\n    *m.lock().unwrap() {}\n}}\n",
+        suppression_comment("no-bare-lock-unwrap")
+    );
+    let outcome = lint_bytes(DEMO_LIB, trailing.as_bytes(), &config);
+    checks.push(if outcome.violations.is_empty() {
+        Check::pass("trailing same-line suppression works")
+    } else {
+        Check::fail(
+            "trailing same-line suppression works",
+            format!("still reported: {:?}", outcome.violations),
+        )
+    });
+
+    // 4. A suppression with nothing to suppress is itself an error.
+    let unused = format!(
+        "{}\npub fn clean() {{}}\n",
+        suppression_comment("no-bare-lock-unwrap")
+    );
+    let outcome = lint_bytes(DEMO_LIB, unused.as_bytes(), &config);
+    let flagged_unused = outcome
+        .violations
+        .iter()
+        .any(|v| v.rule == SUPPRESSION_RULE && v.message.contains("unused"));
+    checks.push(if flagged_unused {
+        Check::pass("unused suppression is reported")
+    } else {
+        Check::fail(
+            "unused suppression is reported",
+            format!("got: {:?}", outcome.violations),
+        )
+    });
+
+    // 5. A suppression without a reason is malformed — and must NOT silence
+    //    the violation it sits on.
+    let reasonless = format!(
+        "// olive-lint:{} allow(no-bare-lock-unwrap)\npub fn f(m: &std::sync::Mutex<u32>) -> u32 {{\n    *m.lock().unwrap()\n}}\n",
+        ""
+    );
+    let outcome = lint_bytes(DEMO_LIB, reasonless.as_bytes(), &config);
+    let malformed = outcome
+        .violations
+        .iter()
+        .any(|v| v.rule == SUPPRESSION_RULE && v.message.contains("malformed"));
+    let still_fires = outcome
+        .violations
+        .iter()
+        .any(|v| v.rule == "no-bare-lock-unwrap");
+    checks.push(if malformed && still_fires {
+        Check::pass("reason-less suppression is malformed and does not suppress")
+    } else {
+        Check::fail(
+            "reason-less suppression is malformed and does not suppress",
+            format!("got: {:?}", outcome.violations),
+        )
+    });
+
+    // 6. A suppression naming an unknown rule is malformed.
+    let unknown = suppression_comment("no-such-rule");
+    let outcome = lint_bytes(DEMO_LIB, unknown.as_bytes(), &config);
+    let flagged_unknown = outcome
+        .violations
+        .iter()
+        .any(|v| v.rule == SUPPRESSION_RULE && v.message.contains("unknown rule"));
+    checks.push(if flagged_unknown {
+        Check::pass("unknown rule in a suppression is reported")
+    } else {
+        Check::fail(
+            "unknown rule in a suppression is reported",
+            format!("got: {:?}", outcome.violations),
+        )
+    });
+
+    // 7. #[cfg(test)] code is exempt from every rule.
+    let test_mod = "#[cfg(test)]\nmod tests {\n    pub fn f() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+    let outcome = lint_bytes(DEMO_LIB, test_mod.as_bytes(), &config);
+    checks.push(if outcome.violations.is_empty() {
+        Check::pass("#[cfg(test)] items are exempt")
+    } else {
+        Check::fail(
+            "#[cfg(test)] items are exempt",
+            format!("got: {:?}", outcome.violations),
+        )
+    });
+
+    // 8. Files under tests/ are skipped wholesale.
+    let outcome = lint_bytes(
+        "crates/demo/tests/smoke.rs",
+        "fn f() { std::thread::spawn(|| {}); }".as_bytes(),
+        &config,
+    );
+    checks.push(if outcome.violations.is_empty() {
+        Check::pass("tests/ files are skipped")
+    } else {
+        Check::fail(
+            "tests/ files are skipped",
+            format!("got: {:?}", outcome.violations),
+        )
+    });
+
+    // 9. A lint.toml allow entry exempts the file and records liveness.
+    let allow_config =
+        Config::parse("[rule.no-spawn-outside-runtime]\nallow = [\"crates/demo/src/lib.rs\"]\n")
+            .expect("allow config must parse");
+    let outcome = lint_bytes(
+        DEMO_LIB,
+        "pub fn f() { std::thread::spawn(|| {}); }".as_bytes(),
+        &allow_config,
+    );
+    let exempted = outcome.violations.is_empty()
+        && outcome.allow_hits
+            == vec![(
+                "no-spawn-outside-runtime".to_string(),
+                "crates/demo/src/lib.rs".to_string(),
+            )];
+    checks.push(if exempted {
+        Check::pass("lint.toml allow entries exempt and register liveness")
+    } else {
+        Check::fail(
+            "lint.toml allow entries exempt and register liveness",
+            format!(
+                "violations: {:?}, allow_hits: {:?}",
+                outcome.violations, outcome.allow_hits
+            ),
+        )
+    });
+
+    checks.push(rules_cover_catalog());
+    checks
+}
+
+/// Guards the self-test itself: every cataloged rule must have an injected
+/// bad snippet above, so adding a rule without extending the self-test fails.
+fn rules_cover_catalog() -> Check {
+    let covered: Vec<&str> = bad_snippets().iter().map(|(r, _, _)| *r).collect();
+    let missing: Vec<&str> = RULES
+        .iter()
+        .map(|r| r.name)
+        .filter(|name| !covered.contains(name))
+        .collect();
+    if missing.is_empty() {
+        Check::pass("every rule has a self-test snippet")
+    } else {
+        Check::fail(
+            "every rule has a self-test snippet",
+            format!("rules without snippets: {missing:?}"),
+        )
+    }
+}
+
+/// True when every check passed.
+pub fn passed(checks: &[Check]) -> bool {
+    checks.iter().all(|c| c.failure.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_self_test_passes() {
+        let checks = run();
+        let failures: Vec<_> = checks.iter().filter(|c| c.failure.is_some()).collect();
+        assert!(failures.is_empty(), "self-test failures: {failures:?}");
+        assert!(checks.len() >= RULES.len() * 2, "per-rule checks missing");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the lexer is total over arbitrary bytes.
+//!
+//! `olive-lint` runs over every workspace file on every CI push; a panic on
+//! weird input would take the whole gate down. These properties hammer the
+//! lexer with byte soup and with *mutated real Rust* (the nastier case: mostly
+//! valid syntax with literals and comments cut mid-way), checking it never
+//! panics, never loses track of line numbers, and stays deterministic.
+
+use olive_harness::{check, gen, prop_assert, Rng};
+use olive_lint::lexer::{lex, Tok};
+
+/// A realistic seed corpus: the constructs the lexer special-cases.
+const CORPUS: &str = r####"
+//! doc comment with "string" and 'c'
+use std::collections::BTreeMap;
+
+/* block /* nested */ comment */
+fn generic<'a, T: AsRef<[u8]>>(x: &'a T) -> char {
+    let s = r#"raw "quoted" string"#;
+    let b = b"bytes\x00";
+    let r = br##"very raw"##;
+    let c = 'x';
+    let esc = '\'';
+    let n = 1_000.5e-3;
+    let hex = 0xFFu32;
+    for i in 0..n as usize {
+        let _ = s.as_bytes()[i % 2] / 2;
+    }
+    let r#match = "raw ident";
+    c
+}
+"####;
+
+fn check_invariants(bytes: &[u8]) -> Result<(), String> {
+    let tokens: Vec<Tok> = lex(bytes); // must not panic, whatever the input
+    let mut previous_line = 1u32;
+    for t in &tokens {
+        prop_assert!(
+            t.line >= previous_line,
+            "line numbers regressed: {} after {previous_line} ({:?})",
+            t.line,
+            t.kind
+        );
+        prop_assert!(!t.text.is_empty(), "empty token of kind {:?}", t.kind);
+        previous_line = t.line;
+    }
+    let newlines = bytes.iter().filter(|&&b| b == b'\n').count() as u32;
+    prop_assert!(
+        previous_line <= newlines + 1,
+        "last token line {previous_line} beyond the {newlines}-newline input"
+    );
+    let again = lex(bytes);
+    prop_assert!(tokens == again, "lexing is not deterministic");
+    Ok(())
+}
+
+#[test]
+fn lexing_never_panics_on_arbitrary_bytes() {
+    check(
+        "lex total over byte soup",
+        gen::vec_of(|rng: &mut Rng| rng.below(256) as u8, 0, 512),
+        |bytes| check_invariants(bytes),
+    );
+}
+
+#[test]
+fn lexing_never_panics_on_mutated_rust_source() {
+    check(
+        "lex total over mutated Rust",
+        |rng: &mut Rng| {
+            let mut bytes = CORPUS.as_bytes().to_vec();
+            // Truncate somewhere (cuts literals/comments mid-way)…
+            let cut = rng.below(bytes.len() + 1);
+            bytes.truncate(cut.max(1));
+            // …then flip a handful of bytes to delimiters and soup.
+            let delimiters = b"\"'#/r*b\\\n{}[]();:!.";
+            for _ in 0..rng.below(8) {
+                let at = rng.below(bytes.len());
+                let with = delimiters[rng.below(delimiters.len())];
+                bytes[at] = with;
+            }
+            bytes
+        },
+        |bytes| check_invariants(bytes),
+    );
+}
+
+#[test]
+fn lexing_the_corpus_is_lossless_on_line_count() {
+    // On clean input every non-whitespace byte lands in some token.
+    let tokens = lex(CORPUS.as_bytes());
+    let token_bytes: usize = tokens.iter().map(|t| t.text.len()).sum();
+    let non_ws = CORPUS.bytes().filter(|b| !b.is_ascii_whitespace()).count();
+    // Comments/strings may contain whitespace, so token bytes >= non-ws count.
+    assert!(
+        token_bytes >= non_ws,
+        "tokens cover {token_bytes} bytes, source has {non_ws} non-whitespace"
+    );
+}

@@ -1,0 +1,178 @@
+//! Golden token-stream tests for the corners of Rust syntax the lexer
+//! exists to get right — each case is one a plain text search would misread.
+
+use olive_lint::lexer::{lex, TokKind};
+
+fn kinds(source: &str) -> Vec<(TokKind, String)> {
+    lex(source.as_bytes())
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_swallow_quotes_and_fake_terminators() {
+    // The "# inside must not terminate a two-hash raw string.
+    let toks = kinds(r###"let s = r##"contains "# and "quotes""##;"###);
+    let strings: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+    assert_eq!(strings.len(), 1, "{toks:?}");
+    assert_eq!(strings[0].1, r###"r##"contains "# and "quotes""##"###);
+    assert!(
+        !toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "quotes"),
+        "raw-string contents leaked into idents: {toks:?}"
+    );
+}
+
+#[test]
+fn raw_string_contents_are_opaque_to_rules() {
+    let toks = kinds(r##"let s = r#"HashMap thread::spawn .lock().unwrap()"#;"##);
+    assert!(
+        !toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "HashMap" || t == "spawn")),
+        "{toks:?}"
+    );
+}
+
+#[test]
+fn nested_block_comments_close_at_the_matching_terminator() {
+    let toks = kinds("/* outer /* inner */ still comment */ ident");
+    assert_eq!(
+        toks,
+        vec![
+            (
+                TokKind::Comment,
+                "/* outer /* inner */ still comment */".to_string()
+            ),
+            (TokKind::Ident, "ident".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    // 'a in a generic list is a lifetime; 'a' is a char; '\'' is an escape.
+    let toks = kinds(r"fn f<'a>(x: &'a str) -> char { 'a' } const Q: char = '\'';");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Char)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    assert_eq!(chars, vec!["'a'", r"'\''"]);
+}
+
+#[test]
+fn static_lifetime_is_not_a_char() {
+    let toks = kinds("fn f() -> &'static str { \"x\" }");
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+    assert!(!toks.iter().any(|(k, _)| *k == TokKind::Char));
+}
+
+#[test]
+fn byte_and_c_string_flavours_all_lex_as_strings() {
+    for source in [
+        r#"b"bytes""#,
+        r##"br#"raw bytes "quoted""#"##,
+        r#"c"c string""#,
+        r##"cr#"raw c"#"##,
+    ] {
+        let toks = kinds(source);
+        assert_eq!(
+            toks,
+            vec![(TokKind::Str, source.to_string())],
+            "{source} must lex as one string"
+        );
+    }
+    assert_eq!(kinds("b'x'"), vec![(TokKind::Char, "b'x'".to_string())]);
+}
+
+#[test]
+fn byte_prefix_does_not_eat_ordinary_identifiers() {
+    // `break`/`crate` start with the b/c string prefixes; `b` and `c` alone
+    // are plain idents.
+    let toks = kinds("break; crate::b; c + b");
+    let idents: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Ident)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(idents, vec!["break", "crate", "b", "c", "b"]);
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    let toks = kinds(r#"let r#match = r#fn; let s = r"raw";"#);
+    let raw_idents: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::RawIdent)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(raw_idents, vec!["r#match", "r#fn"]);
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Str && t == "r\"raw\""));
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    let toks = kinds(r#"let s = "quote \" backslash \\"; next"#);
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+        1,
+        "{toks:?}"
+    );
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Ident && t == "next"));
+}
+
+#[test]
+fn numbers_do_not_swallow_ranges_or_methods() {
+    let toks = kinds("for i in 0..10 { x = 1.5e-3; y = 2.max(3); }");
+    let nums: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Num)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(nums, vec!["0", "10", "1.5e-3", "2", "3"]);
+}
+
+#[test]
+fn doc_comments_are_comments_and_keep_their_text() {
+    let toks = kinds("/// says HashMap\nfn f() {}");
+    assert_eq!(toks[0].0, TokKind::Comment);
+    assert!(toks[0].1.contains("HashMap"));
+    assert!(
+        !toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"),
+        "comment text must not produce idents"
+    );
+}
+
+#[test]
+fn unterminated_constructs_run_to_eof_without_panicking() {
+    for source in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+        let toks = lex(source.as_bytes());
+        assert!(!toks.is_empty(), "{source:?} must still produce tokens");
+    }
+}
+
+#[test]
+fn line_numbers_point_at_token_starts() {
+    let toks = lex(b"a\n/* multi\nline */ b\n\"s\ntr\" c");
+    let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+    assert_eq!(find("a"), 1);
+    assert_eq!(find("b"), 3, "token after a multi-line comment");
+    assert_eq!(find("c"), 5, "token after a multi-line string");
+}

@@ -1,0 +1,154 @@
+//! End-to-end engine tests over a real directory tree, plus the acceptance
+//! gate: the workspace itself must lint clean with the checked-in lint.toml.
+
+use olive_lint::{engine, Config};
+use std::path::{Path, PathBuf};
+
+/// Builds a throwaway tree under the target dir (unique per test name) and
+/// cleans it up on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(name: &str) -> TempTree {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-e2e-{name}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create temp tree");
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create parent dirs");
+        std::fs::write(path, contents).expect("write file");
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn walks_the_tree_and_reports_sorted_violations() {
+    let tree = TempTree::new("walk");
+    tree.write(
+        "crates/a/src/lib.rs",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    tree.write(
+        "crates/b/src/lib.rs",
+        "pub fn g() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }\n",
+    );
+    // Skipped locations: tests/ dirs and the target/ build dir.
+    tree.write(
+        "crates/a/tests/t.rs",
+        "fn t() { std::thread::spawn(|| {}); }\n",
+    );
+    tree.write(
+        "target/debug/gen.rs",
+        "fn t() { std::thread::spawn(|| {}); }\n",
+    );
+    let report = engine::lint_workspace(&tree.root, &Config::default()).expect("walk succeeds");
+    let got: Vec<(String, String)> = report
+        .violations
+        .iter()
+        .map(|v| (v.path.clone(), v.rule.clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "no-spawn-outside-runtime".to_string()
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "no-available-parallelism".to_string()
+            ),
+        ]
+    );
+    assert_eq!(
+        report.files_scanned, 3,
+        "target/ must be pruned from the walk"
+    );
+}
+
+#[test]
+fn dead_config_allow_entries_are_reported() {
+    let tree = TempTree::new("dead-allow");
+    tree.write("src/lib.rs", "pub fn clean() {}\n");
+    let config =
+        Config::parse("[rule.no-spawn-outside-runtime]\nallow = [\"src/never_matches.rs\"]\n")
+            .expect("config parses");
+    let report = engine::lint_workspace(&tree.root, &config).expect("walk succeeds");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let dead = &report.violations[0];
+    assert_eq!(dead.path, "lint.toml");
+    assert_eq!(dead.rule, engine::SUPPRESSION_RULE);
+    assert!(
+        dead.message.contains("never_matches.rs"),
+        "{}",
+        dead.message
+    );
+}
+
+#[test]
+fn live_config_allow_entries_are_not_reported() {
+    let tree = TempTree::new("live-allow");
+    tree.write(
+        "src/spawny.rs",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    let config = Config::parse("[rule.no-spawn-outside-runtime]\nallow = [\"src/spawny.rs\"]\n")
+        .expect("config parses");
+    let report = engine::lint_workspace(&tree.root, &config).expect("walk succeeds");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn config_skip_prunes_directories() {
+    let tree = TempTree::new("skip");
+    tree.write(
+        "vendored/bad.rs",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    tree.write("src/lib.rs", "pub fn clean() {}\n");
+    let config = Config::parse("[lint]\nskip = [\"vendored\"]\n").expect("config parses");
+    let report = engine::lint_workspace(&tree.root, &config).expect("walk succeeds");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.files_scanned, 1);
+}
+
+/// The acceptance gate, enforced by `cargo test` itself: linting this
+/// workspace with its checked-in lint.toml finds nothing — no unsuppressed
+/// violations, no unused suppressions, no dead allow entries.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml");
+    let config = Config::parse(&config_text).expect("lint.toml parses");
+    let report = engine::lint_workspace(&root, &config).expect("workspace walk succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "the workspace must lint clean:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+}

@@ -67,9 +67,11 @@
 
 pub mod pool;
 pub mod queue;
+pub mod sync;
 
 pub use pool::{Pool, MAX_THREADS};
 pub use queue::{BoundedQueue, PushError};
+pub use sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -290,9 +292,12 @@ pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Ve
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     par_rows(items.len(), |rows| {
         let local: Vec<R> = items[rows.clone()].iter().map(&f).collect();
-        parts.lock().unwrap().push((rows.start, local));
+        lock_or_recover(&parts).push((rows.start, local));
     });
-    let mut parts = parts.into_inner().unwrap();
+    // A panicked range already re-threw above; completed partials are intact.
+    let mut parts = parts
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     parts.sort_unstable_by_key(|(start, _)| *start);
     parts.into_iter().flat_map(|(_, local)| local).collect()
 }

@@ -12,6 +12,7 @@
 //! lifetime-erases it internally and guarantees — by waiting for every chunk
 //! to finish before returning — that no worker touches it afterwards.
 
+use crate::sync::{lock_or_recover, wait_or_recover};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,14 +70,14 @@ impl Job {
             // owns the closure is still blocked waiting on this job.
             let task = unsafe { &*self.task };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(chunk))) {
-                let mut slot = self.panic_payload.lock().unwrap();
+                let mut slot = lock_or_recover(&self.panic_payload);
                 slot.get_or_insert(payload);
             }
             let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
             if done == self.total {
                 // Last chunk: retire the job and wake the waiting caller (and
                 // any thread queued to publish the next job).
-                let mut state = shared.state.lock().unwrap();
+                let mut state = lock_or_recover(&shared.state);
                 state.job = None;
                 drop(state);
                 shared.done_cv.notify_all();
@@ -149,7 +150,7 @@ impl Pool {
     /// spawn failures leave the pool smaller but functional).
     fn ensure_workers(&self, want: usize) {
         let want = want.min(MAX_THREADS.saturating_sub(1));
-        let mut workers = self.workers.lock().unwrap();
+        let mut workers = lock_or_recover(&self.workers);
         while workers.len() < want {
             let shared = Arc::clone(&self.shared);
             let name = format!("olive-runtime-{}", workers.len());
@@ -165,7 +166,7 @@ impl Pool {
 
     /// Current worker-thread count (excludes the participating caller).
     pub fn workers(&self) -> usize {
-        self.workers.lock().unwrap().len()
+        lock_or_recover(&self.workers).len()
     }
 
     /// Runs `f(chunk)` for every `chunk in 0..n_chunks` at up-to-`threads`-way
@@ -215,10 +216,10 @@ impl Pool {
         });
 
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_or_recover(&self.shared.state);
             // One job at a time: queue behind any in-flight job.
             while state.job.is_some() {
-                state = self.shared.done_cv.wait(state).unwrap();
+                state = wait_or_recover(&self.shared.done_cv, state);
             }
             state.epoch += 1;
             state.job = Some(Arc::clone(&job));
@@ -230,13 +231,13 @@ impl Pool {
         // queueing behind this (unfinished) job.
         crate::enter_worker(|| job.run_chunks(&self.shared));
 
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_or_recover(&self.shared.state);
         while job.completed.load(Ordering::Acquire) < job.total {
-            state = self.shared.done_cv.wait(state).unwrap();
+            state = wait_or_recover(&self.shared.done_cv, state);
         }
         drop(state);
 
-        let payload = job.panic_payload.lock().unwrap().take();
+        let payload = lock_or_recover(&job.panic_payload).take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -246,11 +247,11 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_or_recover(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.work_cv.notify_all();
-        for handle in self.workers.lock().unwrap().drain(..) {
+        for handle in lock_or_recover(&self.workers).drain(..) {
             let _ = handle.join();
         }
     }
@@ -260,7 +261,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_or_recover(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -272,7 +273,7 @@ fn worker_loop(shared: &Shared) {
                     }
                     // Epoch advanced but the job already retired; keep waiting.
                 }
-                state = shared.work_cv.wait(state).unwrap();
+                state = wait_or_recover(&shared.work_cv, state);
             }
         };
         if job.try_claim_lane() {

@@ -17,6 +17,7 @@
 //! tests in `crates/runtime/tests/queue_pool.rs` pin this down together with
 //! panic propagation through [`Pool`](crate::Pool)-backed batch execution.
 
+use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -75,7 +76,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued (racy by nature; for stats/back-pressure
     /// reporting only).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_or_recover(&self.inner).items.len()
     }
 
     /// True when no items are queued right now.
@@ -90,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back along with the reason so the caller can shed
     /// load (e.g. answer 503) without losing the request it was holding.
     pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         if inner.closed {
             return Err((PushError::Closed, item));
         }
@@ -111,13 +112,13 @@ impl<T> BoundedQueue<T> {
     /// closed *and* drained — the consumer should exit.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Vec<T> {
         let max_batch = max_batch.max(1);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         // Phase 1: wait (indefinitely) for the first item or close+drain.
         while inner.items.is_empty() {
             if inner.closed {
                 return Vec::new();
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = wait_or_recover(&self.available, inner);
         }
         let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
         // Phase 2: batch whatever is already queued, then linger up to
@@ -142,7 +143,7 @@ impl<T> BoundedQueue<T> {
             if remaining.is_zero() {
                 return batch;
             }
-            (inner, _) = self.available.wait_timeout(inner, remaining).unwrap();
+            (inner, _) = wait_timeout_or_recover(&self.available, inner, remaining);
         }
     }
 
@@ -154,20 +155,20 @@ impl<T> BoundedQueue<T> {
     pub fn spurious_wake_for_test(&self) {
         // Take the lock so the wake cannot race past a consumer that is
         // between checking state and parking.
-        drop(self.inner.lock().unwrap());
+        drop(lock_or_recover(&self.inner));
         self.available.notify_all();
     }
 
     /// Closes the queue: pending items remain poppable, new pushes fail with
     /// [`PushError::Closed`], and blocked consumers wake up.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_or_recover(&self.inner).closed = true;
         self.available.notify_all();
     }
 
     /// True once [`close`](BoundedQueue::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        lock_or_recover(&self.inner).closed
     }
 }
 

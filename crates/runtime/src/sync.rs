@@ -1,0 +1,132 @@
+//! Poison-recovering lock primitives.
+//!
+//! Every mutex in the runtime and serving layers guards state that stays
+//! structurally valid across a panic: counters, FIFO queues, caches whose
+//! entries are pure functions of their keys. For such state, the standard
+//! `.lock().unwrap()` idiom converts one panicked worker into a *cascade* —
+//! every thread that later touches the same mutex panics on the poison flag,
+//! which in a server means the drain thread dies and every queued request
+//! hangs until its client gives up.
+//!
+//! [`lock_or_recover`] (and the [`Condvar`] companions [`wait_or_recover`]
+//! and [`wait_timeout_or_recover`]) encode the intended policy instead:
+//! recover the guard, clear the poison flag, and keep serving. The original
+//! panic still propagates on the thread that raised it — recovery never
+//! swallows a bug, it only stops the bug from taking hostages.
+//!
+//! The `no-bare-lock-unwrap` rule of `olive-lint` (see `crates/lint`)
+//! enforces, at the source level, that `crates/runtime`, `crates/serve` and
+//! `crates/core` acquire locks through these helpers only.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering (and clearing) a poisoned lock instead of
+/// panicking.
+///
+/// Use wherever the guarded state is valid regardless of panics in other
+/// critical sections — which is a design requirement for every mutex in this
+/// workspace's concurrent layers (see the [module docs](self)).
+pub fn lock_or_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            // Clear the flag so unrelated later lockers (and std APIs that
+            // still check it) observe a healthy mutex again.
+            mutex.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// [`Condvar::wait`] that recovers the guard from a poisoned lock instead of
+/// panicking — the blocking-side twin of [`lock_or_recover`].
+pub fn wait_or_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard from a poisoned lock
+/// instead of panicking.
+pub fn wait_timeout_or_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Panics while holding the lock so the mutex is genuinely poisoned.
+    fn poison<T: Send + 'static>(mutex: &Arc<Mutex<T>>) {
+        let m = Arc::clone(mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = m.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(mutex.is_poisoned(), "setup: the mutex must be poisoned");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let mutex = Arc::new(Mutex::new(7u32));
+        poison(&mutex);
+        // A bare .lock().unwrap() here would panic — the cascade this module
+        // exists to stop. Recovery hands back the guard with the state
+        // intact and clears the flag for everyone else.
+        let mut guard = lock_or_recover(&mutex);
+        assert_eq!(*guard, 7);
+        *guard += 1;
+        drop(guard);
+        assert!(!mutex.is_poisoned(), "recovery must clear the poison flag");
+        assert_eq!(*mutex.lock().unwrap(), 8, "state survives the recovery");
+    }
+
+    #[test]
+    fn healthy_lock_behaves_like_plain_lock() {
+        let mutex = Mutex::new(vec![1, 2, 3]);
+        lock_or_recover(&mutex).push(4);
+        assert_eq!(*lock_or_recover(&mutex), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poisoned_wait_recovers_and_still_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let pair = Arc::clone(&pair);
+            let _ = std::thread::spawn(move || {
+                let _guard = pair.0.lock().unwrap();
+                panic!("poison under the condvar's mutex");
+            })
+            .join();
+        }
+        let waker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                *lock_or_recover(&pair.0) = true;
+                pair.1.notify_all();
+            })
+        };
+        let mut ready = lock_or_recover(&pair.0);
+        while !*ready {
+            ready = wait_or_recover(&pair.1, ready);
+        }
+        drop(ready);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_recovers_and_reports_the_timeout() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let guard = lock_or_recover(&pair.0);
+        let (_guard, result) = wait_timeout_or_recover(&pair.1, guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+    }
+}

@@ -31,7 +31,7 @@
 use crate::cache::ModelCache;
 use crate::http::Response;
 use crate::protocol::{EvalRequest, GenerateRequest, QuantizeRequest};
-use olive_runtime::{par_map, BoundedQueue, PushError};
+use olive_runtime::{lock_or_recover, par_map, BoundedQueue, PushError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -116,11 +116,12 @@ impl Batcher {
         let batcher = Self::paused(&config);
         let queue = Arc::clone(&batcher.queue);
         let stats = Arc::clone(&batcher.stats);
+        // olive-lint: allow(no-spawn-outside-runtime): the one long-lived drain thread; batch execution inside it still runs on the Pool
         let handle = std::thread::Builder::new()
             .name("olive-serve-batcher".into())
             .spawn(move || drain_loop(&queue, &config, &cache, &stats))
             .expect("spawning the batch drain thread");
-        *batcher.worker.lock().unwrap() = Some(handle);
+        *lock_or_recover(&batcher.worker) = Some(handle);
         batcher
     }
 
@@ -199,7 +200,7 @@ impl Batcher {
     /// thread. Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
-        if let Some(handle) = self.worker.lock().unwrap().take() {
+        if let Some(handle) = lock_or_recover(&self.worker).take() {
             let _ = handle.join();
         }
     }
@@ -235,7 +236,7 @@ fn drain_loop(
                     let _ = reply.send(response);
                 }
                 QueuedJob::Stream(request, events) => {
-                    let events = events.lock().unwrap();
+                    let events = lock_or_recover(events);
                     execute_stream(request, cache, &events);
                 }
             }

@@ -16,7 +16,8 @@
 
 use crate::protocol::{EvalRequest, GenerateRequest};
 use olive_api::{GenReport, PreparedEval, PreparedGen};
-use std::collections::HashMap;
+use olive_runtime::lock_or_recover;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Most prepared (teacher, task) pairs kept alive.
@@ -31,7 +32,7 @@ pub const MAX_RESPONSES: usize = 1024;
 /// A bounded FIFO map: the simplest eviction policy whose behaviour is easy
 /// to reason about under concurrent fill (insertion order, oldest out).
 struct FifoMap<V> {
-    entries: HashMap<String, V>,
+    entries: BTreeMap<String, V>,
     order: Vec<String>,
     capacity: usize,
 }
@@ -39,7 +40,7 @@ struct FifoMap<V> {
 impl<V: Clone> FifoMap<V> {
     fn new(capacity: usize) -> Self {
         FifoMap {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: Vec::new(),
             capacity: capacity.max(1),
         }
@@ -50,7 +51,7 @@ impl<V: Clone> FifoMap<V> {
     }
 
     fn insert(&mut self, key: String, value: V) {
-        if let std::collections::hash_map::Entry::Occupied(mut slot) =
+        if let std::collections::btree_map::Entry::Occupied(mut slot) =
             self.entries.entry(key.clone())
         {
             slot.insert(value);
@@ -101,21 +102,18 @@ impl ModelCache {
     /// wrong answer.
     pub fn eval_body(&self, req: &EvalRequest) -> Arc<String> {
         let response_key = req.response_key();
-        if let Some(hit) = self.responses.lock().unwrap().get(&response_key) {
+        if let Some(hit) = lock_or_recover(&self.responses).get(&response_key) {
             return hit;
         }
         let pipeline = req.pipeline();
         let prepared = {
             let prepared_key = req.prepared_key();
-            let hit = self.prepared.lock().unwrap().get(&prepared_key);
+            let hit = lock_or_recover(&self.prepared).get(&prepared_key);
             match hit {
                 Some(p) => p,
                 None => {
                     let p = Arc::new(pipeline.prepare());
-                    self.prepared
-                        .lock()
-                        .unwrap()
-                        .insert(prepared_key, Arc::clone(&p));
+                    lock_or_recover(&self.prepared).insert(prepared_key, Arc::clone(&p));
                     p
                 }
             }
@@ -129,10 +127,7 @@ impl ModelCache {
                 .without_wall_times()
                 .to_json(),
         );
-        self.responses
-            .lock()
-            .unwrap()
-            .insert(response_key, Arc::clone(&body));
+        lock_or_recover(&self.responses).insert(response_key, Arc::clone(&body));
         body
     }
 
@@ -150,16 +145,13 @@ impl ModelCache {
         let pipeline = req.pipeline();
         let prepared = {
             let key = req.prepared_key();
-            let hit = self.gen_prepared.lock().unwrap().get(&key);
+            let hit = lock_or_recover(&self.gen_prepared).get(&key);
             match hit {
                 Some(p) => p,
                 None => {
                     // Lock never held across the computation (see eval_body).
                     let p = Arc::new(pipeline.prepare_generation(req.prompt_tokens));
-                    self.gen_prepared
-                        .lock()
-                        .unwrap()
-                        .insert(key, Arc::clone(&p));
+                    lock_or_recover(&self.gen_prepared).insert(key, Arc::clone(&p));
                     p
                 }
             }
@@ -171,9 +163,9 @@ impl ModelCache {
     /// bodies) currently held — surfaced by `/healthz`.
     pub fn sizes(&self) -> (usize, usize, usize) {
         (
-            self.prepared.lock().unwrap().len(),
-            self.gen_prepared.lock().unwrap().len(),
-            self.responses.lock().unwrap().len(),
+            lock_or_recover(&self.prepared).len(),
+            lock_or_recover(&self.gen_prepared).len(),
+            lock_or_recover(&self.responses).len(),
         )
     }
 }

@@ -8,6 +8,7 @@ use crate::http::{
 };
 use crate::protocol::{render_schemes_body, EvalRequest, GenerateRequest, QuantizeRequest};
 use olive_api::JsonValue;
+use olive_runtime::lock_or_recover;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -144,7 +145,7 @@ impl Server {
     /// stops accepting, drains queued requests, joins the worker threads.
     /// The daemon binary's main loop.
     pub fn wait(&self) {
-        if let Some(handle) = self.accept_handle.lock().unwrap().take() {
+        if let Some(handle) = lock_or_recover(&self.accept_handle).take() {
             let _ = handle.join();
         }
         self.state.batcher.shutdown();

@@ -279,3 +279,85 @@ fn repeated_evals_hit_the_model_cache() {
     );
     server.shutdown();
 }
+
+/// The keys of a JSON object, in wire order — [`JsonValue::Object`] keeps
+/// insertion order, so parsing preserves exactly what the server rendered.
+fn object_keys(v: &JsonValue) -> Vec<String> {
+    match v {
+        JsonValue::Object(entries) => entries.iter().map(|(k, _)| k.clone()).collect(),
+        other => panic!("expected a JSON object, got {other:?}"),
+    }
+}
+
+#[test]
+fn response_json_key_order_is_stable() {
+    // Byte-identical responses require deterministic key order; a HashMap
+    // sneaking into a rendering path (what olive-lint's
+    // no-unordered-map-in-output rule guards against) would scramble these.
+    let server = start();
+
+    let health = client::get(server.local_addr(), "/healthz").unwrap();
+    let v = JsonValue::parse(&health.body).expect("healthz must be valid JSON");
+    assert_eq!(
+        object_keys(&v),
+        [
+            "status",
+            "requests_served",
+            "requests_rejected",
+            "batches_executed",
+            "queue_depth",
+            "connections_accepted",
+            "cached_models",
+            "cached_generators",
+            "cached_responses",
+        ],
+        "/healthz key order must never change"
+    );
+
+    let body = r#"{"scheme": "olive-4bit", "batches": 1, "oversample": 2}"#;
+    let eval = client::post_json(server.local_addr(), "/v1/eval", body).unwrap();
+    assert_eq!(eval.status, 200);
+    let report = JsonValue::parse(&eval.body).expect("eval report must be valid JSON");
+    assert_eq!(
+        object_keys(&report),
+        [
+            "model",
+            "task",
+            "seed",
+            "batches",
+            "quantize_activations",
+            "gemm",
+            "results",
+        ],
+        "eval report key order must never change"
+    );
+    let results = match report.get("results") {
+        Some(JsonValue::Array(items)) => items,
+        other => panic!("expected a results array, got {other:?}"),
+    };
+    assert_eq!(
+        object_keys(&results[0]),
+        [
+            "spec",
+            "name",
+            "bits_per_element",
+            "compute_bits",
+            "activations_quantized",
+            "fidelity",
+            "agreement",
+            "position_agreement",
+            "perplexity",
+            "wall_time_s",
+        ],
+        "per-scheme result key order must never change"
+    );
+    server.shutdown();
+
+    // A second server process answering the same request must produce the
+    // same bytes — cache state and key order cannot depend on process
+    // history.
+    let fresh = start();
+    let again = client::post_json(fresh.local_addr(), "/v1/eval", body).unwrap();
+    assert_eq!(again.body, eval.body, "responses must be byte-stable");
+    fresh.shutdown();
+}

@@ -23,6 +23,14 @@ cargo build --release --examples
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+# Static analysis: the determinism & concurrency contracts (see
+# crates/lint/RULES.md). The self-test proves the rules still bite by
+# injecting one violation per rule.
+echo "== olive-lint =="
+cargo run --release -q -p olive-lint -- --root .
+echo "== olive-lint --self-test =="
+cargo run --release -q -p olive-lint -- --self-test
+
 # `cargo test` alone skips doc tests unevenly: the harness=false bench
 # targets are test targets too, and lib doc tests are easy to lose in the
 # noise. Run them explicitly so documented examples stay honest.
