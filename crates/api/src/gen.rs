@@ -1,7 +1,7 @@
 //! The autoregressive generation arm of the pipeline.
 //!
 //! Where [`Pipeline::run`](crate::Pipeline::run) answers "how much does a
-//! scheme perturb one forward pass", [`Pipeline::generate`] answers the
+//! scheme perturb one forward pass", [`Pipeline::generation`] answers the
 //! *generative* question the paper's serving scenario poses: run a quantized
 //! student autoregressively for `max_new_tokens` greedy decode steps and
 //! score, at every step, whether the FP32 teacher (forced along the
@@ -9,19 +9,31 @@
 //! a [`GenReport`]: the generated tokens, the per-step agreement trace, the
 //! aggregate agreement and the decode throughput (tokens/sec).
 //!
+//! The run is described by a [`GenOptions`] builder — prompt length, step
+//! budget, an optional scheme override, an optional pre-prepared
+//! teacher/prompt, an optional streaming sink — and
+//! [`Pipeline::generation`] is the one entry point; the older positional
+//! `generate`/`generate_prepared`/`generate_streamed` trio survives as thin
+//! deprecated wrappers over it.
+//!
 //! ## Streaming, byte-identically
 //!
 //! The report's JSON is assembled from **fragments** — a head, one fragment
 //! per decode step, a per-scheme tail carrying the summary, a report tail —
 //! and [`GenReport::to_json`] is defined as the concatenation of exactly
-//! those fragments. [`Pipeline::generate_streamed`] hands each fragment to a
-//! sink *as the step is decoded*, which is what `olive-serve` writes as
-//! HTTP chunks: a streamed `/v1/generate` body, chunks concatenated, is
-//! byte-identical to `Pipeline::generate(..).without_wall_times().to_json()`
-//! by construction, not by careful bookkeeping.
+//! those fragments. A [`GenOptions::stream`] sink receives each fragment
+//! *as the step is decoded*, which is what `olive-serve` writes as HTTP
+//! chunks: a streamed `/v1/generate` body, chunks concatenated, is
+//! byte-identical to the unstreamed `without_wall_times().to_json()` by
+//! construction, not by careful bookkeeping. The fragment constructors
+//! ([`head_fragment`], [`scheme_head_fragment`], [`step_fragment`],
+//! [`scheme_tail_fragment`], [`REPORT_TAIL`]) are public precisely so the
+//! continuous-batching scheduler in `olive-serve` can emit the very same
+//! bytes per stream while interleaving many streams' decode steps.
 
 use crate::json::JsonValue;
 use crate::pipeline::Pipeline;
+use crate::scheme::Scheme;
 use olive_models::{argmax, DecodeSession, TinyTransformer};
 use olive_tensor::rng::Rng;
 
@@ -115,7 +127,7 @@ impl GenReport {
     }
 
     /// Renders the report as machine-readable JSON: the concatenation of the
-    /// same fragments [`Pipeline::generate_streamed`] emits.
+    /// same fragments a [`GenOptions::stream`] sink receives.
     pub fn to_json(&self) -> String {
         let mut out = head_fragment(self);
         for (i, r) in self.results.iter().enumerate() {
@@ -131,7 +143,7 @@ impl GenReport {
 }
 
 /// Everything up to and including `"results": [`.
-fn head_fragment(report: &GenReport) -> String {
+pub fn head_fragment(report: &GenReport) -> String {
     let prompt: Vec<String> = report.prompt.iter().map(|t| t.to_string()).collect();
     format!(
         "{{\n  \"model\": {},\n  \"task\": {},\n  \"seed\": {},\n  \"prompt_tokens\": {},\n  \
@@ -147,8 +159,9 @@ fn head_fragment(report: &GenReport) -> String {
     )
 }
 
-/// One scheme's metadata up to and including `"steps": [`.
-fn scheme_head_fragment(result: &GenSchemeResult, first: bool) -> String {
+/// One scheme's metadata up to and including `"steps": [`; `first` drops
+/// the leading comma for the first scheme in the report.
+pub fn scheme_head_fragment(result: &GenSchemeResult, first: bool) -> String {
     format!(
         "{}\n    {{\n      \"spec\": {},\n      \"name\": {},\n      \
          \"activations_quantized\": {},\n      \"steps\": [",
@@ -160,7 +173,7 @@ fn scheme_head_fragment(result: &GenSchemeResult, first: bool) -> String {
 }
 
 /// One decode step — the fragment streamed as the token is produced.
-fn step_fragment(step: &GenStep, first: bool) -> String {
+pub fn step_fragment(step: &GenStep, first: bool) -> String {
     format!(
         "{}\n        {{\"token\": {}, \"teacher_token\": {}, \"agree\": {}}}",
         if first { "" } else { "," },
@@ -172,7 +185,7 @@ fn step_fragment(step: &GenStep, first: bool) -> String {
 
 /// Closes the step array and carries the per-scheme summary (which is only
 /// known once every step has been decoded — hence it trails the steps).
-fn scheme_tail_fragment(result: &GenSchemeResult) -> String {
+pub fn scheme_tail_fragment(result: &GenSchemeResult) -> String {
     format!(
         "\n      ],\n      \"agreement\": {},\n      \"tokens_per_s\": {},\n      \
          \"wall_time_s\": {}\n    }}",
@@ -182,7 +195,8 @@ fn scheme_tail_fragment(result: &GenSchemeResult) -> String {
     )
 }
 
-const REPORT_TAIL: &str = "\n  ]\n}\n";
+/// Closes the results array and the report object.
+pub const REPORT_TAIL: &str = "\n  ]\n}\n";
 
 /// A generated teacher model plus the prompt all schemes continue from — the
 /// reusable (cacheable) part of a generation run, mirroring
@@ -193,6 +207,92 @@ pub struct PreparedGen {
     pub teacher: TinyTransformer,
     /// The prompt (at least one token).
     pub prompt: Vec<usize>,
+}
+
+/// The description of one generation run — the single argument of
+/// [`Pipeline::generation`], replacing the old positional
+/// `generate`/`generate_prepared`/`generate_streamed` trio.
+///
+/// Defaults: [`DEFAULT_PROMPT_TOKENS`]-token prompt,
+/// [`DEFAULT_MAX_NEW_TOKENS`] decode steps, the pipeline's configured
+/// schemes, a fresh preparation from the pipeline seed, no streaming.
+///
+/// ```
+/// use olive_api::{GenOptions, Pipeline};
+/// use olive_api::pipeline::ModelFamily;
+///
+/// let pipeline = Pipeline::new(ModelFamily::Gpt2.tiny()).schemes(["fp32"]);
+/// let report = pipeline.generation(GenOptions::new().prompt_tokens(4).max_new_tokens(2));
+/// assert_eq!(report.results.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct GenOptions<'a> {
+    prompt_tokens: Option<usize>,
+    max_new_tokens: Option<usize>,
+    schemes: Option<Vec<Scheme>>,
+    prepared: Option<&'a PreparedGen>,
+    sink: Option<&'a mut dyn FnMut(&str)>,
+}
+
+impl<'a> GenOptions<'a> {
+    /// All defaults (see the type docs).
+    pub fn new() -> Self {
+        GenOptions::default()
+    }
+
+    /// Prompt length in tokens (clamped to at least 1 at preparation time).
+    /// Ignored when [`prepared`](Self::prepared) supplies the prompt.
+    pub fn prompt_tokens(mut self, n: usize) -> Self {
+        self.prompt_tokens = Some(n);
+        self
+    }
+
+    /// Number of greedy decode steps per scheme.
+    pub fn max_new_tokens(mut self, n: usize) -> Self {
+        self.max_new_tokens = Some(n);
+        self
+    }
+
+    /// Overrides the pipeline's configured schemes with a single spec string
+    /// for this run (parsed like [`Pipeline::schemes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparseable spec, like [`Pipeline::schemes`].
+    pub fn scheme(self, spec: &str) -> Self {
+        match Scheme::parse(spec) {
+            Ok(s) => self.scheme_set([s]),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Overrides the pipeline's configured schemes with pre-parsed schemes,
+    /// in order.
+    pub fn scheme_set<I: IntoIterator<Item = Scheme>>(mut self, schemes: I) -> Self {
+        self.schemes = Some(schemes.into_iter().collect());
+        self
+    }
+
+    /// Reuses an already-prepared teacher + prompt (the quantize-once/
+    /// serve-many path) instead of preparing from the pipeline seed.
+    pub fn prepared(mut self, prepared: &'a PreparedGen) -> Self {
+        self.prepared = Some(prepared);
+        self
+    }
+
+    /// Streams the report's JSON fragments into `sink` as they become
+    /// available — one head, one fragment per decode step (emitted the
+    /// moment the step is decoded), one tail per scheme, one report tail.
+    /// The fragments concatenate to exactly the returned report's
+    /// [`GenReport::to_json`].
+    ///
+    /// Wall times are stripped from both the stream and the returned report:
+    /// a fragment, once emitted, could not honestly carry a measurement that
+    /// finishes later, and serving requires byte-stable output anyway.
+    pub fn stream(mut self, sink: &'a mut dyn FnMut(&str)) -> Self {
+        self.sink = Some(sink);
+        self
+    }
 }
 
 impl Pipeline {
@@ -211,58 +311,101 @@ impl Pipeline {
         PreparedGen { teacher, prompt }
     }
 
+    /// A [`GenReport`] carrying this pipeline's identity (model, task, seed,
+    /// activation setting) and the given prompt/step budget, with no results
+    /// yet. [`Pipeline::generation`] starts from this skeleton; the
+    /// continuous-batching scheduler in `olive-serve` uses it to emit
+    /// [`head_fragment`]s whose bytes match a direct pipeline run exactly.
+    pub fn gen_report_skeleton(&self, prompt: Vec<usize>, max_new_tokens: usize) -> GenReport {
+        GenReport {
+            model: self.model.name.clone(),
+            task: self.task.clone(),
+            seed: self.seed,
+            prompt,
+            max_new_tokens,
+            quantize_activations: self.quantize_activations,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether `scheme` would quantize activations under this pipeline's
+    /// settings (the request asked for it AND the scheme supports it) — the
+    /// `activations_quantized` flag a [`GenSchemeResult`] reports.
+    pub fn quantizes_activations_with(&self, scheme: &Scheme) -> bool {
+        self.quantize_activations && scheme.quantizes_activations()
+    }
+
+    /// Runs one generation described by `options` — the single public entry
+    /// point for generation (see [`GenOptions`] for the knobs; the old
+    /// positional `generate*` family is deprecated sugar over this).
+    pub fn generation(&self, options: GenOptions<'_>) -> GenReport {
+        let max_new_tokens = options.max_new_tokens.unwrap_or(DEFAULT_MAX_NEW_TOKENS);
+        let schemes = options.schemes.as_deref().unwrap_or(&self.schemes);
+        match options.prepared {
+            Some(prepared) => self.generate_inner(prepared, max_new_tokens, schemes, options.sink),
+            None => {
+                let prompt_tokens = options.prompt_tokens.unwrap_or(DEFAULT_PROMPT_TOKENS);
+                let prepared = self.prepare_generation(prompt_tokens);
+                self.generate_inner(&prepared, max_new_tokens, schemes, options.sink)
+            }
+        }
+    }
+
     /// Runs every configured scheme for `max_new_tokens` greedy decode steps
     /// and collects the unified [`GenReport`] (wall times included).
+    #[deprecated(note = "use Pipeline::generation(GenOptions::new() \
+                         .prompt_tokens(..).max_new_tokens(..))")]
     pub fn generate(&self, prompt_tokens: usize, max_new_tokens: usize) -> GenReport {
-        self.generate_prepared(&self.prepare_generation(prompt_tokens), max_new_tokens)
+        self.generation(
+            GenOptions::new()
+                .prompt_tokens(prompt_tokens)
+                .max_new_tokens(max_new_tokens),
+        )
     }
 
-    /// Like [`generate`](Pipeline::generate) against an already-prepared
-    /// teacher + prompt — bit-identical to `generate` for the same
-    /// preparation inputs.
+    /// Like `generate` against an already-prepared teacher + prompt —
+    /// bit-identical to `generate` for the same preparation inputs.
+    #[deprecated(note = "use Pipeline::generation(GenOptions::new() \
+                         .prepared(..).max_new_tokens(..))")]
     pub fn generate_prepared(&self, prepared: &PreparedGen, max_new_tokens: usize) -> GenReport {
-        self.generate_inner(prepared, max_new_tokens, None)
+        self.generation(
+            GenOptions::new()
+                .prepared(prepared)
+                .max_new_tokens(max_new_tokens),
+        )
     }
 
-    /// Streaming generation: decodes like
-    /// [`generate_prepared`](Pipeline::generate_prepared) but hands `sink`
-    /// the report's JSON fragments as they become available — one head, one
-    /// fragment per decode step (emitted the moment the step is decoded),
-    /// one tail per scheme, one report tail. The fragments concatenate to
-    /// exactly the returned report's [`GenReport::to_json`].
-    ///
-    /// Wall times are stripped from both the stream and the returned report:
-    /// a fragment, once emitted, could not honestly carry a measurement that
-    /// finishes later, and serving requires byte-stable output anyway.
+    /// Streaming generation into `sink`; see [`GenOptions::stream`].
+    #[deprecated(note = "use Pipeline::generation(GenOptions::new() \
+                         .prepared(..).max_new_tokens(..).stream(..))")]
     pub fn generate_streamed(
         &self,
         prepared: &PreparedGen,
         max_new_tokens: usize,
         sink: &mut dyn FnMut(&str),
     ) -> GenReport {
-        self.generate_inner(prepared, max_new_tokens, Some(sink))
+        self.generation(
+            GenOptions::new()
+                .prepared(prepared)
+                .max_new_tokens(max_new_tokens)
+                .stream(sink),
+        )
     }
 
     fn generate_inner(
         &self,
         prepared: &PreparedGen,
         max_new_tokens: usize,
+        schemes: &[Scheme],
         mut sink: Option<&mut dyn FnMut(&str)>,
     ) -> GenReport {
         let streaming = sink.is_some();
-        let mut report = GenReport {
-            model: self.model.name.clone(),
-            task: self.task.clone(),
-            seed: self.seed,
-            prompt: prepared.prompt.clone(),
-            max_new_tokens,
-            quantize_activations: self.quantize_activations,
-            results: Vec::with_capacity(self.schemes.len()),
-        };
+        let mut report = self.gen_report_skeleton(prepared.prompt.clone(), max_new_tokens);
+        report.results.reserve(schemes.len());
         if let Some(sink) = sink.as_deref_mut() {
             sink(&head_fragment(&report));
         }
-        for (i, scheme) in self.schemes.iter().enumerate() {
+        for (i, scheme) in schemes.iter().enumerate() {
             let quantizer = scheme.build();
             // olive-lint: allow(no-wallclock-in-deterministic-paths): feeds only wall_time_s, which without_wall_times strips before any byte comparison
             let start = std::time::Instant::now();
@@ -341,9 +484,18 @@ mod tests {
             .seed(21)
     }
 
+    /// `generation` with positional sugar, for concise tests.
+    fn gen(pipeline: &Pipeline, prompt_tokens: usize, max_new_tokens: usize) -> GenReport {
+        pipeline.generation(
+            GenOptions::new()
+                .prompt_tokens(prompt_tokens)
+                .max_new_tokens(max_new_tokens),
+        )
+    }
+
     #[test]
     fn fp32_student_agrees_with_the_teacher_everywhere() {
-        let report = tiny_pipeline().schemes(["fp32"]).generate(4, 6);
+        let report = gen(&tiny_pipeline().schemes(["fp32"]), 4, 6);
         let r = report.result("fp32").unwrap();
         assert_eq!(r.agreement, 1.0);
         assert_eq!(r.steps.len(), 6);
@@ -356,12 +508,12 @@ mod tests {
     #[test]
     fn generation_is_deterministic_and_prepared_matches_direct() {
         let pipeline = tiny_pipeline().schemes(["olive-4bit", "uniform:4"]);
-        let a = pipeline.generate(5, 8).without_wall_times();
-        let b = pipeline.generate(5, 8).without_wall_times();
+        let a = gen(&pipeline, 5, 8).without_wall_times();
+        let b = gen(&pipeline, 5, 8).without_wall_times();
         assert_eq!(a.to_json(), b.to_json());
         let prepared = pipeline.prepare_generation(5);
         let c = pipeline
-            .generate_prepared(&prepared, 8)
+            .generation(GenOptions::new().prepared(&prepared).max_new_tokens(8))
             .without_wall_times();
         assert_eq!(a.to_json(), c.to_json());
     }
@@ -386,15 +538,21 @@ mod tests {
         let prepared = pipeline.prepare_generation(4);
         let mut streamed = String::new();
         let mut fragments = 0usize;
-        let report = pipeline.generate_streamed(&prepared, 7, &mut |fragment| {
+        let mut sink = |fragment: &str| {
             streamed.push_str(fragment);
             fragments += 1;
-        });
+        };
+        let report = pipeline.generation(
+            GenOptions::new()
+                .prepared(&prepared)
+                .max_new_tokens(7)
+                .stream(&mut sink),
+        );
         assert_eq!(streamed, report.to_json());
         assert_eq!(
             streamed,
             pipeline
-                .generate_prepared(&prepared, 7)
+                .generation(GenOptions::new().prepared(&prepared).max_new_tokens(7))
                 .without_wall_times()
                 .to_json()
         );
@@ -406,9 +564,7 @@ mod tests {
 
     #[test]
     fn report_json_is_valid_and_complete() {
-        let report = tiny_pipeline()
-            .schemes(["olive-4bit", "gobo"])
-            .generate(3, 5);
+        let report = gen(&tiny_pipeline().schemes(["olive-4bit", "gobo"]), 3, 5);
         let parsed = JsonValue::parse(&report.to_json()).expect("report must be valid JSON");
         assert_eq!(
             parsed.get("model").and_then(JsonValue::as_str),
@@ -442,22 +598,20 @@ mod tests {
 
     #[test]
     fn empty_traces_render_and_score_neutrally() {
-        let report = tiny_pipeline().schemes(["fp32"]).generate(2, 0);
+        let report = gen(&tiny_pipeline().schemes(["fp32"]), 2, 0);
         let r = report.result("fp32").unwrap();
         assert!(r.steps.is_empty());
         assert_eq!(r.agreement, 1.0);
         assert!(JsonValue::parse(&report.to_json()).is_ok());
         // No schemes at all still renders valid JSON.
-        let bare = tiny_pipeline().generate(2, 3);
+        let bare = gen(&tiny_pipeline(), 2, 3);
         assert!(bare.results.is_empty());
         assert!(JsonValue::parse(&bare.to_json()).is_ok());
     }
 
     #[test]
     fn quantized_students_degrade_gracefully_in_order() {
-        let report = tiny_pipeline()
-            .schemes(["olive-4bit", "uniform:4"])
-            .generate(6, 12);
+        let report = gen(&tiny_pipeline().schemes(["olive-4bit", "uniform:4"]), 6, 12);
         let olive = report.result("olive-4bit").unwrap().agreement;
         let uniform = report.result("uniform:4").unwrap().agreement;
         assert!(
@@ -469,9 +623,57 @@ mod tests {
     #[test]
     fn generation_is_thread_count_invariant() {
         let pipeline = tiny_pipeline().schemes(["olive-4bit"]);
-        let run = || pipeline.generate(4, 6).without_wall_times().to_json();
+        let run = || gen(&pipeline, 4, 6).without_wall_times().to_json();
         let seq = olive_runtime::with_threads(1, run);
         let par = olive_runtime::with_threads(8, run);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn gen_options_scheme_overrides_the_pipeline_schemes() {
+        let pipeline = tiny_pipeline().schemes(["uniform:4"]);
+        let report = pipeline.generation(
+            GenOptions::new()
+                .prompt_tokens(3)
+                .max_new_tokens(2)
+                .scheme("fp32"),
+        );
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].spec, "fp32");
+        // The override is per-run: the pipeline itself is untouched.
+        assert_eq!(gen(&pipeline, 3, 2).results[0].spec, "uniform:4");
+    }
+
+    #[test]
+    fn gen_options_defaults_match_the_documented_constants() {
+        let report = tiny_pipeline()
+            .schemes(["fp32"])
+            .generation(GenOptions::new());
+        assert_eq!(report.prompt.len(), DEFAULT_PROMPT_TOKENS);
+        assert_eq!(report.max_new_tokens, DEFAULT_MAX_NEW_TOKENS);
+    }
+
+    /// The deprecated positional wrappers must stay bit-identical to the
+    /// `GenOptions` path until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_generation() {
+        let pipeline = tiny_pipeline().schemes(["olive-4bit"]);
+        let via_options = gen(&pipeline, 4, 5).without_wall_times().to_json();
+        assert_eq!(
+            pipeline.generate(4, 5).without_wall_times().to_json(),
+            via_options
+        );
+        let prepared = pipeline.prepare_generation(4);
+        assert_eq!(
+            pipeline
+                .generate_prepared(&prepared, 5)
+                .without_wall_times()
+                .to_json(),
+            via_options
+        );
+        let mut streamed = String::new();
+        pipeline.generate_streamed(&prepared, 5, &mut |f| streamed.push_str(f));
+        assert_eq!(streamed, via_options);
     }
 }

@@ -14,11 +14,11 @@
 //!   accuracy/agreement proxies, pseudo-perplexity, bits per element, GEMM
 //!   statistics and wall-times, renderable as a text table or JSON.
 //! * [`gen`] — the **generation arm** of the same builder:
-//!   [`Pipeline::generate`] decodes each scheme autoregressively (KV-cached)
-//!   and scores every greedy step against the FP32 teacher, producing a
-//!   [`GenReport`] (tokens, per-step agreement, tokens/sec) whose JSON can
-//!   also be emitted fragment-by-fragment for streaming
-//!   ([`Pipeline::generate_streamed`]).
+//!   [`Pipeline::generation`] takes a [`GenOptions`] run description,
+//!   decodes each scheme autoregressively (KV-cached) and scores every
+//!   greedy step against the FP32 teacher, producing a [`GenReport`]
+//!   (tokens, per-step agreement, tokens/sec) whose JSON can also be
+//!   emitted fragment-by-fragment for streaming ([`GenOptions::stream`]).
 //! * [`json`] — the zero-dependency JSON values the reports render through.
 //!
 //! The paper-table binaries in `olive-bench`, the runnable examples and the
@@ -48,7 +48,8 @@ pub mod pipeline;
 pub mod scheme;
 
 pub use gen::{
-    GenReport, GenSchemeResult, GenStep, PreparedGen, DEFAULT_MAX_NEW_TOKENS, DEFAULT_PROMPT_TOKENS,
+    GenOptions, GenReport, GenSchemeResult, GenStep, PreparedGen, DEFAULT_MAX_NEW_TOKENS,
+    DEFAULT_PROMPT_TOKENS,
 };
 pub use json::{JsonParseError, JsonValue};
 pub use olive_core::Granularity;

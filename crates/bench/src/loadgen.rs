@@ -10,6 +10,7 @@
 
 use olive_serve::client::{Connection, HttpResponse};
 use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// The `q`-quantile (0.0–1.0) of **sorted** latencies, nearest-rank.
@@ -83,6 +84,65 @@ pub fn drive(
     let wall_s = run_start.elapsed().as_secs_f64();
     latencies.sort_unstable();
     (latencies, wall_s)
+}
+
+/// Drives `streams` persistent client threads through `rounds` barrier-
+/// synchronized bursts: every round, all streams issue one keep-alive
+/// `POST path` request **simultaneously**, and the round's wall time is the
+/// barrier-to-barrier duration — the time the server took to decode all
+/// concurrent streams to completion. Returns the per-round wall times
+/// **sorted ascending**.
+///
+/// This is the continuous-batching throughput shape: unlike [`drive`],
+/// where closed-loop clients drift apart and the server may see any
+/// concurrency from 1 to N, a burst pins the concurrency at exactly
+/// `streams`, so the measured number is the aggregate decode rate of a full
+/// merged batch.
+///
+/// # Panics
+///
+/// Panics on connection failures or non-200 responses.
+pub fn burst(
+    addr: SocketAddr,
+    path: &'static str,
+    body: &str,
+    streams: usize,
+    rounds: usize,
+) -> Vec<u64> {
+    // streams workers + this thread, which only keeps time.
+    let start_line = Arc::new(Barrier::new(streams + 1));
+    let finish_line = Arc::new(Barrier::new(streams + 1));
+    let workers: Vec<_> = (0..streams)
+        .map(|_| {
+            let body = body.to_string();
+            let start_line = Arc::clone(&start_line);
+            let finish_line = Arc::clone(&finish_line);
+            // olive-lint: allow(no-spawn-outside-runtime): load-generator clients must be real concurrent connections, not pool jobs in the process under test
+            std::thread::spawn(move || {
+                let mut connection = Connection::open(addr).expect("client connect");
+                for _ in 0..rounds {
+                    start_line.wait();
+                    let response = connection
+                        .request("POST", path, Some(&body))
+                        .expect("burst request");
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    finish_line.wait();
+                }
+            })
+        })
+        .collect();
+    let mut round_ns = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        start_line.wait();
+        let start = Instant::now();
+        finish_line.wait();
+        round_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    for worker in workers {
+        worker.join().expect("burst client thread");
+    }
+    round_ns.sort_unstable();
+    round_ns
 }
 
 #[cfg(test)]

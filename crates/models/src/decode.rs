@@ -13,6 +13,29 @@
 //!   *t + 1* reuses all of step *t*'s prefix work instead of recomputing the
 //!   full forward pass (O(len) work per step instead of O(len²)).
 //!
+//! ## Step-schedulable decoding (continuous batching)
+//!
+//! The incremental path is itself split so a serving scheduler can drive
+//! many streams through shared GEMMs:
+//!
+//! * [`TinyTransformer::advance_batch`] advances the *current step* of K
+//!   independent streams at once: one `[K, d]` embed, one batched
+//!   layer-norm/quantize/GEMM pipeline per layer, with each stream's
+//!   attention reading only its own externally-owned [`KvStore`]
+//!   ([`StepSlot`] carries the store, token, and position per stream);
+//! * [`TinyTransformer::advance_one`] is the K = 1 case, and
+//!   [`DecodeSession::push`] is a thin wrapper over it holding a
+//!   [`VecKv`](crate::kv::VecKv) — single-stream and batched decoding share
+//!   one code path, so they cannot drift apart.
+//!
+//! Because every non-GEMM op in the step is per-row (layer norm, per-row
+//! activation quantization, GELU, residual add) and every GEMM row is
+//! accumulated in ascending-`k` order regardless of the batch's row count
+//! (the `olive-tensor` kernel contract), row *i* of an `advance_batch` over
+//! K streams is **bit-identical** to the lone-stream `push` of that token —
+//! the property that lets `olive-serve` merge concurrent `/v1/generate`
+//! streams into one forward per tick without changing a single output byte.
+//!
 //! ## The decode-cache determinism contract
 //!
 //! For any token sequence, thread count and activation quantizer, row *i* of
@@ -40,6 +63,7 @@
 //! goldens are untouched.
 
 use crate::engine::{argmax, TinyTransformer};
+use crate::kv::{KvStore, VecKv};
 use olive_core::TensorQuantizer;
 use olive_tensor::matmul::{gelu, layer_norm, matmul, matmul_transpose_b, softmax_rows};
 use olive_tensor::Tensor;
@@ -159,6 +183,128 @@ impl TinyTransformer {
         }
         out
     }
+
+    /// Advances the current step of every stream in `slots` through **one**
+    /// batched forward: a `[K, d]` embed and one layer-norm → quantize →
+    /// GEMM pipeline per layer, shared by all K streams. Each stream's
+    /// attention reads only its own [`KvStore`] (its new key/value rows are
+    /// appended first), so streams stay fully independent. Returns each
+    /// stream's logits in slot order.
+    ///
+    /// Row *i* of the batch is bit-identical to advancing stream *i* alone
+    /// (see the module docs for why), at any `OLIVE_THREADS` — the property
+    /// continuous batching in `olive-serve` rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot's token id is out of vocabulary range.
+    pub fn advance_batch(
+        &self,
+        act_quant: Option<&dyn TensorQuantizer>,
+        slots: &mut [StepSlot<'_>],
+    ) -> Vec<Vec<f32>> {
+        let d = self.config.d_model;
+        let k = slots.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut x = Tensor::zeros(vec![k, d]);
+        for (i, slot) in slots.iter().enumerate() {
+            let row = embed_row(self, slot.token, slot.pos);
+            x.row_mut(i).copy_from_slice(row.row(0));
+        }
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let normed = layer_norm(&x, &layer.ln1_gamma, &layer.ln1_beta, 1e-5);
+            let qkv_in = quantize_rows(&normed, act_quant);
+            let qkv = matmul(&qkv_in, &layer.wqkv);
+            let mut attn = Tensor::zeros(vec![k, d]);
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let row = qkv.row(i);
+                slot.kv.append(li, &row[d..2 * d], &row[2 * d..3 * d]);
+                let ctx = self.attention_step(&*slot.kv, li, row, slot.pos + 1);
+                attn.row_mut(i).copy_from_slice(ctx.row(0));
+            }
+            let attn_in = quantize_rows(&attn, act_quant);
+            let out = matmul(&attn_in, &layer.wo);
+            x = x.add(&out);
+
+            let normed = layer_norm(&x, &layer.ln2_gamma, &layer.ln2_beta, 1e-5);
+            let ffn_in = quantize_rows(&normed, act_quant);
+            let h = gelu(&matmul(&ffn_in, &layer.w1));
+            let h_in = quantize_rows(&h, act_quant);
+            let ffn = matmul(&h_in, &layer.w2);
+            x = x.add(&ffn);
+        }
+
+        let normed = layer_norm(&x, &self.ln_f_gamma, &self.ln_f_beta, 1e-5);
+        let head_in = quantize_rows(&normed, act_quant);
+        let logits = matmul_transpose_b(&head_in, &self.embedding);
+        (0..k).map(|i| logits.row(i).to_vec()).collect()
+    }
+
+    /// Advances one stream by one token against an externally-owned
+    /// [`KvStore`]: the K = 1 case of [`advance_batch`](Self::advance_batch).
+    /// `pos` is the number of positions already in `kv`.
+    pub fn advance_one(
+        &self,
+        act_quant: Option<&dyn TensorQuantizer>,
+        kv: &mut dyn KvStore,
+        token: usize,
+        pos: usize,
+    ) -> Vec<f32> {
+        let mut slots = [StepSlot { kv, token, pos }];
+        self.advance_batch(act_quant, &mut slots)
+            .pop()
+            .expect("one slot in, one logits row out")
+    }
+
+    /// Attention for a stream's newest position: its query row against the
+    /// cached keys/values of positions `0..rows` (the just-appended row
+    /// included). `qkv_row` is the fused `[3·d_model]` QKV row; only its
+    /// query third is read here (keys/values come from the store).
+    fn attention_step(&self, kv: &dyn KvStore, li: usize, qkv_row: &[f32], rows: usize) -> Tensor {
+        let d = self.config.d_model;
+        let heads = self.config.n_heads;
+        let dh = self.config.head_dim();
+        let mut out = Tensor::zeros(vec![1, d]);
+        for h in 0..heads {
+            let mut q = Tensor::zeros(vec![1, dh]);
+            let mut k = Tensor::zeros(vec![rows, dh]);
+            let mut v = Tensor::zeros(vec![rows, dh]);
+            for j in 0..dh {
+                q[[0, j]] = qkv_row[h * dh + j];
+            }
+            for i in 0..rows {
+                let kc = kv.k_row(li, i);
+                let vc = kv.v_row(li, i);
+                for j in 0..dh {
+                    k[[i, j]] = kc[h * dh + j];
+                    v[[i, j]] = vc[h * dh + j];
+                }
+            }
+            let scale = 1.0 / (dh as f32).sqrt();
+            let scores = matmul_transpose_b(&q, &k).scale(scale);
+            let probs = softmax_rows(&scores);
+            let ctx = matmul(&probs, &v);
+            for j in 0..dh {
+                out[[0, j + h * dh]] = ctx[[0, j]];
+            }
+        }
+        out
+    }
+}
+
+/// One stream's current step, as fed to
+/// [`TinyTransformer::advance_batch`]: which token to decode, at which
+/// position, into which externally-owned KV store.
+pub struct StepSlot<'s> {
+    /// The stream's KV store (exclusively borrowed for the step).
+    pub kv: &'s mut dyn KvStore,
+    /// The token to decode this step.
+    pub token: usize,
+    /// The token's position — the number of positions already in `kv`.
+    pub pos: usize,
 }
 
 /// A resumable incremental decoding session over one model.
@@ -172,10 +318,10 @@ impl TinyTransformer {
 pub struct DecodeSession<'a> {
     model: &'a TinyTransformer,
     act_quant: Option<&'a dyn TensorQuantizer>,
-    /// Per-layer key rows, `len × d_model` each, fused head-major like QKV.
-    k_cache: Vec<Vec<f32>>,
-    /// Per-layer value rows, `len × d_model` each.
-    v_cache: Vec<Vec<f32>>,
+    /// Per-layer key/value rows, fused head-major like QKV — the session
+    /// owns its storage; schedulers that pool storage use
+    /// [`TinyTransformer::advance_batch`] directly instead.
+    kv: VecKv,
     tokens: Vec<usize>,
 }
 
@@ -186,8 +332,7 @@ impl<'a> DecodeSession<'a> {
         DecodeSession {
             model,
             act_quant,
-            k_cache: vec![Vec::new(); model.config.n_layers],
-            v_cache: vec![Vec::new(); model.config.n_layers],
+            kv: VecKv::new(model.config.n_layers, model.config.d_model),
             tokens: Vec::new(),
         }
     }
@@ -214,35 +359,12 @@ impl<'a> DecodeSession<'a> {
     ///
     /// Panics if the token id is out of vocabulary range.
     pub fn push(&mut self, token: usize) -> Vec<f32> {
-        let model = self.model;
-        let d = model.config.d_model;
         let pos = self.tokens.len();
-        let mut x = embed_row(model, token, pos);
-
-        for (li, layer) in model.layers.iter().enumerate() {
-            let normed = layer_norm(&x, &layer.ln1_gamma, &layer.ln1_beta, 1e-5);
-            let qkv_in = quantize_rows(&normed, self.act_quant);
-            let qkv = matmul(&qkv_in, &layer.wqkv);
-            self.k_cache[li].extend_from_slice(&qkv.data()[d..2 * d]);
-            self.v_cache[li].extend_from_slice(&qkv.data()[2 * d..3 * d]);
-            let attn = self.attention_step(li, &qkv);
-            let attn_in = quantize_rows(&attn, self.act_quant);
-            let out = matmul(&attn_in, &layer.wo);
-            x = x.add(&out);
-
-            let normed = layer_norm(&x, &layer.ln2_gamma, &layer.ln2_beta, 1e-5);
-            let ffn_in = quantize_rows(&normed, self.act_quant);
-            let h = gelu(&matmul(&ffn_in, &layer.w1));
-            let h_in = quantize_rows(&h, self.act_quant);
-            let ffn = matmul(&h_in, &layer.w2);
-            x = x.add(&ffn);
-        }
+        let logits = self
+            .model
+            .advance_one(self.act_quant, &mut self.kv, token, pos);
         self.tokens.push(token);
-
-        let normed = layer_norm(&x, &model.ln_f_gamma, &model.ln_f_beta, 1e-5);
-        let head_in = quantize_rows(&normed, self.act_quant);
-        let logits = matmul_transpose_b(&head_in, &model.embedding);
-        logits.row(0).to_vec()
+        logits
     }
 
     /// Pushes every token of `prompt` and returns the last position's logits
@@ -253,40 +375,6 @@ impl<'a> DecodeSession<'a> {
             last = Some(self.push(token));
         }
         last
-    }
-
-    /// Attention for the newest position: its query row against the cached
-    /// keys/values of positions `0..=pos` (the just-pushed row included).
-    fn attention_step(&self, li: usize, qkv: &Tensor) -> Tensor {
-        let d = self.model.config.d_model;
-        let heads = self.model.config.n_heads;
-        let dh = self.model.config.head_dim();
-        let rows = self.tokens.len() + 1;
-        let kc = &self.k_cache[li];
-        let vc = &self.v_cache[li];
-        let mut out = Tensor::zeros(vec![1, d]);
-        for h in 0..heads {
-            let mut q = Tensor::zeros(vec![1, dh]);
-            let mut k = Tensor::zeros(vec![rows, dh]);
-            let mut v = Tensor::zeros(vec![rows, dh]);
-            for j in 0..dh {
-                q[[0, j]] = qkv[[0, h * dh + j]];
-            }
-            for i in 0..rows {
-                for j in 0..dh {
-                    k[[i, j]] = kc[i * d + h * dh + j];
-                    v[[i, j]] = vc[i * d + h * dh + j];
-                }
-            }
-            let scale = 1.0 / (dh as f32).sqrt();
-            let scores = matmul_transpose_b(&q, &k).scale(scale);
-            let probs = softmax_rows(&scores);
-            let ctx = matmul(&probs, &v);
-            for j in 0..dh {
-                out[[0, j + h * dh]] = ctx[[0, j]];
-            }
-        }
-        out
     }
 }
 
@@ -426,6 +514,91 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// Continuous batching's foundation: advancing K interleaved streams via
+    /// one `advance_batch` per tick is bit-identical to K independent
+    /// `DecodeSession::push` streams — across storage backends (pooled
+    /// `PagedKv` and plain `VecKv`), activation quantization, thread counts,
+    /// and streams of different lengths joining/leaving the batch.
+    #[test]
+    fn advance_batch_is_bit_identical_to_independent_pushes() {
+        use crate::kv::{pages_needed, KvPool, KvStore, PagedKv};
+        let model = teacher(11);
+        let cfg = &model.config;
+        let mut rng = Rng::seed_from(41);
+        let lens = [9usize, 4, 7, 1];
+        let streams: Vec<Vec<usize>> = lens
+            .iter()
+            .map(|&len| random_tokens(&mut rng, cfg.vocab, len))
+            .collect();
+        let q = OliveQuantizer::int4();
+        for act in [None, Some(&q as &dyn TensorQuantizer)] {
+            for threads in [1usize, 8] {
+                olive_runtime::with_threads(threads, || {
+                    // Reference: each stream pushed alone.
+                    let expected: Vec<Vec<Vec<f32>>> = streams
+                        .iter()
+                        .map(|tokens| {
+                            let mut session = DecodeSession::new(&model, act);
+                            tokens.iter().map(|&t| session.push(t)).collect()
+                        })
+                        .collect();
+                    // Batched: tiny pages force paging mid-stream; stream 1
+                    // uses VecKv to prove storage-agnosticism in one batch.
+                    let page_floats = 2 * cfg.d_model;
+                    let mut pool = KvPool::new(page_floats, 256);
+                    let tpp = page_floats / cfg.d_model;
+                    let mut stores: Vec<Box<dyn KvStore>> = streams
+                        .iter()
+                        .enumerate()
+                        .map(|(s, tokens)| -> Box<dyn KvStore> {
+                            if s == 1 {
+                                Box::new(VecKv::new(cfg.n_layers, cfg.d_model))
+                            } else {
+                                let need = pages_needed(cfg.n_layers, tokens.len(), tpp);
+                                let pages = pool.try_reserve(need).expect("pool is large enough");
+                                Box::new(PagedKv::new(
+                                    cfg.n_layers,
+                                    cfg.d_model,
+                                    page_floats,
+                                    pages,
+                                ))
+                            }
+                        })
+                        .collect();
+                    for tick in 0..lens.iter().max().copied().unwrap() {
+                        let live: Vec<usize> =
+                            (0..streams.len()).filter(|&s| tick < lens[s]).collect();
+                        let mut slots = Vec::new();
+                        for (&s, kv) in live.iter().zip(
+                            stores
+                                .iter_mut()
+                                .enumerate()
+                                .filter(|(s, _)| tick < lens[*s])
+                                .map(|(_, kv)| kv),
+                        ) {
+                            slots.push(StepSlot {
+                                kv: kv.as_mut(),
+                                token: streams[s][tick],
+                                pos: tick,
+                            });
+                        }
+                        let logits = model.advance_batch(act, &mut slots);
+                        assert_eq!(logits.len(), live.len());
+                        for (row, &s) in logits.iter().zip(&live) {
+                            assert_eq!(
+                                row,
+                                &expected[s][tick],
+                                "stream {s} diverged at tick {tick} \
+                                 (act={}, threads={threads})",
+                                act.is_some()
+                            );
+                        }
+                    }
+                });
+            }
+        }
     }
 
     #[test]

@@ -14,20 +14,27 @@
 //!   teacher–student accuracy proxy for the GLUE/SQuAD/perplexity tables.
 //! * [`decode`] — causal (autoregressive) forward pass plus the KV-cached
 //!   incremental [`DecodeSession`], bit-identical to the batch path — the
-//!   generative workload class behind `olive-serve`'s `/v1/generate`.
+//!   generative workload class behind `olive-serve`'s `/v1/generate` — and
+//!   the step-schedulable [`StepSlot`]/`advance_batch` API that lets a
+//!   scheduler merge many streams' current steps into one batched forward.
+//! * [`kv`] — externally-owned KV-cache storage: the [`KvStore`] trait,
+//!   plain [`VecKv`], and the paged [`KvPool`]/[`PagedKv`] pair the serving
+//!   layer uses for continuous batching.
 
 pub mod config;
 pub mod decode;
 pub mod engine;
+pub mod kv;
 pub mod resnet;
 pub mod synth;
 pub mod workload;
 
 pub use config::{ModelConfig, ModelFamily};
-pub use decode::{generate_greedy, generate_greedy_recompute, DecodeSession};
+pub use decode::{generate_greedy, generate_greedy_recompute, DecodeSession, StepSlot};
 pub use engine::{
     agreement, argmax, eval_scores, logit_fidelity, position_agreement, pseudo_perplexity,
     EngineConfig, EvalScores, EvalTask, OutlierSeverity, TinyTransformer,
 };
+pub use kv::{pages_needed, KvPool, KvStore, PagedKv, VecKv};
 pub use synth::{model_tensor_suite, NamedTensor, SynthProfile};
 pub use workload::{Gemm, GemmKind, Workload};

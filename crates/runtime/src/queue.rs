@@ -147,6 +147,21 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Collects up to `max_batch` items that are already queued, without
+    /// blocking or lingering. Returns an empty vector when nothing is
+    /// queued *or* the queue is closed-and-drained — a non-blocking
+    /// consumer distinguishes the two via [`is_closed`](Self::is_closed).
+    ///
+    /// This is the polling counterpart of [`pop_batch`] for consumers that
+    /// have other work to do between drains (e.g. a decode scheduler
+    /// admitting new streams between ticks).
+    pub fn try_pop_batch(&self, max_batch: usize) -> Vec<T> {
+        let max_batch = max_batch.max(1);
+        let mut inner = lock_or_recover(&self.inner);
+        let take = max_batch.min(inner.items.len());
+        inner.items.drain(..take).collect()
+    }
+
     /// Wakes every blocked consumer without delivering an item or closing —
     /// indistinguishable, on the consumer side, from a spurious condvar
     /// wakeup. Exists so tests can exercise the [`pop_batch`] deadline
@@ -223,6 +238,23 @@ mod tests {
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![0, 1, 2, 3]);
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![4, 5, 6, 7]);
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![8]);
+    }
+
+    #[test]
+    fn try_pop_batch_never_blocks_and_preserves_fifo() {
+        let q = BoundedQueue::new(8);
+        assert!(q.try_pop_batch(4).is_empty(), "empty queue drains to empty");
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.try_pop_batch(3), vec![3, 4]);
+        assert!(q.try_pop_batch(3).is_empty());
+        // Closed queues keep draining pending items non-blockingly too.
+        q.try_push(9).unwrap();
+        q.close();
+        assert_eq!(q.try_pop_batch(3), vec![9]);
+        assert!(q.try_pop_batch(3).is_empty() && q.is_closed());
     }
 
     #[test]

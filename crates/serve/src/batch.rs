@@ -10,18 +10,13 @@
 //! *immediately* with a 503 + `Retry-After` response — overload becomes
 //! back-pressure the client can see, not latency collapse or OOM.
 //!
-//! Streaming jobs ([`submit_stream`](Batcher::submit_stream), the
-//! `/v1/generate` path) ride the same queue and the same back-pressure:
-//! instead of one reply, the executing worker sends a sequence of
-//! [`StreamEvent`]s — one JSON fragment per decode step as it is produced,
-//! then a terminal `Done` — which the connection thread writes as HTTP
-//! chunks. A streaming job occupies its batch slot for its whole decode,
-//! and because the drain thread joins each micro-batch before popping the
-//! next, a long stream delays the batches queued behind it (head-of-line
-//! blocking). The protocol's `max_new_tokens` limit bounds that delay by
-//! construction; deployments that mix long generations with latency-
-//! sensitive evals should lower `max_batch`/`queue_capacity` so
-//! back-pressure sheds instead of queueing behind a decode.
+//! The batcher executes **unary** requests only (`/v1/eval`,
+//! `/v1/quantize`): one job, one response. Streamed `/v1/generate`
+//! requests used to ride this queue as whole-decode jobs — which made a
+//! long generation block every batch queued behind it (head-of-line
+//! blocking) — and now decode step-by-step on the continuous-batching
+//! scheduler in [`crate::decode_sched`] instead, with the same
+//! bounded-queue 503 back-pressure contract at the door.
 //!
 //! Batch composition can never change answers: each job is computed by a
 //! pure, bit-deterministic function of the request (see the crate-level
@@ -30,7 +25,7 @@
 
 use crate::cache::ModelCache;
 use crate::http::Response;
-use crate::protocol::{EvalRequest, GenerateRequest, QuantizeRequest};
+use crate::protocol::{EvalRequest, QuantizeRequest};
 use olive_runtime::{lock_or_recover, par_map, BoundedQueue, PushError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,19 +64,6 @@ pub enum Job {
     Quantize(QuantizeRequest),
 }
 
-/// One event of a streamed response, sent from the executing worker to the
-/// connection thread.
-#[derive(Debug)]
-pub enum StreamEvent {
-    /// A body fragment to write as one HTTP chunk.
-    Chunk(String),
-    /// The stream completed; write the terminating chunk (keep-alive safe).
-    Done,
-    /// The job failed before anything was streamed; answer with this
-    /// (non-chunked) response instead. Never sent after a `Chunk`.
-    Failed(Response),
-}
-
 /// Counters surfaced by `/healthz`.
 #[derive(Debug, Default)]
 pub struct BatchStats {
@@ -93,14 +75,11 @@ pub struct BatchStats {
     pub batches: AtomicU64,
 }
 
-/// A queued unit of work plus its reply path. The stream sender sits behind
-/// a `Mutex` only because [`par_map`] shares batch items by reference across
-/// workers (`&T` must be `Sync`, `mpsc::Sender` is not); it is never
-/// contended — exactly one worker executes a given job.
+/// A queued unit of work plus its reply path.
 #[derive(Debug)]
-enum QueuedJob {
-    Unary(Job, mpsc::Sender<Response>),
-    Stream(GenerateRequest, Mutex<mpsc::Sender<StreamEvent>>),
+struct QueuedJob {
+    job: Job,
+    reply: mpsc::Sender<Response>,
 }
 
 /// The dynamic batcher. One instance per server; shut down explicitly.
@@ -140,7 +119,7 @@ impl Batcher {
     /// 503 without `Retry-After` when the server is shutting down.
     pub fn submit(&self, job: Job) -> Response {
         let (tx, rx) = mpsc::channel();
-        match self.queue.try_push(QueuedJob::Unary(job, tx)) {
+        match self.queue.try_push(QueuedJob { job, reply: tx }) {
             Ok(()) => {}
             Err((PushError::Full, _)) => return self.shed_full(),
             Err((PushError::Closed, _)) => {
@@ -151,29 +130,6 @@ impl Batcher {
             Ok(response) => response,
             // The drain thread died (it never drops a sender otherwise).
             Err(_) => Response::error(500, "batch worker terminated unexpectedly"),
-        }
-    }
-
-    /// Submits a streaming job (the `/v1/generate` path) and returns the
-    /// event receiver the connection thread drains into chunked writes —
-    /// with exactly the [`submit`](Batcher::submit) back-pressure contract.
-    ///
-    /// # Errors
-    ///
-    /// The 503 (+ `Retry-After` when the queue is full) response to answer
-    /// with instead, when the job could not be queued.
-    pub fn submit_stream(
-        &self,
-        request: GenerateRequest,
-    ) -> Result<mpsc::Receiver<StreamEvent>, Response> {
-        let (tx, rx) = mpsc::channel();
-        match self
-            .queue
-            .try_push(QueuedJob::Stream(request, Mutex::new(tx)))
-        {
-            Ok(()) => Ok(rx),
-            Err((PushError::Full, _)) => Err(self.shed_full()),
-            Err((PushError::Closed, _)) => Err(Response::error(503, "server is shutting down")),
         }
     }
 
@@ -226,20 +182,11 @@ fn drain_loop(
         stats.batches.fetch_add(1, Ordering::Relaxed);
         // One micro-batch = one pool job; each request's own parallelism
         // nests inline, so cores are shared across the batch. Replies are
-        // sent from the executing worker — streamed chunks must flow while
-        // the rest of the batch is still running.
+        // sent from the executing worker.
         par_map(&batch, |queued| {
-            match queued {
-                QueuedJob::Unary(job, reply) => {
-                    let response = execute(job, cache);
-                    // A client that hung up mid-wait is not an error.
-                    let _ = reply.send(response);
-                }
-                QueuedJob::Stream(request, events) => {
-                    let events = lock_or_recover(events);
-                    execute_stream(request, cache, &events);
-                }
-            }
+            let response = execute(&queued.job, cache);
+            // A client that hung up mid-wait is not an error.
+            let _ = queued.reply.send(response);
             stats.served.fetch_add(1, Ordering::Relaxed);
         });
     }
@@ -253,39 +200,6 @@ fn execute(job: &Job, cache: &ModelCache) -> Response {
         Job::Quantize(req) => Response::json(200, req.execute()),
     }));
     result.unwrap_or_else(|_| Response::error(500, "internal error executing the request"))
-}
-
-/// Executes one streaming job, containing panics like [`execute`]: a panic
-/// before the first chunk downgrades to a clean 500 [`StreamEvent::Failed`];
-/// a panic mid-stream drops the sender, which the connection thread turns
-/// into a truncated (never terminated) chunked body — the client sees a hard
-/// framing error instead of a silently complete-looking answer.
-fn execute_stream(
-    request: &GenerateRequest,
-    cache: &ModelCache,
-    events: &mpsc::Sender<StreamEvent>,
-) {
-    let sent_any = std::cell::Cell::new(false);
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        cache.generate_stream(request, &mut |fragment| {
-            sent_any.set(true);
-            // A client that hung up mid-stream is not an error; keep
-            // decoding (the work is bounded) and let the sends no-op.
-            let _ = events.send(StreamEvent::Chunk(fragment.to_string()));
-        });
-    }));
-    match result {
-        Ok(_) => {
-            let _ = events.send(StreamEvent::Done);
-        }
-        Err(_) if !sent_any.get() => {
-            let _ = events.send(StreamEvent::Failed(Response::error(
-                500,
-                "internal error executing the request",
-            )));
-        }
-        Err(_) => {}
-    }
 }
 
 #[cfg(test)]
@@ -332,7 +246,10 @@ mod tests {
             let (tx, _rx) = mpsc::channel();
             batcher
                 .queue
-                .try_push(QueuedJob::Unary(job.clone(), tx))
+                .try_push(QueuedJob {
+                    job: job.clone(),
+                    reply: tx,
+                })
                 .unwrap();
         }
         let shed = batcher.submit(job.clone());
@@ -344,63 +261,12 @@ mod tests {
         assert_eq!(batcher.stats().rejected.load(Ordering::Relaxed), 1);
         assert_eq!(batcher.queue_depth(), 2);
 
-        // Streaming submissions shed with the same contract.
-        let generate =
-            GenerateRequest::decode(&JsonValue::parse(r#"{"scheme": "fp32"}"#).unwrap()).unwrap();
-        let shed = batcher.submit_stream(generate.clone()).unwrap_err();
-        assert_eq!(shed.status, 503);
-        assert!(shed
-            .extra_headers
-            .iter()
-            .any(|(k, v)| k == "Retry-After" && v == "1"));
-        assert_eq!(batcher.stats().rejected.load(Ordering::Relaxed), 2);
-
         // Shutdown path: closed queue answers 503 without Retry-After.
         batcher.queue.close();
         let closed = batcher.submit(job);
         assert_eq!(closed.status, 503);
         assert!(closed.body.contains("shutting down"), "{}", closed.body);
         assert!(closed.extra_headers.is_empty());
-        let closed = batcher.submit_stream(generate).unwrap_err();
-        assert_eq!(closed.status, 503);
-        assert!(closed.extra_headers.is_empty());
-    }
-
-    #[test]
-    fn streamed_jobs_deliver_chunks_then_done() {
-        let batcher = Batcher::start(BatchConfig::default(), Arc::new(ModelCache::new()));
-        let request = GenerateRequest::decode(
-            &JsonValue::parse(
-                r#"{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 3}"#,
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        let events = batcher.submit_stream(request.clone()).expect("queued");
-        let mut body = String::new();
-        let mut chunks = 0usize;
-        loop {
-            match events.recv().expect("worker must terminate the stream") {
-                StreamEvent::Chunk(data) => {
-                    chunks += 1;
-                    body.push_str(&data);
-                }
-                StreamEvent::Done => break,
-                StreamEvent::Failed(response) => panic!("unexpected failure: {}", response.body),
-            }
-        }
-        // head + scheme head + 3 steps + scheme tail + report tail.
-        assert_eq!(chunks, 1 + 1 + 3 + 1 + 1);
-        let pipeline = request.pipeline();
-        let direct = pipeline
-            .generate_prepared(
-                &pipeline.prepare_generation(request.prompt_tokens),
-                request.max_new_tokens,
-            )
-            .without_wall_times()
-            .to_json();
-        assert_eq!(body, direct);
-        batcher.shutdown();
     }
 
     #[test]

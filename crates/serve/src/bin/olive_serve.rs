@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N]
-//!             [--queue-capacity N] [--allow-shutdown]
+//!             [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N]
+//!             [--allow-shutdown]
 //! ```
 //!
 //! `--port 0` (the default) picks an ephemeral port; the chosen URL is
@@ -10,13 +11,13 @@
 //! scrape it. With `--allow-shutdown`, `POST /shutdown` stops the server and
 //! the process exits 0 after draining queued requests.
 
-use olive_serve::{BatchConfig, ServeConfig, Server};
+use olive_serve::{BatchConfig, SchedConfig, ServeConfig, Server};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N] \
-         [--queue-capacity N] [--allow-shutdown]"
+         [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N] [--allow-shutdown]"
     );
     std::process::exit(2);
 }
@@ -25,6 +26,7 @@ fn parse_args() -> ServeConfig {
     let mut host = "127.0.0.1".to_string();
     let mut port = 0u16;
     let mut batch = BatchConfig::default();
+    let mut sched = SchedConfig::default();
     let mut allow_shutdown = false;
 
     let mut args = std::env::args().skip(1);
@@ -51,7 +53,18 @@ fn parse_args() -> ServeConfig {
                 Err(_) => usage(),
             },
             "--queue-capacity" => match value("--queue-capacity").parse() {
-                Ok(n) if n >= 1 => batch.queue_capacity = n,
+                Ok(n) if n >= 1 => {
+                    batch.queue_capacity = n;
+                    sched.queue_capacity = n;
+                }
+                _ => usage(),
+            },
+            "--max-sessions" => match value("--max-sessions").parse() {
+                Ok(n) if n >= 1 => sched.max_sessions = n,
+                _ => usage(),
+            },
+            "--kv-pool-pages" => match value("--kv-pool-pages").parse() {
+                Ok(n) if n >= 1 => sched.kv_pool_pages = n,
                 _ => usage(),
             },
             "--allow-shutdown" => allow_shutdown = true,
@@ -62,6 +75,7 @@ fn parse_args() -> ServeConfig {
     ServeConfig {
         addr: format!("{host}:{port}"),
         batch,
+        sched,
         allow_shutdown,
     }
 }

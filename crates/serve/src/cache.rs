@@ -15,7 +15,8 @@
 //! FIFO) is purely a memory-footprint concern.
 
 use crate::protocol::{EvalRequest, GenerateRequest};
-use olive_api::{GenReport, PreparedEval, PreparedGen};
+use olive_api::{GenOptions, GenReport, PreparedEval, PreparedGen};
+use olive_models::TinyTransformer;
 use olive_runtime::lock_or_recover;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -25,6 +26,10 @@ pub const MAX_PREPARED: usize = 32;
 
 /// Most prepared (teacher, prompt) generation preparations kept alive.
 pub const MAX_GEN_PREPARED: usize = 32;
+
+/// Most quantized student models kept alive (the decode scheduler's
+/// quantize-once half of quantize-once/serve-many).
+pub const MAX_STUDENTS: usize = 32;
 
 /// Most rendered response bodies kept alive.
 pub const MAX_RESPONSES: usize = 1024;
@@ -74,6 +79,7 @@ impl<V: Clone> FifoMap<V> {
 pub struct ModelCache {
     prepared: Mutex<FifoMap<Arc<PreparedEval>>>,
     gen_prepared: Mutex<FifoMap<Arc<PreparedGen>>>,
+    students: Mutex<FifoMap<Arc<TinyTransformer>>>,
     responses: Mutex<FifoMap<Arc<String>>>,
 }
 
@@ -89,6 +95,7 @@ impl ModelCache {
         ModelCache {
             prepared: Mutex::new(FifoMap::new(MAX_PREPARED)),
             gen_prepared: Mutex::new(FifoMap::new(MAX_GEN_PREPARED)),
+            students: Mutex::new(FifoMap::new(MAX_STUDENTS)),
             responses: Mutex::new(FifoMap::new(MAX_RESPONSES)),
         }
     }
@@ -131,32 +138,58 @@ impl ModelCache {
         body
     }
 
-    /// Streams one `/v1/generate` request: fetches (or computes and caches)
-    /// the prepared teacher + prompt, then decodes through
-    /// [`Pipeline::generate_streamed`](olive_api::Pipeline::generate_streamed),
-    /// handing `sink` each JSON fragment as its step is decoded. Returns the
+    /// The prepared teacher + prompt for `req`, computing and caching on
+    /// miss — the reusable part of every `/v1/generate`, shared across
+    /// schemes and across the decode scheduler's concurrent sessions.
+    pub fn gen_prepared(&self, req: &GenerateRequest) -> Arc<PreparedGen> {
+        let key = req.prepared_key();
+        if let Some(hit) = lock_or_recover(&self.gen_prepared).get(&key) {
+            return hit;
+        }
+        // Lock never held across the computation (see eval_body).
+        let p = Arc::new(req.pipeline().prepare_generation(req.prompt_tokens));
+        lock_or_recover(&self.gen_prepared).insert(key, Arc::clone(&p));
+        p
+    }
+
+    /// The quantized student for `req`'s scheme over `prepared`'s teacher,
+    /// computing and caching on miss. Weight quantization is the expensive
+    /// per-scheme admission step of a decode session; caching it means a
+    /// repeat request is admitted without touching the model.
+    pub fn student(&self, req: &GenerateRequest, prepared: &PreparedGen) -> Arc<TinyTransformer> {
+        let key = format!("{}|scheme={}", req.prepared_key(), req.scheme);
+        if let Some(hit) = lock_or_recover(&self.students).get(&key) {
+            return hit;
+        }
+        let quantizer = req.scheme.build();
+        let student = Arc::new(prepared.teacher.quantize_weights(quantizer.as_ref()));
+        lock_or_recover(&self.students).insert(key, Arc::clone(&student));
+        student
+    }
+
+    /// Streams one `/v1/generate` request end to end: fetches (or computes
+    /// and caches) the prepared teacher + prompt, then decodes through
+    /// [`Pipeline::generation`](olive_api::Pipeline::generation), handing
+    /// `sink` each JSON fragment as its step is decoded. Returns the
     /// (wall-time-stripped) report whose `to_json` equals the concatenated
     /// fragments.
+    ///
+    /// This is the *single-session* path (used by tests and embedders); the
+    /// server's `/v1/generate` endpoint decodes through the continuous-
+    /// batching scheduler in [`crate::decode_sched`], which produces the
+    /// same bytes per stream while interleaving many streams.
     ///
     /// Generation responses are **not** body-cached: the stream is the
     /// point, and the expensive part (teacher generation) is what the
     /// preparation cache already amortises.
     pub fn generate_stream(&self, req: &GenerateRequest, sink: &mut dyn FnMut(&str)) -> GenReport {
-        let pipeline = req.pipeline();
-        let prepared = {
-            let key = req.prepared_key();
-            let hit = lock_or_recover(&self.gen_prepared).get(&key);
-            match hit {
-                Some(p) => p,
-                None => {
-                    // Lock never held across the computation (see eval_body).
-                    let p = Arc::new(pipeline.prepare_generation(req.prompt_tokens));
-                    lock_or_recover(&self.gen_prepared).insert(key, Arc::clone(&p));
-                    p
-                }
-            }
-        };
-        pipeline.generate_streamed(&prepared, req.max_new_tokens, sink)
+        let prepared = self.gen_prepared(req);
+        req.pipeline().generation(
+            GenOptions::new()
+                .prepared(&prepared)
+                .max_new_tokens(req.max_new_tokens)
+                .stream(sink),
+        )
     }
 
     /// (prepared eval models, prepared generation models, cached response
@@ -216,14 +249,35 @@ mod tests {
         assert_eq!(cache.sizes(), (0, 1, 0));
         // Served bytes equal the direct pipeline's rendering.
         let p = olive.pipeline();
+        let prepared = p.prepare_generation(olive.prompt_tokens);
         let direct = p
-            .generate_prepared(
-                &p.prepare_generation(olive.prompt_tokens),
-                olive.max_new_tokens,
+            .generation(
+                GenOptions::new()
+                    .prepared(&prepared)
+                    .max_new_tokens(olive.max_new_tokens),
             )
             .without_wall_times()
             .to_json();
         assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn students_are_quantized_once_per_scheme() {
+        let cache = ModelCache::new();
+        let req = GenerateRequest::decode(
+            &JsonValue::parse(r#"{"scheme": "olive-4bit", "prompt_tokens": 3}"#).unwrap(),
+        )
+        .unwrap();
+        let prepared = cache.gen_prepared(&req);
+        let a = cache.student(&req, &prepared);
+        let b = cache.student(&req, &prepared);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        // The cached student is the same quantization generate_inner performs.
+        let direct = prepared
+            .teacher
+            .quantize_weights(req.scheme.build().as_ref());
+        assert_eq!(a.embedding.data(), direct.embedding.data());
+        assert_eq!(a.layers[0].wqkv.data(), direct.layers[0].wqkv.data());
     }
 
     #[test]

@@ -381,12 +381,25 @@ impl Response {
         }
     }
 
-    /// A JSON error body `{"error": message}` with the given status.
+    /// A JSON error body with the uniform shape every endpoint answers
+    /// failures with:
+    ///
+    /// ```json
+    /// {"error": "service_unavailable", "detail": "server is shutting down"}
+    /// ```
+    ///
+    /// `error` is a stable machine-matchable slug derived from the status
+    /// (the [`reason_phrase`] lowercased with underscores), `detail` the
+    /// human-readable specifics. Clients branch on `error` (or the status
+    /// line) and log `detail`; the slug set can only grow, never change.
     pub fn error(status: u16, message: &str) -> Self {
-        let body = olive_api::JsonValue::object(vec![(
-            "error",
-            olive_api::JsonValue::Str(message.to_string()),
-        )])
+        let body = olive_api::JsonValue::object(vec![
+            (
+                "error",
+                olive_api::JsonValue::Str(error_slug(status).to_string()),
+            ),
+            ("detail", olive_api::JsonValue::Str(message.to_string())),
+        ])
         .render();
         Response::json(status, body)
     }
@@ -511,6 +524,26 @@ pub fn reason_phrase(status: u16) -> &'static str {
         503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
+    }
+}
+
+/// The machine-matchable `error` slug for a status: the reason phrase,
+/// lowercased with underscores (`503` → `"service_unavailable"`). Part of
+/// the wire contract — see [`Response::error`].
+pub fn error_slug(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        403 => "forbidden",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "request_timeout",
+        413 => "payload_too_large",
+        431 => "request_header_fields_too_large",
+        500 => "internal_server_error",
+        501 => "not_implemented",
+        503 => "service_unavailable",
+        505 => "http_version_not_supported",
+        _ => "unknown",
     }
 }
 
@@ -764,6 +797,40 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("503 Service Unavailable"), "{text}");
         assert!(text.contains("Connection: close"), "{text}");
-        assert!(text.contains("\"error\": \"queue full\""), "{text}");
+        assert!(
+            text.contains("\"error\": \"service_unavailable\""),
+            "{text}"
+        );
+        assert!(text.contains("\"detail\": \"queue full\""), "{text}");
+    }
+
+    #[test]
+    fn error_bodies_have_the_uniform_slug_detail_shape() {
+        // The exact bytes are the wire contract: a stable status slug in
+        // "error", the human-readable message in "detail", in that order.
+        let body = Response::error(400, "unknown field 'batchs'").body;
+        assert_eq!(
+            body,
+            "{\n  \"error\": \"bad_request\",\n  \"detail\": \"unknown field 'batchs'\"\n}\n"
+        );
+        for (status, slug) in [
+            (400, "bad_request"),
+            (403, "forbidden"),
+            (404, "not_found"),
+            (405, "method_not_allowed"),
+            (408, "request_timeout"),
+            (413, "payload_too_large"),
+            (431, "request_header_fields_too_large"),
+            (500, "internal_server_error"),
+            (501, "not_implemented"),
+            (503, "service_unavailable"),
+            (505, "http_version_not_supported"),
+            (599, "unknown"),
+        ] {
+            assert_eq!(error_slug(status), slug);
+            let response = Response::error(status, "x");
+            assert_eq!(response.status, status);
+            assert!(response.body.contains(slug), "{}", response.body);
+        }
     }
 }

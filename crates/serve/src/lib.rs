@@ -18,17 +18,27 @@
 //! | `/v1/quantize`      | POST   | `{"scheme", "rows", "cols", "data"}`   |
 //! | `/shutdown`         | POST   | — (403 unless `allow_shutdown` is set) |
 //!
-//! ## Streaming generation
+//! ## Streaming generation & continuous batching
 //!
-//! `/v1/generate` decodes one scheme autoregressively (greedy, KV-cached via
-//! [`olive_models::DecodeSession`]) and streams the report as **chunked
-//! transfer-encoding** over the same keep-alive HTTP/1.1 layer: one chunk
-//! for the JSON head, one chunk per decode step the moment its token is
-//! produced, then the per-scheme summary and the terminating chunk.
-//! Generation requests ride the same [`BoundedQueue`] batcher — and shed
-//! with the same 503 + `Retry-After` back-pressure — as `/v1/eval`; the
-//! prepared teacher + prompt are cached per `(family, size, seed,
-//! prompt_tokens)` so scheme comparisons share one preparation.
+//! `/v1/generate` decodes one scheme autoregressively (greedy, KV-cached)
+//! and streams the report as **chunked transfer-encoding** over the same
+//! keep-alive HTTP/1.1 layer: one chunk for the JSON head, one chunk per
+//! decode step the moment its token is produced, then the per-scheme
+//! summary and the terminating chunk.
+//!
+//! Generation requests do **not** ride the unary batcher. They are admitted
+//! onto the continuous-batching decode scheduler ([`decode_sched`]): each
+//! in-flight stream holds externally-owned KV state paged out of a shared
+//! [`olive_models::KvPool`], and every scheduler tick merges the *current
+//! step* of all live streams into one batched causal forward per model
+//! group ([`olive_models::TinyTransformer::advance_batch`]), then fans the
+//! produced fragments back out to their connections. New streams join the
+//! batch at the next tick instead of waiting for running ones to finish —
+//! no head-of-line blocking — and the door keeps the batcher's 503 +
+//! `Retry-After` back-pressure contract. The prepared teacher + prompt are
+//! cached per `(family, size, seed, prompt_tokens)` and the quantized
+//! student per scheme on top of that, so scheme comparisons share one
+//! preparation.
 //!
 //! ## The determinism contract
 //!
@@ -45,12 +55,14 @@
 //!
 //! ```text
 //! Pipeline (same family/size/scheme/seed)
-//!     .generate(prompt_tokens, max_new_tokens).without_wall_times().to_json()
+//!     .generation(GenOptions::new()
+//!         .prompt_tokens(p).max_new_tokens(m))
+//!     .without_wall_times().to_json()
 //! ```
 //!
-//! at *any* micro-batch size, queue state, concurrency level and
-//! `OLIVE_THREADS` setting. This holds by construction, not by testing
-//! alone:
+//! at *any* micro-batch size, queue state, concurrency level, session
+//! interleaving and `OLIVE_THREADS` setting. This holds by construction,
+//! not by testing alone:
 //!
 //! * each request is computed by a pure function of its decoded parameters —
 //!   the batcher only chooses *which thread* runs it ([`par_map`] never
@@ -58,10 +70,13 @@
 //! * the model cache is keyed by everything that feeds the computation, so a
 //!   hit returns bytes a miss would have produced;
 //! * the incremental decode path obeys the **decode-cache determinism
-//!   contract** (see [`olive_models::decode`]): the logits a
-//!   `DecodeSession` produces step by step are bit-identical to the batch
-//!   causal forward pass at any thread count, so caching per-step
-//!   activations can never change a streamed token;
+//!   contract** (see [`olive_models::decode`]): the logits
+//!   [`advance_batch`](olive_models::TinyTransformer::advance_batch)
+//!   produces for row *i* are bit-identical to advancing stream *i* alone —
+//!   per-row normalisation, softmax and quantization, element-wise
+//!   activations and fixed ascending-`k` GEMM accumulation — and the paged
+//!   KV layout is byte-equivalent to a contiguous cache, so merging steps
+//!   across sessions can never change a streamed token;
 //! * the streamed JSON is assembled from the same fragments
 //!   `GenReport::to_json` concatenates (`olive_api::gen`), so chunking can
 //!   never change the bytes, only their framing;
@@ -71,7 +86,9 @@
 //! `crates/serve/tests/determinism.rs` enforces both contracts end to end
 //! with concurrent clients at `OLIVE_THREADS` ∈ {1, 8} and micro-batch sizes
 //! {1, 4}, with streamed and unary requests interleaved over the same
-//! kept-alive connections.
+//! kept-alive connections; `crates/serve/tests/continuous.rs` runs the
+//! concurrent-session matrix (staggered starts, mixed prompt lengths, a
+//! mid-stream disconnect) against the decode scheduler.
 //!
 //! ## Dynamic batching & back-pressure
 //!
@@ -116,12 +133,14 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod decode_sched;
 pub mod http;
 pub mod protocol;
 pub mod server;
 
-pub use batch::{BatchConfig, Batcher, Job, StreamEvent};
+pub use batch::{BatchConfig, Batcher, Job};
 pub use cache::ModelCache;
+pub use decode_sched::{DecodeScheduler, SchedConfig, SchedStats, StreamEvent};
 pub use http::{Request, Response};
 pub use protocol::{EvalRequest, GenerateRequest, ModelSize, QuantizeRequest};
 pub use server::{ServeConfig, Server};

@@ -5,6 +5,15 @@
 //! Decoding is strict: unknown fields, wrong types, out-of-range sizes and
 //! duplicate schemes are all 400s with messages naming the offending field —
 //! requests are untrusted input, so nothing here panics.
+//!
+//! All three POST endpoints decode through one typed layer
+//! ([`RequestDecoder`]): the field whitelist is checked before any field is
+//! read (a typo'd field name 400s even when everything else is valid), and
+//! every typed accessor produces its error in one place — so "must be an
+//! unsigned integer", range violations and missing-field messages are
+//! uniform across the whole API, not per-endpoint dialects. The model
+//! fields the eval and generate endpoints share (`family`, `size`, `seed`,
+//! `weights_only`, `task`) decode through one [`ModelParams`] reader.
 
 use olive_api::{
     Calibration, JsonValue, ModelFamily, ModelSpec, Pipeline, Scheme, DEFAULT_BATCHES,
@@ -99,9 +108,8 @@ impl EvalRequest {
     ///
     /// Returns a [`DecodeError`] naming the offending field.
     pub fn decode(body: &JsonValue) -> Result<EvalRequest, DecodeError> {
-        let obj = expect_object(body)?;
-        check_fields(
-            obj,
+        let dec = RequestDecoder::new(
+            body,
             &[
                 "family",
                 "size",
@@ -115,30 +123,22 @@ impl EvalRequest {
                 "task",
             ],
         )?;
-
-        let family = match body.get("family") {
-            None => ModelFamily::Bert,
-            Some(v) => ModelFamily::parse(str_field(v, "family")?).map_err(DecodeError)?,
-        };
-        let size = match body.get("size") {
-            None => ModelSize::Tiny,
-            Some(v) => ModelSize::parse(str_field(v, "size")?)?,
-        };
+        let model = ModelParams::decode(&dec, "eval")?;
 
         let mut specs: Vec<&str> = Vec::new();
-        match (body.get("scheme"), body.get("schemes")) {
+        match (dec.get("scheme"), dec.get("schemes")) {
             (Some(_), Some(_)) => {
                 return Err(DecodeError(
                     "pass either 'scheme' or 'schemes', not both".into(),
                 ))
             }
-            (Some(v), None) => specs.push(str_field(v, "scheme")?),
+            (Some(v), None) => specs.push(str_value(v, "scheme")?),
             (None, Some(v)) => {
                 let items = v.as_array().ok_or_else(|| {
                     DecodeError("'schemes' must be an array of spec strings".into())
                 })?;
                 for item in items {
-                    specs.push(str_field(item, "schemes[..]")?);
+                    specs.push(str_value(item, "schemes[..]")?);
                 }
             }
             (None, None) => {
@@ -161,51 +161,33 @@ impl EvalRequest {
             schemes.push(scheme);
         }
 
-        let seed = match body.get("seed") {
-            None => 0,
-            Some(v) => v
-                .as_u64()
-                .ok_or_else(|| DecodeError("'seed' must be an unsigned integer".into()))?,
-        };
-        let batches = usize_field(body, "batches", DEFAULT_BATCHES, 1, MAX_BATCHES)?;
-        let oversample = usize_field(body, "oversample", DEFAULT_OVERSAMPLE, 1, MAX_OVERSAMPLE)?;
-        let calibration = match body.get("calibration") {
+        let batches = dec.bounded_usize("batches", DEFAULT_BATCHES, 1, MAX_BATCHES)?;
+        let oversample = dec.bounded_usize("oversample", DEFAULT_OVERSAMPLE, 1, MAX_OVERSAMPLE)?;
+        let calibration = match dec.str("calibration")? {
             None => Calibration::Confident { oversample },
-            Some(v) => match str_field(v, "calibration")? {
-                "confident" => Calibration::Confident { oversample },
-                "random" => Calibration::Random,
-                other => {
-                    return Err(DecodeError(format!(
-                        "unknown calibration '{other}' (expected 'confident' or 'random')"
-                    )))
-                }
-            },
+            Some("confident") => Calibration::Confident { oversample },
+            Some("random") => Calibration::Random,
+            Some(other) => {
+                return Err(DecodeError(format!(
+                    "unknown calibration '{other}' (expected 'confident' or 'random')"
+                )))
+            }
         };
-        if matches!(calibration, Calibration::Random) && body.get("oversample").is_some() {
+        if matches!(calibration, Calibration::Random) && dec.get("oversample").is_some() {
             return Err(DecodeError(
                 "'oversample' only applies to 'confident' calibration".into(),
             ));
         }
-        let weights_only = match body.get("weights_only") {
-            None => false,
-            Some(v) => v
-                .as_bool()
-                .ok_or_else(|| DecodeError("'weights_only' must be a boolean".into()))?,
-        };
-        let task = match body.get("task") {
-            None => "eval".to_string(),
-            Some(v) => str_field(v, "task")?.to_string(),
-        };
 
         Ok(EvalRequest {
-            family,
-            size,
+            family: model.family,
+            size: model.size,
             schemes,
-            seed,
+            seed: model.seed,
             batches,
             calibration,
-            weights_only,
-            task,
+            weights_only: model.weights_only,
+            task: model.task,
         })
     }
 
@@ -297,9 +279,8 @@ impl GenerateRequest {
     ///
     /// Returns a [`DecodeError`] naming the offending field.
     pub fn decode(body: &JsonValue) -> Result<GenerateRequest, DecodeError> {
-        let obj = expect_object(body)?;
-        check_fields(
-            obj,
+        let dec = RequestDecoder::new(
+            body,
             &[
                 "family",
                 "size",
@@ -311,62 +292,24 @@ impl GenerateRequest {
                 "task",
             ],
         )?;
-        let family = match body.get("family") {
-            None => ModelFamily::Bert,
-            Some(v) => ModelFamily::parse(str_field(v, "family")?).map_err(DecodeError)?,
-        };
-        let size = match body.get("size") {
-            None => ModelSize::Tiny,
-            Some(v) => ModelSize::parse(str_field(v, "size")?)?,
-        };
-        let spec = body
-            .get("scheme")
-            .ok_or_else(|| {
-                DecodeError(
-                    "missing 'scheme' (one per generation stream; see GET /v1/schemes)".into(),
-                )
-            })
-            .and_then(|v| str_field(v, "scheme"))?;
+        let model = ModelParams::decode(&dec, "generate")?;
+        let spec = dec.str("scheme")?.ok_or_else(|| {
+            DecodeError("missing 'scheme' (one per generation stream; see GET /v1/schemes)".into())
+        })?;
         let scheme = Scheme::parse(spec).map_err(|e| DecodeError(e.to_string()))?;
-        let seed = match body.get("seed") {
-            None => 0,
-            Some(v) => v
-                .as_u64()
-                .ok_or_else(|| DecodeError("'seed' must be an unsigned integer".into()))?,
-        };
-        let prompt_tokens = usize_field(
-            body,
-            "prompt_tokens",
-            DEFAULT_PROMPT_TOKENS,
-            1,
-            MAX_PROMPT_TOKENS,
-        )?;
-        let max_new_tokens = usize_field(
-            body,
-            "max_new_tokens",
-            DEFAULT_MAX_NEW_TOKENS,
-            1,
-            MAX_NEW_TOKENS,
-        )?;
-        let weights_only = match body.get("weights_only") {
-            None => false,
-            Some(v) => v
-                .as_bool()
-                .ok_or_else(|| DecodeError("'weights_only' must be a boolean".into()))?,
-        };
-        let task = match body.get("task") {
-            None => "generate".to_string(),
-            Some(v) => str_field(v, "task")?.to_string(),
-        };
+        let prompt_tokens =
+            dec.bounded_usize("prompt_tokens", DEFAULT_PROMPT_TOKENS, 1, MAX_PROMPT_TOKENS)?;
+        let max_new_tokens =
+            dec.bounded_usize("max_new_tokens", DEFAULT_MAX_NEW_TOKENS, 1, MAX_NEW_TOKENS)?;
         Ok(GenerateRequest {
-            family,
-            size,
+            family: model.family,
+            size: model.size,
             scheme,
-            seed,
+            seed: model.seed,
             prompt_tokens,
             max_new_tokens,
-            weights_only,
-            task,
+            weights_only: model.weights_only,
+            task: model.task,
         })
     }
 
@@ -420,15 +363,13 @@ impl QuantizeRequest {
     ///
     /// Returns a [`DecodeError`] naming the offending field.
     pub fn decode(body: &JsonValue) -> Result<QuantizeRequest, DecodeError> {
-        let obj = expect_object(body)?;
-        check_fields(obj, &["scheme", "rows", "cols", "data"])?;
-        let spec = body
-            .get("scheme")
-            .ok_or_else(|| DecodeError("missing 'scheme'".into()))
-            .and_then(|v| str_field(v, "scheme"))?;
+        let dec = RequestDecoder::new(body, &["scheme", "rows", "cols", "data"])?;
+        let spec = dec
+            .str("scheme")?
+            .ok_or_else(|| DecodeError("missing 'scheme'".into()))?;
         let scheme = Scheme::parse(spec).map_err(|e| DecodeError(e.to_string()))?;
-        let rows = required_usize(body, "rows")?;
-        let cols = required_usize(body, "cols")?;
+        let rows = dec.required_usize("rows")?;
+        let cols = dec.required_usize("cols")?;
         if rows == 0 || cols == 0 {
             return Err(DecodeError("'rows' and 'cols' must be at least 1".into()));
         }
@@ -440,7 +381,7 @@ impl QuantizeRequest {
                     "matrix of {rows}x{cols} exceeds the {MAX_QUANTIZE_ELEMENTS}-element limit"
                 ))
             })?;
-        let items = body
+        let items = dec
             .get("data")
             .and_then(JsonValue::as_array)
             .ok_or_else(|| DecodeError("'data' must be an array of numbers".into()))?;
@@ -563,59 +504,130 @@ pub fn render_schemes_body() -> String {
     .render()
 }
 
-fn expect_object(body: &JsonValue) -> Result<&[(String, JsonValue)], DecodeError> {
-    match body {
-        JsonValue::Object(entries) => Ok(entries),
-        _ => Err(DecodeError("request body must be a JSON object".into())),
-    }
+/// The one typed request-decode layer every POST endpoint goes through.
+///
+/// Construction enforces the two invariants shared by the whole API:
+/// the body is a JSON object, and every present field is on the endpoint's
+/// whitelist — checked *before* any field is read, so a typo'd field name
+/// 400s even when everything else is valid (a misspelled "batchs" silently
+/// falling back to a default would change results quietly: a debugging
+/// nightmare). The accessors then produce every type/range/missing error
+/// from one place, so error wording is uniform across endpoints.
+struct RequestDecoder<'a> {
+    body: &'a JsonValue,
 }
 
-/// Strict field whitelisting: typos must 400, not silently fall back to a
-/// default (a misspelled "batchs" changing results quietly would be a
-/// debugging nightmare).
-fn check_fields(entries: &[(String, JsonValue)], allowed: &[&str]) -> Result<(), DecodeError> {
-    for (key, _) in entries {
-        if !allowed.contains(&key.as_str()) {
-            return Err(DecodeError(format!(
-                "unknown field '{key}' (expected one of: {})",
-                allowed.join(", ")
-            )));
+impl<'a> RequestDecoder<'a> {
+    fn new(body: &'a JsonValue, allowed: &[&str]) -> Result<Self, DecodeError> {
+        let JsonValue::Object(entries) = body else {
+            return Err(DecodeError("request body must be a JSON object".into()));
+        };
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(DecodeError(format!(
+                    "unknown field '{key}' (expected one of: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(RequestDecoder { body })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a JsonValue> {
+        self.body.get(name)
+    }
+
+    fn str(&self, name: &str) -> Result<Option<&'a str>, DecodeError> {
+        self.get(name).map(|v| str_value(v, name)).transpose()
+    }
+
+    fn string_or(&self, name: &str, default: &str) -> Result<String, DecodeError> {
+        Ok(self.str(name)?.unwrap_or(default).to_string())
+    }
+
+    fn bool_or(&self, name: &str, default: bool) -> Result<bool, DecodeError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| DecodeError(format!("'{name}' must be a boolean"))),
         }
     }
-    Ok(())
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, DecodeError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| DecodeError(format!("'{name}' must be an unsigned integer"))),
+        }
+    }
+
+    /// An optional bounded count: serving limits (`MAX_BATCHES`,
+    /// `MAX_NEW_TOKENS`, …) are enforced here so every endpoint rejects
+    /// out-of-range sizes with the same wording.
+    fn bounded_usize(
+        &self,
+        name: &str,
+        default: usize,
+        min: usize,
+        max: usize,
+    ) -> Result<usize, DecodeError> {
+        let value = match self.get(name) {
+            None => default,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| DecodeError(format!("'{name}' must be an unsigned integer")))?,
+        };
+        if !(min..=max).contains(&value) {
+            return Err(DecodeError(format!(
+                "'{name}' must be between {min} and {max}, got {value}"
+            )));
+        }
+        Ok(value)
+    }
+
+    fn required_usize(&self, name: &str) -> Result<usize, DecodeError> {
+        self.get(name)
+            .ok_or_else(|| DecodeError(format!("missing '{name}'")))?
+            .as_usize()
+            .ok_or_else(|| DecodeError(format!("'{name}' must be an unsigned integer")))
+    }
 }
 
-fn str_field<'a>(v: &'a JsonValue, name: &str) -> Result<&'a str, DecodeError> {
+/// The model-selection fields `/v1/eval` and `/v1/generate` share, decoded
+/// identically for both (only the default task label differs).
+struct ModelParams {
+    family: ModelFamily,
+    size: ModelSize,
+    seed: u64,
+    weights_only: bool,
+    task: String,
+}
+
+impl ModelParams {
+    fn decode(dec: &RequestDecoder<'_>, default_task: &str) -> Result<ModelParams, DecodeError> {
+        let family = match dec.str("family")? {
+            None => ModelFamily::Bert,
+            Some(name) => ModelFamily::parse(name).map_err(DecodeError)?,
+        };
+        let size = match dec.str("size")? {
+            None => ModelSize::Tiny,
+            Some(name) => ModelSize::parse(name)?,
+        };
+        Ok(ModelParams {
+            family,
+            size,
+            seed: dec.u64_or("seed", 0)?,
+            weights_only: dec.bool_or("weights_only", false)?,
+            task: dec.string_or("task", default_task)?,
+        })
+    }
+}
+
+fn str_value<'a>(v: &'a JsonValue, name: &str) -> Result<&'a str, DecodeError> {
     v.as_str()
         .ok_or_else(|| DecodeError(format!("'{name}' must be a string")))
-}
-
-fn usize_field(
-    body: &JsonValue,
-    name: &str,
-    default: usize,
-    min: usize,
-    max: usize,
-) -> Result<usize, DecodeError> {
-    let value = match body.get(name) {
-        None => default,
-        Some(v) => v
-            .as_usize()
-            .ok_or_else(|| DecodeError(format!("'{name}' must be an unsigned integer")))?,
-    };
-    if !(min..=max).contains(&value) {
-        return Err(DecodeError(format!(
-            "'{name}' must be between {min} and {max}, got {value}"
-        )));
-    }
-    Ok(value)
-}
-
-fn required_usize(body: &JsonValue, name: &str) -> Result<usize, DecodeError> {
-    body.get(name)
-        .ok_or_else(|| DecodeError(format!("missing '{name}'")))?
-        .as_usize()
-        .ok_or_else(|| DecodeError(format!("'{name}' must be an unsigned integer")))
 }
 
 #[cfg(test)]
@@ -752,7 +764,11 @@ mod tests {
             ..req
         }
         .pipeline()
-        .generate(5, 2);
+        .generation(
+            olive_api::GenOptions::new()
+                .prompt_tokens(5)
+                .max_new_tokens(2),
+        );
         assert_eq!(report.task, "story");
         assert_eq!(report.seed, 3);
         assert_eq!(report.prompt.len(), 5);

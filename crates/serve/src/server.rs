@@ -1,7 +1,8 @@
 //! The TCP accept loop, connection handling and endpoint routing.
 
-use crate::batch::{BatchConfig, Batcher, Job, StreamEvent};
+use crate::batch::{BatchConfig, Batcher, Job};
 use crate::cache::ModelCache;
+use crate::decode_sched::{DecodeScheduler, SchedConfig, StreamEvent};
 use crate::http::{
     read_request, write_chunk, write_chunked_head, write_last_chunk, ReadOutcome, Request,
     Response, IDLE_TIMEOUT,
@@ -25,8 +26,10 @@ pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Batching policy (see [`BatchConfig`]).
+    /// Batching policy for unary requests (see [`BatchConfig`]).
     pub batch: BatchConfig,
+    /// Continuous-batching policy for `/v1/generate` (see [`SchedConfig`]).
+    pub sched: SchedConfig,
     /// Whether `POST /shutdown` is honoured (the smoke harness uses it; off
     /// by default so a stray request cannot stop a real deployment).
     pub allow_shutdown: bool,
@@ -37,6 +40,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             batch: BatchConfig::default(),
+            sched: SchedConfig::default(),
             allow_shutdown: false,
         }
     }
@@ -45,6 +49,7 @@ impl Default for ServeConfig {
 struct ServerState {
     config: ServeConfig,
     batcher: Batcher,
+    scheduler: DecodeScheduler,
     cache: Arc<ModelCache>,
     /// Pre-rendered `/v1/schemes` body (the registry is static).
     schemes_body: String,
@@ -56,16 +61,31 @@ struct ServerState {
 impl ServerState {
     fn healthz_body(&self) -> String {
         let stats = self.batcher.stats();
+        let sched = self.scheduler.stats();
         let (prepared, gen_prepared, responses) = self.cache.sizes();
+        // Sessions fed per tick, keyed by the batch size as a decimal string
+        // (BTreeMap keeps the keys in ascending numeric-by-construction
+        // order — sizes only grow by one digit past 9 with max_sessions > 9,
+        // where the histogram is still deterministic per run).
+        let batch_sizes = JsonValue::object(
+            olive_runtime::lock_or_recover(&sched.batch_sizes)
+                .iter()
+                .map(|(size, count)| (size.to_string(), JsonValue::UInt(*count)))
+                .collect::<Vec<_>>(),
+        );
         JsonValue::object(vec![
             ("status", JsonValue::Str("ok".into())),
             (
                 "requests_served",
-                JsonValue::UInt(stats.served.load(Ordering::Relaxed)),
+                JsonValue::UInt(
+                    stats.served.load(Ordering::Relaxed) + sched.served.load(Ordering::Relaxed),
+                ),
             ),
             (
                 "requests_rejected",
-                JsonValue::UInt(stats.rejected.load(Ordering::Relaxed)),
+                JsonValue::UInt(
+                    stats.rejected.load(Ordering::Relaxed) + sched.rejected.load(Ordering::Relaxed),
+                ),
             ),
             (
                 "batches_executed",
@@ -73,7 +93,7 @@ impl ServerState {
             ),
             (
                 "queue_depth",
-                JsonValue::Int(self.batcher.queue_depth() as i64),
+                JsonValue::Int((self.batcher.queue_depth() + self.scheduler.queue_depth()) as i64),
             ),
             (
                 "connections_accepted",
@@ -82,6 +102,23 @@ impl ServerState {
             ("cached_models", JsonValue::Int(prepared as i64)),
             ("cached_generators", JsonValue::Int(gen_prepared as i64)),
             ("cached_responses", JsonValue::Int(responses as i64)),
+            (
+                "decode_sessions",
+                JsonValue::UInt(sched.sessions.load(Ordering::Relaxed)),
+            ),
+            (
+                "decode_ticks",
+                JsonValue::UInt(sched.ticks.load(Ordering::Relaxed)),
+            ),
+            (
+                "kv_pages_used",
+                JsonValue::UInt(sched.kv_pages_used.load(Ordering::Relaxed)),
+            ),
+            (
+                "kv_pages_free",
+                JsonValue::UInt(sched.kv_pages_free.load(Ordering::Relaxed)),
+            ),
+            ("decode_batch_sizes", batch_sizes),
         ])
         .render()
     }
@@ -108,6 +145,7 @@ impl Server {
         let cache = Arc::new(ModelCache::new());
         let state = Arc::new(ServerState {
             batcher: Batcher::start(config.batch.clone(), Arc::clone(&cache)),
+            scheduler: DecodeScheduler::start(config.sched.clone(), Arc::clone(&cache)),
             cache,
             schemes_body: render_schemes_body(),
             shutdown: AtomicBool::new(false),
@@ -149,6 +187,7 @@ impl Server {
             let _ = handle.join();
         }
         self.state.batcher.shutdown();
+        self.state.scheduler.shutdown();
     }
 
     /// Requests shutdown and waits for it to complete. Idempotent.
@@ -284,7 +323,8 @@ fn stream_response(
             Ok(true)
         }
         Err(_) => {
-            Response::error(500, "batch worker terminated unexpectedly").write_to(writer, false)?;
+            Response::error(500, "decode worker terminated unexpectedly")
+                .write_to(writer, false)?;
             Ok(false)
         }
     }
@@ -320,7 +360,7 @@ fn route(request: &Request, state: &ServerState) -> Routed {
         ("POST", "/v1/generate") => match decode_body(request)
             .and_then(|v| GenerateRequest::decode(&v).map_err(|e| Response::error(400, &e.0)))
         {
-            Ok(req) => match state.batcher.submit_stream(req) {
+            Ok(req) => match state.scheduler.submit(req) {
                 Ok(events) => Routed::Stream(events),
                 Err(response) => response.into(),
             },

@@ -3,7 +3,8 @@
 //! to a direct `Pipeline::run()` + `without_wall_times().to_json()` for the
 //! same (family, size, schemes, seed, batches, calibration), and a streamed
 //! `/v1/generate` response — chunks concatenated — must be byte-identical to
-//! the direct `Pipeline::generate(..).without_wall_times().to_json()` —
+//! the direct `Pipeline::generation(GenOptions)` rendering via
+//! `without_wall_times().to_json()` —
 //! under concurrent clients, at micro-batch sizes 1 and 4, at
 //! `OLIVE_THREADS` ∈ {1, 8}, with both kinds of request interleaved over the
 //! same kept-alive connections (mid-stream keep-alive reuse).
@@ -84,9 +85,13 @@ fn direct_answer(path: &str, body: &str) -> String {
         "/v1/generate" => {
             let request =
                 olive_serve::GenerateRequest::decode(&parsed).expect("test request must decode");
-            let pipeline = request.pipeline();
-            pipeline
-                .generate(request.prompt_tokens, request.max_new_tokens)
+            request
+                .pipeline()
+                .generation(
+                    olive_api::GenOptions::new()
+                        .prompt_tokens(request.prompt_tokens)
+                        .max_new_tokens(request.max_new_tokens),
+                )
                 .without_wall_times()
                 .to_json()
         }

@@ -128,11 +128,28 @@ fn protocol_errors_map_to_specific_statuses() {
     // 403 when shutdown is not allowed (the default).
     let response = client::post_json(addr, "/shutdown", "").unwrap();
     assert_eq!(response.status, 403);
-    // Every error body is itself valid JSON with an "error" field.
-    assert!(JsonValue::parse(&response.body)
+    // Every error body is valid JSON in the uniform slug + detail shape,
+    // across every endpoint (the wire contract of Response::error).
+    let v = JsonValue::parse(&response.body).unwrap();
+    assert_eq!(
+        v.get("error").and_then(JsonValue::as_str),
+        Some("forbidden")
+    );
+    assert!(v
+        .get("detail")
+        .and_then(JsonValue::as_str)
         .unwrap()
-        .get("error")
-        .is_some());
+        .contains("--allow-shutdown"));
+    // Pin the exact rendered bytes of a decode failure once: the slug and
+    // detail keys, their order, and the message are all load-bearing.
+    let bad = client::post_json(addr, "/v1/eval", r#"{"scheme": "fp32", "batchs": 1}"#).unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        bad.body,
+        "{\n  \"error\": \"bad_request\",\n  \"detail\": \"unknown field 'batchs' \
+         (expected one of: family, size, scheme, schemes, seed, batches, calibration, \
+         oversample, weights_only, task)\"\n}\n"
+    );
     server.shutdown();
 }
 
@@ -166,6 +183,20 @@ fn generate_streams_a_chunked_decode_trace() {
     assert_eq!(
         v.get("cached_generators").and_then(JsonValue::as_u64),
         Some(1)
+    );
+    // Scheduler gauges: the finished stream released its session and pages,
+    // and each of its prompt+max_new_tokens-1 = 8 feeds was one tick.
+    assert_eq!(
+        v.get("decode_sessions").and_then(JsonValue::as_u64),
+        Some(0)
+    );
+    assert_eq!(v.get("kv_pages_used").and_then(JsonValue::as_u64), Some(0));
+    assert!(v.get("decode_ticks").and_then(JsonValue::as_u64).unwrap() >= 8);
+    assert_eq!(
+        v.get("decode_batch_sizes")
+            .and_then(|h| h.get("1"))
+            .and_then(JsonValue::as_u64),
+        Some(8)
     );
     // Bad generation requests still answer as plain 400s.
     let bad = connection
@@ -310,8 +341,21 @@ fn response_json_key_order_is_stable() {
             "cached_models",
             "cached_generators",
             "cached_responses",
+            "decode_sessions",
+            "decode_ticks",
+            "kv_pages_used",
+            "kv_pages_free",
+            "decode_batch_sizes",
         ],
         "/healthz key order must never change"
+    );
+    // The batch-size histogram is itself an object with ascending
+    // numeric-string keys (BTreeMap iteration order) — empty on a fresh
+    // server, and always a JSON object, never null.
+    assert!(
+        matches!(v.get("decode_batch_sizes"), Some(JsonValue::Object(_))),
+        "{}",
+        health.body
     );
 
     let body = r#"{"scheme": "olive-4bit", "batches": 1, "oversample": 2}"#;

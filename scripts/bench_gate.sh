@@ -3,8 +3,9 @@
 #
 # Runs the three micro-benchmarks (encoding, quantized_gemm, simulators) in
 # --quick mode plus the serve_loadgen serving-throughput benchmark and the
-# gen_loadgen streamed-decode benchmark (tokens/sec p50), merges their
-# per-kernel medians into BENCH_results.json, and fails if any kernel
+# gen_loadgen streamed-decode benchmark (tokens/sec p50 single-stream, and
+# the serve/gen_continuous_tiny 8-stream continuous-batching burst), merges
+# their per-kernel medians into BENCH_results.json, and fails if any kernel
 # regressed more than the tolerance (default 25%) versus the checked-in
 # BENCH_baseline.json.
 #
