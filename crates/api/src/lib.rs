@@ -20,6 +20,10 @@
 //!   (tokens, per-step agreement, tokens/sec) whose JSON can also be
 //!   emitted fragment-by-fragment for streaming ([`GenOptions::stream`]).
 //! * [`json`] — the zero-dependency JSON values the reports render through.
+//! * [`artifact`] — prepared-model snapshots ([`ModelArtifact`]): the
+//!   versioned, checksummed on-disk form of a prepared teacher + calibration
+//!   (+ quantized students) that lets serving workers cold-start
+//!   bit-identically from a file written offline by `olive-prepare`.
 //!
 //! The paper-table binaries in `olive-bench`, the runnable examples and the
 //! integration tests are all thin drivers over this API.
@@ -42,17 +46,20 @@
 //! assert!(olive > int4, "OliVe must beat plain int4: {olive} vs {int4}");
 //! ```
 
+pub mod artifact;
 pub mod gen;
 pub mod json;
 pub mod pipeline;
 pub mod scheme;
 
+pub use artifact::{ArtifactPayload, ModelArtifact};
 pub use gen::{
     GenOptions, GenReport, GenSchemeResult, GenStep, PreparedGen, DEFAULT_MAX_NEW_TOKENS,
     DEFAULT_PROMPT_TOKENS,
 };
 pub use json::{JsonParseError, JsonValue};
 pub use olive_core::Granularity;
+pub use olive_models::artifact::ArtifactError;
 pub use pipeline::{
     Calibration, EvalReport, GemmProfile, ModelFamily, ModelSpec, Pipeline, PreparedEval,
     SchemeResult, DEFAULT_BATCHES, DEFAULT_OVERSAMPLE,

@@ -20,7 +20,12 @@
 //! * [`kv`] — externally-owned KV-cache storage: the [`KvStore`] trait,
 //!   plain [`VecKv`], and the paged [`KvPool`]/[`PagedKv`] pair the serving
 //!   layer uses for continuous batching.
+//! * [`artifact`] — the versioned, checksummed, zero-dependency binary
+//!   container ([`ArtifactWriter`]/[`ArtifactReader`]) that snapshots models
+//!   and calibration tasks to disk bit-exactly, so serving processes can
+//!   cold-start from a file instead of re-preparing.
 
+pub mod artifact;
 pub mod config;
 pub mod decode;
 pub mod engine;
@@ -29,6 +34,7 @@ pub mod resnet;
 pub mod synth;
 pub mod workload;
 
+pub use artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
 pub use config::{ModelConfig, ModelFamily};
 pub use decode::{generate_greedy, generate_greedy_recompute, DecodeSession, StepSlot};
 pub use engine::{

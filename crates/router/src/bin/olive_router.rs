@@ -1,0 +1,180 @@
+//! The `olive-router` daemon: the scale-out front door.
+//!
+//! ```text
+//! olive-router [--addr HOST] [--port N]
+//!              [--worker ADDR]... | [--spawn N [--serve-bin PATH] [--artifact-dir DIR]]
+//!              [--max-attempts N] [--unhealthy-after N] [--probe-interval-ms N]
+//!              [--retry-after-cap-ms N] [--allow-shutdown]
+//! ```
+//!
+//! Workers are either joined (`--worker host:port`, repeatable) or spawned
+//! (`--spawn N` launches N `olive-serve` processes on ephemeral ports and
+//! stops them on exit; `--serve-bin` overrides the binary, which defaults to
+//! the `olive-serve` next to this executable). `--artifact-dir` is forwarded
+//! to spawned workers so they cold-start from `olive-prepare` snapshots.
+//!
+//! `--port 0` (the default) picks an ephemeral port; the chosen URL is
+//! printed as `olive-router listening on http://HOST:PORT` so harnesses can
+//! scrape it, mirroring the worker daemon.
+
+use olive_router::{Router, RouterConfig, SpawnedWorker};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: olive-router [--addr HOST] [--port N] [--worker ADDR]... \
+         [--spawn N] [--serve-bin PATH] [--artifact-dir DIR] [--max-attempts N] \
+         [--unhealthy-after N] [--probe-interval-ms N] [--retry-after-cap-ms N] \
+         [--allow-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("olive-router: {message}");
+    std::process::exit(1);
+}
+
+struct Args {
+    config: RouterConfig,
+    host: String,
+    port: u16,
+    spawn: usize,
+    serve_bin: Option<PathBuf>,
+    artifact_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        config: RouterConfig::default(),
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        spawn: 0,
+        serve_bin: None,
+        artifact_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{name} requires a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--addr" => parsed.host = value("--addr"),
+            "--port" => match value("--port").parse() {
+                Ok(p) => parsed.port = p,
+                Err(_) => usage(),
+            },
+            "--worker" => parsed.config.workers.push(value("--worker")),
+            "--spawn" => match value("--spawn").parse() {
+                Ok(n) if n >= 1 => parsed.spawn = n,
+                _ => usage(),
+            },
+            "--serve-bin" => parsed.serve_bin = Some(PathBuf::from(value("--serve-bin"))),
+            "--artifact-dir" => parsed.artifact_dir = Some(PathBuf::from(value("--artifact-dir"))),
+            "--max-attempts" => match value("--max-attempts").parse() {
+                Ok(n) if n >= 1 => parsed.config.max_attempts = n,
+                _ => usage(),
+            },
+            "--unhealthy-after" => match value("--unhealthy-after").parse() {
+                Ok(n) if n >= 1 => parsed.config.unhealthy_after = n,
+                _ => usage(),
+            },
+            "--probe-interval-ms" => match value("--probe-interval-ms").parse() {
+                Ok(ms) => parsed.config.probe_interval = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--retry-after-cap-ms" => match value("--retry-after-cap-ms").parse() {
+                Ok(ms) => parsed.config.retry_after_cap = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--allow-shutdown" => parsed.config.allow_shutdown = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+/// The `olive-serve` binary to spawn: `--serve-bin` when given, else the one
+/// sitting next to this executable (both are built into the same target
+/// directory), else whatever `olive-serve` resolves to on PATH.
+fn serve_bin(parsed: &Args) -> PathBuf {
+    if let Some(path) = &parsed.serve_bin {
+        return path.clone();
+    }
+    if let Ok(me) = std::env::current_exe() {
+        if let Some(dir) = me.parent() {
+            let sibling = dir.join("olive-serve");
+            if sibling.exists() {
+                return sibling;
+            }
+        }
+    }
+    PathBuf::from("olive-serve")
+}
+
+fn main() {
+    // Same guard as the workers: a typo'd OLIVE_THREADS must be a startup
+    // error everywhere in the fleet, not a silently different config.
+    if let Err(message) = olive_runtime::validate_thread_env() {
+        eprintln!("olive-router: {message}");
+        std::process::exit(2);
+    }
+    let mut parsed = parse_args();
+    if parsed.config.workers.is_empty() && parsed.spawn == 0 {
+        eprintln!("no workers: pass --worker ADDR (repeatable) or --spawn N");
+        usage();
+    }
+
+    let mut spawned: Vec<SpawnedWorker> = Vec::new();
+    if parsed.spawn > 0 {
+        let bin = serve_bin(&parsed);
+        let mut extra = Vec::new();
+        if let Some(dir) = &parsed.artifact_dir {
+            extra.push("--artifact-dir".to_string());
+            extra.push(dir.display().to_string());
+        }
+        for index in 0..parsed.spawn {
+            match SpawnedWorker::launch(&bin, &extra) {
+                Ok(worker) => {
+                    println!("olive-router: spawned worker {index} on {}", worker.url());
+                    parsed.config.workers.push(worker.addr().to_string());
+                    spawned.push(worker);
+                }
+                Err(e) => {
+                    for worker in spawned {
+                        worker.stop();
+                    }
+                    fail(&format!("failed to spawn worker {index}: {e}"));
+                }
+            }
+        }
+    }
+
+    parsed.config.addr = format!("{}:{}", parsed.host, parsed.port);
+    let router = match Router::start(parsed.config) {
+        Ok(router) => router,
+        Err(e) => {
+            for worker in spawned {
+                worker.stop();
+            }
+            fail(&format!("failed to start: {e}"));
+        }
+    };
+    // The exact line the smoke harness scrapes; flush so a piped stdout
+    // delivers it immediately.
+    println!("olive-router listening on {}", router.url());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    router.wait();
+    for worker in spawned {
+        worker.stop();
+    }
+    // Best-effort: the harness may have closed our stdout pipe already.
+    let _ = writeln!(std::io::stdout(), "olive-router: shut down cleanly");
+}

@@ -1,0 +1,210 @@
+//! The consistent-hashing ring that pins a model cache key to a worker.
+//!
+//! Each worker contributes [`VNODES`] virtual points on a 64-bit hash ring
+//! (FNV-1a of `"{addr}#{vnode}"`); a request's routing key (its model cache
+//! key — see `olive_serve::protocol`) hashes to a point and walks clockwise
+//! to the first worker point. Virtual nodes smooth the load split, and the
+//! scheme gives the two properties the router needs:
+//!
+//! * **Affinity** — the same key always lands on the same worker, so each
+//!   worker's `ModelCache` only ever prepares the models routed to it:
+//!   quantize-once-serve-many keeps holding across a fleet.
+//! * **Minimal remapping** — adding or removing one worker only moves the
+//!   keys whose ring arcs that worker owned; every other key keeps its
+//!   worker and therefore its warm cache.
+//!
+//! [`Ring::candidates`] returns *all* workers in ring order from the key's
+//! point (first = the owner, rest = failover order), so retry policy lives in
+//! the server, not here. The walk is deterministic: two routers configured
+//! with the same worker list compute identical candidate orders.
+
+/// Virtual points each worker contributes to the ring. 64 keeps the load
+/// split within a few percent of even for small fleets while the sorted
+/// point list stays tiny (N × 64 entries).
+pub const VNODES: u32 = 64;
+
+/// FNV-1a 64-bit — the same hash the artifact container and file naming use
+/// (`olive_models::artifact`), re-implemented here so the ring depends only
+/// on the key bytes, not on another crate's internals.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The splitmix64 finalizer. FNV-1a avalanches poorly into its *high* bits
+/// for short, similar inputs (`addr#0`…`addr#63`), and ring position is
+/// decided by exactly those bits — without this mix a 3-worker ring splits
+/// as badly as 60/16/24. Applied to both point placement and key lookup.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A ring position: well-mixed 64-bit hash of `bytes`.
+fn point(bytes: &[u8]) -> u64 {
+    mix64(fnv1a64(bytes))
+}
+
+/// A fixed ring over the configured worker list. Workers are identified by
+/// their index into that list; the server owns the addresses and health
+/// state.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, worker_index)`, sorted by point. Ties (vanishingly rare with
+    /// 64-bit points) are broken by worker index, keeping construction
+    /// deterministic regardless of insertion order.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl Ring {
+    /// Builds the ring for `addrs` (one point set per worker, in list
+    /// order). An empty list yields an empty ring whose
+    /// [`Ring::candidates`] is always empty.
+    pub fn new(addrs: &[String]) -> Ring {
+        let mut points = Vec::with_capacity(addrs.len() * VNODES as usize);
+        for (index, addr) in addrs.iter().enumerate() {
+            for vnode in 0..VNODES {
+                points.push((point(format!("{addr}#{vnode}").as_bytes()), index));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            workers: addrs.len(),
+        }
+    }
+
+    /// Number of workers the ring was built over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The index of the worker owning `key`, if the ring is non-empty.
+    pub fn owner(&self, key: &str) -> Option<usize> {
+        self.candidates(key).into_iter().next()
+    }
+
+    /// Every worker index in ring order starting at `key`'s point: the
+    /// first entry owns the key, the rest are the failover order. Each
+    /// worker appears exactly once (its first point encountered on the
+    /// walk); the result is empty only for an empty ring.
+    pub fn candidates(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let key_point = point(key.as_bytes());
+        // First ring point at or after the key's point; wrap past the end.
+        let start = self.points.partition_point(|&(p, _)| p < key_point);
+        let mut seen = vec![false; self.workers];
+        let mut order = Vec::with_capacity(self.workers);
+        for &(_, index) in self.points.iter().skip(start).chain(self.points.iter()) {
+            if let Some(flag) = seen.get_mut(index) {
+                if !*flag {
+                    *flag = true;
+                    order.push(index);
+                    if order.len() == self.workers {
+                        break;
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn candidates_are_deterministic_and_cover_every_worker_once() {
+        let ring = Ring::new(&addrs(5));
+        for key in ["family=gpt-tiny;seed=7", "k2", "a;b;c", ""] {
+            let first = ring.candidates(key);
+            assert_eq!(first, ring.candidates(key), "same key, same order");
+            let mut sorted = first.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "each worker exactly once");
+        }
+        // An independently-built identical ring agrees (two router processes
+        // with the same --worker list route identically).
+        let other = Ring::new(&addrs(5));
+        assert_eq!(
+            ring.candidates("family=gpt-tiny;seed=7"),
+            other.candidates("family=gpt-tiny;seed=7")
+        );
+    }
+
+    #[test]
+    fn load_split_is_roughly_even() {
+        let ring = Ring::new(&addrs(3));
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            let key = format!("family=gpt-tiny;size=tiny;seed={i};prompt=11");
+            counts[ring.owner(&key).unwrap()] += 1;
+        }
+        for (worker, &count) in counts.iter().enumerate() {
+            assert!(
+                (500..=1700).contains(&count),
+                "worker {worker} got {count} of 3000 keys — split too skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_only_remaps_its_own_keys() {
+        let five = Ring::new(&addrs(5));
+        let four = Ring::new(&addrs(4)); // drops the last worker
+        let mut moved = 0usize;
+        let total = 2000usize;
+        for i in 0..total {
+            let key = format!("key-{i}");
+            let before = five.owner(&key).unwrap();
+            let after = four.owner(&key).unwrap();
+            if before < 4 {
+                // Keys not owned by the removed worker must not move.
+                assert_eq!(before, after, "key {key} moved without cause");
+            } else {
+                moved += 1;
+            }
+        }
+        // The removed worker owned roughly a fifth of the keys.
+        assert!(
+            (total / 10..=total / 2).contains(&moved),
+            "expected ~1/5 of keys to remap, got {moved}/{total}"
+        );
+    }
+
+    #[test]
+    fn failover_order_skips_the_owner_first() {
+        let ring = Ring::new(&addrs(4));
+        for i in 0..50 {
+            let key = format!("key-{i}");
+            let order = ring.candidates(&key);
+            assert_eq!(order.len(), 4);
+            assert_eq!(order.first(), ring.owner(&key).as_ref());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_worker_rings_degenerate_sanely() {
+        let empty = Ring::new(&[]);
+        assert!(empty.candidates("k").is_empty());
+        assert_eq!(empty.owner("k"), None);
+        let single = Ring::new(&addrs(1));
+        assert_eq!(single.candidates("k"), vec![0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Spawning and stopping `olive-serve` worker processes.
+//!
+//! The router daemon's `--spawn N` mode launches N workers on ephemeral
+//! ports, scrapes each one's `olive-serve listening on http://…` startup
+//! line, and stops them again (via their `/shutdown` endpoint, with a kill
+//! as the fallback) when the router exits.
+
+use olive_serve::client::{Connection, Timeouts};
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// How long to wait for a worker to print its startup line, in 50 ms polls
+/// of line reads (the read itself blocks, so this bounds pathological
+/// workers that print garbage forever, not silence — silence holds the pipe
+/// open and is bounded by the child dying or the operator's patience).
+const MAX_STARTUP_LINES: usize = 100;
+
+/// How long to wait for a worker to exit after `/shutdown`, in 100 ms polls.
+const MAX_EXIT_POLLS: usize = 50;
+
+/// A worker process this router spawned and owns.
+pub struct SpawnedWorker {
+    child: Child,
+    addr: SocketAddr,
+    url: String,
+    // Kept open so the worker's println! never hits a closed pipe; the
+    // worker only writes two lines over its lifetime, so the pipe buffer
+    // cannot fill.
+    _stdout: Option<BufReader<ChildStdout>>,
+}
+
+impl SpawnedWorker {
+    /// Launches `serve_bin --port 0 --allow-shutdown [extra args]` and waits
+    /// for its startup line to learn the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures; fails with `InvalidData` when the child
+    /// exits or misprints before announcing its address.
+    pub fn launch(serve_bin: &Path, extra_args: &[String]) -> io::Result<SpawnedWorker> {
+        let mut child = Command::new(serve_bin)
+            .arg("--port")
+            .arg("0")
+            .arg("--allow-shutdown")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdout was not captured"))?;
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        for _ in 0..MAX_STARTUP_LINES {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "worker exited before announcing its address",
+                ));
+            }
+            if let Some(url) = line.trim().strip_prefix("olive-serve listening on ") {
+                let addr = url
+                    .strip_prefix("http://")
+                    .unwrap_or(url)
+                    .parse::<SocketAddr>()
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("worker announced unparseable address '{url}': {e}"),
+                        )
+                    })?;
+                return Ok(SpawnedWorker {
+                    child,
+                    addr,
+                    url: url.to_string(),
+                    _stdout: Some(reader),
+                });
+            }
+        }
+        let _ = child.kill();
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "worker never printed its startup line",
+        ))
+    }
+
+    /// The worker's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The worker's `http://host:port` URL as it announced it.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// Stops the worker: `POST /shutdown`, a bounded wait for a clean exit,
+    /// then a kill if it lingers. Always reaps the child.
+    pub fn stop(mut self) {
+        let polite = Connection::open_with(self.addr, Timeouts::uniform(Duration::from_secs(2)))
+            .and_then(|mut conn| conn.request("POST", "/shutdown", None));
+        if polite.is_ok() {
+            for _ in 0..MAX_EXIT_POLLS {
+                match self.child.try_wait() {
+                    Ok(Some(_)) => return,
+                    Ok(None) => std::thread::sleep(Duration::from_millis(100)),
+                    Err(_) => break,
+                }
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

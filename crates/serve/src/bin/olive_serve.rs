@@ -3,13 +3,16 @@
 //! ```text
 //! olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N]
 //!             [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N]
-//!             [--allow-shutdown]
+//!             [--artifact-dir DIR] [--allow-shutdown]
 //! ```
 //!
 //! `--port 0` (the default) picks an ephemeral port; the chosen URL is
 //! printed as `olive-serve listening on http://HOST:PORT` so harnesses can
 //! scrape it. With `--allow-shutdown`, `POST /shutdown` stops the server and
-//! the process exits 0 after draining queued requests.
+//! the process exits 0 after draining queued requests. With
+//! `--artifact-dir`, preparation misses cold-start bit-identically from
+//! `olive-prepare` snapshots in DIR instead of quantizing in-process (the
+//! `cached_artifacts` gauge on `/healthz` counts the snapshots used).
 
 use olive_serve::{BatchConfig, SchedConfig, ServeConfig, Server};
 use std::time::Duration;
@@ -17,7 +20,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N] \
-         [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N] [--allow-shutdown]"
+         [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N] [--artifact-dir DIR] \
+         [--allow-shutdown]"
     );
     std::process::exit(2);
 }
@@ -28,6 +32,7 @@ fn parse_args() -> ServeConfig {
     let mut batch = BatchConfig::default();
     let mut sched = SchedConfig::default();
     let mut allow_shutdown = false;
+    let mut artifact_dir = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +72,9 @@ fn parse_args() -> ServeConfig {
                 Ok(n) if n >= 1 => sched.kv_pool_pages = n,
                 _ => usage(),
             },
+            "--artifact-dir" => {
+                artifact_dir = Some(std::path::PathBuf::from(value("--artifact-dir")));
+            }
             "--allow-shutdown" => allow_shutdown = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -77,6 +85,7 @@ fn parse_args() -> ServeConfig {
         batch,
         sched,
         allow_shutdown,
+        artifact_dir,
     }
 }
 

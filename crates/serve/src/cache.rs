@@ -15,10 +15,12 @@
 //! FIFO) is purely a memory-footprint concern.
 
 use crate::protocol::{EvalRequest, GenerateRequest};
-use olive_api::{GenOptions, GenReport, PreparedEval, PreparedGen};
+use olive_api::{GenOptions, GenReport, ModelArtifact, PreparedEval, PreparedGen};
 use olive_models::TinyTransformer;
 use olive_runtime::lock_or_recover;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Most prepared (teacher, task) pairs kept alive.
@@ -75,12 +77,18 @@ impl<V: Clone> FifoMap<V> {
     }
 }
 
-/// Shared cache of prepared models and rendered eval responses.
+/// Shared cache of prepared models and rendered eval responses, optionally
+/// backed by an on-disk artifact store (see [`ModelCache::with_artifact_dir`]).
 pub struct ModelCache {
     prepared: Mutex<FifoMap<Arc<PreparedEval>>>,
     gen_prepared: Mutex<FifoMap<Arc<PreparedGen>>>,
     students: Mutex<FifoMap<Arc<TinyTransformer>>>,
     responses: Mutex<FifoMap<Arc<String>>>,
+    /// Directory of `olive-prepare` snapshots consulted before computing a
+    /// preparation in-process.
+    artifact_dir: Option<PathBuf>,
+    /// Snapshots successfully cold-started from `artifact_dir`.
+    artifacts_loaded: AtomicU64,
 }
 
 impl Default for ModelCache {
@@ -90,14 +98,60 @@ impl Default for ModelCache {
 }
 
 impl ModelCache {
-    /// An empty cache with the default bounds.
+    /// An empty cache with the default bounds and no artifact store.
     pub fn new() -> Self {
+        Self::with_artifact_dir(None)
+    }
+
+    /// An empty cache that, on a preparation miss, first consults `dir` for
+    /// an `olive-prepare` snapshot of the requested cache key before falling
+    /// back to in-process preparation.
+    ///
+    /// Cold-starting from a snapshot is *bit-identical* to preparing
+    /// in-process (the artifact format preserves every `f32` bit pattern and
+    /// the key pins all preparation inputs), so the artifact store is purely
+    /// a latency/CPU optimisation — it can never change a served byte. An
+    /// unreadable or corrupted snapshot is logged to stderr and treated as a
+    /// miss; serving always proceeds.
+    pub fn with_artifact_dir(artifact_dir: Option<PathBuf>) -> Self {
         ModelCache {
             prepared: Mutex::new(FifoMap::new(MAX_PREPARED)),
             gen_prepared: Mutex::new(FifoMap::new(MAX_GEN_PREPARED)),
             students: Mutex::new(FifoMap::new(MAX_STUDENTS)),
             responses: Mutex::new(FifoMap::new(MAX_RESPONSES)),
+            artifact_dir,
+            artifacts_loaded: AtomicU64::new(0),
         }
+    }
+
+    /// Looks `key` up in the artifact store. On a hit, also seeds the
+    /// student cache with every quantized student the snapshot carries (the
+    /// per-scheme admission work `olive-prepare` already did offline).
+    fn load_artifact(&self, key: &str) -> Option<ModelArtifact> {
+        let dir = self.artifact_dir.as_deref()?;
+        match ModelArtifact::load_from_dir(dir, key) {
+            Ok(Some(artifact)) => {
+                self.artifacts_loaded.fetch_add(1, Ordering::Relaxed);
+                for (spec, student) in &artifact.students {
+                    let student_key = format!("{}|scheme={spec}", artifact.key);
+                    lock_or_recover(&self.students).insert(student_key, Arc::new(student.clone()));
+                }
+                Some(artifact)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                // A bad snapshot must never take serving down with it: log,
+                // fall back to in-process preparation.
+                eprintln!("olive-serve: artifact for key \"{key}\" rejected: {e}");
+                None
+            }
+        }
+    }
+
+    /// Snapshots cold-started from the artifact store so far — the
+    /// `cached_artifacts` gauge on `/healthz`.
+    pub fn artifacts_loaded(&self) -> u64 {
+        self.artifacts_loaded.load(Ordering::Relaxed)
     }
 
     /// The rendered `/v1/eval` response body for `req`, computing and caching
@@ -119,7 +173,10 @@ impl ModelCache {
             match hit {
                 Some(p) => p,
                 None => {
-                    let p = Arc::new(pipeline.prepare());
+                    let p = self
+                        .load_artifact(&prepared_key)
+                        .and_then(|a| a.prepared_eval())
+                        .map_or_else(|| Arc::new(pipeline.prepare()), Arc::new);
                     lock_or_recover(&self.prepared).insert(prepared_key, Arc::clone(&p));
                     p
                 }
@@ -147,7 +204,13 @@ impl ModelCache {
             return hit;
         }
         // Lock never held across the computation (see eval_body).
-        let p = Arc::new(req.pipeline().prepare_generation(req.prompt_tokens));
+        let p = self
+            .load_artifact(&key)
+            .and_then(|a| a.prepared_gen())
+            .map_or_else(
+                || Arc::new(req.pipeline().prepare_generation(req.prompt_tokens)),
+                Arc::new,
+            );
         lock_or_recover(&self.gen_prepared).insert(key, Arc::clone(&p));
         p
     }
@@ -287,6 +350,96 @@ mod tests {
         let served = cache.eval_body(&req);
         let direct = req.pipeline().run().without_wall_times().to_json();
         assert_eq!(*served.as_str(), direct);
+    }
+
+    #[test]
+    fn artifact_dir_cold_start_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("olive-cache-art-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = request(r#"{"scheme": "olive-4bit", "seed": 9, "batches": 2, "oversample": 2}"#);
+
+        // Reference: prepare in-process.
+        let warm = ModelCache::new();
+        let want = warm.eval_body(&req);
+
+        // Snapshot the preparation offline, then cold-start a fresh cache
+        // from the artifact store only.
+        let artifact =
+            olive_api::ModelArtifact::eval(req.prepared_key(), "BERT", &req.pipeline().prepare());
+        artifact.save(&dir).unwrap();
+        let cold = ModelCache::with_artifact_dir(Some(dir.clone()));
+        let got = cold.eval_body(&req);
+        assert_eq!(
+            *got, *want,
+            "cold-started bytes must match in-process bytes"
+        );
+        assert_eq!(cold.artifacts_loaded(), 1);
+        // The preparation is now cached: a second request is a memory hit.
+        let _ = cold.eval_body(&req);
+        assert_eq!(cold.artifacts_loaded(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gen_artifact_seeds_prepared_and_students() {
+        let dir = std::env::temp_dir().join(format!("olive-cache-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = GenerateRequest::decode(
+            &JsonValue::parse(
+                r#"{"scheme": "olive-4bit", "family": "gpt2", "prompt_tokens": 4, "max_new_tokens": 3}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let warm = ModelCache::new();
+        let mut want = String::new();
+        let _ = warm.generate_stream(&req, &mut |f| want.push_str(f));
+
+        let artifact = olive_api::ModelArtifact::gen(
+            req.prepared_key(),
+            "GPT-2",
+            &req.pipeline().prepare_generation(req.prompt_tokens),
+        )
+        .with_students(std::slice::from_ref(&req.scheme));
+        artifact.save(&dir).unwrap();
+
+        let cold = ModelCache::with_artifact_dir(Some(dir.clone()));
+        let prepared = cold.gen_prepared(&req);
+        assert_eq!(cold.artifacts_loaded(), 1);
+        // The student was seeded from the snapshot: no quantization happens
+        // on lookup, and the weights equal a fresh quantization bit-for-bit.
+        let student = cold.student(&req, &prepared);
+        let direct = prepared
+            .teacher
+            .quantize_weights(req.scheme.build().as_ref());
+        assert_eq!(student.embedding.data(), direct.embedding.data());
+        let mut got = String::new();
+        let _ = cold.generate_stream(&req, &mut |f| got.push_str(f));
+        assert_eq!(
+            got, want,
+            "cold-started stream must match in-process stream"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_artifacts_fall_back_to_in_process() {
+        let dir = std::env::temp_dir().join(format!("olive-cache-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let req = request(r#"{"scheme": "fp32", "batches": 2, "oversample": 2}"#);
+        std::fs::write(
+            dir.join(olive_api::ModelArtifact::file_name(&req.prepared_key())),
+            b"definitely not an artifact",
+        )
+        .unwrap();
+        let cache = ModelCache::with_artifact_dir(Some(dir.clone()));
+        let served = cache.eval_body(&req);
+        let direct = req.pipeline().run().without_wall_times().to_json();
+        assert_eq!(*served.as_str(), direct);
+        assert_eq!(cache.artifacts_loaded(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct ServeConfig {
     /// Whether `POST /shutdown` is honoured (the smoke harness uses it; off
     /// by default so a stray request cannot stop a real deployment).
     pub allow_shutdown: bool,
+    /// Directory of `olive-prepare` model snapshots. When set, preparation
+    /// misses cold-start from disk (bit-identically) instead of quantizing
+    /// in-process; see [`crate::cache::ModelCache::with_artifact_dir`].
+    pub artifact_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +46,7 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             sched: SchedConfig::default(),
             allow_shutdown: false,
+            artifact_dir: None,
         }
     }
 }
@@ -103,6 +108,10 @@ impl ServerState {
             ("cached_generators", JsonValue::Int(gen_prepared as i64)),
             ("cached_responses", JsonValue::Int(responses as i64)),
             (
+                "cached_artifacts",
+                JsonValue::UInt(self.cache.artifacts_loaded()),
+            ),
+            (
                 "decode_sessions",
                 JsonValue::UInt(sched.sessions.load(Ordering::Relaxed)),
             ),
@@ -142,7 +151,7 @@ impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let cache = Arc::new(ModelCache::new());
+        let cache = Arc::new(ModelCache::with_artifact_dir(config.artifact_dir.clone()));
         let state = Arc::new(ServerState {
             batcher: Batcher::start(config.batch.clone(), Arc::clone(&cache)),
             scheduler: DecodeScheduler::start(config.sched.clone(), Arc::clone(&cache)),

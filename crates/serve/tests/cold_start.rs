@@ -1,0 +1,181 @@
+//! Artifact cold-start: a worker pointed at an `--artifact-dir` snapshot
+//! store must serve `/v1/eval` and `/v1/generate` bodies **byte-identical**
+//! to a worker that quantizes in-process — and loading the snapshot must be
+//! much cheaper than the preparation it replaces (the whole point of
+//! `olive-prepare`).
+
+use olive_api::{JsonValue, ModelArtifact};
+use olive_serve::client;
+use olive_serve::{EvalRequest, GenerateRequest, ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const EVAL_BODY: &str = r#"{"schemes": ["fp32", "olive-4bit", "uniform:4"], "batches": 2, "oversample": 2, "seed": 17}"#;
+const GEN_BODY: &str =
+    r#"{"scheme": "olive-4bit", "prompt_tokens": 5, "max_new_tokens": 4, "seed": 17}"#;
+
+/// A fresh per-test snapshot directory under the target-adjacent temp dir.
+fn snapshot_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("olive-cold-start-{tag}-{}", std::process::id()));
+    // Stale contents from a previous crashed run would mask a miss.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("snapshot dir must be creatable");
+    dir
+}
+
+fn decode_eval(body: &str) -> EvalRequest {
+    EvalRequest::decode(&JsonValue::parse(body).unwrap()).expect("eval body must decode")
+}
+
+fn decode_gen(body: &str) -> GenerateRequest {
+    GenerateRequest::decode(&JsonValue::parse(body).unwrap()).expect("generate body must decode")
+}
+
+fn healthz_gauge(server: &Server, key: &str) -> u64 {
+    let response = client::get(server.local_addr(), "/healthz").unwrap();
+    JsonValue::parse(&response.body)
+        .unwrap()
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("healthz must expose {key}"))
+}
+
+#[test]
+fn artifact_backed_worker_serves_identical_bytes() {
+    let dir = snapshot_dir("eval");
+
+    // Offline phase — what `olive-prepare` does: prepare once, snapshot.
+    let eval_req = decode_eval(EVAL_BODY);
+    ModelArtifact::eval(
+        eval_req.prepared_key(),
+        eval_req.family.label(),
+        &eval_req.pipeline().prepare(),
+    )
+    .with_students(&eval_req.schemes)
+    .save(&dir)
+    .expect("snapshot must save");
+
+    let gen_req = decode_gen(GEN_BODY);
+    ModelArtifact::gen(
+        gen_req.prepared_key(),
+        gen_req.family.label(),
+        &gen_req.pipeline().prepare_generation(gen_req.prompt_tokens),
+    )
+    .with_students(std::slice::from_ref(&gen_req.scheme))
+    .save(&dir)
+    .expect("gen snapshot must save");
+
+    // Reference worker: quantizes in-process, no artifact store.
+    let warm = Server::start(ServeConfig::default()).expect("warm server must start");
+    let warm_eval = client::post_json(warm.local_addr(), "/v1/eval", EVAL_BODY).unwrap();
+    let warm_gen = client::post_json(warm.local_addr(), "/v1/generate", GEN_BODY).unwrap();
+    assert_eq!(warm_eval.status, 200, "{}", warm_eval.body);
+    assert_eq!(warm_gen.status, 200, "{}", warm_gen.body);
+    assert_eq!(healthz_gauge(&warm, "cached_artifacts"), 0);
+    warm.shutdown();
+
+    // Cold-start worker: same requests, but preparation comes off disk.
+    let cold = Server::start(ServeConfig {
+        artifact_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("cold server must start");
+    let cold_eval = client::post_json(cold.local_addr(), "/v1/eval", EVAL_BODY).unwrap();
+    let cold_gen = client::post_json(cold.local_addr(), "/v1/generate", GEN_BODY).unwrap();
+    assert_eq!(cold_eval.status, 200, "{}", cold_eval.body);
+
+    // The contract: the artifact store can never change a served byte.
+    assert_eq!(
+        cold_eval.body, warm_eval.body,
+        "cold-start /v1/eval bytes must match in-process preparation"
+    );
+    assert_eq!(
+        cold_gen.body, warm_gen.body,
+        "cold-start /v1/generate bytes must match in-process preparation"
+    );
+
+    // Both snapshots were actually consulted (not silently re-prepared).
+    assert_eq!(healthz_gauge(&cold, "cached_artifacts"), 2);
+    cold.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_load_is_much_cheaper_than_preparation() {
+    let dir = snapshot_dir("timing");
+    // A heavier calibration workload than the byte-identity tests use:
+    // preparation cost scales with batches × oversample while the snapshot
+    // (teacher + calibration summary) barely grows, so the measured ratio
+    // reflects the deployment case instead of a floor-sized toy.
+    let req = decode_eval(
+        r#"{"schemes": ["fp32", "olive-4bit", "uniform:4"], "batches": 6, "oversample": 4, "seed": 17}"#,
+    );
+
+    let prepare_started = Instant::now();
+    let prepared = req.pipeline().prepare();
+    let prepare_time = prepare_started.elapsed();
+
+    let path = ModelArtifact::eval(req.prepared_key(), req.family.label(), &prepared)
+        .with_students(&req.schemes)
+        .save(&dir)
+        .expect("snapshot must save");
+
+    let load_started = Instant::now();
+    let loaded = ModelArtifact::load(&path).expect("snapshot must reload");
+    let load_time = load_started.elapsed();
+    assert_eq!(loaded.key, req.prepared_key());
+
+    // Loading replaces teacher generation + calibration; it must win by a
+    // wide margin for `--artifact-dir` to be worth deploying. 4× is a
+    // deliberately loose floor (observed >20×) so CI noise can't flake it.
+    assert!(
+        load_time * 4 < prepare_time,
+        "cold-start load ({load_time:?}) must be far cheaper than preparation ({prepare_time:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_in_process_preparation() {
+    let dir = snapshot_dir("corrupt");
+    let req = decode_eval(EVAL_BODY);
+
+    // Write a valid snapshot, then corrupt one payload byte on disk.
+    let path = ModelArtifact::eval(
+        req.prepared_key(),
+        req.family.label(),
+        &req.pipeline().prepare(),
+    )
+    .with_students(&req.schemes)
+    .save(&dir)
+    .expect("snapshot must save");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The worker must reject the snapshot, prepare in-process, and still
+    // serve the canonical bytes.
+    let reference = Server::start(ServeConfig::default()).expect("reference server must start");
+    let expected = client::post_json(reference.local_addr(), "/v1/eval", EVAL_BODY).unwrap();
+    reference.shutdown();
+
+    let server = Server::start(ServeConfig {
+        artifact_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server must start");
+    let served = client::post_json(server.local_addr(), "/v1/eval", EVAL_BODY).unwrap();
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(served.body, expected.body);
+    assert_eq!(
+        healthz_gauge(&server, "cached_artifacts"),
+        0,
+        "a rejected snapshot must not count as a cold-start"
+    );
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

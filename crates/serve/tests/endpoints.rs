@@ -341,6 +341,7 @@ fn response_json_key_order_is_stable() {
             "cached_models",
             "cached_generators",
             "cached_responses",
+            "cached_artifacts",
             "decode_sessions",
             "decode_ticks",
             "kv_pages_used",

@@ -42,6 +42,12 @@ cargo test --workspace --doc -q
 echo "== scripts/serve_smoke.sh =="
 scripts/serve_smoke.sh
 
+# Scale-out smoke: olive-prepare snapshots verify byte-exact with a real
+# cold-start speedup, and a 3-worker olive-router topology serves bytes
+# identical to a single worker — including across a kill -9 of one worker.
+echo "== scripts/router_smoke.sh =="
+scripts/router_smoke.sh
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings

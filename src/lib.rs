@@ -87,6 +87,11 @@
 //!   dynamic batching, back-pressure and a quantize-once-serve-many model
 //!   cache over the scheme registry (the `olive-serve` binary; see the
 //!   README "Serving" section).
+//! * [`router`] — horizontal scale-out: a consistent-hashing front door
+//!   routing requests across `olive-serve` workers by model cache key, with
+//!   byte-identical proxied responses, streamed-chunk passthrough, retry
+//!   and health-probing (the `olive-router` binary; see the README
+//!   "Scale-out" section).
 
 pub use olive_accel as accel;
 pub use olive_api as api;
@@ -94,6 +99,7 @@ pub use olive_baselines as baselines;
 pub use olive_core as core;
 pub use olive_dtypes as dtypes;
 pub use olive_models as models;
+pub use olive_router as router;
 pub use olive_runtime as runtime;
 pub use olive_serve as serve;
 pub use olive_tensor as tensor;
