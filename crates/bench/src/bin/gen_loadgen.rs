@@ -29,7 +29,7 @@
 //! token, demuxed per stream.
 
 use olive_bench::gate;
-use olive_bench::loadgen::{burst, drive, quantile, warmup};
+use olive_bench::loadgen::{burst, drive, quantile, warmup, LatencySummary};
 use olive_bench::report::Table;
 use olive_harness::bench::fmt_ns;
 use olive_serve::{ServeConfig, Server};
@@ -127,11 +127,8 @@ fn main() {
     server.shutdown();
 
     let total = latencies.len();
-    let (p50, p95, p99) = (
-        quantile(&latencies, 0.50),
-        quantile(&latencies, 0.95),
-        quantile(&latencies, 0.99),
-    );
+    let summary = LatencySummary::from_sorted_ns(&latencies);
+    let p50 = summary.p50_ns;
     let tokens_per_s_p50 = max_new_tokens as f64 / (p50 as f64 / 1e9);
     let req_per_s = total as f64 / wall_s;
     let burst_p50 = quantile(&round_ns, 0.50);
@@ -143,9 +140,10 @@ fn main() {
     table.row(vec!["tokens/request".into(), max_new_tokens.to_string()]);
     table.row(vec!["total requests".into(), total.to_string()]);
     table.row(vec!["uncached first stream".into(), fmt_ns(uncached_ns)]);
-    table.row(vec!["latency p50".into(), fmt_ns(p50)]);
-    table.row(vec!["latency p95".into(), fmt_ns(p95)]);
-    table.row(vec!["latency p99".into(), fmt_ns(p99)]);
+    table.row(vec!["latency p50".into(), fmt_ns(summary.p50_ns)]);
+    table.row(vec!["latency p95".into(), fmt_ns(summary.p95_ns)]);
+    table.row(vec!["latency p99".into(), fmt_ns(summary.p99_ns)]);
+    table.row(vec!["latency max".into(), fmt_ns(summary.max_ns)]);
     table.row(vec![
         "tokens/sec p50".into(),
         format!("{tokens_per_s_p50:.0} tok/s"),
@@ -161,6 +159,14 @@ fn main() {
     ]);
     println!("== gen_loadgen: {total} streamed /v1/generate requests ==");
     println!("{}", table.render());
+
+    // The bucketed distribution, in the same microsecond buckets the
+    // server's /metrics histograms use.
+    let mut buckets = Table::new(vec!["latency bucket".into(), "cumulative".into()]);
+    for (bound, cumulative) in summary.bucket_rows() {
+        buckets.row(vec![bound, cumulative.to_string()]);
+    }
+    println!("{}", buckets.render());
 
     if let Some(path) = &args.json {
         // Gate the per-request p50 (tokens/sec p50 is its reciprocal scaled

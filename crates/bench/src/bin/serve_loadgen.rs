@@ -19,7 +19,7 @@
 //! cache hit → response write.
 
 use olive_bench::gate;
-use olive_bench::loadgen::{drive, quantile, warmup};
+use olive_bench::loadgen::{drive, warmup, LatencySummary};
 use olive_bench::report::Table;
 use olive_harness::bench::fmt_ns;
 use olive_serve::{ServeConfig, Server};
@@ -99,11 +99,8 @@ fn main() {
     server.shutdown();
 
     let total = latencies.len();
-    let (p50, p95, p99) = (
-        quantile(&latencies, 0.50),
-        quantile(&latencies, 0.95),
-        quantile(&latencies, 0.99),
-    );
+    let summary = LatencySummary::from_sorted_ns(&latencies);
+    let p50 = summary.p50_ns;
     let req_per_s = total as f64 / wall_s;
 
     let mut table = Table::new(vec!["metric".into(), "value".into()]);
@@ -111,12 +108,21 @@ fn main() {
     table.row(vec!["requests/client".into(), requests.to_string()]);
     table.row(vec!["total requests".into(), total.to_string()]);
     table.row(vec!["uncached first eval".into(), fmt_ns(uncached_ns)]);
-    table.row(vec!["latency p50".into(), fmt_ns(p50)]);
-    table.row(vec!["latency p95".into(), fmt_ns(p95)]);
-    table.row(vec!["latency p99".into(), fmt_ns(p99)]);
+    table.row(vec!["latency p50".into(), fmt_ns(summary.p50_ns)]);
+    table.row(vec!["latency p95".into(), fmt_ns(summary.p95_ns)]);
+    table.row(vec!["latency p99".into(), fmt_ns(summary.p99_ns)]);
+    table.row(vec!["latency max".into(), fmt_ns(summary.max_ns)]);
     table.row(vec!["throughput".into(), format!("{req_per_s:.0} req/s")]);
     println!("== serve_loadgen: {total} cached /v1/eval requests ==");
     println!("{}", table.render());
+
+    // The bucketed distribution, in the same microsecond buckets the
+    // server's /metrics histograms use.
+    let mut buckets = Table::new(vec!["latency bucket".into(), "cumulative".into()]);
+    for (bound, cumulative) in summary.bucket_rows() {
+        buckets.row(vec![bound, cumulative.to_string()]);
+    }
+    println!("{}", buckets.render());
 
     if let Some(path) = &args.json {
         // Gate only the p50: tail percentiles on shared hardware are too

@@ -13,17 +13,12 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-/// The `q`-quantile (0.0–1.0) of **sorted** latencies, nearest-rank.
-///
-/// # Panics
-///
-/// Panics on an empty slice (a loadgen always measures at least one
-/// request).
-pub fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
-    assert!(!sorted_ns.is_empty());
-    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
-    sorted_ns[rank - 1]
-}
+// The nearest-rank quantile estimator now lives in `olive_telemetry` (with
+// the servers' histogram machinery, so loadgen printouts and `/metrics`
+// scrapes bucket latencies identically); re-exported here so every loadgen
+// binary keeps a single import point. [`LatencySummary`] bundles the
+// p50/p95/p99/max plus the bucketed distribution rows the tables print.
+pub use olive_telemetry::summary::{quantile, LatencySummary};
 
 /// Issues one warmup request (populating the server-side caches) and
 /// returns the response plus its wall time in nanoseconds.

@@ -4,7 +4,8 @@
 //! olive-router [--addr HOST] [--port N]
 //!              [--worker ADDR]... | [--spawn N [--serve-bin PATH] [--artifact-dir DIR]]
 //!              [--max-attempts N] [--unhealthy-after N] [--probe-interval-ms N]
-//!              [--retry-after-cap-ms N] [--allow-shutdown]
+//!              [--retry-after-cap-ms N] [--allow-shutdown] [--trace-log PATH]
+//!              [--no-telemetry]
 //! ```
 //!
 //! Workers are either joined (`--worker host:port`, repeatable) or spawned
@@ -16,6 +17,11 @@
 //! `--port 0` (the default) picks an ephemeral port; the chosen URL is
 //! printed as `olive-router listening on http://HOST:PORT` so harnesses can
 //! scrape it, mirroring the worker daemon.
+//!
+//! `--trace-log PATH` appends every finished request trace as one JSON line
+//! to PATH (see `GET /debug/trace` for the in-memory ring). `--no-telemetry`
+//! turns off latency timing and tracing; counters, `/healthz` and `/metrics`
+//! stay live, and proxied bytes are identical either way.
 
 use olive_router::{Router, RouterConfig, SpawnedWorker};
 use std::path::PathBuf;
@@ -26,7 +32,7 @@ fn usage() -> ! {
         "usage: olive-router [--addr HOST] [--port N] [--worker ADDR]... \
          [--spawn N] [--serve-bin PATH] [--artifact-dir DIR] [--max-attempts N] \
          [--unhealthy-after N] [--probe-interval-ms N] [--retry-after-cap-ms N] \
-         [--allow-shutdown]"
+         [--allow-shutdown] [--trace-log PATH] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -93,6 +99,10 @@ fn parse_args() -> Args {
                 Err(_) => usage(),
             },
             "--allow-shutdown" => parsed.config.allow_shutdown = true,
+            "--trace-log" => {
+                parsed.config.telemetry.trace_log = Some(PathBuf::from(value("--trace-log")));
+            }
+            "--no-telemetry" => parsed.config.telemetry.enabled = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -62,8 +62,21 @@
 //!   own `503` + `Retry-After: 1`.
 //!
 //! The router's `GET /healthz` doubles as an active probe: it reports
-//! `workers`/`workers_healthy`, the router's own counters, and the workers'
-//! numeric gauges summed under `"upstream"`.
+//! `workers`/`workers_healthy`, the router's own counters (served, retried,
+//! failed-over, rejected), and the workers' numeric gauges summed under
+//! `"upstream"`.
+//!
+//! ## Observability
+//!
+//! `GET /metrics` serves the same counters — plus a per-worker breakdown
+//! (requests, retries, fail-overs, sheds, health transitions and a live
+//! health gauge per worker) and per-endpoint latency histograms — as
+//! Prometheus text exposition; see `crates/telemetry/METRICS.md` for the
+//! full reference. Every proxied request is stamped with an `x-olive-trace`
+//! header (generated here unless the client supplied one), which the worker
+//! echoes and both daemons record span timelines under: `GET
+//! /debug/trace?n=K` returns the most recent K. Telemetry is strictly out
+//! of band — proxied bodies stay byte-identical with it on or off.
 //!
 //! ## Quickstart
 //!

@@ -10,13 +10,14 @@ use olive_api::JsonValue;
 use olive_runtime::lock_or_recover;
 use olive_serve::client::{Connection, HttpResponse, Timeouts};
 use olive_serve::http::{
-    read_request, write_chunk, write_chunked_head, write_last_chunk, ReadOutcome, Request,
+    read_request, write_chunk, write_chunked_head_with, write_last_chunk, ReadOutcome, Request,
     Response, IDLE_TIMEOUT,
 };
-use olive_serve::{EvalRequest, GenerateRequest, QuantizeRequest};
+use olive_serve::{EvalRequest, GenerateRequest, QuantizeRequest, TRACE_HEADER};
+use olive_telemetry::{latency_buckets_us, Counter, Gauge, Registry, Span, Stopwatch, Telemetry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -81,6 +82,10 @@ pub struct RouterConfig {
     /// Whether `POST /shutdown` stops the *router* (workers are unaffected;
     /// the daemon binary separately stops workers it spawned itself).
     pub allow_shutdown: bool,
+    /// Observability switches (latency timing, tracing, `--trace-log`).
+    /// Counters and gauges stay live even when `enabled` is off — `/healthz`
+    /// and `/metrics` depend on them.
+    pub telemetry: olive_telemetry::TelemetryOptions,
 }
 
 impl Default for RouterConfig {
@@ -94,29 +99,241 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_millis(500),
             timeouts: Timeouts::DEFAULT,
             allow_shutdown: false,
+            telemetry: olive_telemetry::TelemetryOptions::default(),
         }
     }
 }
 
-/// Per-worker health state, updated lock-free from request and probe
-/// threads.
+/// Per-worker health state and routing counters, updated lock-free from
+/// request and probe threads. The counters carry a `worker` label so
+/// `/metrics` breaks the fleet down per worker.
 struct WorkerSlot {
     addr: String,
     sock: SocketAddr,
     healthy: AtomicBool,
     consecutive_failures: AtomicU32,
+    /// Responses served to clients from this worker.
+    routed: Counter,
+    /// Same-worker retries after this worker answered 503.
+    retries: Counter,
+    /// Fail-overs *away* from this worker (it failed or stayed backed up).
+    failovers: Counter,
+    /// Requests shed with 503 after this worker was the last one tried.
+    sheds: Counter,
+    /// Health flips, labelled by the state entered. Steady-state probe
+    /// successes do not count — only actual transitions.
+    became_healthy: Counter,
+    became_unhealthy: Counter,
+    /// 1 while the worker is considered healthy; refreshed at scrape time.
+    healthy_gauge: Gauge,
+}
+
+impl WorkerSlot {
+    fn new(addr: String, sock: SocketAddr, registry: &Registry) -> WorkerSlot {
+        let label = [("worker", addr.as_str())];
+        WorkerSlot {
+            routed: registry.counter_with(
+                "olive_router_worker_requests_total",
+                "Responses served to clients from this worker.",
+                &label,
+            ),
+            retries: registry.counter_with(
+                "olive_router_worker_retries_total",
+                "Same-worker retries after a 503 from this worker.",
+                &label,
+            ),
+            failovers: registry.counter_with(
+                "olive_router_worker_failovers_total",
+                "Fail-overs away from this worker to the next candidate.",
+                &label,
+            ),
+            sheds: registry.counter_with(
+                "olive_router_worker_sheds_total",
+                "Requests shed with 503 after this worker was the last one tried.",
+                &label,
+            ),
+            became_healthy: registry.counter_with(
+                "olive_router_worker_health_transitions_total",
+                "Health-state flips, labelled by the state entered.",
+                &[("to", "healthy"), ("worker", addr.as_str())],
+            ),
+            became_unhealthy: registry.counter_with(
+                "olive_router_worker_health_transitions_total",
+                "Health-state flips, labelled by the state entered.",
+                &[("to", "unhealthy"), ("worker", addr.as_str())],
+            ),
+            healthy_gauge: registry.gauge_with(
+                "olive_router_worker_healthy",
+                "1 while the worker is considered healthy, 0 otherwise.",
+                &label,
+            ),
+            addr,
+            sock,
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+        }
+    }
+}
+
+/// The router's own request counters (fleet-wide; per-worker breakdowns
+/// live on the [`WorkerSlot`]s).
+struct RouterCounters {
+    served: Counter,
+    retried: Counter,
+    failed_over: Counter,
+    rejected: Counter,
+    connections: Counter,
+}
+
+impl RouterCounters {
+    fn new(registry: &Registry) -> RouterCounters {
+        RouterCounters {
+            served: registry.counter(
+                "olive_router_requests_served_total",
+                "Requests answered from a worker (after any retries).",
+            ),
+            retried: registry.counter(
+                "olive_router_requests_retried_total",
+                "Same-worker retries after a worker answered 503.",
+            ),
+            failed_over: registry.counter(
+                "olive_router_requests_failed_over_total",
+                "Attempts moved to a different worker after a failure or persistent 503.",
+            ),
+            rejected: registry.counter(
+                "olive_router_requests_rejected_total",
+                "Requests shed with 503 after every candidate was exhausted.",
+            ),
+            connections: registry.counter(
+                "olive_router_connections_accepted_total",
+                "Client TCP connections accepted since startup.",
+            ),
+        }
+    }
 }
 
 struct RouterState {
     config: RouterConfig,
     ring: Ring,
     workers: Vec<WorkerSlot>,
-    served: AtomicU64,
-    retried: AtomicU64,
-    rejected: AtomicU64,
-    connections: AtomicU64,
+    counters: RouterCounters,
+    telemetry: Telemetry,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+}
+
+impl RouterState {
+    /// One per-request observation, mirroring the workers' scheme: a
+    /// labelled count by endpoint and status class, and (timing on) the
+    /// wall-clock service latency.
+    fn record_request(&self, endpoint: &str, status: u16, served: &Stopwatch) {
+        let class = match status {
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        let registry = self.telemetry.registry();
+        registry
+            .counter_with(
+                "olive_router_http_requests_total",
+                "Requests handled at the front door, by endpoint and status class.",
+                &[("endpoint", endpoint), ("status", class)],
+            )
+            .inc();
+        registry
+            .histogram_with(
+                "olive_router_http_request_duration_us",
+                "Wall-clock request service time at the router, in microseconds.",
+                &latency_buckets_us(),
+                &[("endpoint", endpoint)],
+            )
+            .observe_elapsed(served);
+    }
+
+    /// Mirrors each worker's health bit onto its gauge.
+    fn refresh_gauges(&self) {
+        for worker in &self.workers {
+            worker
+                .healthy_gauge
+                .set(u64::from(worker.healthy.load(Ordering::SeqCst)));
+        }
+    }
+}
+
+/// The label value for the `endpoint` dimension: known paths verbatim,
+/// everything else collapsed to `other` so scans cannot explode metric
+/// cardinality.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/debug/trace" => "/debug/trace",
+        "/v1/schemes" => "/v1/schemes",
+        "/v1/eval" => "/v1/eval",
+        "/v1/generate" => "/v1/generate",
+        "/v1/quantize" => "/v1/quantize",
+        "/shutdown" => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// Everything observed about one in-flight request: the trace id the
+/// router stamps on worker requests and echoes to the client, the span it
+/// feeds, and the service stopwatch. Purely observational — dropping all of
+/// it changes no response byte.
+struct RequestScope {
+    endpoint: &'static str,
+    trace_id: Option<String>,
+    span: Option<Arc<Span>>,
+    served: Stopwatch,
+}
+
+impl RequestScope {
+    fn begin(state: &RouterState, request: &Request) -> RequestScope {
+        let tracer = state.telemetry.tracer();
+        let trace_id = match request.header(TRACE_HEADER) {
+            Some(id) => Some(id.to_string()),
+            None => tracer.enabled().then(|| tracer.new_trace_id()),
+        };
+        let endpoint = endpoint_label(&request.path);
+        let span = trace_id.as_deref().and_then(|id| tracer.span(id, endpoint));
+        if let Some(span) = &span {
+            span.event("accepted");
+        }
+        RequestScope {
+            endpoint,
+            trace_id,
+            span,
+            served: state.telemetry.stopwatch(),
+        }
+    }
+
+    /// The `x-olive-trace` header pair(s) to stamp on worker requests and
+    /// client responses. Empty when tracing is off and the client sent none.
+    fn headers(&self) -> Vec<(String, String)> {
+        self.trace_id
+            .iter()
+            .map(|id| (TRACE_HEADER.to_string(), id.clone()))
+            .collect()
+    }
+
+    /// Borrowed form for the worker-side client API.
+    fn header_refs(&self) -> Vec<(&str, &str)> {
+        self.trace_id
+            .iter()
+            .map(|id| (TRACE_HEADER, id.as_str()))
+            .collect()
+    }
+
+    /// Records the final status and closes the span. Called exactly once
+    /// per request, after the response bytes are on the wire.
+    fn finish(&self, state: &RouterState, status: u16) {
+        state.record_request(self.endpoint, status, &self.served);
+        if let Some(span) = &self.span {
+            span.finish();
+        }
+    }
 }
 
 /// A running router. Mirrors `olive_serve::Server`: drop without
@@ -136,26 +353,25 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures and unresolvable worker addresses.
+    /// Propagates bind failures, unresolvable worker addresses and
+    /// trace-log open failures.
     pub fn start(config: RouterConfig) -> io::Result<Router> {
+        let telemetry = Telemetry::new(&config.telemetry)?;
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let mut workers = Vec::with_capacity(config.workers.len());
         for addr in &config.workers {
-            workers.push(WorkerSlot {
-                addr: addr.clone(),
-                sock: resolve_worker(addr)?,
-                healthy: AtomicBool::new(true),
-                consecutive_failures: AtomicU32::new(0),
-            });
+            workers.push(WorkerSlot::new(
+                addr.clone(),
+                resolve_worker(addr)?,
+                telemetry.registry(),
+            ));
         }
         let state = Arc::new(RouterState {
             ring: Ring::new(&config.workers),
             workers,
-            served: AtomicU64::new(0),
-            retried: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            counters: RouterCounters::new(telemetry.registry()),
+            telemetry,
             shutdown: AtomicBool::new(false),
             local_addr,
             config,
@@ -237,7 +453,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<RouterState>) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        state.connections.fetch_add(1, Ordering::Relaxed);
+        state.counters.connections.inc();
         let state = Arc::clone(state);
         // Connection threads are detached: they exit on their own via
         // keep-alive idle polling once shutdown is flagged.
@@ -274,13 +490,15 @@ fn probe_loop(state: &RouterState) {
 
 fn record_success(worker: &WorkerSlot) {
     worker.consecutive_failures.store(0, Ordering::SeqCst);
-    worker.healthy.store(true, Ordering::SeqCst);
+    if !worker.healthy.swap(true, Ordering::SeqCst) {
+        worker.became_healthy.inc();
+    }
 }
 
 fn record_failure(worker: &WorkerSlot, unhealthy_after: u32) {
     let failures = worker.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
-    if failures >= unhealthy_after {
-        worker.healthy.store(false, Ordering::SeqCst);
+    if failures >= unhealthy_after && worker.healthy.swap(false, Ordering::SeqCst) {
+        worker.became_unhealthy.inc();
     }
 }
 
@@ -309,7 +527,8 @@ fn handle_connection(stream: TcpStream, state: &RouterState) {
             }
             ReadOutcome::Request(request) => {
                 idle_ticks = 0;
-                match handle_request(&request, state, &mut writer) {
+                let scope = RequestScope::begin(state, &request);
+                match handle_request(&request, state, &scope, &mut writer) {
                     AfterResponse::KeepAlive => {}
                     AfterResponse::Close => return,
                 }
@@ -324,25 +543,63 @@ enum AfterResponse {
     Close,
 }
 
-fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream) -> AfterResponse {
+fn handle_request(
+    request: &Request,
+    state: &RouterState,
+    scope: &RequestScope,
+    writer: &mut TcpStream,
+) -> AfterResponse {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => write_unary(
             Response::json(200, healthz_body(state)),
             request,
             state,
+            scope,
             writer,
             false,
         ),
+        ("GET", "/metrics") => {
+            state.refresh_gauges();
+            write_unary(
+                Response::text(200, state.telemetry.registry().render()),
+                request,
+                state,
+                scope,
+                writer,
+                false,
+            )
+        }
+        ("GET", "/debug/trace") => {
+            let n = request
+                .query_param("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(32);
+            let traces: Vec<String> = state
+                .telemetry
+                .tracer()
+                .recent(n)
+                .iter()
+                .map(olive_telemetry::TraceRecord::to_json)
+                .collect();
+            write_unary(
+                Response::json(200, format!("{{\"traces\": [{}]}}", traces.join(", "))),
+                request,
+                state,
+                scope,
+                writer,
+                false,
+            )
+        }
         // The registry is static and identical on every worker; route it
         // like any other key so the load spreads deterministically.
-        ("GET", "/v1/schemes") => proxy_unary(request, "schemes", state, writer),
+        ("GET", "/v1/schemes") => proxy_unary(request, "schemes", state, scope, writer),
         ("POST", "/v1/eval" | "/v1/quantize") => match routing_key(request) {
-            Ok(key) => proxy_unary(request, &key, state, writer),
-            Err(response) => write_unary(response, request, state, writer, false),
+            Ok(key) => proxy_unary(request, &key, state, scope, writer),
+            Err(response) => write_unary(response, request, state, scope, writer, false),
         },
         ("POST", "/v1/generate") => match routing_key(request) {
-            Ok(key) => proxy_stream(request, &key, state, writer),
-            Err(response) => write_unary(response, request, state, writer, false),
+            Ok(key) => proxy_stream(request, &key, state, scope, writer),
+            Err(response) => write_unary(response, request, state, scope, writer, false),
         },
         ("POST", "/shutdown") => {
             if state.config.allow_shutdown {
@@ -354,6 +611,7 @@ fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream
                     ),
                     request,
                     state,
+                    scope,
                     writer,
                     true,
                 )
@@ -365,16 +623,18 @@ fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream
                     ),
                     request,
                     state,
+                    scope,
                     writer,
                     false,
                 )
             }
         }
         // Known path, wrong method — same parity answers as the workers.
-        (_, "/healthz" | "/v1/schemes") => write_unary(
+        (_, "/healthz" | "/metrics" | "/debug/trace" | "/v1/schemes") => write_unary(
             Response::error(405, "use GET").with_header("Allow", "GET"),
             request,
             state,
+            scope,
             writer,
             false,
         ),
@@ -382,6 +642,7 @@ fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream
             Response::error(405, "use POST").with_header("Allow", "POST"),
             request,
             state,
+            scope,
             writer,
             false,
         ),
@@ -389,12 +650,13 @@ fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream
             Response::error(
                 404,
                 &format!(
-                    "no such endpoint '{path}' (have: GET /healthz, GET /v1/schemes, \
-                     POST /v1/eval, POST /v1/generate, POST /v1/quantize)"
+                    "no such endpoint '{path}' (have: GET /healthz, GET /metrics, \
+                     GET /v1/schemes, POST /v1/eval, POST /v1/generate, POST /v1/quantize)"
                 ),
             ),
             request,
             state,
+            scope,
             writer,
             false,
         ),
@@ -402,15 +664,32 @@ fn handle_request(request: &Request, state: &RouterState, writer: &mut TcpStream
 }
 
 /// Writes a router-composed (non-streamed) response, honouring keep-alive
-/// and triggering router shutdown after the bytes are on the wire.
+/// and triggering router shutdown after the bytes are on the wire. Stamps
+/// the trace header (unless an upstream relay already carries it) and
+/// closes out the request's observations.
 fn write_unary(
-    response: Response,
+    mut response: Response,
     request: &Request,
     state: &RouterState,
+    scope: &RequestScope,
     writer: &mut TcpStream,
     shutdown: bool,
 ) -> AfterResponse {
+    for (name, value) in scope.headers() {
+        if !response
+            .extra_headers
+            .iter()
+            .any(|(existing, _)| existing.eq_ignore_ascii_case(&name))
+        {
+            response = response.with_header(&name, &value);
+        }
+    }
+    let status = response.status;
     let keep_alive = request.keep_alive() && !shutdown && !state.shutdown.load(Ordering::SeqCst);
+    // Telemetry commits before the reply is on the wire: a client that saw
+    // a complete response must also see it counted in /metrics and traced
+    // in /debug/trace.
+    scope.finish(state, status);
     let write_result = response.write_to(writer, keep_alive);
     if shutdown {
         request_shutdown(state);
@@ -481,12 +760,39 @@ fn retry_delay(response: &HttpResponse, cap: Duration) -> Duration {
     Duration::from_secs(seconds).min(cap)
 }
 
+/// Records one same-worker 503 retry (fleet total + per-worker).
+fn count_retry(state: &RouterState, worker: &WorkerSlot) {
+    state.counters.retried.inc();
+    worker.retries.inc();
+}
+
+/// Records one fail-over away from `worker` to the next candidate.
+fn count_failover(state: &RouterState, worker: &WorkerSlot) {
+    state.counters.failed_over.inc();
+    worker.failovers.inc();
+}
+
+/// Records a request served to the client from `worker`.
+fn count_served(state: &RouterState, worker: &WorkerSlot) {
+    state.counters.served.inc();
+    worker.routed.inc();
+}
+
+/// Records a shed request (every candidate exhausted), attributed to the
+/// last worker tried.
+fn count_shed(state: &RouterState, planned: &[usize]) {
+    state.counters.rejected.inc();
+    if let Some(worker) = planned.last().and_then(|&index| state.workers.get(index)) {
+        worker.sheds.inc();
+    }
+}
+
 /// Re-frames a worker response for the client, preserving the body bytes
 /// exactly and relaying the headers that carry semantics (`Retry-After` on a
-/// 503, `Allow` on a 405).
+/// 503, `Allow` on a 405, the `x-olive-trace` echo).
 fn relay(response: &HttpResponse) -> Response {
     let mut out = Response::json(response.status, response.body.clone());
-    for name in ["Retry-After", "Allow"] {
+    for name in ["Retry-After", "Allow", TRACE_HEADER] {
         if let Some(value) = response.header(name) {
             out = out.with_header(name, value);
         }
@@ -503,15 +809,17 @@ fn attempt_unary(
     worker: &WorkerSlot,
     request: &Request,
     body: Option<&str>,
+    trace_headers: &[(&str, &str)],
 ) -> io::Result<HttpResponse> {
     let mut conn = Connection::open_with(worker.sock, state.config.timeouts)?;
-    let response = conn.request(&request.method, &request.path, body)?;
+    let response =
+        conn.request_with_headers(&request.method, &request.path, body, trace_headers)?;
     if response.status != 503 {
         return Ok(response);
     }
-    state.retried.fetch_add(1, Ordering::Relaxed);
+    count_retry(state, worker);
     std::thread::sleep(retry_delay(&response, state.config.retry_after_cap));
-    conn.request(&request.method, &request.path, body)
+    conn.request_with_headers(&request.method, &request.path, body, trace_headers)
 }
 
 /// Proxies a unary request along the candidate plan. Responses are relayed
@@ -522,6 +830,7 @@ fn proxy_unary(
     request: &Request,
     key: &str,
     state: &RouterState,
+    scope: &RequestScope,
     writer: &mut TcpStream,
 ) -> AfterResponse {
     let body = match request.body_utf8() {
@@ -532,43 +841,46 @@ fn proxy_unary(
                 Response::error(e.status, &e.message),
                 request,
                 state,
+                scope,
                 writer,
                 false,
             )
         }
     };
+    let trace_headers = scope.header_refs();
     let planned = plan(state, key);
     let total = planned.len();
     for (attempt, &index) in planned.iter().enumerate() {
         let Some(worker) = state.workers.get(index) else {
             continue;
         };
-        match attempt_unary(state, worker, request, body) {
+        match attempt_unary(state, worker, request, body, &trace_headers) {
             Ok(response) => {
                 record_success(worker);
                 if response.status == 503 && attempt + 1 < total {
                     // Still backed up after the same-worker retry: any other
                     // worker produces identical bytes, so fail over.
-                    state.retried.fetch_add(1, Ordering::Relaxed);
+                    count_failover(state, worker);
                     continue;
                 }
-                state.served.fetch_add(1, Ordering::Relaxed);
-                return write_unary(relay(&response), request, state, writer, false);
+                count_served(state, worker);
+                return write_unary(relay(&response), request, state, scope, writer, false);
             }
             Err(_) => {
                 record_failure(worker, state.config.unhealthy_after);
                 if attempt + 1 < total {
-                    state.retried.fetch_add(1, Ordering::Relaxed);
+                    count_failover(state, worker);
                 }
             }
         }
     }
-    state.rejected.fetch_add(1, Ordering::Relaxed);
+    count_shed(state, &planned);
     write_unary(
         Response::error(503, "no worker available for this request")
             .with_header("Retry-After", "1"),
         request,
         state,
+        scope,
         writer,
         false,
     )
@@ -603,6 +915,7 @@ fn attempt_stream(
     worker: &WorkerSlot,
     request: &Request,
     body: Option<&str>,
+    scope: &RequestScope,
     writer: &mut TcpStream,
     keep_alive: bool,
 ) -> StreamAttempt {
@@ -610,31 +923,48 @@ fn attempt_stream(
         Ok(conn) => conn,
         Err(e) => return StreamAttempt::NotStarted(e),
     };
+    let trace_headers = scope.header_refs();
+    let echo_headers = scope.headers();
     let mut retried_503 = false;
     loop {
         let mut started = false;
         let mut sink_error = false;
-        let result = conn.request_with_sink(&request.method, &request.path, body, &mut |chunk| {
-            let relayed = if started {
-                write_chunk(writer, chunk)
-            } else {
-                write_chunked_head(writer, 200, keep_alive).and_then(|()| {
-                    started = true;
+        let result = conn.request_with_sink_and_headers(
+            &request.method,
+            &request.path,
+            body,
+            &mut |chunk| {
+                let relayed = if started {
                     write_chunk(writer, chunk)
-                })
-            };
-            if relayed.is_err() {
-                sink_error = true;
-            }
-            relayed
-        });
+                } else {
+                    write_chunked_head_with(writer, 200, keep_alive, &echo_headers).and_then(|()| {
+                        started = true;
+                        if let Some(span) = &scope.span {
+                            span.event("first-byte");
+                        }
+                        write_chunk(writer, chunk)
+                    })
+                };
+                if relayed.is_err() {
+                    sink_error = true;
+                }
+                relayed
+            },
+            &trace_headers,
+        );
         return match result {
             Ok(response) if response.chunks.is_some() => {
+                // Telemetry commits before the terminating chunk: a client
+                // that saw a complete stream must also see it counted in
+                // /metrics and traced in /debug/trace.
+                record_success(worker);
+                count_served(state, worker);
+                scope.finish(state, 200);
                 let finished = if started {
                     write_last_chunk(writer)
                 } else {
                     // A complete but empty stream still frames as chunked.
-                    write_chunked_head(writer, 200, keep_alive)
+                    write_chunked_head_with(writer, 200, keep_alive, &echo_headers)
                         .and_then(|()| write_last_chunk(writer))
                 };
                 StreamAttempt::Streamed {
@@ -644,7 +974,7 @@ fn attempt_stream(
             Ok(response) => {
                 if response.status == 503 && !retried_503 {
                     retried_503 = true;
-                    state.retried.fetch_add(1, Ordering::Relaxed);
+                    count_retry(state, worker);
                     std::thread::sleep(retry_delay(&response, state.config.retry_after_cap));
                     continue;
                 }
@@ -667,6 +997,7 @@ fn proxy_stream(
     request: &Request,
     key: &str,
     state: &RouterState,
+    scope: &RequestScope,
     writer: &mut TcpStream,
 ) -> AfterResponse {
     let body = match request.body_utf8() {
@@ -677,6 +1008,7 @@ fn proxy_stream(
                 Response::error(e.status, &e.message),
                 request,
                 state,
+                scope,
                 writer,
                 false,
             )
@@ -689,10 +1021,10 @@ fn proxy_stream(
         let Some(worker) = state.workers.get(index) else {
             continue;
         };
-        match attempt_stream(state, worker, request, body, writer, keep_alive) {
+        match attempt_stream(state, worker, request, body, scope, writer, keep_alive) {
             StreamAttempt::Streamed { reusable } => {
-                record_success(worker);
-                state.served.fetch_add(1, Ordering::Relaxed);
+                // Success bookkeeping and scope.finish already ran inside
+                // attempt_stream, before the terminating chunk went out.
                 return if reusable && keep_alive {
                     AfterResponse::KeepAlive
                 } else {
@@ -702,32 +1034,34 @@ fn proxy_stream(
             StreamAttempt::Unary(response) => {
                 record_success(worker);
                 if response.status == 503 && attempt + 1 < total {
-                    state.retried.fetch_add(1, Ordering::Relaxed);
+                    count_failover(state, worker);
                     continue;
                 }
-                state.served.fetch_add(1, Ordering::Relaxed);
-                return write_unary(relay(&response), request, state, writer, false);
+                count_served(state, worker);
+                return write_unary(relay(&response), request, state, scope, writer, false);
             }
             StreamAttempt::NotStarted(_) => {
                 record_failure(worker, state.config.unhealthy_after);
                 if attempt + 1 < total {
-                    state.retried.fetch_add(1, Ordering::Relaxed);
+                    count_failover(state, worker);
                 }
             }
             StreamAttempt::Broken { worker_fault } => {
                 if worker_fault {
                     record_failure(worker, state.config.unhealthy_after);
                 }
+                scope.finish(state, 200);
                 return AfterResponse::Close;
             }
         }
     }
-    state.rejected.fetch_add(1, Ordering::Relaxed);
+    count_shed(state, &planned);
     write_unary(
         Response::error(503, "no worker available for this request")
             .with_header("Retry-After", "1"),
         request,
         state,
+        scope,
         writer,
         false,
     )
@@ -791,19 +1125,23 @@ fn healthz_body(state: &RouterState) -> String {
         ("workers_healthy", JsonValue::UInt(healthy)),
         (
             "requests_served",
-            JsonValue::UInt(state.served.load(Ordering::Relaxed)),
+            JsonValue::UInt(state.counters.served.get()),
         ),
         (
             "requests_retried",
-            JsonValue::UInt(state.retried.load(Ordering::Relaxed)),
+            JsonValue::UInt(state.counters.retried.get()),
+        ),
+        (
+            "requests_failed_over",
+            JsonValue::UInt(state.counters.failed_over.get()),
         ),
         (
             "requests_rejected",
-            JsonValue::UInt(state.rejected.load(Ordering::Relaxed)),
+            JsonValue::UInt(state.counters.rejected.get()),
         ),
         (
             "connections_accepted",
-            JsonValue::UInt(state.connections.load(Ordering::Relaxed)),
+            JsonValue::UInt(state.counters.connections.get()),
         ),
         ("upstream", upstream),
     ])
@@ -815,22 +1153,18 @@ mod tests {
     use super::*;
 
     fn state_with_workers(n: usize, max_attempts: u32) -> RouterState {
+        let telemetry = Telemetry::detached();
         let addrs: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 9100 + i)).collect();
         RouterState {
             ring: Ring::new(&addrs),
             workers: addrs
                 .iter()
-                .map(|addr| WorkerSlot {
-                    addr: addr.clone(),
-                    sock: addr.parse().unwrap(),
-                    healthy: AtomicBool::new(true),
-                    consecutive_failures: AtomicU32::new(0),
+                .map(|addr| {
+                    WorkerSlot::new(addr.clone(), addr.parse().unwrap(), telemetry.registry())
                 })
                 .collect(),
-            served: AtomicU64::new(0),
-            retried: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            counters: RouterCounters::new(telemetry.registry()),
+            telemetry,
             shutdown: AtomicBool::new(false),
             local_addr: "127.0.0.1:1".parse().unwrap(),
             config: RouterConfig {
@@ -878,6 +1212,23 @@ mod tests {
         record_success(worker);
         assert!(worker.healthy.load(Ordering::SeqCst));
         assert_eq!(worker.consecutive_failures.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn health_transitions_count_flips_not_steady_state() {
+        let state = state_with_workers(1, 1);
+        let worker = &state.workers[0];
+        // Repeated successes while already healthy: no transition.
+        record_success(worker);
+        record_success(worker);
+        assert_eq!(worker.became_healthy.get(), 0);
+        // Flip down once (threshold 1), then repeated failures stay down.
+        record_failure(worker, 1);
+        record_failure(worker, 1);
+        assert_eq!(worker.became_unhealthy.get(), 1, "one flip, not two");
+        // Recovery is one transition back.
+        record_success(worker);
+        assert_eq!(worker.became_healthy.get(), 1);
     }
 
     #[test]
@@ -932,10 +1283,26 @@ mod tests {
     }
 
     #[test]
+    fn relay_passes_the_trace_echo_through() {
+        let worker_response = HttpResponse {
+            status: 200,
+            headers: vec![(TRACE_HEADER.to_string(), "00000000deadbeef".to_string())],
+            body: "{}\n".to_string(),
+            chunks: None,
+        };
+        let relayed = relay(&worker_response);
+        assert_eq!(
+            relayed.extra_headers,
+            vec![(TRACE_HEADER.to_string(), "00000000deadbeef".to_string())]
+        );
+    }
+
+    #[test]
     fn routing_keys_use_the_model_cache_key() {
         let request = |path: &str, body: &str| Request {
             method: "POST".to_string(),
             path: path.to_string(),
+            query: String::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };

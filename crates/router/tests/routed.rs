@@ -126,6 +126,7 @@ fn router_healthz_aggregates_and_pins_key_order() {
         "workers_healthy",
         "requests_served",
         "requests_retried",
+        "requests_failed_over",
         "requests_rejected",
         "connections_accepted",
         "upstream",
@@ -183,6 +184,85 @@ fn killing_the_owning_worker_fails_over_byte_identically() {
     assert_eq!(
         v.get("status").and_then(JsonValue::as_str),
         Some("degraded")
+    );
+    assert!(
+        v.get("requests_failed_over")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|failed_over| failed_over >= 1),
+        "the fail-over must be visible in the router's own counters"
+    );
+
+    router.shutdown();
+    for worker in workers {
+        worker.shutdown();
+    }
+}
+
+#[test]
+fn router_metrics_break_down_routing_per_worker() {
+    let (workers, addrs) = start_workers(2);
+    let router = start_router(addrs);
+
+    let eval = client::post_json(router.local_addr(), "/v1/eval", EVAL_BODY).unwrap();
+    assert_eq!(eval.status, 200, "{}", eval.body);
+    // The router stamps a trace id and echoes it to the client.
+    let trace_id = eval
+        .header("x-olive-trace")
+        .expect("routed responses must carry the trace header")
+        .to_string();
+    assert_eq!(trace_id.len(), 16, "16-hex-digit id: {trace_id}");
+
+    let metrics = client::get(router.local_addr(), "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "Prometheus exposition is text/plain"
+    );
+    // The fleet total and the per-worker breakdown must agree.
+    let value_of = |line: &str| {
+        line.rsplit(' ')
+            .next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("unparseable sample line: {line}"))
+    };
+    let served: u64 = metrics
+        .body
+        .lines()
+        .filter(|l| l.starts_with("olive_router_requests_served_total "))
+        .map(value_of)
+        .sum();
+    let per_worker: u64 = metrics
+        .body
+        .lines()
+        .filter(|l| l.starts_with("olive_router_worker_requests_total{"))
+        .map(value_of)
+        .sum();
+    assert_eq!(served, 1, "one request served:\n{}", metrics.body);
+    assert_eq!(
+        per_worker, served,
+        "per-worker counts must sum to the total"
+    );
+
+    // The finished request is visible in the trace ring, under the id the
+    // client saw, with the canonical stage sequence.
+    let traces = client::get(router.local_addr(), "/debug/trace?n=8").unwrap();
+    assert_eq!(traces.status, 200);
+    assert!(
+        traces.body.contains(&trace_id),
+        "trace {trace_id} missing from {}",
+        traces.body
+    );
+    assert!(
+        traces.body.contains("\"stage\":\"accepted\""),
+        "{}",
+        traces.body
+    );
+    assert!(
+        traces.body.contains("\"stage\":\"done\""),
+        "{}",
+        traces.body
     );
 
     router.shutdown();

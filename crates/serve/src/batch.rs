@@ -27,8 +27,8 @@ use crate::cache::ModelCache;
 use crate::http::Response;
 use crate::protocol::{EvalRequest, QuantizeRequest};
 use olive_runtime::{lock_or_recover, par_map, BoundedQueue, PushError};
+use olive_telemetry::{latency_buckets_us, Counter, Histogram, Registry, Span, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -64,35 +64,78 @@ pub enum Job {
     Quantize(QuantizeRequest),
 }
 
-/// Counters surfaced by `/healthz`.
-#[derive(Debug, Default)]
+/// The batcher's registry-backed instruments. The counters are the single
+/// source of truth for both `/healthz` and `/metrics`; the histograms
+/// split each job's life into queue wait (arrival → popped into a batch)
+/// and execution (compute + reply).
 pub struct BatchStats {
-    /// Jobs answered (any status).
-    pub served: AtomicU64,
-    /// Jobs shed with 503 because the queue was full.
-    pub rejected: AtomicU64,
-    /// Micro-batches executed.
-    pub batches: AtomicU64,
+    /// Jobs answered (any status): `olive_batch_jobs_served_total`.
+    pub served: Counter,
+    /// Jobs shed with 503 because the queue was full:
+    /// `olive_batch_jobs_rejected_total`.
+    pub rejected: Counter,
+    /// Micro-batches executed: `olive_batches_executed_total`.
+    pub batches: Counter,
+    /// Queue wait per job, µs: `olive_batch_queue_wait_us`.
+    pub queue_wait_us: Histogram,
+    /// Execution time per job, µs: `olive_batch_execute_us`.
+    pub execute_us: Histogram,
 }
 
-/// A queued unit of work plus its reply path.
-#[derive(Debug)]
+impl BatchStats {
+    /// Registers the batcher's instruments on `registry`.
+    pub fn new(registry: &Registry) -> BatchStats {
+        BatchStats {
+            served: registry.counter(
+                "olive_batch_jobs_served_total",
+                "Unary jobs answered by the batcher (any status).",
+            ),
+            rejected: registry.counter(
+                "olive_batch_jobs_rejected_total",
+                "Unary jobs shed with 503 because the batch queue was full.",
+            ),
+            batches: registry.counter(
+                "olive_batches_executed_total",
+                "Micro-batches executed by the drain thread.",
+            ),
+            queue_wait_us: registry.histogram(
+                "olive_batch_queue_wait_us",
+                "Per-job wait from queue arrival to batch pop, microseconds.",
+                &latency_buckets_us(),
+            ),
+            execute_us: registry.histogram(
+                "olive_batch_execute_us",
+                "Per-job execution time inside a micro-batch, microseconds.",
+                &latency_buckets_us(),
+            ),
+        }
+    }
+}
+
+/// A queued unit of work plus its reply path and telemetry context.
 struct QueuedJob {
     job: Job,
     reply: mpsc::Sender<Response>,
+    /// The request's trace span, when tracing is on (`None` never affects
+    /// the reply — spans are observe-only).
+    span: Option<Arc<Span>>,
+    /// Started at enqueue; inert when telemetry is off.
+    queued_at: olive_telemetry::Stopwatch,
 }
 
 /// The dynamic batcher. One instance per server; shut down explicitly.
 pub struct Batcher {
     queue: Arc<BoundedQueue<QueuedJob>>,
     stats: Arc<BatchStats>,
+    telemetry: Telemetry,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Batcher {
-    /// Starts a batcher whose drain thread executes jobs against `cache`.
-    pub fn start(config: BatchConfig, cache: Arc<ModelCache>) -> Self {
-        let batcher = Self::paused(&config);
+    /// Starts a batcher whose drain thread executes jobs against `cache`,
+    /// registering its instruments on `telemetry`'s registry.
+    pub fn start(config: BatchConfig, cache: Arc<ModelCache>, telemetry: Telemetry) -> Self {
+        let batcher = Self::paused_with(&config, telemetry);
         let queue = Arc::clone(&batcher.queue);
         let stats = Arc::clone(&batcher.stats);
         // olive-lint: allow(no-spawn-outside-runtime): the one long-lived drain thread; batch execution inside it still runs on the Pool
@@ -106,10 +149,16 @@ impl Batcher {
 
     /// A batcher with no drain thread — jobs queue but never execute. Lets
     /// tests exercise the back-pressure path deterministically.
+    #[cfg(test)]
     fn paused(config: &BatchConfig) -> Self {
+        Self::paused_with(config, Telemetry::detached())
+    }
+
+    fn paused_with(config: &BatchConfig, telemetry: Telemetry) -> Self {
         Batcher {
             queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
-            stats: Arc::new(BatchStats::default()),
+            stats: Arc::new(BatchStats::new(telemetry.registry())),
+            telemetry,
             worker: Mutex::new(None),
         }
     }
@@ -117,9 +166,21 @@ impl Batcher {
     /// Submits a job and blocks until its response is ready — or answers
     /// immediately with 503 (+ `Retry-After: 1`) when the queue is full, and
     /// 503 without `Retry-After` when the server is shutting down.
-    pub fn submit(&self, job: Job) -> Response {
+    ///
+    /// `span` is the request's trace span (or `None`): purely observational
+    /// — the response is a function of `job` alone.
+    pub fn submit(&self, job: Job, span: Option<Arc<Span>>) -> Response {
+        if let Some(span) = &span {
+            span.event("queued");
+        }
         let (tx, rx) = mpsc::channel();
-        match self.queue.try_push(QueuedJob { job, reply: tx }) {
+        let queued = QueuedJob {
+            job,
+            reply: tx,
+            span,
+            queued_at: self.telemetry.stopwatch(),
+        };
+        match self.queue.try_push(queued) {
             Ok(()) => {}
             Err((PushError::Full, _)) => return self.shed_full(),
             Err((PushError::Closed, _)) => {
@@ -134,7 +195,7 @@ impl Batcher {
     }
 
     fn shed_full(&self) -> Response {
-        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        self.stats.rejected.inc();
         Response::error(
             503,
             "server is at capacity; retry after the Retry-After delay",
@@ -179,15 +240,25 @@ fn drain_loop(
         if batch.is_empty() {
             return; // closed and drained
         }
-        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.batches.inc();
+        for queued in &batch {
+            stats.queue_wait_us.observe_elapsed(&queued.queued_at);
+            if let Some(span) = &queued.span {
+                span.event("batched");
+            }
+        }
         // One micro-batch = one pool job; each request's own parallelism
         // nests inline, so cores are shared across the batch. Replies are
         // sent from the executing worker.
         par_map(&batch, |queued| {
+            let executing = olive_telemetry::Stopwatch::start_if(queued.queued_at.is_running());
             let response = execute(&queued.job, cache);
+            stats.execute_us.observe_elapsed(&executing);
+            // Counted before the reply: a submitter that saw its response
+            // must also see it reflected in the stats.
+            stats.served.inc();
             // A client that hung up mid-wait is not an error.
             let _ = queued.reply.send(response);
-            stats.served.fetch_add(1, Ordering::Relaxed);
         });
     }
 }
@@ -213,23 +284,49 @@ mod tests {
 
     #[test]
     fn live_batcher_answers_eval_and_quantize() {
-        let batcher = Batcher::start(BatchConfig::default(), Arc::new(ModelCache::new()));
-        let eval = batcher.submit(eval_job(
-            r#"{"scheme": "fp32", "batches": 2, "oversample": 2}"#,
-        ));
+        let batcher = Batcher::start(
+            BatchConfig::default(),
+            Arc::new(ModelCache::new()),
+            Telemetry::detached(),
+        );
+        let eval = batcher.submit(
+            eval_job(r#"{"scheme": "fp32", "batches": 2, "oversample": 2}"#),
+            None,
+        );
         assert_eq!(eval.status, 200);
         assert!(eval.body.contains("\"spec\": \"fp32\""), "{}", eval.body);
-        let quantize = batcher.submit(Job::Quantize(
-            QuantizeRequest::decode(
-                &JsonValue::parse(
-                    r#"{"scheme": "uniform:8", "rows": 1, "cols": 4, "data": [1, 2, 3, 4]}"#,
+        let quantize = batcher.submit(
+            Job::Quantize(
+                QuantizeRequest::decode(
+                    &JsonValue::parse(
+                        r#"{"scheme": "uniform:8", "rows": 1, "cols": 4, "data": [1, 2, 3, 4]}"#,
+                    )
+                    .unwrap(),
                 )
                 .unwrap(),
-            )
-            .unwrap(),
-        ));
+            ),
+            None,
+        );
         assert_eq!(quantize.status, 200);
-        assert_eq!(batcher.stats().served.load(Ordering::Relaxed), 2);
+        assert_eq!(batcher.stats().served.get(), 2);
+        // The queue-wait/execute split saw both jobs (telemetry was on).
+        assert_eq!(batcher.stats().queue_wait_us.count(), 2);
+        assert_eq!(batcher.stats().execute_us.count(), 2);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn disabled_telemetry_still_counts_but_never_observes_latency() {
+        let batcher = Batcher::start(
+            BatchConfig::default(),
+            Arc::new(ModelCache::new()),
+            Telemetry::disabled(),
+        );
+        let response = batcher.submit(eval_job(r#"{"scheme": "fp32"}"#), None);
+        assert_eq!(response.status, 200);
+        assert_eq!(batcher.stats().served.get(), 1);
+        assert_eq!(batcher.stats().queue_wait_us.count(), 0);
+        assert_eq!(batcher.stats().execute_us.count(), 0);
         batcher.shutdown();
     }
 
@@ -249,21 +346,24 @@ mod tests {
                 .try_push(QueuedJob {
                     job: job.clone(),
                     reply: tx,
+                    span: None,
+                    queued_at: olive_telemetry::Stopwatch::disabled(),
                 })
+                .map_err(|(error, _)| error)
                 .unwrap();
         }
-        let shed = batcher.submit(job.clone());
+        let shed = batcher.submit(job.clone(), None);
         assert_eq!(shed.status, 503);
         assert!(shed
             .extra_headers
             .iter()
             .any(|(k, v)| k == "Retry-After" && v == "1"));
-        assert_eq!(batcher.stats().rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(batcher.stats().rejected.get(), 1);
         assert_eq!(batcher.queue_depth(), 2);
 
         // Shutdown path: closed queue answers 503 without Retry-After.
         batcher.queue.close();
-        let closed = batcher.submit(job);
+        let closed = batcher.submit(job, None);
         assert_eq!(closed.status, 503);
         assert!(closed.body.contains("shutting down"), "{}", closed.body);
         assert!(closed.extra_headers.is_empty());
@@ -272,12 +372,16 @@ mod tests {
     #[test]
     fn shutdown_drains_already_queued_jobs() {
         let cache = Arc::new(ModelCache::new());
-        let batcher = Arc::new(Batcher::start(BatchConfig::default(), cache));
+        let batcher = Arc::new(Batcher::start(
+            BatchConfig::default(),
+            cache,
+            Telemetry::detached(),
+        ));
         let job = eval_job(r#"{"scheme": "fp32", "batches": 1, "oversample": 2}"#);
         let submitter = {
             let batcher = Arc::clone(&batcher);
             let job = job.clone();
-            std::thread::spawn(move || batcher.submit(job))
+            std::thread::spawn(move || batcher.submit(job, None))
         };
         // Let the submit land, then shut down; the queued job must still be
         // answered (close drains, it does not drop).

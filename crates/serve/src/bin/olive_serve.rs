@@ -3,7 +3,8 @@
 //! ```text
 //! olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N]
 //!             [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N]
-//!             [--artifact-dir DIR] [--allow-shutdown]
+//!             [--artifact-dir DIR] [--allow-shutdown] [--trace-log PATH]
+//!             [--no-telemetry]
 //! ```
 //!
 //! `--port 0` (the default) picks an ephemeral port; the chosen URL is
@@ -13,6 +14,11 @@
 //! `--artifact-dir`, preparation misses cold-start bit-identically from
 //! `olive-prepare` snapshots in DIR instead of quantizing in-process (the
 //! `cached_artifacts` gauge on `/healthz` counts the snapshots used).
+//!
+//! `--trace-log PATH` appends every finished request trace as one JSON line
+//! to PATH (see `GET /debug/trace` for the in-memory ring). `--no-telemetry`
+//! turns off latency timing and tracing; counters, `/healthz` and `/metrics`
+//! stay live, and response bodies are byte-identical either way.
 
 use olive_serve::{BatchConfig, SchedConfig, ServeConfig, Server};
 use std::time::Duration;
@@ -21,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: olive-serve [--addr HOST] [--port N] [--max-batch N] [--max-wait-ms N] \
          [--queue-capacity N] [--max-sessions N] [--kv-pool-pages N] [--artifact-dir DIR] \
-         [--allow-shutdown]"
+         [--allow-shutdown] [--trace-log PATH] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -33,6 +39,7 @@ fn parse_args() -> ServeConfig {
     let mut sched = SchedConfig::default();
     let mut allow_shutdown = false;
     let mut artifact_dir = None;
+    let mut telemetry = olive_serve::TelemetryOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +83,10 @@ fn parse_args() -> ServeConfig {
                 artifact_dir = Some(std::path::PathBuf::from(value("--artifact-dir")));
             }
             "--allow-shutdown" => allow_shutdown = true,
+            "--trace-log" => {
+                telemetry.trace_log = Some(std::path::PathBuf::from(value("--trace-log")));
+            }
+            "--no-telemetry" => telemetry.enabled = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -86,6 +97,7 @@ fn parse_args() -> ServeConfig {
         sched,
         allow_shutdown,
         artifact_dir,
+        telemetry,
     }
 }
 

@@ -121,15 +121,24 @@ impl Connection {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<HttpResponse> {
-        let body = body.unwrap_or("");
-        // Head and body in one write: separate small segments would tickle
-        // Nagle + delayed-ACK stalls on loopback.
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: olive\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
-            body.len()
-        );
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.flush()?;
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`Connection::request`] with extra request headers appended after
+    /// the standard set — how the router stamps proxied requests with the
+    /// `x-olive-trace` correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses as `io::Error`.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.write_request(method, path, body, extra_headers)?;
         self.read_response(None)
     }
 
@@ -151,14 +160,52 @@ impl Connection {
         body: Option<&str>,
         sink: ChunkSink<'_>,
     ) -> std::io::Result<HttpResponse> {
+        self.request_with_sink_and_headers(method, path, body, sink, &[])
+    }
+
+    /// [`Connection::request_with_sink`] with extra request headers — the
+    /// streaming counterpart of [`Connection::request_with_headers`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors, malformed responses, and any error `sink`
+    /// returns (which desynchronizes the connection — drop it afterwards).
+    pub fn request_with_sink_and_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        sink: ChunkSink<'_>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.write_request(method, path, body, extra_headers)?;
+        self.read_response(Some(sink))
+    }
+
+    fn write_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<()> {
         let body = body.unwrap_or("");
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: olive\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
+        // Head and body in one write: separate small segments would tickle
+        // Nagle + delayed-ACK stalls on loopback.
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: olive\r\nContent-Length: {}\r\nContent-Type: application/json\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
         self.writer.write_all(request.as_bytes())?;
-        self.writer.flush()?;
-        self.read_response(Some(sink))
+        self.writer.flush()
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {

@@ -59,9 +59,11 @@ use olive_api::{GenSchemeResult, GenStep, PreparedGen, Scheme};
 use olive_core::TensorQuantizer;
 use olive_models::{argmax, pages_needed, KvPool, PagedKv, StepSlot, TinyTransformer};
 use olive_runtime::{lock_or_recover, BoundedQueue, PushError};
+use olive_telemetry::{
+    latency_buckets_us, Counter, Gauge, Histogram, Registry, Span, Stopwatch, Telemetry,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -113,48 +115,125 @@ pub enum StreamEvent {
     Failed(Response),
 }
 
-/// Counters and gauges surfaced by `/healthz`.
-#[derive(Debug, Default)]
+/// The scheduler's registry-backed instruments — the single source of
+/// truth for both `/healthz` and `/metrics`.
 pub struct SchedStats {
-    /// Generation requests answered (completed, failed, or disconnected).
-    pub served: AtomicU64,
-    /// Requests shed with 503 because the queue was full.
-    pub rejected: AtomicU64,
-    /// Scheduler ticks executed (only ticks that fed at least one flight).
-    pub ticks: AtomicU64,
-    /// Decode sessions in flight right now (parked requests excluded).
-    pub sessions: AtomicU64,
-    /// KV pages reserved by live flights right now.
-    pub kv_pages_used: AtomicU64,
-    /// KV pages free right now.
-    pub kv_pages_free: AtomicU64,
-    /// Histogram of sessions fed per tick: `batch size → tick count`.
-    pub batch_sizes: Mutex<BTreeMap<usize, u64>>,
+    /// Generation requests answered (completed, failed, or disconnected):
+    /// `olive_decode_streams_served_total`.
+    pub served: Counter,
+    /// Requests shed with 503 because the queue was full:
+    /// `olive_decode_streams_rejected_total`.
+    pub rejected: Counter,
+    /// Scheduler ticks executed (only ticks that fed at least one flight):
+    /// `olive_decode_ticks_total`.
+    pub ticks: Counter,
+    /// Decode sessions in flight right now (parked requests excluded):
+    /// `olive_decode_sessions`.
+    pub sessions: Gauge,
+    /// KV pages reserved by live flights right now: `olive_kv_pages_used`.
+    pub kv_pages_used: Gauge,
+    /// KV pages free right now: `olive_kv_pages_free`.
+    pub kv_pages_free: Gauge,
+    /// Feeding-tick duration, µs: `olive_decode_tick_duration_us`.
+    pub tick_duration_us: Histogram,
+    /// Submit → first emitted chunk, µs:
+    /// `olive_decode_time_to_first_chunk_us`.
+    pub time_to_first_chunk_us: Histogram,
+    /// Sessions fed per tick, as the labelled counter family
+    /// `olive_decode_batch_size_total{size="N"}`. Handles are cached here;
+    /// the cells live in the registry like every other instrument.
+    batch_sizes: Mutex<BTreeMap<usize, Counter>>,
+    registry: Arc<Registry>,
 }
 
 impl SchedStats {
+    /// Registers the scheduler's instruments on `registry`.
+    pub fn new(registry: &Arc<Registry>) -> SchedStats {
+        SchedStats {
+            served: registry.counter(
+                "olive_decode_streams_served_total",
+                "Generation streams answered (completed, failed, or disconnected).",
+            ),
+            rejected: registry.counter(
+                "olive_decode_streams_rejected_total",
+                "Generation requests shed with 503 because the decode queue was full.",
+            ),
+            ticks: registry.counter(
+                "olive_decode_ticks_total",
+                "Decode-scheduler ticks that fed at least one flight.",
+            ),
+            sessions: registry.gauge(
+                "olive_decode_sessions",
+                "Decode sessions in flight right now (parked requests excluded).",
+            ),
+            kv_pages_used: registry.gauge(
+                "olive_kv_pages_used",
+                "KV-cache pages reserved by live flights right now.",
+            ),
+            kv_pages_free: registry.gauge("olive_kv_pages_free", "KV-cache pages free right now."),
+            tick_duration_us: registry.histogram(
+                "olive_decode_tick_duration_us",
+                "Duration of decode-scheduler ticks that fed flights, microseconds.",
+                &latency_buckets_us(),
+            ),
+            time_to_first_chunk_us: registry.histogram(
+                "olive_decode_time_to_first_chunk_us",
+                "Generation submit to first emitted chunk, microseconds.",
+                &latency_buckets_us(),
+            ),
+            batch_sizes: Mutex::new(BTreeMap::new()),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// Stats on a private registry — for tests driving a [`SchedCore`].
+    pub fn detached() -> SchedStats {
+        SchedStats::new(&Arc::new(Registry::new()))
+    }
+
     fn record_tick(&self, fed: usize) {
         if fed == 0 {
             return;
         }
-        self.ticks.fetch_add(1, Ordering::Relaxed);
-        *lock_or_recover(&self.batch_sizes).entry(fed).or_insert(0) += 1;
+        self.ticks.inc();
+        let mut sizes = lock_or_recover(&self.batch_sizes);
+        let size = fed.to_string();
+        let counter = sizes.entry(fed).or_insert_with(|| {
+            self.registry.counter_with(
+                "olive_decode_batch_size_total",
+                "Ticks that fed exactly this many sessions.",
+                &[("size", size.as_str())],
+            )
+        });
+        counter.inc();
+    }
+
+    /// The `batch size → tick count` map `/healthz` renders, read back from
+    /// the registry-backed counter family in ascending batch-size order.
+    pub fn batch_size_histogram(&self) -> BTreeMap<usize, u64> {
+        lock_or_recover(&self.batch_sizes)
+            .iter()
+            .map(|(&size, counter)| (size, counter.get()))
+            .collect()
     }
 
     fn mirror_pool(&self, pool: &KvPool, sessions: usize) {
-        self.sessions.store(sessions as u64, Ordering::Relaxed);
-        self.kv_pages_used
-            .store(pool.pages_used() as u64, Ordering::Relaxed);
-        self.kv_pages_free
-            .store(pool.pages_free() as u64, Ordering::Relaxed);
+        self.sessions.set(sessions as u64);
+        self.kv_pages_used.set(pool.pages_used() as u64);
+        self.kv_pages_free.set(pool.pages_free() as u64);
     }
 }
 
-/// A queued generation request plus its event channel.
-#[derive(Debug)]
+/// A queued generation request plus its event channel and telemetry
+/// context.
 pub struct GenJob {
     request: GenerateRequest,
     sink: mpsc::Sender<StreamEvent>,
+    /// The request's trace span, when tracing is on; observe-only.
+    span: Option<Arc<Span>>,
+    /// Started at submit; inert when telemetry is off. Feeds the
+    /// time-to-first-chunk histogram at admission.
+    queued_at: Stopwatch,
 }
 
 /// Which model a feed goes through: the scheme's quantized student, or the
@@ -300,7 +379,7 @@ impl SchedCore {
                     "generation needs more KV-cache memory than the server has \
                      (lower prompt_tokens/max_new_tokens)",
                 )));
-                self.stats.served.fetch_add(1, Ordering::Relaxed);
+                self.stats.served.inc();
                 continue;
             }
             let Some(pages) = self.pool.try_reserve(need) else {
@@ -310,6 +389,9 @@ impl SchedCore {
             let mut pages = pages;
             let teacher_pages = pages.split_off(half);
             let job = self.parked.pop_front().expect("front checked above");
+            if let Some(span) = &job.span {
+                span.event("batched");
+            }
             let req = job.request;
             let quantizer = req.scheme.build();
             let quantize_acts = pipeline.quantizes_activations_with(&req.scheme);
@@ -362,6 +444,9 @@ impl SchedCore {
             let skeleton =
                 pipeline.gen_report_skeleton(prepared.prompt.clone(), flight.max_new_tokens);
             flight.send(StreamEvent::Chunk(head_fragment(&skeleton)));
+            self.stats
+                .time_to_first_chunk_us
+                .observe_elapsed(&job.queued_at);
             flight.send(StreamEvent::Chunk(scheme_head_fragment(
                 &flight.result,
                 true,
@@ -508,7 +593,7 @@ impl SchedCore {
             }
             pool.release(std::mem::take(&mut flight.student_kv).into_pages());
             pool.release(std::mem::take(&mut flight.teacher_kv).into_pages());
-            stats.served.fetch_add(1, Ordering::Relaxed);
+            stats.served.inc();
             false
         });
     }
@@ -551,13 +636,13 @@ impl SchedCore {
             let _ = flight
                 .sink
                 .send(StreamEvent::Failed(Response::error(500, message)));
-            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            self.stats.served.inc();
         }
         for job in self.parked.drain(..) {
             let _ = job
                 .sink
                 .send(StreamEvent::Failed(Response::error(500, message)));
-            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            self.stats.served.inc();
         }
         // A panic may have fired while stores were moved out of the table;
         // dropping the flights dropped their pages, so start a fresh pool
@@ -590,19 +675,22 @@ impl GroupModel {
 pub struct DecodeScheduler {
     queue: Arc<BoundedQueue<GenJob>>,
     stats: Arc<SchedStats>,
+    telemetry: Telemetry,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl DecodeScheduler {
-    /// Starts a scheduler whose worker decodes against `cache`.
-    pub fn start(config: SchedConfig, cache: Arc<ModelCache>) -> Self {
-        let scheduler = Self::paused(&config);
+    /// Starts a scheduler whose worker decodes against `cache`, registering
+    /// its instruments on `telemetry`'s registry.
+    pub fn start(config: SchedConfig, cache: Arc<ModelCache>, telemetry: Telemetry) -> Self {
+        let scheduler = Self::paused_with(&config, telemetry);
         let queue = Arc::clone(&scheduler.queue);
         let stats = Arc::clone(&scheduler.stats);
+        let telemetry = scheduler.telemetry.clone();
         // olive-lint: allow(no-spawn-outside-runtime): the one long-lived decode-scheduler thread; each tick's batched forwards still run on the Pool
         let handle = std::thread::Builder::new()
             .name("olive-serve-decode".into())
-            .spawn(move || decode_loop(&queue, &config, &cache, &stats))
+            .spawn(move || decode_loop(&queue, &config, &cache, &stats, &telemetry))
             .expect("spawning the decode scheduler thread");
         *lock_or_recover(&scheduler.worker) = Some(handle);
         scheduler
@@ -610,10 +698,16 @@ impl DecodeScheduler {
 
     /// A scheduler with no worker thread — requests queue but never decode.
     /// Lets tests exercise the back-pressure path deterministically.
+    #[cfg(test)]
     fn paused(config: &SchedConfig) -> Self {
+        Self::paused_with(config, Telemetry::detached())
+    }
+
+    fn paused_with(config: &SchedConfig, telemetry: Telemetry) -> Self {
         DecodeScheduler {
             queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
-            stats: Arc::new(SchedStats::default()),
+            stats: Arc::new(SchedStats::new(telemetry.registry())),
+            telemetry,
             worker: Mutex::new(None),
         }
     }
@@ -623,6 +717,10 @@ impl DecodeScheduler {
     /// immediately with 503 (+ `Retry-After: 1`) when the queue is full,
     /// and 503 without `Retry-After` when the server is shutting down.
     ///
+    /// `span` is the request's trace span (or `None`): purely
+    /// observational — the streamed bytes are a function of `request`
+    /// alone.
+    ///
     /// # Errors
     ///
     /// The 503 response to answer with instead, when the request could not
@@ -630,12 +728,22 @@ impl DecodeScheduler {
     pub fn submit(
         &self,
         request: GenerateRequest,
+        span: Option<Arc<Span>>,
     ) -> Result<mpsc::Receiver<StreamEvent>, Response> {
+        if let Some(span) = &span {
+            span.event("queued");
+        }
         let (tx, rx) = mpsc::channel();
-        match self.queue.try_push(GenJob { request, sink: tx }) {
+        let job = GenJob {
+            request,
+            sink: tx,
+            span,
+            queued_at: self.telemetry.stopwatch(),
+        };
+        match self.queue.try_push(job) {
             Ok(()) => Ok(rx),
             Err((PushError::Full, _)) => {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.stats.rejected.inc();
                 Err(Response::error(
                     503,
                     "server is at capacity; retry after the Retry-After delay",
@@ -681,6 +789,7 @@ fn decode_loop(
     config: &SchedConfig,
     cache: &Arc<ModelCache>,
     stats: &Arc<SchedStats>,
+    telemetry: &Telemetry,
 ) {
     let mut core = SchedCore::new(config.clone(), Arc::clone(cache), Arc::clone(stats));
     loop {
@@ -699,8 +808,16 @@ fn decode_loop(
         // A panic (a poisonous request) is contained to the tick: every
         // affected stream is answered or truncated, the pool is rebuilt,
         // and the scheduler keeps serving.
-        if catch_unwind(AssertUnwindSafe(|| core.tick())).is_err() {
-            core.fail_all("internal error executing the request");
+        let ticking = telemetry.stopwatch();
+        match catch_unwind(AssertUnwindSafe(|| core.tick())) {
+            Ok(report) => {
+                // Idle spins (nothing fed) are not observations — they
+                // would drown the histogram in sub-µs noise.
+                if report.fed > 0 {
+                    stats.tick_duration_us.observe_elapsed(&ticking);
+                }
+            }
+            Err(_) => core.fail_all("internal error executing the request"),
         }
     }
 }
@@ -718,8 +835,18 @@ mod tests {
         SchedCore::new(
             config,
             Arc::new(ModelCache::new()),
-            Arc::new(SchedStats::default()),
+            Arc::new(SchedStats::detached()),
         )
+    }
+
+    /// A test job with no span and inert timing.
+    fn job(request: GenerateRequest, sink: mpsc::Sender<StreamEvent>) -> GenJob {
+        GenJob {
+            request,
+            sink,
+            span: None,
+            queued_at: Stopwatch::disabled(),
+        }
     }
 
     /// Drains a stream to completion: (concatenated body, chunk count).
@@ -763,10 +890,7 @@ mod tests {
         let mut receivers = Vec::new();
         for _ in 0..5 {
             let (tx, rx) = mpsc::channel();
-            core.enqueue(GenJob {
-                request: gen_request(req_text),
-                sink: tx,
-            });
+            core.enqueue(job(gen_request(req_text), tx));
             receivers.push(rx);
         }
         let mut feeding_ticks = 0;
@@ -804,10 +928,7 @@ mod tests {
         let mut receivers = Vec::new();
         for text in [olive, olive, uniform] {
             let (tx, rx) = mpsc::channel();
-            core.enqueue(GenJob {
-                request: gen_request(text),
-                sink: tx,
-            });
+            core.enqueue(job(gen_request(text), tx));
             receivers.push((text, rx));
         }
         while core.has_work() {
@@ -843,10 +964,7 @@ mod tests {
         let mut receivers = Vec::new();
         for _ in 0..3 {
             let (tx, rx) = mpsc::channel();
-            core.enqueue(GenJob {
-                request: gen_request(req_text),
-                sink: tx,
-            });
+            core.enqueue(job(gen_request(req_text), tx));
             receivers.push(rx);
         }
         let mut max_fed = 0;
@@ -874,15 +992,15 @@ mod tests {
             ..SchedConfig::default()
         });
         let (tx, rx) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(r#"{"scheme": "fp32", "prompt_tokens": 8, "max_new_tokens": 8}"#),
-            sink: tx,
-        });
+        core.enqueue(job(
+            gen_request(r#"{"scheme": "fp32", "prompt_tokens": 8, "max_new_tokens": 8}"#),
+            tx,
+        ));
         let (tx2, rx2) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(r#"{"scheme": "fp32", "prompt_tokens": 1, "max_new_tokens": 1}"#),
-            sink: tx2,
-        });
+        core.enqueue(job(
+            gen_request(r#"{"scheme": "fp32", "prompt_tokens": 1, "max_new_tokens": 1}"#),
+            tx2,
+        ));
         while core.has_work() {
             core.tick();
         }
@@ -905,15 +1023,9 @@ mod tests {
         let req_text = r#"{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 6}"#;
         let mut core = core_with_config(SchedConfig::default());
         let (tx_gone, rx_gone) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(req_text),
-            sink: tx_gone,
-        });
+        core.enqueue(job(gen_request(req_text), tx_gone));
         let (tx, rx) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(req_text),
-            sink: tx,
-        });
+        core.enqueue(job(gen_request(req_text), tx));
         core.tick();
         assert_eq!(core.flights.len(), 2);
         drop(rx_gone); // client hangs up mid-decode
@@ -922,7 +1034,7 @@ mod tests {
         }
         assert_eq!(drain(&rx).0, direct_body(&gen_request(req_text)));
         assert_eq!(core.pool.pages_used(), 0);
-        assert_eq!(core.stats.served.load(Ordering::Relaxed), 2);
+        assert_eq!(core.stats.served.get(), 2);
     }
 
     /// fail_all (the panic-recovery path) answers every stream and resets
@@ -931,16 +1043,10 @@ mod tests {
     fn fail_all_answers_everything_and_resets_the_pool() {
         let mut core = core_with_config(SchedConfig::default());
         let (tx, rx) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(r#"{"scheme": "fp32"}"#),
-            sink: tx,
-        });
+        core.enqueue(job(gen_request(r#"{"scheme": "fp32"}"#), tx));
         core.tick();
         let (tx2, rx2) = mpsc::channel();
-        core.enqueue(GenJob {
-            request: gen_request(r#"{"scheme": "fp32"}"#),
-            sink: tx2,
-        });
+        core.enqueue(job(gen_request(r#"{"scheme": "fp32"}"#), tx2));
         core.fail_all("internal error executing the request");
         assert!(!core.has_work());
         assert_eq!(core.pool.pages_used(), 0);
@@ -959,16 +1065,20 @@ mod tests {
     /// direct pipeline, and the stats reflect the decode.
     #[test]
     fn live_scheduler_streams_chunks_then_done() {
-        let scheduler = DecodeScheduler::start(SchedConfig::default(), Arc::new(ModelCache::new()));
+        let scheduler = DecodeScheduler::start(
+            SchedConfig::default(),
+            Arc::new(ModelCache::new()),
+            Telemetry::detached(),
+        );
         let req =
             gen_request(r#"{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 3}"#);
-        let events = scheduler.submit(req.clone()).expect("queued");
+        let events = scheduler.submit(req.clone(), None).expect("queued");
         let (body, chunks) = drain(&events);
         assert_eq!(chunks, 1 + 1 + 3 + 1 + 1);
         assert_eq!(body, direct_body(&req));
-        assert_eq!(scheduler.stats().served.load(Ordering::Relaxed), 1);
-        assert!(scheduler.stats().ticks.load(Ordering::Relaxed) >= (4 + 3 - 1));
-        assert_eq!(scheduler.stats().sessions.load(Ordering::Relaxed), 0);
+        assert_eq!(scheduler.stats().served.get(), 1);
+        assert!(scheduler.stats().ticks.get() >= (4 + 3 - 1));
+        assert_eq!(scheduler.stats().sessions.get(), 0);
         scheduler.shutdown();
     }
 
@@ -981,19 +1091,19 @@ mod tests {
             ..SchedConfig::default()
         });
         let req = gen_request(r#"{"scheme": "fp32"}"#);
-        let _a = scheduler.submit(req.clone()).expect("first fits");
-        let _b = scheduler.submit(req.clone()).expect("second fits");
-        let shed = scheduler.submit(req.clone()).unwrap_err();
+        let _a = scheduler.submit(req.clone(), None).expect("first fits");
+        let _b = scheduler.submit(req.clone(), None).expect("second fits");
+        let shed = scheduler.submit(req.clone(), None).unwrap_err();
         assert_eq!(shed.status, 503);
         assert!(shed
             .extra_headers
             .iter()
             .any(|(k, v)| k == "Retry-After" && v == "1"));
-        assert_eq!(scheduler.stats().rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(scheduler.stats().rejected.get(), 1);
         assert_eq!(scheduler.queue_depth(), 2);
 
         scheduler.queue.close();
-        let closed = scheduler.submit(req).unwrap_err();
+        let closed = scheduler.submit(req, None).unwrap_err();
         assert_eq!(closed.status, 503);
         assert!(closed.body.contains("shutting down"), "{}", closed.body);
         assert!(closed.extra_headers.is_empty());
@@ -1002,9 +1112,13 @@ mod tests {
     /// Shutdown completes accepted streams instead of dropping them.
     #[test]
     fn shutdown_drains_accepted_streams() {
-        let scheduler = DecodeScheduler::start(SchedConfig::default(), Arc::new(ModelCache::new()));
+        let scheduler = DecodeScheduler::start(
+            SchedConfig::default(),
+            Arc::new(ModelCache::new()),
+            Telemetry::detached(),
+        );
         let req = gen_request(r#"{"scheme": "fp32", "prompt_tokens": 2, "max_new_tokens": 2}"#);
-        let events = scheduler.submit(req.clone()).expect("queued");
+        let events = scheduler.submit(req.clone(), None).expect("queued");
         scheduler.shutdown();
         let (body, _) = drain(&events);
         assert_eq!(body, direct_body(&req));

@@ -31,6 +31,8 @@ pub struct Request {
     pub method: String,
     /// Path without query string ("/v1/eval").
     pub path: String,
+    /// Raw query string without the leading `?` (empty when none was sent).
+    pub query: String,
     /// Raw header name/value pairs, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length` was sent).
@@ -56,6 +58,16 @@ impl Request {
     pub fn body_utf8(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
+    }
+
+    /// First `key=value` query parameter with this name. No percent
+    /// decoding — the debug endpoints that use this take plain integers.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value)
     }
 }
 
@@ -141,8 +153,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
             format!("unsupported protocol version '{version}'"),
         ));
     }
-    // Query strings are accepted but ignored: every endpoint is JSON-bodied.
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    // The query string is split off the path; only the debug endpoints
+    // read it (the JSON-bodied API endpoints ignore it).
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let method = method.to_ascii_uppercase();
 
     let mut headers = Vec::new();
@@ -190,6 +206,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
     let request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -365,10 +382,12 @@ fn read_body_retrying<R: Read>(reader: &mut R, len: usize) -> std::io::Result<Ve
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always JSON in this server).
+    /// Body bytes (JSON for every API endpoint; `/metrics` is plain text).
     pub body: String,
     /// Extra headers beyond the always-present set (e.g. `Retry-After`).
     pub extra_headers: Vec<(String, String)>,
+    /// `Content-Type` value; the framing writer owns the header itself.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -378,6 +397,18 @@ impl Response {
             status,
             body: body.into(),
             extra_headers: Vec::new(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response — the Prometheus exposition content type,
+    /// which every text-format scraper accepts.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            extra_headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -419,9 +450,10 @@ impl Response {
     /// connection.
     pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
@@ -468,12 +500,42 @@ pub fn write_chunked_head<W: Write>(
     status: u16,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+    write_chunked_head_with(writer, status, keep_alive, &[])
+}
+
+/// [`write_chunked_head`] with extra non-framing headers (e.g. the
+/// `x-olive-trace` correlation id). Names colliding case-insensitively
+/// with [`RESERVED_HEADERS`] are dropped, exactly as in
+/// [`Response::write_to`].
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunked_head_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    keep_alive: bool,
+    extra_headers: &[(String, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
         status,
         reason_phrase(status),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        if RESERVED_HEADERS
+            .iter()
+            .any(|reserved| name.eq_ignore_ascii_case(reserved))
+        {
+            continue;
+        }
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.flush()
 }
@@ -564,6 +626,9 @@ mod tests {
         };
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "verbose=1");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("nope"), None);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert!(req.keep_alive());
@@ -722,6 +787,62 @@ mod tests {
                 other => panic!("{raw:?}: expected Bad, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn query_strings_split_off_the_path() {
+        let ReadOutcome::Request(req) = read("GET /debug/trace?n=5&full=no HTTP/1.1\r\n\r\n")
+        else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.path, "/debug/trace");
+        assert_eq!(req.query_param("n"), Some("5"));
+        assert_eq!(req.query_param("full"), Some("no"));
+
+        let ReadOutcome::Request(req) = read("GET /healthz HTTP/1.1\r\n\r\n") else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("n"), None);
+    }
+
+    #[test]
+    fn text_responses_carry_the_exposition_content_type() {
+        let mut out = Vec::new();
+        Response::text(200, "olive_up 1\n")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\nolive_up 1\n"), "{text}");
+        // JSON stays the default for everything else.
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Content-Type: application/json\r\n"));
+    }
+
+    #[test]
+    fn chunked_head_extra_headers_are_emitted_but_framing_is_reserved() {
+        let mut out = Vec::new();
+        write_chunked_head_with(
+            &mut out,
+            200,
+            true,
+            &[
+                ("x-olive-trace".to_string(), "00ff".to_string()),
+                ("Transfer-Encoding".to_string(), "identity".to_string()),
+            ],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-olive-trace: 00ff\r\n"), "{text}");
+        assert_eq!(text.matches("Transfer-Encoding").count(), 1, "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
     }
 
     #[test]

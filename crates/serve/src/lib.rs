@@ -16,6 +16,8 @@
 //! | `/v1/eval`          | POST   | `{"scheme"\|"schemes", "family", "size", "seed", "batches", …}` |
 //! | `/v1/generate`      | POST   | `{"scheme", "prompt_tokens", "max_new_tokens", …}` — **streamed** |
 //! | `/v1/quantize`      | POST   | `{"scheme", "rows", "cols", "data"}`   |
+//! | `/metrics`          | GET    | — (Prometheus text exposition)         |
+//! | `/debug/trace`      | GET    | — (`?n=K` recent request traces)       |
 //! | `/shutdown`         | POST   | — (403 unless `allow_shutdown` is set) |
 //!
 //! ## Streaming generation & continuous batching
@@ -102,6 +104,22 @@
 //! are prepared once per configuration and shared across requests and
 //! schemes.
 //!
+//! ## Observability
+//!
+//! `GET /metrics` serves the full serving state — per-endpoint request
+//! counts and latency histograms, batcher queue-wait/execute splits, decode
+//! tick durations and time-to-first-chunk, cache occupancy and KV-page
+//! gauges — as Prometheus text exposition via `olive_telemetry`; see
+//! `crates/telemetry/METRICS.md` for the reference. Every request carries
+//! an `x-olive-trace` id (honoured from the router, generated otherwise,
+//! echoed on the response) and its span timeline (accepted → queued →
+//! batched → first-byte → done) lands in a bounded flight recorder behind
+//! `GET /debug/trace?n=K` (and, with `--trace-log`, as JSON lines on disk).
+//! Telemetry is strictly **out of band**: response bodies are byte-identical
+//! with it on or off (`crates/serve/tests/telemetry.rs` proves both), and
+//! telemetry commits before a response's final byte is written, so a client
+//! that saw an answer always finds it counted.
+//!
 //! ## Quickstart (in-process)
 //!
 //! ```
@@ -142,5 +160,6 @@ pub use batch::{BatchConfig, Batcher, Job};
 pub use cache::ModelCache;
 pub use decode_sched::{DecodeScheduler, SchedConfig, SchedStats, StreamEvent};
 pub use http::{Request, Response};
+pub use olive_telemetry::TelemetryOptions;
 pub use protocol::{EvalRequest, GenerateRequest, ModelSize, QuantizeRequest};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, TRACE_HEADER};

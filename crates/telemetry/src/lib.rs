@@ -1,0 +1,166 @@
+//! `olive-telemetry`: metrics registry, Prometheus text exposition, and
+//! request tracing for the serving stack — `std`-only, like everything
+//! else in this workspace.
+//!
+//! The serving layers (`olive-serve`, `olive-router`) each own one
+//! [`Telemetry`] bundle: a [`Registry`] of typed instruments rendered at
+//! `GET /metrics`, and a [`Tracer`] whose spans follow individual requests
+//! (`x-olive-trace` header) through accept → queue → batch → first byte →
+//! done, readable at `GET /debug/trace` or as a `--trace-log` JSONL file.
+//! See `METRICS.md` next to this crate for the full metric reference.
+//!
+//! # Out-of-band by construction
+//!
+//! The serving determinism contract says response bytes are a function of
+//! the request alone — so telemetry must be provably unable to change
+//! them. Three design rules enforce that:
+//!
+//! * **Instruments carry no data back.** Counters, gauges and histograms
+//!   are write-mostly atomics; nothing in the request path reads them to
+//!   make a decision.
+//! * **The clock is quarantined.** Wall-clock reads happen only inside
+//!   this crate ([`Stopwatch`], span timestamps); the
+//!   `no-wallclock-in-deterministic-paths` lint still bans `Instant`/
+//!   `SystemTime` from the serving crates, so timing can only flow through
+//!   these types.
+//! * **Off means off.** With telemetry disabled the layers still count
+//!   events (the `/healthz` gauges are registry-backed and must keep
+//!   working) but every stopwatch is inert and [`Tracer::span`] returns
+//!   `None` — and a regression test proves response bodies are
+//!   byte-identical either way.
+
+pub mod registry;
+pub mod summary;
+pub mod trace;
+
+pub use registry::{latency_buckets_us, Counter, Gauge, Histogram, Registry, Stopwatch};
+pub use summary::{quantile, LatencySummary};
+pub use trace::{Span, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY};
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How a daemon wants its telemetry configured (CLI flags map 1:1).
+#[derive(Clone, Debug)]
+pub struct TelemetryOptions {
+    /// When false (`--no-telemetry`): no latency observations, no tracing.
+    /// Event counters and occupancy gauges still run — `/healthz` and the
+    /// counting half of `/metrics` are load-bearing either way.
+    pub enabled: bool,
+    /// `--trace-log <path>`: append one JSON line per finished span.
+    pub trace_log: Option<PathBuf>,
+    /// Flight-recorder depth for `GET /debug/trace`.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> TelemetryOptions {
+        TelemetryOptions {
+            enabled: true,
+            trace_log: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// One process's telemetry: a shared [`Registry`] plus a [`Tracer`].
+#[derive(Clone)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    enabled: bool,
+}
+
+impl Telemetry {
+    /// Builds the bundle from options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `trace_log` open failure (bad path, permissions).
+    pub fn new(options: &TelemetryOptions) -> io::Result<Telemetry> {
+        let tracer = if options.enabled {
+            Tracer::new(options.trace_capacity, options.trace_log.as_deref())?
+        } else {
+            Tracer::disabled()
+        };
+        Ok(Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer,
+            enabled: options.enabled,
+        })
+    }
+
+    /// An enabled bundle with defaults (fresh registry, no sink) — what
+    /// in-process servers in tests and benches use.
+    pub fn detached() -> Telemetry {
+        Telemetry::new(&TelemetryOptions::default())
+            .expect("default telemetry options cannot fail: no sink file to open")
+    }
+
+    /// A bundle with timing and tracing off; counters/gauges still work.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Tracer::disabled(),
+            enabled: false,
+        }
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether latency observation and tracing are on.
+    pub fn timing_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A stopwatch that runs only when timing is enabled — the one-liner
+    /// the serving layers use at every interval start.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start_if(self.enabled)
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::detached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_still_counts_but_never_times() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.timing_enabled());
+        assert!(telemetry.stopwatch().elapsed_us().is_none());
+        assert!(telemetry.tracer().span("id", "/v1/eval").is_none());
+
+        // Counters keep working: /healthz depends on them.
+        let served = telemetry.registry().counter("olive_served_total", "served");
+        served.inc();
+        assert_eq!(served.get(), 1);
+        assert!(telemetry
+            .registry()
+            .render()
+            .contains("olive_served_total 1"));
+    }
+
+    #[test]
+    fn detached_telemetry_times_and_traces() {
+        let telemetry = Telemetry::detached();
+        assert!(telemetry.timing_enabled());
+        assert!(telemetry.stopwatch().elapsed_us().is_some());
+        let span = telemetry.tracer().span("id", "/v1/eval").unwrap();
+        span.finish();
+        assert_eq!(telemetry.tracer().recent(1).len(), 1);
+    }
+}

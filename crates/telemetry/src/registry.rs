@@ -1,0 +1,558 @@
+//! The metrics registry: typed instruments and Prometheus text exposition.
+//!
+//! Three instrument kinds, all `u64`-valued and lock-free on the hot path:
+//!
+//! * [`Counter`] — monotonic event count (`_total` names by convention).
+//! * [`Gauge`] — a value that goes up and down (occupancy, pool levels).
+//! * [`Histogram`] — fixed-bucket distribution; bucket bounds are chosen at
+//!   registration (see [`latency_buckets_us`] for the log₂-ish latency
+//!   preset) and rendered cumulatively per the Prometheus convention.
+//!
+//! Registration takes the registry's one mutex and hands back a cheap
+//! `Arc`-backed handle; recording through a handle is a relaxed atomic
+//! op and never locks. Exposition ([`Registry::render`]) walks two
+//! `BTreeMap` levels — family name, then rendered label set — so the
+//! output byte order is a function of the metric names alone, never of
+//! registration or arrival order. That stability is part of the contract
+//! and is pinned by an exact-bytes regression test.
+
+use olive_runtime::lock_or_recover;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Log₂-ish latency bucket upper bounds in microseconds: powers of four
+/// from 1 µs to ~4.2 s. Twelve buckets cover everything from a scheduler
+/// tick to a pathological tail request at ~2 significant bits of
+/// resolution, which is plenty for p50/p99-style questions.
+pub fn latency_buckets_us() -> Vec<u64> {
+    (0..12).map(|i| 1u64 << (2 * i)).collect()
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (detached tests/tools).
+    pub fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a `u64` that can be set to any value. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (detached tests/tools).
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A started (or deliberately inert) wall-clock stopwatch.
+///
+/// This is the **only** sanctioned wall-clock read in the serving stack
+/// outside the bench layer: callers create a `Stopwatch` where an interval
+/// starts and feed it to [`Histogram::observe_elapsed`] where it ends, so
+/// `Instant` never appears in request-path code and the
+/// `no-wallclock-in-deterministic-paths` lint keeps holding there. A
+/// disabled stopwatch ([`Stopwatch::disabled`], or `start_if(false)`)
+/// records nothing and costs a branch.
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// A running stopwatch.
+    pub fn started() -> Stopwatch {
+        Stopwatch(Some(Instant::now()))
+    }
+
+    /// A stopwatch that never reads the clock and never records.
+    pub fn disabled() -> Stopwatch {
+        Stopwatch(None)
+    }
+
+    /// Running when `enabled`, inert otherwise.
+    pub fn start_if(enabled: bool) -> Stopwatch {
+        if enabled {
+            Stopwatch::started()
+        } else {
+            Stopwatch::disabled()
+        }
+    }
+
+    /// Whether this stopwatch is actually timing (false when inert) —
+    /// callers use it to start sibling stopwatches under the same switch.
+    pub fn is_running(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Microseconds since start, saturated to `u64`; `None` when inert.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.0
+            .map(|started| u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+}
+
+struct HistogramCore {
+    /// Upper bounds (inclusive), strictly increasing; the implicit `+Inf`
+    /// bucket is `counts.last()`.
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts, one slot longer than `bounds`.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not attached to any registry, e.g. for summarising a
+    /// load-generator's latency samples without running a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly increasing — bucket
+    /// layout is static configuration, not data.
+    pub fn detached(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            counts,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let core = &self.0;
+        let slot = core.bounds.partition_point(|&bound| bound < value);
+        core.counts[slot].fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records the stopwatch's elapsed microseconds; a no-op for an inert
+    /// stopwatch, which is what makes "telemetry off" free on the hot path.
+    pub fn observe_elapsed(&self, stopwatch: &Stopwatch) {
+        if let Some(us) = stopwatch.elapsed_us() {
+            self.observe(us);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` per finite bucket, in bound order.
+    /// The `+Inf` total is [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let core = &self.0;
+        let mut running = 0u64;
+        core.bounds
+            .iter()
+            .zip(core.counts.iter())
+            .map(|(&bound, slot)| {
+                running += slot.load(Ordering::Relaxed);
+                (bound, running)
+            })
+            .collect()
+    }
+}
+
+/// Instrument kinds, also the `# TYPE` token in the exposition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Child {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered label block (`{a="x",b="y"}`, or `""` for an
+    /// unlabelled instrument) so exposition order falls out of the map.
+    children: BTreeMap<String, Child>,
+}
+
+/// A named collection of instruments with Prometheus text exposition.
+///
+/// One registry per process; both daemons expose theirs at `GET /metrics`.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a counter with the given label pairs.
+    /// Registration is idempotent per `(name, labels)`: a second call hands
+    /// back a handle to the same cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different kind, or on
+    /// an invalid metric/label name — instrument layout is static
+    /// configuration established at startup, so a mismatch is a programming
+    /// error, not a runtime condition.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let child = self.child(name, help, Kind::Counter, labels, None);
+        match child {
+            Child::Counter(c) => c,
+            _ => unreachable!("registry returned a non-counter for a counter family"),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Labelled-gauge variant of [`Registry::gauge`]; same idempotence and
+    /// panic contract as [`Registry::counter_with`].
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let child = self.child(name, help, Kind::Gauge, labels, None);
+        match child {
+            Child::Gauge(g) => g,
+            _ => unreachable!("registry returned a non-gauge for a gauge family"),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram with the given
+    /// bucket upper bounds (see [`latency_buckets_us`]).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Labelled-histogram variant; same idempotence and panic contract as
+    /// [`Registry::counter_with`].
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let child = self.child(name, help, Kind::Histogram, labels, Some(bounds));
+        match child {
+            Child::Histogram(h) => h,
+            _ => unreachable!("registry returned a non-histogram for a histogram family"),
+        }
+    }
+
+    fn child(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        bounds: Option<&[u64]>,
+    ) -> Child {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        for (key, _) in labels {
+            assert!(valid_name(key), "invalid label name '{key}' on '{name}'");
+        }
+        let label_key = render_labels(labels);
+        let mut families = lock_or_recover(&self.families);
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric '{name}' is a {} but was re-registered as a {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let child = family
+            .children
+            .entry(label_key)
+            .or_insert_with(|| match kind {
+                Kind::Counter => Child::Counter(Counter::detached()),
+                Kind::Gauge => Child::Gauge(Gauge::detached()),
+                Kind::Histogram => Child::Histogram(Histogram::detached(bounds.unwrap_or(&[1]))),
+            });
+        match child {
+            Child::Counter(c) => Child::Counter(c.clone()),
+            Child::Gauge(g) => Child::Gauge(g.clone()),
+            Child::Histogram(h) => Child::Histogram(h.clone()),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`): families in name order, children in
+    /// rendered-label order, histograms as cumulative `_bucket` series plus
+    /// `_sum` and `_count`. Byte-stable for a fixed set of values.
+    pub fn render(&self) -> String {
+        let families = lock_or_recover(&self.families);
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (label_key, child) in &family.children {
+                match child {
+                    Child::Counter(c) => {
+                        let _ = writeln!(out, "{name}{label_key} {}", c.get());
+                    }
+                    Child::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{label_key} {}", g.get());
+                    }
+                    Child::Histogram(h) => render_histogram(&mut out, name, label_key, h),
+                }
+            }
+        }
+        out
+    }
+
+    /// Every `(labels, value)` of a counter family, in rendered-label
+    /// order. Empty when the family doesn't exist or isn't counters. This
+    /// is how scrape-independent consumers (the `/healthz` JSON) read a
+    /// labelled family back out of the registry.
+    pub fn counter_values(&self, name: &str) -> Vec<(Vec<(String, String)>, u64)> {
+        let families = lock_or_recover(&self.families);
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .children
+            .iter()
+            .filter_map(|(key, child)| match child {
+                Child::Counter(c) => Some((parse_labels(key), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, label_key: &str, hist: &Histogram) {
+    // `le` joins any existing labels inside one brace block.
+    let prefix = if label_key.is_empty() {
+        String::new()
+    } else {
+        // "{a=\"x\"}" -> "a=\"x\","
+        format!("{},", &label_key[1..label_key.len() - 1])
+    };
+    for (bound, cumulative) in hist.cumulative_buckets() {
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{name}_sum{label_key} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{label_key} {}", hist.count());
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — the portable subset of Prometheus names (no
+/// colons: those are reserved for recording rules).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders label pairs as `{a="x",b="y"}` with keys sorted, or `""` for
+/// none. Sorted keys make the rendered string a canonical identity for the
+/// label set, which both dedups registration and fixes exposition order.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let sorted: BTreeMap<&str, &str> = labels.iter().copied().collect();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Inverse of [`render_labels`] for registry read-back; tolerant of the
+/// exact strings [`render_labels`] produces and nothing more.
+fn parse_labels(rendered: &str) -> Vec<(String, String)> {
+    if rendered.is_empty() {
+        return Vec::new();
+    }
+    let inner = &rendered[1..rendered.len() - 1];
+    inner
+        .split(',')
+        .filter_map(|pair| {
+            let (key, quoted) = pair.split_once('=')?;
+            let value = quoted.strip_prefix('"')?.strip_suffix('"')?;
+            Some((
+                key.to_string(),
+                value
+                    .replace("\\\"", "\"")
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\"),
+            ))
+        })
+        .collect()
+}
+
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let registry = Registry::new();
+        let c = registry.counter("olive_test_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Idempotent re-registration hands back the same cell.
+        assert_eq!(
+            registry.counter("olive_test_total", "test counter").get(),
+            5
+        );
+
+        let g = registry.gauge("olive_test_depth", "test gauge");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set(2);
+        assert_eq!(registry.gauge("olive_test_depth", "ignored").get(), 2);
+    }
+
+    #[test]
+    fn labelled_children_are_distinct_cells() {
+        let registry = Registry::new();
+        let a = registry.counter_with("olive_hits_total", "hits", &[("worker", "a")]);
+        let b = registry.counter_with("olive_hits_total", "hits", &[("worker", "b")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        let values = registry.counter_values("olive_hits_total");
+        assert_eq!(
+            values,
+            vec![
+                (vec![("worker".into(), "a".into())], 2),
+                (vec![("worker".into(), "b".into())], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_and_cumulative() {
+        let h = Histogram::detached(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 100] {
+            h.observe(v);
+        }
+        // ≤1: {0,1}; ≤4: +{2,4}; ≤16: +{5}; +Inf: +{100}.
+        assert_eq!(h.cumulative_buckets(), vec![(1, 2), (4, 4), (16, 5)]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 112);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics_at_registration() {
+        let registry = Registry::new();
+        let _ = registry.counter("olive_thing", "a counter");
+        let _ = registry.gauge("olive_thing", "now a gauge");
+    }
+
+    #[test]
+    fn stopwatch_disabled_records_nothing() {
+        let h = Histogram::detached(&[1]);
+        h.observe_elapsed(&Stopwatch::disabled());
+        assert_eq!(h.count(), 0);
+        h.observe_elapsed(&Stopwatch::start_if(true));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2ish_and_increasing() {
+        let bounds = latency_buckets_us();
+        assert_eq!(bounds.first(), Some(&1));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(*bounds.last().unwrap() >= 1_000_000, "must cover ≥ 1 s");
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline latency summaries for the load generators.
+//!
+//! The bench layer collects per-request latencies in nanoseconds and wants
+//! the classic report: quantiles, the max, and a bucketed distribution. The
+//! quantile estimator lives here (it used to be hand-rolled in
+//! `olive_bench::loadgen`, which re-exports it for compatibility) and the
+//! distribution is a detached [`Histogram`] — the same instrument type the
+//! servers expose at `/metrics`, so a loadgen printout and a scrape bucket
+//! the same way.
+
+use crate::registry::{latency_buckets_us, Histogram};
+
+/// Nearest-rank quantile over an ascending-sorted slice (0 when empty).
+///
+/// `q` is clamped to `[0, 1]`; `q = 0.5` is the median. Nearest-rank (not
+/// interpolated) so the returned value is always an observed sample.
+pub fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1]
+}
+
+/// The p50/p95/p99/max of a latency sample plus its bucketed distribution.
+pub struct LatencySummary {
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    histogram: Histogram,
+}
+
+impl LatencySummary {
+    /// Summarises an ascending-sorted nanosecond sample. The histogram uses
+    /// the same log₂-ish microsecond bounds as the servers' latency
+    /// metrics ([`latency_buckets_us`]).
+    pub fn from_sorted_ns(sorted_ns: &[u64]) -> LatencySummary {
+        let histogram = Histogram::detached(&latency_buckets_us());
+        for &ns in sorted_ns {
+            histogram.observe(ns / 1_000);
+        }
+        LatencySummary {
+            p50_ns: quantile(sorted_ns, 0.50),
+            p95_ns: quantile(sorted_ns, 0.95),
+            p99_ns: quantile(sorted_ns, 0.99),
+            max_ns: *sorted_ns.last().unwrap_or(&0),
+            histogram,
+        }
+    }
+
+    /// The distribution as `"le=<bound_us>µs <count>"`-shaped rows, one per
+    /// non-empty cumulative bucket plus the `+Inf` total — the loadgen
+    /// table's human rendering of what `/metrics` would expose.
+    pub fn bucket_rows(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .histogram
+            .cumulative_buckets()
+            .into_iter()
+            .filter(|&(_, cumulative)| cumulative > 0)
+            .map(|(bound, cumulative)| (format!("≤ {bound} µs"), cumulative))
+            .collect();
+        rows.push(("≤ +Inf".to_string(), self.histogram.count()));
+        rows.dedup_by(|a, b| a.1 == b.1);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let sorted = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(quantile(&sorted, 0.50), 50);
+        assert_eq!(quantile(&sorted, 0.95), 100);
+        assert_eq!(quantile(&sorted, 0.0), 10);
+        assert_eq!(quantile(&sorted, 1.0), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn summary_reports_max_and_cumulative_buckets() {
+        // 1 µs, 3 µs, 5 µs, 1 ms as nanoseconds, sorted.
+        let sorted = [1_000, 3_000, 5_000, 1_000_000];
+        let summary = LatencySummary::from_sorted_ns(&sorted);
+        assert_eq!(summary.max_ns, 1_000_000);
+        assert_eq!(summary.p50_ns, 3_000);
+        let rows = summary.bucket_rows();
+        // Cumulative counts never decrease and end at the sample size.
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(rows.last().unwrap().1, 4);
+        assert_eq!(rows[0], ("≤ 1 µs".to_string(), 1));
+    }
+}

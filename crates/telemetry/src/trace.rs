@@ -1,0 +1,357 @@
+//! Request tracing: span events, a bounded in-memory flight recorder, and
+//! an opt-in JSONL sink.
+//!
+//! A [`Span`] follows one request through its hops: the router stamps each
+//! proxied request with an `x-olive-trace` id header (a worker generates
+//! one if the header is absent), and every layer that touches the request
+//! appends a named event — `accepted` → `queued` → `batched` →
+//! `first-byte` → `done` — with a microsecond offset from span start.
+//! Finished spans land in the [`Tracer`]'s ring buffer (newest-evicts-
+//! oldest, bounded by `capacity`), where `GET /debug/trace?n=K` reads them
+//! back, and optionally as one JSON line per span in the `--trace-log`
+//! file.
+//!
+//! Tracing is strictly out-of-band: span events never alter response
+//! bytes, and when the tracer is disabled [`Tracer::span`] returns `None`
+//! so the serving layers skip every clock read.
+
+use olive_runtime::lock_or_recover;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Default flight-recorder depth: enough to hold the recent past of a busy
+/// daemon without letting `/debug/trace` become a memory sink.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// A finished span: the trace id, the endpoint it hit, and its event
+/// timeline as `(stage, microseconds-from-start)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub trace_id: String,
+    pub endpoint: String,
+    pub events: Vec<(String, u64)>,
+}
+
+impl TraceRecord {
+    /// One-line JSON rendering, used both for the JSONL sink and for the
+    /// `/debug/trace` response body. Keys in fixed order, events in
+    /// recording order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace_id\":\"{}\",\"endpoint\":\"{}\",\"events\":[",
+            escape_json(&self.trace_id),
+            escape_json(&self.endpoint)
+        );
+        for (i, (stage, t_us)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"t_us\":{t_us}}}",
+                escape_json(stage)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+struct TracerInner {
+    capacity: usize,
+    records: Mutex<VecDeque<TraceRecord>>,
+    sink: Option<Mutex<BufWriter<File>>>,
+    /// Trace-id entropy: a startup-time seed hashed with a counter. The
+    /// clock read happens once, here, inside the telemetry layer.
+    seed: u64,
+    next: AtomicU64,
+}
+
+/// The per-process trace collector. Cloning shares the recorder.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with the given recorder capacity and optional
+    /// JSONL sink (opened in append mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink-file open failure.
+    pub fn new(capacity: usize, trace_log: Option<&Path>) -> io::Result<Tracer> {
+        let sink = match trace_log {
+            Some(path) => Some(Mutex::new(BufWriter::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            ))),
+            None => None,
+        };
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+            | 1;
+        Ok(Tracer {
+            inner: Some(Arc::new(TracerInner {
+                capacity: capacity.max(1),
+                records: Mutex::new(VecDeque::new()),
+                sink,
+                seed,
+                next: AtomicU64::new(0),
+            })),
+        })
+    }
+
+    /// A tracer that records nothing and hands out no spans.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A fresh 16-hex-digit trace id. Ids are unique per process run
+    /// (counter) and distinct across runs (startup seed); they are
+    /// correlation handles, not secrets.
+    pub fn new_trace_id(&self) -> String {
+        let (seed, n) = match &self.inner {
+            Some(inner) => (inner.seed, inner.next.fetch_add(1, Ordering::Relaxed)),
+            None => (0, 0),
+        };
+        format!("{:016x}", splitmix64(seed ^ splitmix64(n)))
+    }
+
+    /// Opens a span for one request, or `None` when tracing is disabled —
+    /// the serving layers thread that `Option` through so a disabled
+    /// tracer costs nothing per request.
+    pub fn span(&self, trace_id: &str, endpoint: &str) -> Option<Arc<Span>> {
+        self.inner.as_ref()?;
+        Some(Arc::new(Span {
+            tracer: self.clone(),
+            trace_id: trace_id.to_string(),
+            endpoint: endpoint.to_string(),
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            finished: AtomicBool::new(false),
+        }))
+    }
+
+    /// The newest `n` finished spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let records = lock_or_recover(&inner.records);
+        let skip = records.len().saturating_sub(n);
+        records.iter().skip(skip).cloned().collect()
+    }
+
+    fn record(&self, record: TraceRecord) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if let Some(sink) = &inner.sink {
+            let mut writer = lock_or_recover(sink);
+            // Telemetry must never take the service down: a full disk
+            // degrades the sink, not the request.
+            let _ = writeln!(writer, "{}", record.to_json());
+            let _ = writer.flush();
+        }
+        let mut records = lock_or_recover(&inner.records);
+        if records.len() == inner.capacity {
+            records.pop_front();
+        }
+        records.push_back(record);
+    }
+}
+
+/// One request's in-flight timeline. Shared as `Arc<Span>` between the
+/// connection handler and the batching/scheduling layers; events may be
+/// appended from any thread. The span finishes at most once — explicitly
+/// via [`Span::finish`] (the connection handler does this after the last
+/// response byte) or implicitly on drop, so abandoned requests still land
+/// in the recorder.
+pub struct Span {
+    tracer: Tracer,
+    trace_id: String,
+    endpoint: String,
+    start: Instant,
+    events: Mutex<Vec<(String, u64)>>,
+    finished: AtomicBool,
+}
+
+impl Span {
+    /// The id this span travels under (`x-olive-trace`).
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+
+    /// Appends a named event at the current offset from span start.
+    pub fn event(&self, stage: &str) {
+        if self.finished.load(Ordering::Acquire) {
+            return;
+        }
+        let t_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        lock_or_recover(&self.events).push((stage.to_string(), t_us));
+    }
+
+    /// Records the terminal `done` event and commits the span to the
+    /// flight recorder (and sink). Idempotent.
+    pub fn finish(&self) {
+        self.event("done");
+        if self.finished.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let events = std::mem::take(&mut *lock_or_recover(&self.events));
+        self.tracer.record(TraceRecord {
+            trace_id: self.trace_id.clone(),
+            endpoint: self.endpoint.clone(),
+            events,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_their_event_timeline_in_order() {
+        let tracer = Tracer::new(8, None).unwrap();
+        let span = tracer.span("abc", "/v1/eval").unwrap();
+        span.event("accepted");
+        span.event("queued");
+        span.finish();
+
+        let recent = tracer.recent(10);
+        assert_eq!(recent.len(), 1);
+        let record = &recent[0];
+        assert_eq!(record.trace_id, "abc");
+        assert_eq!(record.endpoint, "/v1/eval");
+        let stages: Vec<&str> = record.events.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(stages, ["accepted", "queued", "done"]);
+        assert!(record.events.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_finishes() {
+        let tracer = Tracer::new(8, None).unwrap();
+        let span = tracer.span("x", "/v1/eval").unwrap();
+        span.finish();
+        span.finish();
+        drop(span);
+        assert_eq!(tracer.recent(10).len(), 1);
+
+        {
+            let _implicit = tracer.span("y", "/v1/generate").unwrap();
+        }
+        assert_eq!(tracer.recent(10).len(), 2);
+    }
+
+    #[test]
+    fn the_recorder_is_bounded_and_keeps_the_newest() {
+        let tracer = Tracer::new(2, None).unwrap();
+        for id in ["a", "b", "c"] {
+            tracer.span(id, "/v1/eval").unwrap().finish();
+        }
+        let recent = tracer.recent(10);
+        let ids: Vec<&str> = recent.iter().map(|r| r.trace_id.as_str()).collect();
+        assert_eq!(ids, ["b", "c"]);
+        // recent(n) truncates from the old end.
+        assert_eq!(tracer.recent(1)[0].trace_id, "c");
+    }
+
+    #[test]
+    fn disabled_tracer_hands_out_no_spans() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        assert!(tracer.span("abc", "/v1/eval").is_none());
+        assert!(tracer.recent(10).is_empty());
+    }
+
+    #[test]
+    fn trace_ids_are_sixteen_hex_and_distinct() {
+        let tracer = Tracer::new(8, None).unwrap();
+        let a = tracer.new_trace_id();
+        let b = tracer.new_trace_id();
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn records_render_as_one_json_line() {
+        let record = TraceRecord {
+            trace_id: "00ff".into(),
+            endpoint: "/v1/eval".into(),
+            events: vec![("accepted".into(), 0), ("done".into(), 42)],
+        };
+        assert_eq!(
+            record.to_json(),
+            "{\"trace_id\":\"00ff\",\"endpoint\":\"/v1/eval\",\"events\":[\
+             {\"stage\":\"accepted\",\"t_us\":0},{\"stage\":\"done\",\"t_us\":42}]}"
+        );
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn jsonl_sink_appends_one_line_per_span() {
+        let dir = std::env::temp_dir().join(format!("olive-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let tracer = Tracer::new(8, Some(&path)).unwrap();
+            tracer.span("one", "/v1/eval").unwrap().finish();
+            tracer.span("two", "/v1/generate").unwrap().finish();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"trace_id\":\"one\""));
+        assert!(lines[1].contains("\"endpoint\":\"/v1/generate\""));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact-bytes regression test for the Prometheus text exposition.
+//!
+//! The `/metrics` byte order is part of the interface: families in name
+//! order, children in rendered-label order, histograms as cumulative
+//! `_bucket` + `_sum` + `_count`. This pin is what "byte-stable ordering"
+//! means — if rendering changes shape, this test fails before a scraper
+//! does.
+
+use olive_telemetry::Registry;
+
+#[test]
+fn exposition_bytes_are_pinned() {
+    let registry = Registry::new();
+
+    // Registered deliberately out of name order, with labels deliberately
+    // out of key order — the output must not care.
+    let depth = registry.gauge("olive_queue_depth", "Jobs waiting in the batch queue.");
+    depth.set(3);
+
+    let b = registry.counter_with(
+        "olive_http_requests_total",
+        "Requests answered, by endpoint and status class.",
+        &[("status", "4xx"), ("endpoint", "/v1/eval")],
+    );
+    let a = registry.counter_with(
+        "olive_http_requests_total",
+        "Requests answered, by endpoint and status class.",
+        &[("endpoint", "/v1/eval"), ("status", "2xx")],
+    );
+    a.add(7);
+    b.inc();
+
+    let h = registry.histogram(
+        "olive_batch_queue_wait_us",
+        "Queue wait before batching, microseconds.",
+        &[1, 4, 16],
+    );
+    for us in [0, 1, 3, 17] {
+        h.observe(us);
+    }
+
+    let expected = "\
+# HELP olive_batch_queue_wait_us Queue wait before batching, microseconds.
+# TYPE olive_batch_queue_wait_us histogram
+olive_batch_queue_wait_us_bucket{le=\"1\"} 2
+olive_batch_queue_wait_us_bucket{le=\"4\"} 3
+olive_batch_queue_wait_us_bucket{le=\"16\"} 3
+olive_batch_queue_wait_us_bucket{le=\"+Inf\"} 4
+olive_batch_queue_wait_us_sum 21
+olive_batch_queue_wait_us_count 4
+# HELP olive_http_requests_total Requests answered, by endpoint and status class.
+# TYPE olive_http_requests_total counter
+olive_http_requests_total{endpoint=\"/v1/eval\",status=\"2xx\"} 7
+olive_http_requests_total{endpoint=\"/v1/eval\",status=\"4xx\"} 1
+# HELP olive_queue_depth Jobs waiting in the batch queue.
+# TYPE olive_queue_depth gauge
+olive_queue_depth 3
+";
+    assert_eq!(registry.render(), expected);
+}
+
+#[test]
+fn labelled_histograms_merge_le_into_the_label_block() {
+    let registry = Registry::new();
+    let h = registry.histogram_with(
+        "olive_http_request_duration_us",
+        "Request latency.",
+        &[8],
+        &[("endpoint", "/v1/generate")],
+    );
+    h.observe(5);
+    h.observe(50);
+
+    let expected = "\
+# HELP olive_http_request_duration_us Request latency.
+# TYPE olive_http_request_duration_us histogram
+olive_http_request_duration_us_bucket{endpoint=\"/v1/generate\",le=\"8\"} 1
+olive_http_request_duration_us_bucket{endpoint=\"/v1/generate\",le=\"+Inf\"} 2
+olive_http_request_duration_us_sum{endpoint=\"/v1/generate\"} 55
+olive_http_request_duration_us_count{endpoint=\"/v1/generate\"} 2
+";
+    assert_eq!(registry.render(), expected);
+}
+
+#[test]
+fn rendering_is_stable_across_repeated_scrapes() {
+    let registry = Registry::new();
+    registry.counter("olive_a_total", "a").inc();
+    registry.gauge("olive_b", "b").set(9);
+    let first = registry.render();
+    let second = registry.render();
+    assert_eq!(first, second, "a scrape must not perturb the next scrape");
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let registry = Registry::new();
+    let c = registry.counter_with("olive_esc_total", "escapes", &[("path", "a\"b\\c\nd")]);
+    c.inc();
+    assert!(registry
+        .render()
+        .contains("olive_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+}

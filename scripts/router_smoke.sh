@@ -10,9 +10,11 @@
 #  2. A 3-worker `olive-router` front door (one worker cold-starting from
 #     the snapshot store) serves /v1/eval and a streamed /v1/generate
 #     **byte-identical** to a single worker asked directly.
-#  3. kill -9 of a worker is absorbed: a multi-seed sweep through the router
-#     still answers 200 on every request, and the loss is visible in the
-#     router's aggregated /healthz.
+#  3. kill -9 of a worker is absorbed: the router is asked for the exact
+#     request the dead worker owned (it must fail over, byte-identically),
+#     a multi-seed sweep still answers 200 on every request, and the loss
+#     is visible in the aggregated /healthz and the /metrics counters
+#     (fail-overs, the unhealthy health-flip, per-worker breakdown).
 #  4. `olive-router --spawn N` owns its own workers: it boots them, serves
 #     through them, and stops them on shutdown.
 set -euo pipefail
@@ -107,9 +109,58 @@ diff "$WORKDIR/ref_gen.json" "$WORKDIR/routed_gen.json" \
     || { echo "router_smoke: routed /v1/generate bytes differ from single worker" >&2; exit 1; }
 echo "routed responses are byte-identical"
 
-echo "== kill -9 one worker: the sweep must keep answering 200 =="
-# PIDS: [reference, w1, w2, w3, router] — kill worker 2 (index 2).
-kill -9 "${PIDS[2]}"
+echo "== router /metrics: routed traffic visible, per-worker sums consistent =="
+RMETRICS="$("$BIN/serve_client" GET "$ROUTER_URL/metrics" --no-json)"
+# The eval + generate above were both routed; the per-worker breakdown must
+# add up to the same total (healthz is answered by the router itself).
+awk '
+    /^olive_router_requests_served_total / { served = $2 }
+    /^olive_router_worker_requests_total\{/ { by_worker += $2 }
+    END {
+        if (served != 2) { print "router_smoke: expected 2 routed requests, /metrics says " served; exit 1 }
+        if (by_worker != served) {
+            print "router_smoke: per-worker requests (" by_worker ") do not sum to the total (" served ")"
+            exit 1
+        }
+    }
+' <<<"$RMETRICS"
+if ! grep -qF 'olive_router_worker_healthy{worker="' <<<"$RMETRICS"; then
+    echo "router_smoke: /metrics is missing the per-worker health gauges" >&2
+    exit 1
+fi
+echo "router metrics add up"
+
+# Which worker owns EVAL_BODY's routing key? Ring placement depends on the
+# workers' ephemeral ports, so find it empirically: re-post the same body
+# (same key → same worker) and see whose per-worker counter moved.
+echo "== find the worker that owns the eval key =="
+BEFORE="$("$BIN/serve_client" GET "$ROUTER_URL/metrics" --no-json)"
+"$BIN/serve_client" POST "$ROUTER_URL/v1/eval" --body "$EVAL_BODY" >/dev/null
+AFTER="$("$BIN/serve_client" GET "$ROUTER_URL/metrics" --no-json)"
+OWNER="$(awk '
+    /^olive_router_worker_requests_total\{/ && match($0, /worker="[^"]*"/) {
+        w = substr($0, RSTART + 8, RLENGTH - 9)
+        if (NR == FNR) before[w] = $2
+        else if ($2 > before[w] + 0) print w
+    }
+' <(printf '%s\n' "$BEFORE") <(printf '%s\n' "$AFTER"))"
+case "$OWNER" in
+    "$W1_URL") VICTIM=1 ;;
+    "$W2_URL") VICTIM=2 ;;
+    "$W3_URL") VICTIM=3 ;;
+    *) echo "router_smoke: cannot map eval-key owner '$OWNER' to a worker" >&2; exit 1 ;;
+esac
+echo "eval key is owned by worker $VICTIM ($OWNER)"
+
+echo "== kill -9 the owner: the same request must fail over, byte-identically =="
+# PIDS: [reference, w1, w2, w3, router].
+kill -9 "${PIDS[$VICTIM]}"
+# The dead worker is still flagged healthy (no probe has failed yet), so it
+# stays first in its key's candidate plan: the very next post of the same
+# body MUST attempt it, fail, and fail over — deterministically, no sweep.
+"$BIN/serve_client" POST "$ROUTER_URL/v1/eval" --body "$EVAL_BODY" >"$WORKDIR/failover_eval.json"
+diff "$WORKDIR/ref_eval.json" "$WORKDIR/failover_eval.json" \
+    || { echo "router_smoke: failed-over /v1/eval bytes differ from single worker" >&2; exit 1; }
 for seed in 1 2 3 4 5 6; do
     "$BIN/serve_client" POST "$ROUTER_URL/v1/eval" \
         --body "{\"scheme\": \"olive-4bit\", \"batches\": 2, \"oversample\": 2, \"seed\": $seed}" \
@@ -125,13 +176,34 @@ if ! grep -q '"status": "degraded"' <<<"$HEALTH"; then
     echo "router_smoke: healthz status should be degraded: $HEALTH" >&2
     exit 1
 fi
-echo "worker loss is visible in aggregated healthz"
+if ! grep -q '"requests_failed_over": [1-9]' <<<"$HEALTH"; then
+    echo "router_smoke: the fail-over is missing from aggregated healthz: $HEALTH" >&2
+    exit 1
+fi
+# Every aggregated-healthz call probes every worker, and each failed probe
+# counts toward the unhealthy threshold (3 by default) — so three more
+# probes guarantee the dead worker's health FLIP is on the books too.
+for _ in 1 2 3; do
+    "$BIN/serve_client" GET "$ROUTER_URL/healthz" >/dev/null
+done
+KMETRICS="$("$BIN/serve_client" GET "$ROUTER_URL/metrics" --no-json)"
+if ! grep -E 'olive_router_requests_failed_over_total [1-9]' <<<"$KMETRICS" >/dev/null; then
+    echo "router_smoke: /metrics does not count the fail-overs" >&2
+    exit 1
+fi
+if ! grep -E 'olive_router_worker_health_transitions_total\{.*to="unhealthy".*\} [1-9]' <<<"$KMETRICS" >/dev/null; then
+    echo "router_smoke: /metrics does not show the health transition" >&2
+    exit 1
+fi
+echo "worker loss is visible in aggregated healthz and /metrics"
 
 echo "== clean shutdowns =="
 "$BIN/serve_client" POST "$ROUTER_URL/shutdown" >/dev/null
 "$BIN/serve_client" POST "$REF_URL/shutdown" >/dev/null
-"$BIN/serve_client" POST "$W1_URL/shutdown" >/dev/null
-"$BIN/serve_client" POST "$W3_URL/shutdown" >/dev/null
+for url in "$W1_URL" "$W2_URL" "$W3_URL"; do
+    [[ "$url" == "$OWNER" ]] && continue
+    "$BIN/serve_client" POST "$url/shutdown" >/dev/null
+done
 for pid in "${PIDS[@]}"; do
     wait "$pid" 2>/dev/null || true
 done

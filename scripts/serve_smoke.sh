@@ -12,7 +12,10 @@
 #  2. A shell-driven rehearsal of the same flow with the `serve_client`
 #     binary — proving the daemon + CLI client work exactly as the README
 #     documents them, outside any cargo test harness. The /v1/generate step
-#     drives one real chunked stream through the daemon.
+#     drives one real chunked stream through the daemon. The rehearsal runs
+#     with --trace-log and finishes by scraping /metrics and /debug/trace:
+#     the served requests must show up as counters, spans and trace-log
+#     lines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,11 +26,12 @@ echo "== daemon + serve_client rehearsal =="
 cargo build --release -q -p olive-serve
 
 OUT="$(mktemp)"
+TRACE_LOG="$(mktemp)"
 SERVER_PID=""
 # On ANY exit (incl. a failed client step under set -e): never leave the
 # daemon orphaned. The happy path disarms the kill by clearing SERVER_PID.
-trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$OUT"' EXIT
-target/release/olive-serve --port 0 --allow-shutdown >"$OUT" &
+trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$OUT" "$TRACE_LOG"' EXIT
+target/release/olive-serve --port 0 --allow-shutdown --trace-log "$TRACE_LOG" >"$OUT" &
 SERVER_PID=$!
 
 # Wait (max ~5s) for the listening line, then scrape the URL.
@@ -52,6 +56,38 @@ target/release/serve_client POST "$URL/v1/eval" \
 # coding and still requires the concatenated body to parse as JSON.
 target/release/serve_client POST "$URL/v1/generate" \
     --body '{"scheme": "olive-4bit", "prompt_tokens": 4, "max_new_tokens": 6}' >/dev/null
+
+# The traffic above must be visible in the observability surface: request
+# counters on /metrics (Prometheus text, so --no-json), finished spans on
+# /debug/trace, and one JSON line per span in the --trace-log file.
+METRICS="$(target/release/serve_client GET "$URL/metrics" --no-json)"
+for want in \
+    'olive_http_requests_total{endpoint="/healthz",status="2xx"} 1' \
+    'olive_http_requests_total{endpoint="/v1/eval",status="2xx"} 1' \
+    'olive_http_requests_total{endpoint="/v1/generate",status="2xx"} 1' \
+    'olive_batch_jobs_served_total 1' \
+    'olive_decode_streams_served_total 1'
+do
+    if ! grep -qF "$want" <<<"$METRICS"; then
+        echo "serve_smoke: /metrics is missing '$want'" >&2
+        echo "$METRICS" >&2
+        exit 1
+    fi
+done
+TRACES="$(target/release/serve_client GET "$URL/debug/trace?n=8")"
+for stage in accepted queued batched first-byte done; do
+    if ! grep -qF "\"stage\":\"$stage\"" <<<"$TRACES"; then
+        echo "serve_smoke: /debug/trace is missing stage '$stage': $TRACES" >&2
+        exit 1
+    fi
+done
+if ! grep -qF '"endpoint":"/v1/generate"' "$TRACE_LOG"; then
+    echo "serve_smoke: --trace-log did not record the generate span" >&2
+    cat "$TRACE_LOG" >&2
+    exit 1
+fi
+echo "metrics, traces and the trace log all saw the traffic"
+
 target/release/serve_client POST "$URL/shutdown" >/dev/null
 
 # The daemon must exit 0 on its own after /shutdown.

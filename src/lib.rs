@@ -92,6 +92,12 @@
 //!   byte-identical proxied responses, streamed-chunk passthrough, retry
 //!   and health-probing (the `olive-router` binary; see the README
 //!   "Scale-out" section).
+//! * [`telemetry`] — zero-dependency observability: the metrics registry
+//!   behind `GET /metrics` (Prometheus text exposition) on both daemons,
+//!   and the `x-olive-trace` request tracing behind `GET /debug/trace`.
+//!   Strictly out of band: served bytes are identical with telemetry on or
+//!   off (see the README "Observability" section and
+//!   `crates/telemetry/METRICS.md`).
 
 pub use olive_accel as accel;
 pub use olive_api as api;
@@ -102,4 +108,5 @@ pub use olive_models as models;
 pub use olive_router as router;
 pub use olive_runtime as runtime;
 pub use olive_serve as serve;
+pub use olive_telemetry as telemetry;
 pub use olive_tensor as tensor;
