@@ -131,12 +131,18 @@ impl ModelArtifact {
     }
 
     /// Rebuilds the eval preparation, or `None` for a generation artifact.
+    /// The artifact's quantized students seed the preparation's
+    /// quantize-once cache, so a loader's first eval per scheme skips
+    /// re-quantization (the snapshot already paid for it).
     pub fn prepared_eval(&self) -> Option<PreparedEval> {
         match &self.payload {
-            ArtifactPayload::Eval { task } => Some(PreparedEval {
-                teacher: self.teacher.clone(),
-                task: task.clone(),
-            }),
+            ArtifactPayload::Eval { task } => {
+                let prepared = PreparedEval::new(self.teacher.clone(), task.clone());
+                for (spec, student) in &self.students {
+                    prepared.seed_student(spec.clone(), student.clone());
+                }
+                Some(prepared)
+            }
             ArtifactPayload::Gen { .. } => None,
         }
     }

@@ -17,7 +17,7 @@
 
 use olive_api::Scheme;
 use olive_bench::cli::BenchCli;
-use olive_core::{quantized_matmul, OliveQuantizer};
+use olive_core::{quantized_matmul, reference_quantized_matmul, OliveQuantizer};
 use olive_harness::bench::{black_box, BenchConfig, BenchSuite};
 use olive_models::SynthProfile;
 use olive_tensor::matmul::matmul;
@@ -54,6 +54,32 @@ fn bench_shape(suite: &mut BenchSuite, n: usize, seed: u64) {
             black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
         })
     });
+
+    // Decode-once vs decode-per-call, side by side: the packed row measures
+    // steady state with the integer plans explicitly pre-built (what a
+    // prepared model serves), the legacy row runs the pre-refactor kernel
+    // that re-decodes both operands on every call (kept in-tree as the
+    // bit-identity oracle).
+    qa.prepare_packed();
+    qb.prepare_packed();
+    suite.bench_with_elements(
+        &format!("gemm_{n}x{n}x{n}/ovp_int4_packed_seq"),
+        macs,
+        || {
+            olive_runtime::with_threads(1, || {
+                black_box(quantized_matmul(black_box(&qa), black_box(&qb)))
+            })
+        },
+    );
+    suite.bench_with_elements(
+        &format!("gemm_{n}x{n}x{n}/ovp_int4_legacy_seq"),
+        macs,
+        || {
+            olive_runtime::with_threads(1, || {
+                black_box(reference_quantized_matmul(black_box(&qa), black_box(&qb)))
+            })
+        },
+    );
 }
 
 /// Benchmarks one registry scheme's 256³ GEMM (seq + par): OliVe schemes
@@ -95,6 +121,23 @@ fn bench_scheme(suite: &mut BenchSuite, scheme: &Scheme, n: usize, seed: u64) {
     }
 }
 
+/// Records which SIMD path the quantized kernels dispatched to in the
+/// `--json` results, so a gate run's numbers carry their provenance. The
+/// codes order slower paths higher (avx2 = 1, sse2 = 2, scalar = 4), so a
+/// machine silently downgrading to a slower path fails the gate like any
+/// other regression.
+fn record_dispatch(cli: &BenchCli) {
+    if let Some(path) = &cli.json {
+        let mut medians = olive_bench::gate::Medians::new();
+        medians.insert(
+            "quantized_gemm/simd_dispatch".to_string(),
+            olive_core::simd::resolve_path().provenance_code(),
+        );
+        olive_bench::gate::merge_into_file(path, &medians)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
 fn main() {
     let cli = BenchCli::parse();
     let mut suite = cli.suite("quantized_gemm");
@@ -113,6 +156,7 @@ fn main() {
 
     if cli.quick {
         cli.finish(&[&suite]);
+        record_dispatch(&cli);
         return;
     }
     // The paper-scale 1024-cubed kernels: heavyweight, so they run with a
@@ -120,4 +164,5 @@ fn main() {
     let mut heavy = BenchSuite::with_config("quantized_gemm", BenchConfig::from_env_or(1, 5));
     bench_shape(&mut heavy, 1024, 0x6F);
     cli.finish(&[&suite, &heavy]);
+    record_dispatch(&cli);
 }

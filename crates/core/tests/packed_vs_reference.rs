@@ -1,0 +1,194 @@
+//! Seeded, replayable property suite for the decode-once packed GEMM: the
+//! packed+SIMD kernel must be **bit-identical** to the pre-refactor
+//! reference scalar kernel ([`reference_quantized_matmul`], kept in-tree as
+//! the oracle) — outputs *and* [`QuantGemmStats`] — across odd shapes
+//! (`m = 1`, `k = 1`, non-tile multiples, zero-sized dims), every scheme
+//! with a GEMM path (`int4`, `flint4`, `int8`, mixed pairs), and the full
+//! `OLIVE_THREADS` ∈ {1, 8} × `OLIVE_SIMD` ∈ {scalar, auto} grid.
+
+use olive_core::{
+    quantized_matmul, reference_quantized_matmul, weight_only_matmul, with_simd, OliveQuantizer,
+    OvpTensor, SimdPath,
+};
+use olive_harness::check::{check_with, CheckConfig};
+use olive_harness::prop_assert_eq;
+use olive_tensor::matmul::matmul;
+use olive_tensor::rng::Rng;
+use olive_tensor::Tensor;
+
+/// Shape pool biased toward edges: zero-sized dims, unit dims, primes,
+/// one-off-tile sizes. Zero appears so the suite keeps covering empty
+/// operands alongside the explicit test below.
+const DIM_POOL: [usize; 11] = [0, 1, 2, 3, 7, 16, 33, 67, 127, 129, 160];
+
+fn pick_dim(rng: &mut Rng) -> usize {
+    DIM_POOL[rng.below(DIM_POOL.len())]
+}
+
+fn random_tensor(shape: Vec<usize>, rng: &mut Rng, outliers: usize) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = vec![0.0f32; n];
+    rng.fill_normal(&mut data, 0.0, 1.0);
+    for _ in 0..outliers.min(n) {
+        let i = rng.below(n.max(1));
+        data[i] = rng.uniform_range(15.0, 40.0) as f32 * if rng.chance(0.5) { 1.0 } else { -1.0 };
+    }
+    Tensor::from_vec(shape, data)
+}
+
+fn pick_quantizer(rng: &mut Rng) -> OliveQuantizer {
+    match rng.below(3) {
+        0 => OliveQuantizer::int4(),
+        1 => OliveQuantizer::flint4(),
+        _ => OliveQuantizer::int8(),
+    }
+}
+
+/// The dispatch grid the acceptance criteria name: both thread counts by
+/// both SIMD settings (`None` = auto-detect, i.e. the widest supported
+/// path on this CPU).
+const DISPATCH_GRID: [(usize, Option<SimdPath>); 4] = [
+    (1, Some(SimdPath::Scalar)),
+    (1, None),
+    (8, Some(SimdPath::Scalar)),
+    (8, None),
+];
+
+/// Asserts that `quantized_matmul` reproduces the oracle bit-for-bit on
+/// every (threads, simd) combination: output bits and statistics.
+fn assert_bit_identical(qa: &OvpTensor, qb: &OvpTensor) -> Result<(), String> {
+    let (want, want_stats) = reference_quantized_matmul(qa, qb);
+    for (threads, path) in DISPATCH_GRID {
+        let (got, got_stats) =
+            olive_runtime::with_threads(threads, || with_simd(path, || quantized_matmul(qa, qb)));
+        let label = path.map_or("auto", SimdPath::name);
+        prop_assert_eq!(
+            got_stats,
+            want_stats,
+            "stats diverge from reference at threads={} simd={} for {:?}x{:?}",
+            threads,
+            label,
+            qa.shape(),
+            qb.shape()
+        );
+        prop_assert_eq!(got.shape(), want.shape());
+        let want_bits: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(
+            got_bits,
+            want_bits,
+            "output bits diverge from reference at threads={} simd={} for {:?}x{:?}",
+            threads,
+            label,
+            qa.shape(),
+            qb.shape()
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn packed_kernel_is_bit_identical_to_reference_across_dispatch_grid() {
+    check_with(
+        CheckConfig {
+            cases: 32,
+            ..CheckConfig::default()
+        },
+        "packed_vs_reference",
+        |rng| {
+            let (m, k, n) = (pick_dim(rng), pick_dim(rng), pick_dim(rng));
+            let a = random_tensor(vec![m, k], rng, 3);
+            let b = random_tensor(vec![k, n], rng, 3);
+            // Operands may use *different* schemes: mixed grids (i16 × i32)
+            // take distinct kernel paths and must stay exact too.
+            (
+                pick_quantizer(rng).quantize(&a),
+                pick_quantizer(rng).quantize(&b),
+            )
+        },
+        |(qa, qb)| assert_bit_identical(qa, qb),
+    );
+}
+
+#[test]
+fn unit_dims_are_bit_identical() {
+    // m = 1 and k = 1 deserve deterministic (non-sampled) coverage: they are
+    // the degenerate loops most refactors break first.
+    let mut rng = Rng::seed_from(0xDEC0DE);
+    for (m, k, n) in [(1, 67, 33), (16, 1, 33), (67, 129, 1), (1, 1, 1)] {
+        let a = random_tensor(vec![m, k], &mut rng, 2);
+        let b = random_tensor(vec![k, n], &mut rng, 2);
+        for quant in [
+            OliveQuantizer::int4(),
+            OliveQuantizer::flint4(),
+            OliveQuantizer::int8(),
+        ] {
+            assert_bit_identical(&quant.quantize(&a), &quant.quantize(&b))
+                .unwrap_or_else(|e| panic!("({m},{k},{n}): {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn zero_sized_dims_are_bit_identical() {
+    let mut rng = Rng::seed_from(0xE0);
+    for (m, k, n) in [(0, 4, 3), (2, 0, 3), (2, 4, 0), (0, 0, 0)] {
+        let a = random_tensor(vec![m, k], &mut rng, 0);
+        let b = random_tensor(vec![k, n], &mut rng, 0);
+        let qa = OliveQuantizer::int4().quantize(&a);
+        let qb = OliveQuantizer::int4().quantize(&b);
+        assert_bit_identical(&qa, &qb).unwrap_or_else(|e| panic!("({m},{k},{n}): {e:?}"));
+    }
+}
+
+#[test]
+fn overflow_fallback_rows_are_bit_identical() {
+    // Saturate the int8 grid (E4M3 ceiling ≈ 7.86e6) so single MACs exceed
+    // i32: the pre-bound must route those rows to the exact fallback, whose
+    // prefix-checked stats have to match the oracle everywhere on the grid.
+    let quant = OliveQuantizer::int8();
+    let qa = quant.quantize_with_scale(&Tensor::full(vec![3, 9], 2000.0), 1e-4);
+    let qb = quant.quantize_with_scale(&Tensor::full(vec![9, 5], 2000.0), 1e-4);
+    let (_, stats) = reference_quantized_matmul(&qa, &qb);
+    assert!(stats.i32_overflows > 0, "setup failed to overflow");
+    assert_bit_identical(&qa, &qb).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn olive_simd_env_variable_controls_dispatch() {
+    // The env-var path (as opposed to the with_simd override used above):
+    // OLIVE_SIMD is re-read per kernel entry, so one process can compare
+    // settings. Runs serially inside this one test to avoid env races.
+    let mut rng = Rng::seed_from(0x51D);
+    let a = random_tensor(vec![33, 67], &mut rng, 2);
+    let b = random_tensor(vec![67, 16], &mut rng, 2);
+    let qa = OliveQuantizer::int4().quantize(&a);
+    let qb = OliveQuantizer::int4().quantize(&b);
+    let (want, want_stats) = reference_quantized_matmul(&qa, &qb);
+
+    for value in ["scalar", "0", "auto", "sse2"] {
+        if value == "sse2" && !SimdPath::Sse2.supported() {
+            continue;
+        }
+        std::env::set_var("OLIVE_SIMD", value);
+        let (got, got_stats) = quantized_matmul(&qa, &qb);
+        std::env::remove_var("OLIVE_SIMD");
+        assert_eq!(got_stats, want_stats, "OLIVE_SIMD={value}");
+        for i in 0..want.len() {
+            assert_eq!(got[i].to_bits(), want[i].to_bits(), "OLIVE_SIMD={value}");
+        }
+    }
+}
+
+#[test]
+fn weight_only_matmul_cached_path_is_bit_identical() {
+    let mut rng = Rng::seed_from(0xCAFE);
+    let a = random_tensor(vec![16, 67], &mut rng, 1);
+    let b = random_tensor(vec![67, 33], &mut rng, 2);
+    let qb = OliveQuantizer::int4().quantize(&b);
+    let want = matmul(&a, &qb.dequantize());
+    for _ in 0..2 {
+        let got = weight_only_matmul(&a, &qb);
+        assert_eq!(got, want);
+    }
+}

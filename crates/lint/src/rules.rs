@@ -17,6 +17,7 @@
 //! | `no-bare-lock-unwrap`                 | poisoned locks recover, never cascade |
 //! | `no-wallclock-in-deterministic-paths` | deterministic paths never read the clock |
 //! | `no-panic-in-request-path`            | request parsing returns errors, never panics |
+//! | `no-unsafe-outside-simd`              | `unsafe` lives only in the SIMD dispatch module |
 
 use crate::lexer::{is_keyword, Tok, TokKind};
 
@@ -70,6 +71,11 @@ pub const RULES: &[Rule] = &[
         name: "no-panic-in-request-path",
         summary: "request parsing must reject bad input, not panic on it",
         check: check_no_panic_in_request_path,
+    },
+    Rule {
+        name: "no-unsafe-outside-simd",
+        summary: "unsafe code belongs in crates/core/src/simd.rs only",
+        check: check_no_unsafe,
     },
 ];
 
@@ -280,6 +286,27 @@ fn check_no_panic_in_request_path(code: &[Tok]) -> Vec<RuleViolation> {
     out
 }
 
+/// The `unsafe` keyword anywhere — blocks, fns, impls, trait declarations:
+/// the workspace confines unchecked code to the SIMD dispatch module (whose
+/// intrinsics require it) so every other layer stays borrow-checked. The
+/// sanctioned files (`crates/core/src/simd.rs`, plus the pool's
+/// grandfathered lifetime-erasure internals) are exempted via `allow` in
+/// `lint.toml`; keywords only lex as identifier tokens, so `"unsafe"` in a
+/// string or comment can never fire.
+fn check_no_unsafe(code: &[Tok]) -> Vec<RuleViolation> {
+    code.iter()
+        .filter(|t| t.is_ident("unsafe"))
+        .map(|t| {
+            violation(
+                t.line,
+                "unsafe outside crates/core/src/simd.rs — rewrite with safe primitives \
+                 (split_at_mut, OnceLock, the runtime pool) or move the kernel into the \
+                 SIMD module",
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +393,26 @@ mod tests {
         );
         assert_eq!(run("no-panic-in-request-path", "unreachable!()").len(), 1);
         assert!(run("no-panic-in-request-path", "std::panic::catch_unwind(f)").is_empty());
+    }
+
+    #[test]
+    fn unsafe_matches_code_not_strings_or_comments() {
+        assert_eq!(run("no-unsafe-outside-simd", "unsafe { *ptr }").len(), 1);
+        assert_eq!(
+            run(
+                "no-unsafe-outside-simd",
+                "pub unsafe fn load(p: *const u8) {}"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run("no-unsafe-outside-simd", "unsafe impl Send for Job {}").len(),
+            1
+        );
+        assert!(run("no-unsafe-outside-simd", r#"let s = "unsafe";"#).is_empty());
+        assert!(run("no-unsafe-outside-simd", "// unsafe here would be bad").is_empty());
+        assert!(run("no-unsafe-outside-simd", "let unsafety = 1;").is_empty());
     }
 
     #[test]

@@ -91,6 +91,11 @@ fn bad_snippets() -> Vec<(&'static str, &'static str, String)> {
             DEMO_HTTP,
             "pub fn first(v: &[u8]) -> u8 {\n    v[0]\n}\n".to_string(),
         ),
+        (
+            "no-unsafe-outside-simd",
+            DEMO_LIB,
+            "pub fn read(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n".to_string(),
+        ),
     ]
 }
 

@@ -135,6 +135,11 @@ fn main() {
         eprintln!("olive-router: {message}");
         std::process::exit(2);
     }
+    // And OLIVE_SIMD, which spawned workers inherit through the env.
+    if let Err(message) = olive_core::validate_simd_env() {
+        eprintln!("olive-router: {message}");
+        std::process::exit(2);
+    }
     let mut parsed = parse_args();
     if parsed.config.workers.is_empty() && parsed.spawn == 0 {
         eprintln!("no workers: pass --worker ADDR (repeatable) or --spawn N");

@@ -208,6 +208,15 @@ pub fn should_parallelize(rows: usize, work: u64) -> bool {
     rows >= 2 && work >= MIN_PARALLEL_WORK && !in_worker() && effective_threads() > 1
 }
 
+/// The chunk geometry both row primitives share: rows per chunk and chunk
+/// count for an `m`-row kernel at `threads` lanes. Depends only on its
+/// arguments, so the decomposition — and therefore the arithmetic — is
+/// identical wherever it is computed.
+fn chunk_geometry(m: usize, threads: usize) -> (usize, usize) {
+    let chunk_rows = m.div_ceil((threads * CHUNKS_PER_THREAD).min(m));
+    (chunk_rows, m.div_ceil(chunk_rows))
+}
+
 /// Runs `f` over disjoint contiguous sub-ranges of `0..m` that exactly cover
 /// `0..m`, in parallel on the [global pool](Pool::global).
 ///
@@ -226,8 +235,7 @@ pub fn par_rows<F: Fn(Range<usize>) + Sync>(m: usize, f: F) {
         f(0..m);
         return;
     }
-    let chunk_rows = m.div_ceil((threads * CHUNKS_PER_THREAD).min(m));
-    let n_chunks = m.div_ceil(chunk_rows);
+    let (chunk_rows, n_chunks) = chunk_geometry(m, threads);
     Pool::global().scoped(threads, n_chunks, |chunk| {
         let start = chunk * chunk_rows;
         let end = (start + chunk_rows).min(m);
@@ -238,9 +246,12 @@ pub fn par_rows<F: Fn(Range<usize>) + Sync>(m: usize, f: F) {
 /// Like [`par_rows`], additionally handing each range the mutable slice of
 /// `out` holding its rows (`cols` values per row).
 ///
-/// This is the safe core the GEMM kernels build on: ranges are disjoint, so
-/// the per-range `&mut [T]` blocks never alias, and [`Pool::scoped`] joins
-/// every range before returning, so no borrow outlives the call.
+/// This is the safe core the GEMM kernels build on: the exclusive borrow of
+/// `out` is pre-split with `split_at_mut` into one disjoint block per chunk,
+/// each chunk takes its block exactly once (an uncontended per-chunk `Mutex`
+/// slot), and [`Pool::scoped`] joins every chunk before returning, so no
+/// borrow outlives the call. No `unsafe` is involved — the workspace-wide
+/// `no-unsafe-outside-simd` lint rule counts on that.
 ///
 /// # Panics
 ///
@@ -257,27 +268,30 @@ pub fn par_rows_mut<T: Send, F: Fn(Range<usize>, &mut [T]) + Sync>(
         "par_rows_mut: output length {} != {m} rows x {cols} cols",
         out.len()
     );
-    struct SendPtr<T>(*mut T);
-    impl<T> SendPtr<T> {
-        // Closures capture through this method so they borrow the whole
-        // wrapper (which is Sync) rather than the raw-pointer field.
-        fn get(&self) -> *mut T {
-            self.0
-        }
+    if m == 0 {
+        return;
     }
-    // SAFETY: each range accesses only its own disjoint rows of `out`, and
-    // par_rows joins all ranges before the exclusive borrow ends.
-    unsafe impl<T: Send> Send for SendPtr<T> {}
-    unsafe impl<T: Send> Sync for SendPtr<T> {}
-    let base = SendPtr(out.as_mut_ptr());
-    par_rows(m, |rows| {
-        let len = (rows.end - rows.start) * cols;
-        // SAFETY: `rows` ranges from par_rows are disjoint and within 0..m,
-        // so these sub-slices never overlap; `base` outlives the call because
-        // par_rows blocks until every range has finished.
-        let block =
-            unsafe { std::slice::from_raw_parts_mut(base.get().add(rows.start * cols), len) };
-        f(rows, block);
+    let threads = effective_threads();
+    if threads <= 1 || m == 1 || in_worker() {
+        f(0..m, out);
+        return;
+    }
+    let (chunk_rows, n_chunks) = chunk_geometry(m, threads);
+    let mut blocks: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(n_chunks);
+    let mut rest = out;
+    for _ in 0..n_chunks {
+        let take = (chunk_rows * cols).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        blocks.push(Mutex::new(Some(head)));
+        rest = tail;
+    }
+    Pool::global().scoped(threads, n_chunks, |chunk| {
+        let start = chunk * chunk_rows;
+        let end = (start + chunk_rows).min(m);
+        let block = lock_or_recover(&blocks[chunk])
+            .take()
+            .expect("par_rows_mut: chunk block taken twice");
+        f(start..end, block);
     });
 }
 

@@ -108,6 +108,16 @@ fn main() {
         eprintln!("olive-serve: {message}");
         std::process::exit(2);
     }
+    // Same contract for OLIVE_SIMD: results are bit-identical on every
+    // path, but a daemon asked for a specific kernel must actually run it.
+    if let Err(message) = olive_core::validate_simd_env() {
+        eprintln!("olive-serve: {message}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "olive-serve: quantized GEMM dispatch: {}",
+        olive_core::simd::resolve_path()
+    );
     let config = parse_args();
     let server = match Server::start(config) {
         Ok(server) => server,

@@ -23,6 +23,12 @@ cargo build --release --examples
 echo "== cargo test --workspace -q =="
 cargo test --workspace -q
 
+# The quantized GEMM has SIMD and scalar kernels that must be bit-identical;
+# the workspace run above exercises the auto-detected path, this run pins the
+# scalar fallback so both dispatch targets are tested on every verify.
+echo "== OLIVE_SIMD=scalar cargo test -q -p olive-core =="
+OLIVE_SIMD=scalar cargo test -q -p olive-core
+
 # Static analysis: the determinism & concurrency contracts (see
 # crates/lint/RULES.md). The self-test proves the rules still bite by
 # injecting one violation per rule.
